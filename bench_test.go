@@ -1,0 +1,450 @@
+package lhg_test
+
+// Benchmark harness: one benchmark per experiment table/figure (see
+// DESIGN.md E1..E14 and EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers are machine-specific; the benchmarks exist to (a) keep
+// the experiment pipeline honest under -benchmem and (b) show the asymptotic
+// shapes (construction is near-linear, verification is polynomial,
+// flooding is O(m) per run).
+
+import (
+	"fmt"
+	"testing"
+
+	"lhg"
+	"lhg/internal/classic"
+	"lhg/internal/core"
+	"lhg/internal/flood"
+	"lhg/internal/flow"
+	"lhg/internal/graph"
+	"lhg/internal/member"
+	"lhg/internal/overlay"
+	"lhg/internal/proc"
+	"lhg/internal/sim"
+	"lhg/internal/spectral"
+)
+
+var (
+	sinkGraph  *lhg.Graph
+	sinkInt    int
+	sinkBool   bool
+	sinkResult *flood.Result
+	sinkFloat  float64
+)
+
+func buildOrFatal(b *testing.B, c lhg.Constraint, n, k int) *lhg.Graph {
+	b.Helper()
+	g, err := lhg.Build(c, n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkBuildKTree covers E1: K-TREE construction across sizes.
+func BenchmarkBuildKTree(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkGraph = buildOrFatal(b, lhg.KTree, n, 4)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildKDiamond covers E2: K-DIAMOND construction across sizes.
+func BenchmarkBuildKDiamond(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkGraph = buildOrFatal(b, lhg.KDiamond, n, 4)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildJD covers E9: Jenkins–Demers construction (on its feasible
+// sizes) including the decomposition search.
+func BenchmarkBuildJD(b *testing.B) {
+	for _, n := range []int{62, 512, 4094} {
+		if !lhg.Exists(lhg.JD, n, 4) {
+			b.Fatalf("n=%d not JD-feasible; pick sizes on the grid", n)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkGraph = buildOrFatal(b, lhg.JD, n, 4)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildHarary is the baseline constructor used throughout E10-E13.
+func BenchmarkBuildHarary(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkGraph = buildOrFatal(b, lhg.Harary, n, 4)
+			}
+		})
+	}
+}
+
+// BenchmarkVerify covers the exact property verification used in E1/E2:
+// full max-flow based κ/λ plus P3/P4.
+func BenchmarkVerify(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		g := buildOrFatal(b, lhg.KDiamond, n, 4)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := lhg.Verify(g, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkBool = r.IsLHG()
+			}
+		})
+	}
+}
+
+// BenchmarkQuickVerify is the sweep-mode verification used by E4/E6.
+func BenchmarkQuickVerify(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		g := buildOrFatal(b, lhg.KTree, n, 4)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, err := lhg.IsLHG(g, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkBool = ok
+			}
+		})
+	}
+}
+
+// BenchmarkDisjointPaths covers E3: Menger path extraction on the Figure 1
+// witness and larger instances.
+func BenchmarkDisjointPaths(b *testing.B) {
+	for _, n := range []int{21, 201, 2001} {
+		kt, err := core.BuildKTree(n, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := kt.Real.Graph
+		s := kt.Real.CopyNode[0][1]
+		t := kt.Real.CopyNode[2][2]
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				paths, err := flow.VertexDisjointPaths(g, s, t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkInt = len(paths)
+			}
+		})
+	}
+}
+
+// BenchmarkExistenceSweep covers E4/E6: the closed-form EX functions over a
+// dense grid (these are what a membership service calls on every resize).
+func BenchmarkExistenceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for k := 3; k <= 8; k++ {
+			for n := k + 1; n <= 40*k; n++ {
+				if lhg.Exists(lhg.KTree, n, k) && lhg.Exists(lhg.KDiamond, n, k) {
+					count++
+				}
+				if lhg.Exists(lhg.JD, n, k) {
+					count++
+				}
+			}
+		}
+		sinkInt = count
+	}
+}
+
+// BenchmarkDiameter covers E10: all-pairs BFS diameter, the dominant cost
+// of the diameter tables.
+func BenchmarkDiameter(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    lhg.Constraint
+	}{{"harary", lhg.Harary}, {"kdiamond", lhg.KDiamond}} {
+		g := buildOrFatal(b, tc.c, 512, 4)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkInt = g.Diameter()
+			}
+		})
+	}
+}
+
+// BenchmarkFloodRounds covers E11: one fault-free flood per iteration.
+func BenchmarkFloodRounds(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    lhg.Constraint
+	}{{"harary", lhg.Harary}, {"ktree", lhg.KTree}, {"kdiamond", lhg.KDiamond}} {
+		g := buildOrFatal(b, tc.c, 512, 4)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := lhg.Flood(g, 0, lhg.Failures{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkResult = res
+			}
+		})
+	}
+}
+
+// BenchmarkFloodFailures covers E12: flooding with k-1 random crashes.
+func BenchmarkFloodFailures(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 512, 4)
+	rng := sim.NewRNG(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fails, err := flood.RandomNodeFailures(g, 0, 3, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := lhg.Flood(g, 0, fails)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete {
+			b.Fatal("4-connected flood must survive 3 crashes")
+		}
+		sinkResult = res
+	}
+}
+
+// BenchmarkAdversary covers the E12 adversarial column: computing a minimum
+// vertex cut to attack the flood.
+func BenchmarkAdversary(b *testing.B) {
+	g := buildOrFatal(b, lhg.KTree, 128, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fails, err := flood.AdversarialNodeFailures(g, 0, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkInt = len(fails.Nodes)
+	}
+}
+
+// BenchmarkMessageCost covers E13: message accounting across one flood.
+func BenchmarkMessageCost(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    lhg.Constraint
+	}{{"harary", lhg.Harary}, {"kdiamond", lhg.KDiamond}} {
+		g := buildOrFatal(b, tc.c, 1024, 3)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := lhg.Flood(g, 0, lhg.Failures{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkInt = res.Messages
+			}
+		})
+	}
+}
+
+// BenchmarkOverlayJoin covers E14: a membership change including the
+// topology rebuild and churn diff.
+func BenchmarkOverlayJoin(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    lhg.Constraint
+	}{{"ktree", lhg.KTree}, {"kdiamond", lhg.KDiamond}} {
+		b.Run(tc.name, func(b *testing.B) {
+			topo := func(n, k int) (*graph.Graph, error) { return lhg.Build(tc.c, n, k) }
+			o, err := overlay.New(4, 256, topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := o.Join()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkInt = c.Total()
+			}
+		})
+	}
+}
+
+// BenchmarkConnectivity is the verification primitive underneath E1-E9:
+// exact vertex connectivity of a 4-connected 128-node LHG.
+func BenchmarkConnectivity(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 128, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = flow.VertexConnectivity(g)
+	}
+}
+
+// BenchmarkGrowerJoin covers E15: one incremental admission (Theorem 2/5
+// proof step) — O(k²) work independent of the overlay size.
+func BenchmarkGrowerJoin(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (overlay.Grower, error)
+	}{
+		{name: "ktree", mk: func() (overlay.Grower, error) { return lhg.NewKTreeGrower(4) }},
+		{name: "kdiamond", mk: func() (overlay.Grower, error) { return lhg.NewKDiamondGrower(4) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			gr, err := tc.mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := gr.Grow()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkInt = d.Total()
+			}
+		})
+	}
+}
+
+// BenchmarkGossip covers E16: one bounded-fanout gossip dissemination.
+func BenchmarkGossip(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 512, 4)
+	rng := sim.NewRNG(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := flood.Gossip(g, 0, 3, flood.Failures{}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkResult = res
+	}
+}
+
+// BenchmarkProtocolBroadcast covers E17: one full protocol-level broadcast
+// over the discrete-event runtime.
+func BenchmarkProtocolBroadcast(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := proc.NewNetwork(g, proc.WithSendOverhead(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Broadcast(0, "m", 0); err != nil {
+			b.Fatal(err)
+		}
+		net.Run()
+		sinkInt = net.MessagesSent()
+	}
+}
+
+// BenchmarkSpectralGap covers E18: one spectral-gap estimation.
+func BenchmarkSpectralGap(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 128, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gap, err := spectral.SpectralGap(g, spectral.Options{Iterations: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFloat = gap
+	}
+}
+
+// BenchmarkRouter covers E19: one structured routing query from blueprint
+// metadata (no search).
+func BenchmarkRouter(b *testing.B) {
+	kd, err := core.BuildKDiamond(323, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	router, err := core.NewRouter(kd.Blue, kd.Real)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path, err := router.Route(i%323, (i*7+13)%323)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkInt = len(path)
+	}
+}
+
+// BenchmarkBetweenness covers E20: exact Brandes centrality.
+func BenchmarkBetweenness(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 128, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc := g.Betweenness()
+		sinkFloat = bc[0]
+	}
+}
+
+// BenchmarkMembershipCycle covers E21: one join + crash + repair cycle of
+// the self-healing membership service.
+func BenchmarkMembershipCycle(b *testing.B) {
+	topo := func(n, k int) (*graph.Graph, error) { return lhg.Build(lhg.KDiamond, n, k) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := member.New(4, 24, topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.ProposeJoin(); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Crash(3, 9, 15); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := s.Repair()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkInt = rep.Churn.Total()
+	}
+}
+
+// BenchmarkBuildClassic covers E22: constructing the related-work families.
+func BenchmarkBuildClassic(b *testing.B) {
+	b.Run("hypercube-d10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := classic.Hypercube(10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkInt = g.Size()
+		}
+	})
+	b.Run("debruijn-2-10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := classic.DeBruijn(2, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkInt = g.Size()
+		}
+	})
+	b.Run("ccc-d7", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g, err := classic.CCC(7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkInt = g.Size()
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lhg"
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+	"lhg/internal/overlay"
+	"lhg/internal/sim"
+)
+
+// runE23 reports the dissemination *distribution*, not just the last
+// arrival: the round by which 50%, 90%, 99% and 100% of the nodes hold the
+// message. Evaluation sections of dissemination papers report exactly
+// these percentiles; the LHGs' advantage grows toward the tail.
+func runE23(w io.Writer) error {
+	const (
+		n = 256
+		k = 4
+	)
+	fmt.Fprintf(w, "n=%d, k=%d, fault-free flood from node 0: round by which X%% are covered\n", n, k)
+	fmt.Fprintf(w, "%-10s %-8s %-8s %-8s %-8s %-8s\n", "topology", "p50", "p90", "p99", "p100", "msgs")
+	for _, c := range []lhg.Constraint{lhg.Harary, lhg.JD, lhg.KTree, lhg.KDiamond} {
+		used, err := nearestFeasible(c, n, k)
+		if err != nil {
+			return err
+		}
+		g, err := lhg.Build(c, used, k)
+		if err != nil {
+			return err
+		}
+		res, err := lhg.Flood(g, 0, lhg.Failures{})
+		if err != nil {
+			return err
+		}
+		if !res.Complete {
+			return fmt.Errorf("%v flood incomplete", c)
+		}
+		rounds := append([]int(nil), res.FirstHeard...)
+		sort.Ints(rounds)
+		pct := func(p float64) int { return rounds[int(p*float64(len(rounds)-1))] }
+		fmt.Fprintf(w, "%-10s %-8d %-8d %-8d %-8d %-8d\n",
+			c, pct(0.50), pct(0.90), pct(0.99), rounds[len(rounds)-1], res.Messages)
+	}
+	fmt.Fprintln(w, "shape: harary covers the first half quickly (two expanding arcs) but its tail is")
+	fmt.Fprintln(w, "linear; the LHG tail ends within 2·log_{k-1}(n) rounds")
+	return nil
+}
+
+// runE24 drives the overlay through a seeded random churn trace —
+// mostly joins with leaves mixed in, like a P2P swarm — and samples
+// broadcast availability (with k-1 crashes) during the churn. It reports
+// the size trajectory, total maintenance cost, and that availability never
+// dipped.
+func runE24(w io.Writer) error {
+	const (
+		k      = 3
+		start  = 2 * k
+		events = 120
+		seed   = 4242
+	)
+	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(lhg.KDiamond, n, kk) }
+	o, err := overlay.New(k, start, topo)
+	if err != nil {
+		return err
+	}
+	rng := sim.NewRNG(seed)
+	var (
+		joins, leaves, totalChurn int
+		maxSize                   = start
+		broadcasts, delivered     int
+	)
+	for e := 0; e < events; e++ {
+		var c overlay.Churn
+		if rng.Intn(3) == 0 && o.Size() > 2*k {
+			c, err = o.Leave()
+			leaves++
+		} else {
+			c, err = o.Join()
+			joins++
+		}
+		if err != nil {
+			return err
+		}
+		totalChurn += c.Total()
+		if o.Size() > maxSize {
+			maxSize = o.Size()
+		}
+		// Sample availability every 10 events: broadcast through k-1
+		// random crashes.
+		if e%10 == 9 {
+			fails, err := flood.RandomNodeFailures(o.Graph(), 0, k-1, rng)
+			if err != nil {
+				return err
+			}
+			res, err := o.Broadcast(0, fails)
+			if err != nil {
+				return err
+			}
+			broadcasts++
+			if res.Complete {
+				delivered++
+			}
+		}
+	}
+	fmt.Fprintf(w, "churn trace: %d events (%d joins, %d leaves), seed %d\n", events, joins, leaves, seed)
+	fmt.Fprintf(w, "size: start %d, peak %d, final %d\n", start, maxSize, o.Size())
+	fmt.Fprintf(w, "maintenance: %d link operations total (%.1f per event)\n",
+		totalChurn, float64(totalChurn)/float64(events))
+	fmt.Fprintf(w, "availability: %d/%d sampled broadcasts delivered to every alive member\n",
+		delivered, broadcasts)
+	if delivered != broadcasts {
+		return fmt.Errorf("availability dipped during churn")
+	}
+	fmt.Fprintln(w, "the f <= k-1 delivery guarantee held at every sampled point of the trace")
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"lhg/internal/core"
+)
+
+// runE9 reproduces the §4.4 comparison: the Jenkins–Demers rule leaves
+// infinitely many (n,k) unbuildable that K-TREE covers; in particular the
+// (9,3) example and every odd offset n-2k.
+func runE9(w io.Writer) error {
+	fmt.Fprintf(w, "%-3s %-12s %-10s %-10s %-8s %s\n",
+		"k", "n range", "EX_K-TREE", "EX_JD", "gaps", "first gaps")
+	for k := 3; k <= 6; k++ {
+		lo, hi := 2*k, 8*k
+		var ktree, jd, gaps int
+		var firstGaps []int
+		for n := lo; n <= hi; n++ {
+			t := core.ExistsKTree(n, k)
+			j := core.ExistsJD(n, k)
+			if j && !t {
+				return fmt.Errorf("JD built a pair K-TREE cannot: (%d,%d)", n, k)
+			}
+			if t {
+				ktree++
+			}
+			if j {
+				jd++
+			}
+			if t && !j {
+				gaps++
+				if len(firstGaps) < 5 {
+					firstGaps = append(firstGaps, n)
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-3d [%d,%d]%-3s %-10d %-10d %-8d %v\n",
+			k, lo, hi, "", ktree, jd, gaps, firstGaps)
+	}
+
+	// The paper's concrete example.
+	fmt.Fprintf(w, "paper example: EX_JD(9,3)=%t, EX_K-TREE(9,3)=%t (Figure 2(b) is JD-impossible)\n",
+		core.ExistsJD(9, 3), core.ExistsKTree(9, 3))
+
+	// The odd-offset family n = 2k + 2α(k-1) + 3 from §4.4.
+	for k := 3; k <= 5; k++ {
+		for alpha := 0; alpha <= 4; alpha++ {
+			n := 2*k + 2*alpha*(k-1) + 3
+			if core.ExistsJD(n, k) || !core.ExistsKTree(n, k) {
+				return fmt.Errorf("§4.4 family violated at k=%d α=%d (n=%d)", k, alpha, n)
+			}
+		}
+	}
+	fmt.Fprintln(w, "family n = 2k + 2α(k-1) + 3 confirmed JD-impossible, K-TREE-possible (k=3..5, α=0..4)")
+	return nil
+}

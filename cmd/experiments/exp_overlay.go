@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"lhg"
+	"lhg/internal/graph"
+	"lhg/internal/overlay"
+)
+
+// runE14 measures reconfiguration cost in the motivating P2P setting: a
+// node joins, the canonical topology for n+1 is built, and the overlay pays
+// one link operation per changed edge.
+func runE14(w io.Writer) error {
+	const (
+		k     = 3
+		start = 6  // 2k
+		joins = 60 //
+	)
+	topologies := []struct {
+		name  string
+		build overlay.TopologyFunc
+	}{
+		{name: "harary", build: topo(lhg.Harary)},
+		{name: "ktree", build: topo(lhg.KTree)},
+		{name: "kdiamond", build: topo(lhg.KDiamond)},
+	}
+	fmt.Fprintf(w, "k=%d, %d consecutive joins from n=%d; churn = links changed per join\n", k, joins, start)
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-12s %-12s\n", "topology", "mean churn", "max churn", "min churn", "final edges")
+	for _, tt := range topologies {
+		o, err := overlay.New(k, start, tt.build)
+		if err != nil {
+			return err
+		}
+		total, maxC := 0, 0
+		minC := int(^uint(0) >> 1)
+		for i := 0; i < joins; i++ {
+			c, err := o.Join()
+			if err != nil {
+				return err
+			}
+			total += c.Total()
+			if c.Total() > maxC {
+				maxC = c.Total()
+			}
+			if c.Total() < minC {
+				minC = c.Total()
+			}
+		}
+		fmt.Fprintf(w, "%-10s %-12.1f %-12d %-12d %-12d\n",
+			tt.name, float64(total)/float64(joins), maxC, minC, o.Graph().Size())
+	}
+	fmt.Fprintln(w, "note: canonical rebuild churn; an incremental deployment would amortize it")
+	return nil
+}
+
+func topo(c lhg.Constraint) overlay.TopologyFunc {
+	return func(n, k int) (*graph.Graph, error) { return lhg.Build(c, n, k) }
+}

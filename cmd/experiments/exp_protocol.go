@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"lhg"
+	"lhg/internal/proc"
+	"lhg/internal/sim"
+	"lhg/internal/spectral"
+)
+
+// runE17 executes the flooding *protocol* (per-process state, per-link
+// latency, crashes at arbitrary instants including mid-forwarding) and
+// measures the reliable-broadcast properties across topologies: validity
+// (the correct source's message reaches every correct process) and
+// agreement (no correct process is left out when another delivered).
+func runE17(w io.Writer) error {
+	const (
+		n      = 40
+		k      = 4
+		trials = 120
+	)
+	fmt.Fprintf(w, "n=%d, k=%d, %d trials/cell; crashes strike at random instants mid-flood\n", n, k, trials)
+	fmt.Fprintf(w, "%-10s %-4s %-12s %-12s %-14s\n", "topology", "f", "validity", "agreement", "worst latency")
+	for _, c := range []lhg.Constraint{lhg.Harary, lhg.KTree, lhg.KDiamond} {
+		g, err := lhg.Build(c, n, k)
+		if err != nil {
+			return err
+		}
+		for _, f := range []int{k - 1, k} {
+			rng := sim.NewRNG(uint64(9000 + f))
+			validity, agreement := 0, 0
+			var worst int64
+			for trial := 0; trial < trials; trial++ {
+				opts := []proc.Option{proc.WithSendOverhead(1)}
+				for _, v := range rng.Sample(n-1, f) {
+					opts = append(opts, proc.WithCrashAt(v+1, int64(rng.Intn(10))))
+				}
+				net, err := proc.NewNetwork(g, opts...)
+				if err != nil {
+					return err
+				}
+				mid, err := net.Broadcast(0, "m", 0)
+				if err != nil {
+					return err
+				}
+				net.Run()
+				count, aerr := net.CheckAgreement(mid)
+				if aerr == nil {
+					agreement++
+				}
+				if count == len(net.Correct()) {
+					validity++
+					for _, id := range net.Correct() {
+						if t := net.HeardAt(id, mid); t > worst {
+							worst = t
+						}
+					}
+				}
+			}
+			fmt.Fprintf(w, "%-10s %-4d %-12.3f %-12.3f %-14d\n",
+				c, f, float64(validity)/trials, float64(agreement)/trials, worst)
+			if f <= k-1 && (validity != trials || agreement != trials) {
+				return fmt.Errorf("%v: reliable broadcast violated at f=%d <= k-1", c, f)
+			}
+		}
+	}
+	fmt.Fprintln(w, "paper claim: k-connectivity => validity and agreement hold for ANY f <= k-1 crash")
+	fmt.Fprintln(w, "schedule, even mid-forwarding; at f=k both can break (random schedules often survive)")
+	return nil
+}
+
+// runE18 estimates the adjacency spectral gap k-λ2 of k-regular instances:
+// the expansion measure behind the dissemination quality. Harary's gap
+// decays as Θ(1/n²) (exact circulant closed form printed alongside), the
+// LHG gap roughly as Θ(1/n) — one polynomial order better.
+func runE18(w io.Writer) error {
+	const k = 4
+	opts := spectral.Options{Iterations: 30000}
+	fmt.Fprintf(w, "k=%d, spectral gap k-λ2 of k-regular instances (power iteration)\n", k)
+	fmt.Fprintf(w, "%-6s %-14s %-14s %-12s %-12s\n", "n", "harary gap", "ring bound", "kdiamond gap", "ratio")
+	prevRatio := 0.0
+	for _, n := range []int{32, 62, 128, 254} {
+		if !lhg.Regular(lhg.KDiamond, n, k) || !lhg.Regular(lhg.Harary, n, k) {
+			return fmt.Errorf("n=%d is not a regular size for both families", n)
+		}
+		h, err := lhg.Build(lhg.Harary, n, k)
+		if err != nil {
+			return err
+		}
+		hGap, err := spectral.SpectralGap(h, opts)
+		if err != nil {
+			return err
+		}
+		g, err := lhg.Build(lhg.KDiamond, n, k)
+		if err != nil {
+			return err
+		}
+		gap, err := spectral.SpectralGap(g, opts)
+		if err != nil {
+			return err
+		}
+		ratio := gap / hGap
+		fmt.Fprintf(w, "%-6d %-14.5f %-14.5f %-12.5f %-12.1f\n",
+			n, hGap, spectral.RingGapBound(n, k), gap, ratio)
+		if ratio < 0.9*prevRatio {
+			return fmt.Errorf("gap ratio must widen with n (got %.2f after %.2f)", ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	fmt.Fprintln(w, "shape: harary gap ~ 1/n² (matches the circulant bound); LHG gap ~ 1/n — the")
+	fmt.Fprintln(w, "spectral counterpart of linear vs logarithmic diameter")
+	return nil
+}

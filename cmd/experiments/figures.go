@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lhg"
+	"lhg/internal/core"
+	"lhg/internal/render"
+)
+
+// writeFigures renders the paper's witness graphs (Figures 1-3) as
+// Graphviz DOT files into dir, one file per subfigure, using the blueprint
+// labels (R<i> roots, N<p>.<i> internal copies, L<p> shared leaves,
+// U<p>.<i> clique members).
+func writeFigures(dir string, out io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	figures := []struct {
+		file string
+		c    lhg.Constraint
+		n, k int
+	}{
+		{file: "fig1_ktree_21_3.dot", c: lhg.KTree, n: 21, k: 3},
+		{file: "fig2a_ktree_6_3.dot", c: lhg.KTree, n: 6, k: 3},
+		{file: "fig2b_ktree_9_3.dot", c: lhg.KTree, n: 9, k: 3},
+		{file: "fig2c_ktree_10_3.dot", c: lhg.KTree, n: 10, k: 3},
+		{file: "fig3a_kdiamond_7_3.dot", c: lhg.KDiamond, n: 7, k: 3},
+		{file: "fig3b_kdiamond_8_3.dot", c: lhg.KDiamond, n: 8, k: 3},
+		{file: "fig3c_kdiamond_13_3.dot", c: lhg.KDiamond, n: 13, k: 3},
+		{file: "fig3d_kdiamond_14_3.dot", c: lhg.KDiamond, n: 14, k: 3},
+	}
+	for _, fig := range figures {
+		g, labels, err := lhg.Labeled(fig.c, fig.n, fig.k)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fig.file, err)
+		}
+		path := filepath.Join(dir, fig.file)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s_%d_%d", fig.c, fig.n, fig.k)
+		if err := g.DOT(f, name, labels); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d nodes, %d edges)\n", path, g.Order(), g.Size())
+
+		// Matching SVG rendering with the paper-style layered layout.
+		blue, real, err := figureBlueprint(fig.c, fig.n, fig.k)
+		if err != nil {
+			return err
+		}
+		svgPath := strings.TrimSuffix(path, ".dot") + ".svg"
+		sf, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		if err := render.Blueprint(sf, blue, real, render.Style{Width: 860, Height: 460}); err != nil {
+			sf.Close()
+			return err
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", svgPath)
+	}
+	// A bonus rendering of the (8,3) blueprint statistics for the docs.
+	//
+	kd, err := core.BuildKDiamond(8, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fig3b structure: %d internal positions, %d shared leaves, %d unshared groups\n",
+		kd.Blue.Internals(), kd.Blue.SharedLeaves(), kd.Blue.UnsharedLeaves())
+	return nil
+}
+
+// figureBlueprint rebuilds the blueprint behind a figure.
+func figureBlueprint(c lhg.Constraint, n, k int) (*core.Blueprint, *core.Realization, error) {
+	switch c {
+	case lhg.KTree:
+		kt, err := core.BuildKTree(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kt.Blue, kt.Real, nil
+	case lhg.KDiamond:
+		kd, err := core.BuildKDiamond(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kd.Blue, kd.Real, nil
+	default:
+		return nil, nil, fmt.Errorf("figure constraint %v has no blueprint", c)
+	}
+}

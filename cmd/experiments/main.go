@@ -1,0 +1,99 @@
+// Command experiments regenerates every table and figure of the reproduced
+// papers, in paper order. Each experiment is identified by the id used in
+// DESIGN.md and EXPERIMENTS.md (E1..E14).
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -only E4     # run a single experiment
+//	experiments -list        # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// experiment is one reproducible table/figure.
+type experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+func experimentTable() []experiment {
+	return []experiment{
+		{ID: "E1", Title: "Figure 2 witnesses: K-TREE graphs (6,3), (9,3), (10,3)", Run: runE1},
+		{ID: "E2", Title: "Figure 3 witnesses: K-DIAMOND graphs (7,3), (8,3), (13,3), (14,3)", Run: runE2},
+		{ID: "E3", Title: "Figure 1 witness: k vertex-disjoint paths on K-TREE(21,3)", Run: runE3},
+		{ID: "E4", Title: "Theorem 2: EX_K-TREE(n,k) = (n >= 2k), builder vs closed form", Run: runE4},
+		{ID: "E5", Title: "Theorem 3: REG_K-TREE(n,k) = (n = 2k + 2a(k-1))", Run: runE5},
+		{ID: "E6", Title: "Theorem 5 + Corollary 1: EX_K-DIAMOND = EX_K-TREE", Run: runE6},
+		{ID: "E7", Title: "Theorem 6: REG_K-DIAMOND(n,k) = (n = 2k + a(k-1))", Run: runE7},
+		{ID: "E8", Title: "Theorem 7 + Corollary 2: regular coverage, odd-a exclusives", Run: runE8},
+		{ID: "E9", Title: "Section 4.4: Jenkins-Demers gaps vs K-TREE", Run: runE9},
+		{ID: "E10", Title: "Diameter vs n: classic Harary (linear) vs LHGs (logarithmic)", Run: runE10},
+		{ID: "E11", Title: "Flooding latency (rounds) vs n, fault-free", Run: runE11},
+		{ID: "E12", Title: "Flooding under f node failures (random + adversarial)", Run: runE12},
+		{ID: "E13", Title: "Message cost vs n: edges and flood messages per constraint", Run: runE13},
+		{ID: "E14", Title: "Overlay churn per join: K-TREE vs K-DIAMOND vs Harary", Run: runE14},
+		{ID: "E15", Title: "Extension: incremental growers (Thm 2/5 proofs) vs canonical rebuild", Run: runE15},
+		{ID: "E16", Title: "Extension: deterministic flooding vs gossip and spanning trees", Run: runE16},
+		{ID: "E17", Title: "Extension: protocol-level reliable broadcast under mid-flood crashes", Run: runE17},
+		{ID: "E18", Title: "Extension: spectral gap of k-regular instances (expansion)", Run: runE18},
+		{ID: "E19", Title: "Extension: structured routing (Lemma 3 as a routing scheme), stretch", Run: runE19},
+		{ID: "E20", Title: "Extension: forwarding-load distribution (betweenness centrality)", Run: runE20},
+		{ID: "E21", Title: "Extension: self-healing membership (crash, degrade, repair)", Run: runE21},
+		{ID: "E22", Title: "Extension: (n,k) coverage of classic families vs LHG constraints", Run: runE22},
+		{ID: "E23", Title: "Extension: dissemination percentiles (p50/p90/p99/p100 rounds)", Run: runE23},
+		{ID: "E24", Title: "Extension: trace-driven churn with sampled availability", Run: runE24},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only    = fs.String("only", "", "run a single experiment id (e.g. E4)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		figures = fs.String("figures", "", "write the paper's witness graphs as DOT files into this directory and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *figures != "" {
+		return writeFigures(*figures, out)
+	}
+	exps := experimentTable()
+	if *list {
+		for _, e := range exps {
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && !strings.EqualFold(*only, e.ID) {
+			continue
+		}
+		fmt.Fprintf(out, "== %s: %s ==\n", e.ID, e.Title)
+		if err := e.Run(out); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment id %q (use -list)", *only)
+	}
+	return nil
+}

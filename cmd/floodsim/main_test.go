@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFlood(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "ktree", "-n", "30", "-k", "3", "-fail", "2", "-mode", "random", "-seed", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"topology:   ktree(30,3)", "complete:   true", "coverage:   28/28"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAdversarialBelowK(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "kdiamond", "-n", "20", "-k", "4", "-fail", "3", "-mode", "adversarial"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "complete:   true") {
+		t.Fatalf("3 failures must not stop a 4-connected flood:\n%s", buf.String())
+	}
+}
+
+func TestRunAdversarialAtK(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "kdiamond", "-n", "20", "-k", "4", "-fail", "4", "-mode", "adversarial"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "complete:   false") {
+		t.Fatalf("4 adversarial failures must cut a 4-connected graph:\n%s", buf.String())
+	}
+}
+
+func TestRunReliability(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "harary", "-n", "24", "-k", "3", "-fail", "2", "-trials", "40"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reliability (full coverage): 1.0000") {
+		t.Fatalf("3-connected graph must be fully reliable at f=2:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad constraint", args: []string{"-constraint", "x"}},
+		{name: "bad mode", args: []string{"-mode", "chaotic"}},
+		{name: "unbuildable", args: []string{"-constraint", "jd", "-n", "9", "-k", "3"}},
+		{name: "too many failures", args: []string{"-n", "10", "-k", "3", "-fail", "10"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+		})
+	}
+}

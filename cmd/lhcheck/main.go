@@ -1,0 +1,123 @@
+// Command lhcheck builds a topology and verifies every Logarithmic Harary
+// Graph property exactly (max-flow based): k-node connectivity, k-link
+// connectivity, link minimality, logarithmic diameter and k-regularity.
+// It can also check a graph supplied as JSON on stdin (the lhgen -format
+// json encoding).
+//
+// Usage:
+//
+//	lhcheck -constraint ktree -n 21 -k 3
+//	lhgen -constraint kdiamond -n 50 -k 4 -format json | lhcheck -stdin -k 4
+//
+// Exit status 0 means every mandatory property holds.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lhg"
+	"lhg/internal/core"
+)
+
+var errNotLHG = errors.New("graph is not an LHG")
+
+func main() {
+	err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lhcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("lhcheck", flag.ContinueOnError)
+	var (
+		constraint = fs.String("constraint", "kdiamond", "topology: harary, jd, ktree or kdiamond")
+		n          = fs.Int("n", 20, "number of nodes")
+		k          = fs.Int("k", 3, "connectivity target")
+		stdin      = fs.Bool("stdin", false, "read a JSON graph from stdin instead of building one")
+		blueprint  = fs.Bool("blueprint", false, "read a blueprint JSON (lhgen -format blueprint) from stdin, validate its constraints, compile and verify")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		g   *lhg.Graph
+		err error
+	)
+	switch {
+	case *blueprint:
+		var blue core.Blueprint
+		if err := json.NewDecoder(in).Decode(&blue); err != nil {
+			return fmt.Errorf("decode blueprint: %w", err)
+		}
+		fmt.Fprintf(out, "blueprint:            k=%d, %d positions, height %d\n",
+			blue.K, blue.Positions(), blue.Height())
+		fmt.Fprintf(out, "satisfies K-TREE:     %s\n", constraintVerdict(core.ValidateKTree(&blue)))
+		fmt.Fprintf(out, "satisfies K-DIAMOND:  %s\n", constraintVerdict(core.ValidateKDiamond(&blue)))
+		fmt.Fprintf(out, "satisfies JD:         %s\n", constraintVerdict(core.ValidateJD(&blue)))
+		real, err := blue.Compile()
+		if err != nil {
+			return err
+		}
+		g = real.Graph
+		*k = blue.K
+	case *stdin:
+		var decoded lhg.Graph
+		if err := json.NewDecoder(in).Decode(&decoded); err != nil {
+			return fmt.Errorf("decode graph: %w", err)
+		}
+		g = &decoded
+	default:
+		c, perr := lhg.ParseConstraint(*constraint)
+		if perr != nil {
+			return perr
+		}
+		g, err = lhg.Build(c, *n, *k)
+		if err != nil {
+			return err
+		}
+	}
+
+	r, err := lhg.Verify(g, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "nodes:                %d\n", r.N)
+	fmt.Fprintf(out, "edges:                %d\n", r.M)
+	fmt.Fprintf(out, "node connectivity:    %d (P1 %s)\n", r.NodeConnectivity, pass(r.KNodeConnected))
+	fmt.Fprintf(out, "link connectivity:    %d (P2 %s)\n", r.EdgeConnectivity, pass(r.KLinkConnected))
+	fmt.Fprintf(out, "link minimality:      P3 %s\n", pass(r.LinkMinimal))
+	if e, bad := r.Violation(); bad {
+		fmt.Fprintf(out, "  removable edge:     (%d,%d)\n", e.U, e.V)
+	}
+	fmt.Fprintf(out, "diameter:             %d (bound %d, P4 %s)\n", r.Diameter, r.DiameterBound, pass(r.LogDiameter))
+	fmt.Fprintf(out, "k-regular:            %t (P5, optional)\n", r.Regular)
+	fmt.Fprintf(out, "avg path length:      %.3f\n", r.AvgPathLen)
+	if !r.IsLHG() {
+		return errNotLHG
+	}
+	fmt.Fprintln(out, "verdict:              LHG ✓")
+	return nil
+}
+
+// constraintVerdict renders a validator outcome.
+func constraintVerdict(err error) string {
+	if err == nil {
+		return "yes"
+	}
+	return "no (" + err.Error() + ")"
+}
+
+func pass(ok bool) string {
+	if ok {
+		return "pass"
+	}
+	return "FAIL"
+}

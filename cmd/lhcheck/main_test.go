@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunVerifiesBuiltGraph(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "kdiamond", "-n", "14", "-k", "3"}, strings.NewReader(""), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"node connectivity:    3 (P1 pass)", "LHG ✓", "k-regular:            true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStdinGraph(t *testing.T) {
+	// A 4-cycle is a fine (n,2) "LHG" under the vacuous k=2 diameter bound.
+	in := `{"nodes":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}`
+	var buf bytes.Buffer
+	if err := run([]string{"-stdin", "-k", "2"}, strings.NewReader(in), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LHG ✓") {
+		t.Fatalf("expected pass:\n%s", buf.String())
+	}
+}
+
+func TestRunStdinRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stdin", "-k", "2"}, strings.NewReader("junk"), &buf); err == nil {
+		t.Fatal("garbage stdin must error")
+	}
+}
+
+func TestRunFailsOnNonLHG(t *testing.T) {
+	// A 4-cycle plus chord is not link-minimal.
+	in := `{"nodes":4,"edges":[[0,1],[1,2],[2,3],[3,0],[0,2]]}`
+	var buf bytes.Buffer
+	err := run([]string{"-stdin", "-k", "2"}, strings.NewReader(in), &buf)
+	if !errors.Is(err, errNotLHG) {
+		t.Fatalf("err = %v, want errNotLHG", err)
+	}
+	if !strings.Contains(buf.String(), "removable edge") {
+		t.Fatalf("expected removable-edge note:\n%s", buf.String())
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-constraint", "bogus"}, strings.NewReader(""), &buf); err == nil {
+		t.Fatal("bad constraint must error")
+	}
+	if err := run([]string{"-constraint", "ktree", "-n", "5", "-k", "3"}, strings.NewReader(""), &buf); err == nil {
+		t.Fatal("unbuildable pair must error")
+	}
+}
+
+func TestRunBlueprintMode(t *testing.T) {
+	// A hand-written minimal K-TREE blueprint: root + 3 shared leaves.
+	in := `{"k":3,"parent":[-1,0,0,0],"kind":[1,2,2,2],"added":[false,false,false,false]}`
+	var buf bytes.Buffer
+	if err := run([]string{"-blueprint"}, strings.NewReader(in), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"satisfies K-TREE:     yes",
+		"satisfies K-DIAMOND:  yes",
+		"satisfies JD:         yes",
+		"LHG ✓",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBlueprintModeRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-blueprint"}, strings.NewReader("junk"), &buf); err == nil {
+		t.Fatal("garbage blueprint must error")
+	}
+}

@@ -1,0 +1,122 @@
+// Command lhgen generates a Logarithmic Harary Graph (or the classic Harary
+// baseline) and writes it as DOT, JSON or a plain statistics summary.
+//
+// Usage:
+//
+//	lhgen -constraint kdiamond -n 50 -k 4 -format dot > topo.dot
+//	lhgen -constraint ktree -n 21 -k 3 -format json
+//	lhgen -constraint harary -n 40 -k 4 -format stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lhg"
+	"lhg/internal/core"
+	"lhg/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lhgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lhgen", flag.ContinueOnError)
+	var (
+		constraint = fs.String("constraint", "kdiamond", "topology: harary, jd, ktree or kdiamond")
+		n          = fs.Int("n", 20, "number of nodes")
+		k          = fs.Int("k", 3, "connectivity target (tolerates k-1 failures)")
+		format     = fs.String("format", "stats", "output format: dot, json, stats, svg or blueprint")
+		name       = fs.String("name", "lhg", "graph name for DOT output")
+		variant    = fs.Uint64("variant", 0, "non-zero: sample a random constraint witness with this seed (ktree/kdiamond only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := lhg.ParseConstraint(*constraint)
+	if err != nil {
+		return err
+	}
+	g, labels, err := lhg.Labeled(c, *n, *k)
+	if err != nil {
+		return err
+	}
+	if *variant != 0 {
+		g, err = lhg.BuildVariant(c, *n, *k, *variant)
+		if err != nil {
+			return err
+		}
+		labels = nil
+	}
+	switch *format {
+	case "dot":
+		return g.DOT(out, *name, labels)
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(g)
+	case "stats":
+		return writeStats(out, c, g, *n, *k)
+	case "svg":
+		blue, real, err := blueprintFor(c, *n, *k)
+		if err != nil {
+			// Constraints without tree structure fall back to the
+			// circular layout.
+			return render.Circular(out, g, labels, render.Style{})
+		}
+		return render.Blueprint(out, blue, real, render.Style{})
+	case "blueprint":
+		blue, _, err := blueprintFor(c, *n, *k)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(blue)
+	default:
+		return fmt.Errorf("unknown format %q (want dot, json, stats, svg or blueprint)", *format)
+	}
+}
+
+// blueprintFor rebuilds the blueprint behind a tree-structured constraint.
+func blueprintFor(c lhg.Constraint, n, k int) (*core.Blueprint, *core.Realization, error) {
+	switch c {
+	case lhg.JD:
+		jd, err := core.BuildJD(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return jd.Blue, jd.Real, nil
+	case lhg.KTree:
+		kt, err := core.BuildKTree(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kt.Blue, kt.Real, nil
+	case lhg.KDiamond:
+		kd, err := core.BuildKDiamond(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kd.Blue, kd.Real, nil
+	default:
+		return nil, nil, fmt.Errorf("constraint %v has no blueprint", c)
+	}
+}
+
+func writeStats(out io.Writer, c lhg.Constraint, g *lhg.Graph, n, k int) error {
+	diam := g.Diameter()
+	minDeg, _ := g.MinDegree()
+	maxDeg, _ := g.MaxDegree()
+	_, err := fmt.Fprintf(out,
+		"constraint: %s\nnodes: %d\nedges: %d\nk: %d\ndiameter: %d\nmin degree: %d\nmax degree: %d\nregular: %t\navg path length: %.3f\n",
+		c, g.Order(), g.Size(), k, diam, minDeg, maxDeg, g.IsRegular(k), g.AvgPathLength())
+	return err
+}

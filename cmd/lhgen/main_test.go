@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "ktree", "-n", "10", "-k", "3", "-format", "stats"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"constraint: ktree", "nodes: 10", "edges: 15", "regular: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "kdiamond", "-n", "8", "-k", "3", "-format", "dot", "-name", "fig3b"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph fig3b {") {
+		t.Fatalf("DOT header missing:\n%s", out)
+	}
+	for _, want := range []string{`label="R0"`, `label="U`, " -- "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "12", "-k", "3", "-format", "json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Nodes int      `json:"nodes"`
+		Edges [][2]int `json:"edges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if decoded.Nodes != 12 {
+		t.Fatalf("nodes = %d, want 12", decoded.Nodes)
+	}
+	if len(decoded.Edges) == 0 {
+		t.Fatal("no edges in JSON output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad constraint", args: []string{"-constraint", "nope"}},
+		{name: "bad format", args: []string{"-format", "xml"}},
+		{name: "unbuildable pair", args: []string{"-constraint", "ktree", "-n", "5", "-k", "3"}},
+		{name: "bad flag", args: []string{"-bogus"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestRunSVG(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "kdiamond", "-n", "13", "-k", "3", "-format", "svg"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("not an SVG document:\n%.120s", out)
+	}
+	if !strings.Contains(out, ">R0<") {
+		t.Fatal("blueprint labels missing from SVG")
+	}
+}
+
+func TestRunSVGHararyFallsBackToCircular(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "harary", "-n", "10", "-k", "3", "-format", "svg"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Fatal("fallback circular SVG missing")
+	}
+}
+
+func TestRunBlueprintFormat(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "ktree", "-n", "10", "-k", "3", "-format", "blueprint"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		K      int   `json:"k"`
+		Parent []int `json:"parent"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("blueprint output is not JSON: %v", err)
+	}
+	if decoded.K != 3 || len(decoded.Parent) == 0 {
+		t.Fatalf("blueprint content wrong: %+v", decoded)
+	}
+	if err := run([]string{"-constraint", "harary", "-format", "blueprint"}, &buf); err == nil {
+		t.Fatal("harary has no blueprint")
+	}
+}
+
+func TestRunVariantSeed(t *testing.T) {
+	var a, b, c bytes.Buffer
+	if err := run([]string{"-constraint", "ktree", "-n", "21", "-k", "3", "-format", "json", "-variant", "1"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-constraint", "ktree", "-n", "21", "-k", "3", "-format", "json", "-variant", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must reproduce the same witness")
+	}
+	if err := run([]string{"-constraint", "harary", "-variant", "1"}, &c); err == nil {
+		t.Fatal("harary has no variants")
+	}
+}

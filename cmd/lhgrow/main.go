@@ -1,0 +1,122 @@
+// Command lhgrow runs the incremental LHG maintenance procedures (the
+// constructive proofs of Theorems 2 and 5) as a control plane: starting
+// from the minimal (2k,k) overlay it admits nodes one at a time and emits
+// the exact link operations a deployment would execute, as JSON lines.
+//
+// Usage:
+//
+//	lhgrow -constraint kdiamond -k 4 -joins 20            # one JSON line per join
+//	lhgrow -constraint ktree -k 3 -joins 100 -summary     # aggregate churn stats
+//
+// Each JSON line has the shape
+//
+//	{"n":9,"added":[[0,8],[1,8],[2,8]],"removed":[],"regular":false}
+//
+// where n is the size after the join and added/removed list the link
+// surgery (pairs of stable node ids).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lhg"
+)
+
+type joinRecord struct {
+	N       int      `json:"n"`
+	Added   [][2]int `json:"added"`
+	Removed [][2]int `json:"removed"`
+	Regular bool     `json:"regular"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lhgrow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lhgrow", flag.ContinueOnError)
+	var (
+		constraint = fs.String("constraint", "kdiamond", "grower: ktree or kdiamond")
+		k          = fs.Int("k", 3, "connectivity target")
+		joins      = fs.Int("joins", 10, "number of joins to perform")
+		summary    = fs.Bool("summary", false, "print aggregate churn stats instead of JSON lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *joins < 0 {
+		return fmt.Errorf("joins must be non-negative, got %d", *joins)
+	}
+
+	var (
+		grow func() (lhg.EdgeDelta, error)
+		size func() int
+		snap func() *lhg.Graph
+	)
+	switch *constraint {
+	case "ktree":
+		gr, err := lhg.NewKTreeGrower(*k)
+		if err != nil {
+			return err
+		}
+		grow, size, snap = gr.Grow, gr.N, gr.Snapshot
+	case "kdiamond":
+		gr, err := lhg.NewKDiamondGrower(*k)
+		if err != nil {
+			return err
+		}
+		grow, size, snap = gr.Grow, gr.N, gr.Snapshot
+	default:
+		return fmt.Errorf("unknown grower %q (want ktree or kdiamond)", *constraint)
+	}
+
+	enc := json.NewEncoder(out)
+	total, maxChurn := 0, 0
+	for i := 0; i < *joins; i++ {
+		d, err := grow()
+		if err != nil {
+			return err
+		}
+		churn := d.Total()
+		total += churn
+		if churn > maxChurn {
+			maxChurn = churn
+		}
+		if *summary {
+			continue
+		}
+		rec := joinRecord{
+			N:       size(),
+			Added:   pairs(d.Added),
+			Removed: pairs(d.Removed),
+			Regular: snap().IsRegular(*k),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	if *summary {
+		mean := 0.0
+		if *joins > 0 {
+			mean = float64(total) / float64(*joins)
+		}
+		fmt.Fprintf(out, "constraint: %s\nk: %d\njoins: %d\nfinal n: %d\nfinal edges: %d\nmean churn: %.2f\nmax churn: %d\n",
+			*constraint, *k, *joins, size(), snap().Size(), mean, maxChurn)
+	}
+	return nil
+}
+
+func pairs(es []lhg.Edge) [][2]int {
+	out := make([][2]int, 0, len(es))
+	for _, e := range es {
+		out = append(out, [2]int{e.U, e.V})
+	}
+	return out
+}

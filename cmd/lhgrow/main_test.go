@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-constraint", "kdiamond", "-k", "3", "-joins", "6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	lastN := 0
+	for sc.Scan() {
+		var rec joinRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		if rec.N <= lastN {
+			t.Fatalf("sizes must increase: %d after %d", rec.N, lastN)
+		}
+		lastN = rec.N
+		if len(rec.Added) == 0 {
+			t.Fatalf("every join adds links: %+v", rec)
+		}
+		lines++
+	}
+	if lines != 6 {
+		t.Fatalf("got %d JSON lines, want 6", lines)
+	}
+	if lastN != 12 {
+		t.Fatalf("final n = %d, want 12", lastN)
+	}
+}
+
+func TestRunRegularFlagMatchesTheorem(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-constraint", "kdiamond", "-k", "3", "-joins", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec joinRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		// Theorem 6 at k=3: regular iff n even.
+		if rec.Regular != (rec.N%2 == 0) {
+			t.Fatalf("n=%d regular=%t contradicts Theorem 6", rec.N, rec.Regular)
+		}
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-constraint", "ktree", "-k", "4", "-joins", "50", "-summary"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"constraint: ktree", "final n: 58", "mean churn:", "max churn:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "{") {
+		t.Fatal("summary mode must not emit JSON lines")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad grower", args: []string{"-constraint", "harary"}},
+		{name: "bad k", args: []string{"-constraint", "ktree", "-k", "2"}},
+		{name: "negative joins", args: []string{"-joins", "-1"}},
+		{name: "bad flag", args: []string{"-zap"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+// Command lhroute answers point-to-point routing queries on an LHG using
+// the structured router (the Lemma 3 diameter argument as an algorithm):
+// no search, no routing tables, just the blueprint. It prints the route
+// with blueprint labels and compares it against the true shortest path.
+//
+// Usage:
+//
+//	lhroute -constraint kdiamond -n 50 -k 4 -from 0 -to 37
+//	lhroute -constraint ktree -n 21 -k 3 -all    # worst stretch over all pairs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lhg"
+	"lhg/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lhroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lhroute", flag.ContinueOnError)
+	var (
+		constraint = fs.String("constraint", "kdiamond", "topology: ktree or kdiamond")
+		n          = fs.Int("n", 20, "number of nodes")
+		k          = fs.Int("k", 3, "connectivity target")
+		from       = fs.Int("from", 0, "route source node")
+		to         = fs.Int("to", 1, "route target node")
+		all        = fs.Bool("all", false, "sweep all pairs and report the stretch distribution")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := lhg.ParseConstraint(*constraint)
+	if err != nil {
+		return err
+	}
+	blue, real, err := buildBlueprint(c, *n, *k)
+	if err != nil {
+		return err
+	}
+	router, err := core.NewRouter(blue, real)
+	if err != nil {
+		return err
+	}
+	g := real.Graph
+
+	if *all {
+		return sweep(out, router, g)
+	}
+	path, err := router.Route(*from, *to)
+	if err != nil {
+		return err
+	}
+	dist := g.BFSFrom(*from)[*to]
+	fmt.Fprintf(out, "route %d -> %d (%d hops, shortest %d, bound %d):\n",
+		*from, *to, len(path)-1, dist, router.MaxRouteLength())
+	for i, v := range path {
+		sep := " -> "
+		if i == 0 {
+			sep = "  "
+		}
+		fmt.Fprintf(out, "%s%s(%d)", sep, real.Labels[v], v)
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func sweep(out io.Writer, router *core.Router, g interface {
+	Order() int
+	BFSFrom(int) []int
+}) error {
+	n := g.Order()
+	var (
+		pairs      int
+		totalHops  int
+		worst      float64
+		worstU, wV int
+	)
+	for u := 0; u < n; u++ {
+		dist := g.BFSFrom(u)
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			path, err := router.Route(u, v)
+			if err != nil {
+				return err
+			}
+			hops := len(path) - 1
+			totalHops += hops
+			pairs++
+			stretch := float64(hops) / float64(dist[v])
+			if stretch > worst {
+				worst, worstU, wV = stretch, u, v
+			}
+		}
+	}
+	fmt.Fprintf(out, "pairs: %d\nmean route length: %.2f\nworst stretch: %.2f (pair %d -> %d)\nbound: %d\n",
+		pairs, float64(totalHops)/float64(pairs), worst, worstU, wV, router.MaxRouteLength())
+	return nil
+}
+
+func buildBlueprint(c lhg.Constraint, n, k int) (*core.Blueprint, *core.Realization, error) {
+	switch c {
+	case lhg.KTree:
+		kt, err := core.BuildKTree(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kt.Blue, kt.Real, nil
+	case lhg.KDiamond:
+		kd, err := core.BuildKDiamond(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kd.Blue, kd.Real, nil
+	default:
+		return nil, nil, fmt.Errorf("constraint %v has no structured router (use ktree or kdiamond)", c)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleRoute(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-constraint", "kdiamond", "-n", "26", "-k", "3", "-from", "0", "-to", "25"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "route 0 -> 25") {
+		t.Fatalf("missing route header:\n%s", out)
+	}
+	if !strings.Contains(out, "R0(0)") {
+		t.Fatalf("missing labeled source:\n%s", out)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-constraint", "ktree", "-n", "21", "-k", "3", "-all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pairs: 420", "mean route length:", "worst stretch:", "bound:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "harary unsupported", args: []string{"-constraint", "harary"}},
+		{name: "bad constraint", args: []string{"-constraint", "x"}},
+		{name: "unbuildable", args: []string{"-constraint", "ktree", "-n", "5", "-k", "3"}},
+		{name: "bad endpoint", args: []string{"-constraint", "ktree", "-n", "10", "-k", "3", "-to", "99"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+		})
+	}
+}

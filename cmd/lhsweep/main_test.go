@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v", err)
+	}
+	return rows
+}
+
+func TestSweepMultiplicative(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-k", "4", "-from", "16", "-to", "64", "-step", "x2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[0][0] != "family" || len(rows[0]) != 8 {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// Sizes 16, 32, 64 × up to 4 families (JD may skip infeasible sizes).
+	if len(rows) < 10 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	// Harary diameter must dominate the LHG diameter at n=64.
+	diam := map[string]int{}
+	for _, r := range rows[1:] {
+		if r[1] == "64" {
+			d, err := strconv.Atoi(r[4])
+			if err != nil {
+				t.Fatal(err)
+			}
+			diam[r[0]] = d
+		}
+	}
+	if diam["harary"] <= diam["kdiamond"] {
+		t.Fatalf("diameters at n=64: %v", diam)
+	}
+}
+
+func TestSweepAdditiveWithSpectral(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-k", "3", "-from", "10", "-to", "14", "-step", "2",
+		"-families", "kdiamond", "-spectral"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows[0]) != 9 || rows[0][8] != "gap" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		// k=3 K-DIAMOND at even n is regular: gap column non-empty.
+		n, err := strconv.Atoi(r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n%2 == 0 && r[8] == "" {
+			t.Fatalf("missing gap for regular n=%d", n)
+		}
+		if gap, err := strconv.ParseFloat(r[8], 64); err == nil && gap <= 0 {
+			t.Fatalf("non-positive gap %v at n=%d", gap, n)
+		}
+	}
+}
+
+func TestSweepJDSkipsGaps(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-k", "3", "-from", "7", "-to", "11", "-step", "1", "-families", "jd"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	// Only n=10 is JD-feasible in [7,11].
+	if len(rows) != 2 || rows[1][1] != "10" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad range", args: []string{"-from", "50", "-to", "10"}},
+		{name: "bad step", args: []string{"-step", "x1"}},
+		{name: "bad step text", args: []string{"-step", "huge"}},
+		{name: "bad family", args: []string{"-families", "mesh"}},
+		{name: "empty families", args: []string{"-families", ","}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a Logarithmic Harary Graph, prove its properties, and
+// flood it through failures.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lhg"
+)
+
+func main() {
+	const (
+		n = 50 // processes in the system
+		k = 4  // tolerate up to k-1 = 3 arbitrary crashes
+	)
+
+	// 1. Build the topology. K-DIAMOND exists for every n >= 2k and is
+	//    k-regular (minimum links) whenever n = 2k + α(k-1).
+	g, err := lhg.Build(lhg.KDiamond, n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built K-DIAMOND(%d,%d): %v\n", n, k, g)
+
+	// 2. Verify every LHG property exactly (max-flow based Menger checks).
+	report, err := lhg.Verify(g, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: %v\n", report)
+	if !report.IsLHG() {
+		log.Fatal("not an LHG — this should be impossible for a built graph")
+	}
+
+	// 3. Flood a message from node 0 while three nodes are crashed.
+	res, err := lhg.Flood(g, 0, lhg.Failures{Nodes: []int{7, 19, 33}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flood with 3 crashes: %v\n", res)
+	fmt.Printf("delivered to all %d alive nodes in %d rounds with %d messages\n",
+		res.Reached, res.Rounds, res.Messages)
+
+	// 4. Compare against the classic Harary baseline: same resilience and
+	//    edge count, but linear diameter.
+	h, err := lhg.Build(lhg.Harary, n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classic Harary H(%d,%d) diameter: %d vs LHG diameter: %d\n",
+		k, n, h.Diameter(), g.Diameter())
+}

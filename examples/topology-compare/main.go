@@ -1,0 +1,49 @@
+// Topology comparison: the trade-off table a system designer would consult.
+// For a range of system sizes it builds all four constructions and compares
+// edge budget, diameter, flood latency and whether the construction exists
+// at all (JD has gaps; the constraint-based builders do not).
+//
+//	go run ./examples/topology-compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lhg"
+)
+
+func main() {
+	const k = 4
+	sizes := []int{16, 25, 40, 63, 100, 158, 251}
+
+	fmt.Printf("k = %d (tolerates %d arbitrary failures)\n\n", k, k-1)
+	fmt.Printf("%-10s %-8s %-8s %-8s %-9s %-9s %-8s\n",
+		"topology", "n", "edges", "diam", "rounds", "regular", "exists")
+	for _, n := range sizes {
+		for _, c := range lhg.Constraints() {
+			if !lhg.Exists(c, n, k) {
+				fmt.Printf("%-10s %-8d %-8s %-8s %-9s %-9s %-8s\n",
+					c, n, "-", "-", "-", "-", "NO")
+				continue
+			}
+			g, err := lhg.Build(c, n, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := lhg.Flood(g, 0, lhg.Failures{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-8d %-8d %-8d %-9d %-9t %-8s\n",
+				c, n, g.Size(), g.Diameter(), res.Rounds, g.IsRegular(k), "yes")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("reading guide:")
+	fmt.Println("  harary   — minimum edges always, but diameter (and latency) grows linearly")
+	fmt.Println("  jd       — logarithmic diameter, but many sizes are unbuildable")
+	fmt.Println("  ktree    — every n >= 2k buildable; k-regular on the coarse grid 2k+2a(k-1)")
+	fmt.Println("  kdiamond — every n >= 2k buildable; k-regular on the dense grid 2k+a(k-1)")
+}

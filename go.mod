@@ -1,0 +1,3 @@
+module lhg
+
+go 1.22

@@ -1,0 +1,169 @@
+package check
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lhg/internal/core"
+	"lhg/internal/graph"
+	"lhg/internal/harary"
+)
+
+func TestCertifyPetersen(t *testing.T) {
+	cert, err := Certify(petersen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.K != 3 {
+		t.Fatalf("certified κ=%d, want 3", cert.K)
+	}
+	if len(cert.Cut) != 3 {
+		t.Fatalf("cut %v, want 3 nodes", cert.Cut)
+	}
+	if err := cert.Validate(petersen()); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestCertifyCompleteGraph(t *testing.T) {
+	g := complete(6)
+	cert, err := Certify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.K != 5 {
+		t.Fatalf("κ(K6)=%d, want 5", cert.K)
+	}
+	if len(cert.Cut) != 0 {
+		t.Fatalf("complete graph has no cut, got %v", cert.Cut)
+	}
+	if err := cert.Validate(g); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestCertifyDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	cert, err := Certify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.K != 0 {
+		t.Fatalf("κ=%d, want 0", cert.K)
+	}
+	if err := cert.Validate(g); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestCertifyTiny(t *testing.T) {
+	if _, err := Certify(graph.New(1)); err == nil {
+		t.Fatal("singleton must error")
+	}
+}
+
+func TestCertifyLHGConstructions(t *testing.T) {
+	kt, err := core.BuildKTree(18, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Certify(kt.Real.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.K != 3 {
+		t.Fatalf("K-TREE(18,3) certified κ=%d", cert.K)
+	}
+	if err := cert.Validate(kt.Real.Graph); err != nil {
+		t.Fatal(err)
+	}
+	h, err := harary.Build(14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err = Certify(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.K != 4 {
+		t.Fatalf("H(4,14) certified κ=%d", cert.K)
+	}
+	if err := cert.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesTampering(t *testing.T) {
+	g := petersen()
+	cert, err := Certify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claiming a higher connectivity must fail.
+	cert.K = 4
+	if err := cert.Validate(g); err == nil {
+		t.Fatal("inflated K must fail validation")
+	}
+	// Restore and break a path.
+	cert, err = Certify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert.PathFamilies[0][0] = []int{0, 9, 5} // likely invalid edges
+	if err := cert.Validate(g); err == nil {
+		t.Fatal("corrupted path must fail validation")
+	}
+	// Break the cut.
+	cert, err = Certify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert.Cut = []int{0, 1, 2}
+	if err := cert.Validate(g); err == nil {
+		t.Fatal("non-disconnecting cut must fail validation")
+	}
+	// Drop the cut entirely.
+	cert, err = Certify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert.Cut = nil
+	if err := cert.Validate(g); err == nil {
+		t.Fatal("missing cut must fail validation on a non-complete graph")
+	}
+}
+
+func TestPropertyCertifyRoundTrips(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%8) + 3
+		g := randomGraph(n, uint64(seed))
+		cert, err := Certify(g)
+		if err != nil {
+			return false
+		}
+		return cert.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomGraph(n int, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	state := seed | 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if next()%2 == 0 {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,204 @@
+// Package check verifies the defining properties of Logarithmic Harary
+// Graphs (Jenkins & Demers, ICDCS 2001; formalized by Baldoni et al.):
+//
+//	P1  k-node connectivity    — removing any k-1 nodes leaves G connected
+//	P2  k-link connectivity    — removing any k-1 links leaves G connected
+//	P3  link minimality        — removing any link lowers node or link
+//	                             connectivity
+//	P4  logarithmic diameter   — diameter is O(log n)
+//	P5  k-regularity           — every node has degree exactly k (optional:
+//	                             it characterizes edge-minimal LHGs)
+//
+// P1 and P2 are checked exactly via max-flow (Menger's theorem), not by
+// sampling. P4 is checked against the bound the constructions guarantee,
+// diameter <= 2*log_{k-1}(n) + DiameterSlack, and the raw values are
+// reported so callers can apply their own bound.
+package check
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lhg/internal/flow"
+	"lhg/internal/graph"
+)
+
+// DiameterSlack is the additive slack allowed on top of 2*log_{k-1}(n) when
+// evaluating P4. The constructions in this repository satisfy the bound with
+// slack 2; the default leaves headroom for the k-diamond clique hop and the
+// added-leaf level.
+const DiameterSlack = 3
+
+// Report holds the outcome of verifying every LHG property of a graph for a
+// target connectivity k.
+type Report struct {
+	N int // number of nodes
+	M int // number of edges
+	K int // target connectivity
+
+	NodeConnectivity int  // exact κ(G)
+	EdgeConnectivity int  // exact λ(G)
+	KNodeConnected   bool // P1: κ >= k
+	KLinkConnected   bool // P2: λ >= k
+
+	LinkMinimal   bool       // P3
+	ViolatingEdge graph.Edge // a removable edge when P3 fails
+	hasViolation  bool
+	Diameter      int     // exact diameter (-1 if disconnected)
+	DiameterBound int     // the bound used for P4
+	LogDiameter   bool    // P4
+	Regular       bool    // P5
+	MinDegree     int     // smallest degree
+	MaxDegree     int     // largest degree
+	AvgPathLen    float64 // mean shortest-path length (-1 if disconnected)
+}
+
+// IsLHG reports whether all four mandatory LHG properties hold.
+func (r *Report) IsLHG() bool {
+	return r.KNodeConnected && r.KLinkConnected && r.LinkMinimal && r.LogDiameter
+}
+
+// String renders a one-line summary of the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d m=%d k=%d κ=%d λ=%d diam=%d(bound %d)",
+		r.N, r.M, r.K, r.NodeConnectivity, r.EdgeConnectivity, r.Diameter, r.DiameterBound)
+	fmt.Fprintf(&b, " P1=%t P2=%t P3=%t P4=%t regular=%t", r.KNodeConnected,
+		r.KLinkConnected, r.LinkMinimal, r.LogDiameter, r.Regular)
+	return b.String()
+}
+
+// Verify computes the full report for g against target connectivity k.
+// It is exact and therefore O(n·maxflow) — intended for verification, not
+// for hot paths. k must be at least 1 and less than n.
+func Verify(g *graph.Graph, k int) (*Report, error) {
+	n := g.Order()
+	if k < 1 {
+		return nil, fmt.Errorf("check: connectivity target k=%d must be >= 1", k)
+	}
+	if n <= k {
+		return nil, fmt.Errorf("check: k=%d must be < n=%d", k, n)
+	}
+	r := &Report{N: n, M: g.Size(), K: k}
+	r.MinDegree, _ = g.MinDegree()
+	r.MaxDegree, _ = g.MaxDegree()
+	r.Regular = g.IsRegular(k)
+
+	r.NodeConnectivity = flow.VertexConnectivity(g)
+	r.EdgeConnectivity = flow.EdgeConnectivity(g)
+	r.KNodeConnected = r.NodeConnectivity >= k
+	r.KLinkConnected = r.EdgeConnectivity >= k
+
+	r.LinkMinimal = verifyLinkMinimality(g, r)
+
+	r.Diameter = g.Diameter()
+	r.DiameterBound = DiameterBound(n, k)
+	r.LogDiameter = r.Diameter >= 0 && r.Diameter <= r.DiameterBound
+	r.AvgPathLen = g.AvgPathLength()
+	return r, nil
+}
+
+// DiameterBound returns the P4 acceptance bound 2*ceil(log_{k-1}(n)) +
+// DiameterSlack. For k <= 2 the logarithm base degenerates, so the bound
+// falls back to n (no graph can exceed it; P4 is then vacuous, which
+// mirrors the paper's implicit k >= 3 assumption).
+func DiameterBound(n, k int) int {
+	if k <= 2 || n < 2 {
+		return n
+	}
+	logv := math.Log(float64(n)) / math.Log(float64(k-1))
+	return 2*int(math.Ceil(logv)) + DiameterSlack
+}
+
+// verifyLinkMinimality checks P3: every single-edge removal must reduce the
+// node or link connectivity below its current value. For k-regular graphs
+// this is immediate (removing an edge drops a degree below κ=λ=k), so the
+// expensive per-edge recomputation only runs for irregular graphs.
+func verifyLinkMinimality(g *graph.Graph, r *Report) bool {
+	kappa, lambda := r.NodeConnectivity, r.EdgeConnectivity
+	if kappa == 0 || lambda == 0 {
+		return false // already disconnected; nothing to preserve
+	}
+	if r.MaxDegree == lambda {
+		// λ <= δ <= Δ == λ, so the graph is λ-regular: removing any edge
+		// lowers a degree below λ and with it the link connectivity.
+		return true
+	}
+	for _, e := range g.Edges() {
+		h := g.Clone()
+		h.RemoveEdge(e.U, e.V)
+		if flow.IsKEdgeConnected(h, lambda) && flow.IsKNodeConnected(h, kappa) {
+			r.ViolatingEdge = e
+			r.hasViolation = true
+			return false
+		}
+	}
+	return true
+}
+
+// Violation returns the edge witnessing a P3 failure, if any.
+func (r *Report) Violation() (graph.Edge, bool) {
+	return r.ViolatingEdge, r.hasViolation
+}
+
+// QuickVerify checks only the boolean LHG properties with early-exit flows
+// (no exact connectivity values, no P3 edge sweep for regular graphs, no
+// average path length). It is the fast path used by large sweeps.
+func QuickVerify(g *graph.Graph, k int) (bool, error) {
+	n := g.Order()
+	if k < 1 || n <= k {
+		return false, fmt.Errorf("check: invalid pair n=%d k=%d", n, k)
+	}
+	if k >= 2 {
+		// Linear-time pre-filter: a single articulation point or bridge
+		// already refutes 2-connectivity, far cheaper than max-flow.
+		if len(g.ArticulationPoints()) > 0 || len(g.Bridges()) > 0 {
+			return false, nil
+		}
+	}
+	if !flow.IsKNodeConnected(g, k) || !flow.IsKEdgeConnected(g, k) {
+		return false, nil
+	}
+	diam := g.Diameter()
+	if diam < 0 || diam > DiameterBound(n, k) {
+		return false, nil
+	}
+	if g.IsRegular(k) {
+		return true, nil // P3 immediate for k-regular k-connected graphs
+	}
+	for _, e := range g.Edges() {
+		h := g.Clone()
+		h.RemoveEdge(e.U, e.V)
+		if flow.IsKEdgeConnected(h, k) && flow.IsKNodeConnected(h, k) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MooreDiameterLowerBound returns the smallest diameter any graph with n
+// nodes and maximum degree k can possibly have (the Moore bound):
+// n <= 1 + k·Σ_{i=0}^{D-1}(k-1)^i. The LHG constructions sit within a
+// small constant factor of this optimum, which is the content of E10's
+// comparison column.
+func MooreDiameterLowerBound(n, k int) int {
+	if n <= 1 {
+		return 0
+	}
+	if k <= 1 {
+		return n - 1
+	}
+	if k == 2 {
+		return (n - 1 + 1) / 2 // a path/cycle: ceil((n-1)/2) for cycles
+	}
+	reach := 1
+	layer := k
+	for d := 1; ; d++ {
+		reach += layer
+		if reach >= n {
+			return d
+		}
+		layer *= k - 1
+	}
+}

@@ -1,0 +1,140 @@
+// Package classic implements the richly connected topology families the
+// papers' related work compares against: hypercubes, cube-connected
+// cycles, and undirected de Bruijn graphs. All have logarithmic diameter
+// and good connectivity — but, as the papers argue, they exist only for
+// very restricted pairs (n,k): hypercubes need n = 2^k, cube-connected
+// cycles are 3-regular with n = d·2^d, de Bruijn graphs need n = b^d.
+// Experiment E22 quantifies this against the LHG constraints' full
+// coverage of n >= 2k.
+package classic
+
+import (
+	"fmt"
+
+	"lhg/internal/graph"
+)
+
+// Hypercube returns Q_d: 2^d nodes, ids adjacent iff they differ in one
+// bit. Q_d is d-regular, d-connected, with diameter d = log2(n).
+func Hypercube(d int) (*graph.Graph, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("classic: hypercube dimension %d out of [1,20]", d)
+	}
+	n := 1 << d
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << bit)
+			if v < w {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	return g, nil
+}
+
+// HypercubeExists reports whether a hypercube matches the pair (n,k):
+// exactly when n = 2^k.
+func HypercubeExists(n, k int) bool {
+	return k >= 1 && k <= 20 && n == 1<<k
+}
+
+// CCC returns the cube-connected cycles network CCC(d) for d >= 3: each
+// hypercube corner is replaced by a d-cycle whose members handle one
+// dimension each. CCC(d) is 3-regular and 3-connected with n = d·2^d.
+func CCC(d int) (*graph.Graph, error) {
+	if d < 3 || d > 16 {
+		return nil, fmt.Errorf("classic: CCC dimension %d out of [3,16]", d)
+	}
+	corners := 1 << d
+	n := d * corners
+	g := graph.New(n)
+	id := func(corner, pos int) int { return corner*d + pos }
+	for corner := 0; corner < corners; corner++ {
+		for pos := 0; pos < d; pos++ {
+			// Cycle edge within the corner.
+			g.MustAddEdge(id(corner, pos), id(corner, (pos+1)%d))
+			// Hypercube edge along dimension pos.
+			other := corner ^ (1 << pos)
+			if corner < other {
+				g.MustAddEdge(id(corner, pos), id(other, pos))
+			}
+		}
+	}
+	return g, nil
+}
+
+// CCCExists reports whether CCC matches the pair (n,k): k must be 3 and
+// n = d·2^d for some d >= 3.
+func CCCExists(n, k int) bool {
+	if k != 3 {
+		return false
+	}
+	for d := 3; d <= 16; d++ {
+		if d*(1<<d) == n {
+			return true
+		}
+		if d*(1<<d) > n {
+			break
+		}
+	}
+	return false
+}
+
+// DeBruijn returns the undirected de Bruijn graph UB(b,d) on n = b^d
+// nodes: x is adjacent to (b·x + c) mod n and its inverses, for
+// c = 0..b-1, with self-loops discarded. Its minimum degree is 2b-2 and
+// its connectivity is 2b-2 (Imase–Soneoka–Okada), so it serves the pair
+// (b^d, 2b-2).
+func DeBruijn(b, d int) (*graph.Graph, error) {
+	if b < 2 || b > 8 {
+		return nil, fmt.Errorf("classic: de Bruijn base %d out of [2,8]", b)
+	}
+	n, ok := powCapped(b, d, 1<<22)
+	if d < 2 || !ok {
+		return nil, fmt.Errorf("classic: de Bruijn dimension %d out of range", d)
+	}
+	g := graph.New(n)
+	for x := 0; x < n; x++ {
+		for c := 0; c < b; c++ {
+			y := (b*x + c) % n
+			if x != y {
+				g.MustAddEdge(x, y)
+			}
+		}
+	}
+	return g, nil
+}
+
+// DeBruijnExists reports whether a de Bruijn graph matches the pair (n,k):
+// k = 2b-2 and n = b^d for some base b and d >= 2.
+func DeBruijnExists(n, k int) bool {
+	if k < 2 || k%2 != 0 {
+		return false
+	}
+	b := k/2 + 1
+	if b < 2 || b > 8 {
+		return false
+	}
+	for v := b * b; ; v *= b {
+		if v == n {
+			return true
+		}
+		if v > n || v > 1<<22 {
+			return false
+		}
+	}
+}
+
+// powCapped returns b^d, reporting false once the value exceeds limit
+// (guarding against integer overflow).
+func powCapped(b, d, limit int) (int, bool) {
+	out := 1
+	for i := 0; i < d; i++ {
+		if out > limit/b {
+			return 0, false
+		}
+		out *= b
+	}
+	return out, true
+}

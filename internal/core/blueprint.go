@@ -1,0 +1,216 @@
+// Package core implements the constructions at the heart of this
+// repository: Logarithmic Harary Graphs built from
+//
+//   - the K-TREE graph constraint (Baldoni et al., Definition 1),
+//   - the K-DIAMOND graph constraint (Baldoni et al., Definition 2), and
+//   - the Jenkins–Demers operational rule (ICDCS 2001, quoted in §4.4),
+//
+// together with the closed-form existence (EX) and regularity (REG)
+// predicates the paper proves for each constraint.
+//
+// All three constructions share one shape: k copies of a height-balanced
+// tree T whose root has k children and whose other internal nodes have k-1
+// children, pasted together at the leaves. They differ only in how many
+// extra ("added") leaves may hang off nodes just above the leaves and, for
+// K-DIAMOND, in allowing "unshared" leaves realized as k-cliques. The
+// Blueprint type captures the shared structure; each builder produces a
+// Blueprint and the Blueprint is compiled into a concrete graph.
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"lhg/internal/graph"
+)
+
+// PositionKind classifies a position of the abstract tree T.
+type PositionKind int
+
+const (
+	// Internal positions (including the root) are replicated once per tree
+	// copy.
+	Internal PositionKind = iota + 1
+	// SharedLeaf positions are realized as a single graph node that is a
+	// leaf of every tree copy.
+	SharedLeaf
+	// UnsharedLeaf positions (K-DIAMOND only) are realized as k graph nodes
+	// forming a clique, each attached to exactly one tree copy.
+	UnsharedLeaf
+)
+
+func (k PositionKind) String() string {
+	switch k {
+	case Internal:
+		return "internal"
+	case SharedLeaf:
+		return "shared-leaf"
+	case UnsharedLeaf:
+		return "unshared-leaf"
+	default:
+		return "invalid"
+	}
+}
+
+// Blueprint describes an instance of the k-copies-of-a-tree family: the
+// abstract tree T plus the classification of each position. Position 0 is
+// always the root.
+type Blueprint struct {
+	K        int
+	Parent   []int          // Parent[p] is p's parent position; -1 for the root
+	Children [][]int        // Children[p] lists p's child positions in creation order
+	Kind     []PositionKind // classification of each position
+	Depth    []int          // Depth[p] is p's distance from the root
+	Added    []bool         // Added[p]: leaf position beyond the base child count
+}
+
+// Positions returns the number of positions of T.
+func (b *Blueprint) Positions() int { return len(b.Parent) }
+
+// Internals returns the number of internal (replicated) positions.
+func (b *Blueprint) Internals() int { return b.countKind(Internal) }
+
+// SharedLeaves returns the number of shared leaf positions.
+func (b *Blueprint) SharedLeaves() int { return b.countKind(SharedLeaf) }
+
+// UnsharedLeaves returns the number of unshared leaf positions.
+func (b *Blueprint) UnsharedLeaves() int { return b.countKind(UnsharedLeaf) }
+
+func (b *Blueprint) countKind(k PositionKind) int {
+	c := 0
+	for _, kd := range b.Kind {
+		if kd == k {
+			c++
+		}
+	}
+	return c
+}
+
+// NodeCount returns the number of graph nodes the blueprint compiles to:
+// k per internal position, one per shared leaf, k per unshared leaf.
+func (b *Blueprint) NodeCount() int {
+	return b.K*b.Internals() + b.SharedLeaves() + b.K*b.UnsharedLeaves()
+}
+
+// Height returns the height of T (root-to-deepest-position distance).
+func (b *Blueprint) Height() int {
+	h := 0
+	for _, d := range b.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// Realization maps blueprint positions to concrete graph node ids.
+type Realization struct {
+	Graph *graph.Graph
+	// CopyNode[i][p] is the node realizing internal position p in tree copy
+	// i; -1 for non-internal positions.
+	CopyNode [][]int
+	// LeafNode[p] is the node realizing shared leaf position p; -1
+	// otherwise.
+	LeafNode []int
+	// GroupNode[p][i] is the clique member of unshared position p attached
+	// to tree copy i; nil for other positions.
+	GroupNode [][]int
+	// Labels maps node ids to human-readable names for DOT output.
+	Labels map[int]string
+}
+
+// Compile realizes the blueprint as a concrete undirected graph.
+//
+// Node ids are assigned deterministically: positions are scanned in order;
+// an internal position claims k consecutive ids (one per copy), a shared
+// leaf claims one id, an unshared leaf claims k consecutive ids (member i
+// belongs to copy i).
+func (b *Blueprint) Compile() (*Realization, error) {
+	if b.K < 1 {
+		return nil, fmt.Errorf("core: blueprint has invalid k=%d", b.K)
+	}
+	np := b.Positions()
+	r := &Realization{
+		Graph:     graph.New(b.NodeCount()),
+		CopyNode:  make([][]int, b.K),
+		LeafNode:  make([]int, np),
+		GroupNode: make([][]int, np),
+		Labels:    make(map[int]string, b.NodeCount()),
+	}
+	for i := range r.CopyNode {
+		r.CopyNode[i] = make([]int, np)
+		for p := range r.CopyNode[i] {
+			r.CopyNode[i][p] = -1
+		}
+	}
+	for p := range r.LeafNode {
+		r.LeafNode[p] = -1
+	}
+
+	next := 0
+	for p := 0; p < np; p++ {
+		switch b.Kind[p] {
+		case Internal:
+			for i := 0; i < b.K; i++ {
+				r.CopyNode[i][p] = next
+				r.Labels[next] = internalLabel(p, i)
+				next++
+			}
+		case SharedLeaf:
+			r.LeafNode[p] = next
+			r.Labels[next] = "L" + strconv.Itoa(p)
+			next++
+		case UnsharedLeaf:
+			r.GroupNode[p] = make([]int, b.K)
+			for i := 0; i < b.K; i++ {
+				r.GroupNode[p][i] = next
+				r.Labels[next] = "U" + strconv.Itoa(p) + "." + strconv.Itoa(i)
+				next++
+			}
+		default:
+			return nil, fmt.Errorf("core: position %d has invalid kind %v", p, b.Kind[p])
+		}
+	}
+
+	// Tree edges, replicated per copy.
+	for p := 0; p < np; p++ {
+		parent := b.Parent[p]
+		if parent < 0 {
+			continue
+		}
+		if b.Kind[parent] != Internal {
+			return nil, fmt.Errorf("core: position %d has non-internal parent %d", p, parent)
+		}
+		for i := 0; i < b.K; i++ {
+			u := r.CopyNode[i][parent]
+			switch b.Kind[p] {
+			case Internal:
+				r.Graph.MustAddEdge(u, r.CopyNode[i][p])
+			case SharedLeaf:
+				r.Graph.MustAddEdge(u, r.LeafNode[p])
+			case UnsharedLeaf:
+				r.Graph.MustAddEdge(u, r.GroupNode[p][i])
+			}
+		}
+	}
+	// Unshared-leaf cliques.
+	for p := 0; p < np; p++ {
+		if b.Kind[p] != UnsharedLeaf {
+			continue
+		}
+		members := r.GroupNode[p]
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				r.Graph.MustAddEdge(members[i], members[j])
+			}
+		}
+	}
+	return r, nil
+}
+
+func internalLabel(p, copyIdx int) string {
+	if p == 0 {
+		return "R" + strconv.Itoa(copyIdx)
+	}
+	return "N" + strconv.Itoa(p) + "." + strconv.Itoa(copyIdx)
+}

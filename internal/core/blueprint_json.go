@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Blueprint serialization: lets deployments persist not just the edge list
+// but the *structure* (tree positions, copies, leaf classification), which
+// is what the structured router and the validators operate on. The decoder
+// re-derives the Depth slice and re-validates the invariants shared by all
+// constraints, so a loaded blueprint is as trustworthy as a built one.
+
+// blueprintJSON is the wire form.
+type blueprintJSON struct {
+	K      int    `json:"k"`
+	Parent []int  `json:"parent"`
+	Kind   []int  `json:"kind"`
+	Added  []bool `json:"added"`
+}
+
+// MarshalJSON encodes the blueprint structure.
+func (b *Blueprint) MarshalJSON() ([]byte, error) {
+	kinds := make([]int, len(b.Kind))
+	for i, k := range b.Kind {
+		kinds[i] = int(k)
+	}
+	return json.Marshal(blueprintJSON{
+		K:      b.K,
+		Parent: append([]int(nil), b.Parent...),
+		Kind:   kinds,
+		Added:  append([]bool(nil), b.Added...),
+	})
+}
+
+// UnmarshalJSON decodes and structurally validates a blueprint: parents
+// must form a forest rooted at position 0 with parents preceding children
+// (the creation order every builder uses), kinds must be known, and the
+// Children/Depth derived views are rebuilt.
+func (b *Blueprint) UnmarshalJSON(data []byte) error {
+	var wire blueprintJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return fmt.Errorf("core: decode blueprint: %w", err)
+	}
+	np := len(wire.Parent)
+	if np == 0 {
+		return fmt.Errorf("core: blueprint has no positions")
+	}
+	if len(wire.Kind) != np || len(wire.Added) != np {
+		return fmt.Errorf("core: blueprint slices disagree (%d parents, %d kinds, %d added)",
+			np, len(wire.Kind), len(wire.Added))
+	}
+	nb := Blueprint{
+		K:        wire.K,
+		Parent:   append([]int(nil), wire.Parent...),
+		Children: make([][]int, np),
+		Kind:     make([]PositionKind, np),
+		Depth:    make([]int, np),
+		Added:    append([]bool(nil), wire.Added...),
+	}
+	for p := 0; p < np; p++ {
+		switch PositionKind(wire.Kind[p]) {
+		case Internal, SharedLeaf, UnsharedLeaf:
+			nb.Kind[p] = PositionKind(wire.Kind[p])
+		default:
+			return fmt.Errorf("core: position %d has unknown kind %d", p, wire.Kind[p])
+		}
+		parent := wire.Parent[p]
+		if p == 0 {
+			if parent != -1 {
+				return fmt.Errorf("core: root must have parent -1, got %d", parent)
+			}
+			continue
+		}
+		if parent < 0 || parent >= p {
+			return fmt.Errorf("core: position %d has parent %d (parents must precede children)", p, parent)
+		}
+		nb.Children[parent] = append(nb.Children[parent], p)
+		nb.Depth[p] = nb.Depth[parent] + 1
+	}
+	if err := validateCommon(&nb); err != nil {
+		return err
+	}
+	*b = nb
+	return nil
+}

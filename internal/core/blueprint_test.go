@@ -1,0 +1,215 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPositionKindString(t *testing.T) {
+	tests := []struct {
+		kind PositionKind
+		want string
+	}{
+		{kind: Internal, want: "internal"},
+		{kind: SharedLeaf, want: "shared-leaf"},
+		{kind: UnsharedLeaf, want: "unshared-leaf"},
+		{kind: PositionKind(0), want: "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Fatalf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestBlueprintCounting(t *testing.T) {
+	kd, err := BuildKDiamond(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := kd.Blue
+	if b.Internals() != 1 {
+		t.Fatalf("Internals = %d, want 1", b.Internals())
+	}
+	if b.SharedLeaves() != 2 {
+		t.Fatalf("SharedLeaves = %d, want 2", b.SharedLeaves())
+	}
+	if b.UnsharedLeaves() != 1 {
+		t.Fatalf("UnsharedLeaves = %d, want 1", b.UnsharedLeaves())
+	}
+	if b.NodeCount() != 8 {
+		t.Fatalf("NodeCount = %d, want 8", b.NodeCount())
+	}
+	if b.Height() != 1 {
+		t.Fatalf("Height = %d, want 1", b.Height())
+	}
+}
+
+func TestBlueprintHeightGrows(t *testing.T) {
+	// α = k conversions fill level 1; height becomes 2.
+	k := 3
+	kt, err := BuildKTree(2*k+2*k*(k-1), k) // α = k
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt.Blue.Height() != 2 {
+		t.Fatalf("Height = %d, want 2", kt.Blue.Height())
+	}
+}
+
+func TestCompileLabels(t *testing.T) {
+	kd, err := BuildKDiamond(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roots, leaves, members int
+	for _, label := range kd.Real.Labels {
+		switch {
+		case strings.HasPrefix(label, "R"):
+			roots++
+		case strings.HasPrefix(label, "L"):
+			leaves++
+		case strings.HasPrefix(label, "U"):
+			members++
+		}
+	}
+	if roots != 3 || leaves != 2 || members != 3 {
+		t.Fatalf("labels R=%d L=%d U=%d, want 3/2/3", roots, leaves, members)
+	}
+	if len(kd.Real.Labels) != 8 {
+		t.Fatalf("labels cover %d nodes, want 8", len(kd.Real.Labels))
+	}
+}
+
+func TestCompileInternalLabels(t *testing.T) {
+	kt, err := BuildKTree(10, 3) // α=1: one internal node beyond the root
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundInternal := false
+	for _, label := range kt.Real.Labels {
+		if strings.HasPrefix(label, "N") && strings.Contains(label, ".") {
+			foundInternal = true
+		}
+	}
+	if !foundInternal {
+		t.Fatal("expected N<p>.<i> labels for non-root internal copies")
+	}
+}
+
+func TestCompileRejectsInvalidBlueprints(t *testing.T) {
+	tests := []struct {
+		name string
+		b    *Blueprint
+	}{
+		{
+			name: "bad k",
+			b:    &Blueprint{K: 0, Parent: []int{-1}, Children: [][]int{nil}, Kind: []PositionKind{Internal}, Depth: []int{0}, Added: []bool{false}},
+		},
+		{
+			name: "invalid kind",
+			b: &Blueprint{
+				K:        3,
+				Parent:   []int{-1, 0},
+				Children: [][]int{{1}, nil},
+				Kind:     []PositionKind{Internal, PositionKind(99)},
+				Depth:    []int{0, 1},
+				Added:    []bool{false, false},
+			},
+		},
+		{
+			name: "leaf parent",
+			b: &Blueprint{
+				K:        3,
+				Parent:   []int{-1, 0, 1},
+				Children: [][]int{{1}, {2}, nil},
+				Kind:     []PositionKind{Internal, SharedLeaf, SharedLeaf},
+				Depth:    []int{0, 1, 2},
+				Added:    []bool{false, false, false},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.b.Compile(); err == nil {
+				t.Fatal("Compile succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestRealizationMappingsConsistent(t *testing.T) {
+	kt, err := BuildKTree(14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, r := kt.Blue, kt.Real
+	seen := make(map[int]bool)
+	record := func(id int) {
+		if id < 0 || id >= r.Graph.Order() {
+			t.Fatalf("node id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("node id %d assigned twice", id)
+		}
+		seen[id] = true
+	}
+	for p := 0; p < b.Positions(); p++ {
+		switch b.Kind[p] {
+		case Internal:
+			for i := 0; i < b.K; i++ {
+				record(r.CopyNode[i][p])
+			}
+			if r.LeafNode[p] != -1 {
+				t.Fatalf("internal position %d has a leaf id", p)
+			}
+		case SharedLeaf:
+			record(r.LeafNode[p])
+			for i := 0; i < b.K; i++ {
+				if r.CopyNode[i][p] != -1 {
+					t.Fatalf("leaf position %d has copy ids", p)
+				}
+			}
+		case UnsharedLeaf:
+			for _, id := range r.GroupNode[p] {
+				record(id)
+			}
+		}
+	}
+	if len(seen) != r.Graph.Order() {
+		t.Fatalf("mapped %d ids, graph has %d", len(seen), r.Graph.Order())
+	}
+}
+
+// TestTreeCopiesAreIsomorphicTrees: within one copy, internal nodes and
+// their tree edges form a connected acyclic subgraph of the right size.
+func TestTreeCopiesAreIsomorphicTrees(t *testing.T) {
+	kt, err := BuildKTree(18, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, r := kt.Blue, kt.Real
+	for i := 0; i < b.K; i++ {
+		edges := 0
+		for p := 1; p < b.Positions(); p++ {
+			parent := b.Parent[p]
+			var u, v int
+			u = r.CopyNode[i][parent]
+			switch b.Kind[p] {
+			case Internal:
+				v = r.CopyNode[i][p]
+			case SharedLeaf:
+				v = r.LeafNode[p]
+			case UnsharedLeaf:
+				v = r.GroupNode[p][i]
+			}
+			if !r.Graph.HasEdge(u, v) {
+				t.Fatalf("copy %d: tree edge for position %d missing in graph", i, p)
+			}
+			edges++
+		}
+		if edges != b.Positions()-1 {
+			t.Fatalf("copy %d has %d tree edges, want %d", i, edges, b.Positions()-1)
+		}
+	}
+}

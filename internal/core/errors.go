@@ -1,0 +1,42 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotConstructible is returned (wrapped) whenever no graph satisfying
+// the requested constraint exists for the given (n,k).
+var ErrNotConstructible = errors.New("no graph satisfies the constraint for this (n,k)")
+
+// PairError describes why a (n,k) pair was rejected by a builder.
+type PairError struct {
+	N, K       int
+	Constraint string
+	Reason     string
+}
+
+func (e *PairError) Error() string {
+	return fmt.Sprintf("core: %s(n=%d, k=%d): %s", e.Constraint, e.N, e.K, e.Reason)
+}
+
+// Unwrap lets callers match the sentinel with errors.Is.
+func (e *PairError) Unwrap() error { return ErrNotConstructible }
+
+func notConstructible(constraint string, n, k int, reason string) error {
+	return &PairError{N: n, K: k, Constraint: constraint, Reason: reason}
+}
+
+// validatePair performs the checks common to every construction: k >= 3
+// (for k <= 2 the class degenerates — the only 2-regular 2-connected graph
+// is the cycle, whose diameter is linear) and n >= 2k (Lemma 4 / Lemma 8:
+// below 2k no graph can satisfy either constraint).
+func validatePair(constraint string, n, k int) error {
+	if k < 3 {
+		return notConstructible(constraint, n, k, "k must be >= 3 (log_{k-1} diameter degenerates otherwise)")
+	}
+	if n < 2*k {
+		return notConstructible(constraint, n, k, fmt.Sprintf("n must be >= 2k = %d", 2*k))
+	}
+	return nil
+}

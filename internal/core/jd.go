@@ -1,0 +1,122 @@
+package core
+
+// Jenkins–Demers operational construction (ICDCS 2001), as quoted by
+// Baldoni et al. §4.4:
+//
+//	"The construction consists of k copies of a tree whose root node has k
+//	 children, and whose other interior nodes mostly have k-1 children
+//	 (except for at most k interior nodes just above the leaf nodes, which
+//	 may have up to k+1 children). These trees are then pasted together at
+//	 the leaves — i.e. each leaf is a leaf of all k trees."
+//
+// Interpretation (documented substitution, see DESIGN.md): an exceptional
+// interior node takes exactly two extra leaves (k+1 children instead of
+// k-1); at most k interior — i.e. non-root — nodes with leaf children may
+// be exceptional. This is the only reading consistent with §4.4's claim
+// that, for every k, JD cannot build any pair with an odd offset such as
+// n = 2k + 2α(k-1) + 3: the reachable sizes are exactly
+//
+//	n = 2k + (I-1)·2(k-1) + 2β,  0 <= β <= min(k, #interior nodes above leaves).
+//
+// Every JD graph satisfies the K-TREE constraint (each exception node adds
+// 2 <= 2k-3 leaves for k >= 3), but K-TREE reaches every n >= 2k while JD
+// leaves infinitely many gaps per k — the motivation for K-TREE.
+
+// JD holds a compiled Jenkins–Demers LHG with its blueprint and the
+// decomposition parameters of the pair (n,k).
+type JD struct {
+	N, K  int
+	Alpha int // number of leaf->internal conversions (I-1)
+	Beta  int // number of exceptional interior nodes (2 extra leaves each)
+	Blue  *Blueprint
+	Real  *Realization
+}
+
+// BuildJD constructs the Jenkins–Demers LHG for the pair (n,k), or fails
+// with ErrNotConstructible when the operational rule cannot reach n.
+func BuildJD(n, k int) (*JD, error) {
+	if err := validatePair("JD", n, k); err != nil {
+		return nil, err
+	}
+	alpha, beta, ok := jdDecompose(n, k)
+	if !ok {
+		return nil, notConstructible("JD", n, k,
+			"n is not reachable by the Jenkins-Demers rule (n = 2k + 2a(k-1) + 2b, b <= min(k, interior nodes above leaves))")
+	}
+	s := newShape(k)
+	for c := 0; c < alpha; c++ {
+		if err := s.convert(); err != nil {
+			return nil, err
+		}
+	}
+	hosts := s.interiorAboveLeaves()
+	if len(hosts) < beta {
+		return nil, notConstructible("JD", n, k, "not enough interior nodes above the leaves")
+	}
+	for i := 0; i < beta; i++ {
+		s.addLeaf(hosts[i], true)
+		s.addLeaf(hosts[i], true)
+	}
+	real, err := s.b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &JD{N: n, K: k, Alpha: alpha, Beta: beta, Blue: s.b, Real: real}, nil
+}
+
+// jdDecompose searches for a feasible (alpha, beta) with
+// n = 2k + alpha·2(k-1) + 2·beta and beta <= min(k, hosts(alpha)).
+// It prefers the largest feasible alpha (fewest exception nodes).
+func jdDecompose(n, k int) (alpha, beta int, ok bool) {
+	rem := n - 2*k
+	if rem < 0 || rem%2 != 0 {
+		return 0, 0, false
+	}
+	for a := rem / (2 * (k - 1)); a >= 0; a-- {
+		left := rem - a*2*(k-1)
+		if left%2 != 0 {
+			continue
+		}
+		b := left / 2
+		if b > k {
+			continue
+		}
+		if b > jdHostCount(k, a) {
+			continue
+		}
+		return a, b, true
+	}
+	return 0, 0, false
+}
+
+// jdHostCount returns how many non-root interior nodes have at least one
+// leaf child after `alpha` BFS-order conversions of the minimal tree.
+func jdHostCount(k, alpha int) int {
+	s := newShape(k)
+	for c := 0; c < alpha; c++ {
+		if err := s.convert(); err != nil {
+			return 0
+		}
+	}
+	return len(s.interiorAboveLeaves())
+}
+
+// ExistsJD is the characteristic function of the Jenkins–Demers rule under
+// the interpretation above: true iff the decomposition search succeeds.
+func ExistsJD(n, k int) bool {
+	if k < 3 || n < 2*k {
+		return false
+	}
+	_, _, ok := jdDecompose(n, k)
+	return ok
+}
+
+// RegularJD reports whether the JD rule yields a k-regular graph for
+// (n,k): exception nodes have degree k+2, so only β = 0 instances are
+// regular — exactly the K-TREE regular set n = 2k + 2α(k-1).
+func RegularJD(n, k int) bool {
+	if k < 3 || n < 2*k {
+		return false
+	}
+	return (n-2*k)%(2*(k-1)) == 0
+}

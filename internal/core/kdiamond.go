@@ -1,0 +1,86 @@
+package core
+
+// K-DIAMOND construction (Baldoni et al., Definition 2 and Theorem 5).
+//
+// K-DIAMOND generalizes K-TREE with two changes: a leaf position may be
+// *unshared* — realized as k clique nodes, one attached to each tree copy —
+// and nodes just above the leaves may carry at most k-2 (not 2k-3) added
+// leaves. Every member of an unshared clique has degree exactly k (k-1
+// clique edges plus its tree edge), which is what lets K-DIAMOND reach
+// k-regular instances at twice the n-density of K-TREE (Theorems 6 and 7).
+//
+// Node accounting: with I internal positions, U unshared leaves and A added
+// leaves,
+//
+//	n = 2k + (I-1)·2(k-1) + U·(k-1) + A.
+//
+// The canonical builder decomposes n-2k uniquely as α(k-1) + j with
+// j ∈ {0..k-2}, then takes I-1 = ⌊α/2⌋ conversions and U = α mod 2: an even
+// α spends its budget on conversions, an odd α pays the residual k-1 nodes
+// by making the youngest leaf unshared. The result is k-regular exactly
+// when j = 0 (Theorem 6).
+
+// KDiamond holds a compiled K-DIAMOND LHG together with its blueprint and
+// the decomposition parameters of the pair (n,k).
+type KDiamond struct {
+	N, K     int
+	Alpha    int // (n-2k) div (k-1)
+	J        int // added leaves, 0..k-2
+	Unshared int // number of unshared leaf positions (0 or 1 canonically)
+	Blue     *Blueprint
+	Real     *Realization
+}
+
+// BuildKDiamond constructs the canonical K-DIAMOND LHG for the pair (n,k).
+// It fails with ErrNotConstructible iff EX_K-DIAMOND(n,k) is false, i.e.
+// unless k >= 3 and n >= 2k (Theorem 5; equivalent to K-TREE, Corollary 1).
+func BuildKDiamond(n, k int) (*KDiamond, error) {
+	if err := validatePair("K-DIAMOND", n, k); err != nil {
+		return nil, err
+	}
+	rem := n - 2*k
+	alpha := rem / (k - 1)
+	j := rem % (k - 1)
+	conversions := alpha / 2
+	unshared := alpha % 2
+
+	s := newShape(k)
+	for c := 0; c < conversions; c++ {
+		if err := s.convert(); err != nil {
+			return nil, err
+		}
+	}
+	if unshared == 1 {
+		if err := s.markLastLeafUnshared(); err != nil {
+			return nil, err
+		}
+	}
+	host := s.aboveLeafNode()
+	for a := 0; a < j; a++ {
+		s.addLeaf(host, true)
+	}
+
+	real, err := s.b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &KDiamond{
+		N: n, K: k,
+		Alpha: alpha, J: j, Unshared: unshared,
+		Blue: s.b, Real: real,
+	}, nil
+}
+
+// ExistsKDiamond is the closed-form characteristic function
+// EX_K-DIAMOND(n,k) (Theorem 5): true iff n >= 2k, exactly like K-TREE
+// (Corollary 1).
+func ExistsKDiamond(n, k int) bool { return k >= 3 && n >= 2*k }
+
+// RegularKDiamond is the closed-form characteristic function
+// REG_K-DIAMOND(n,k) (Theorem 6): a k-regular K-DIAMOND LHG exists iff
+// n = 2k + α(k-1). Compare RegularKTree, which needs an even α: the odd-α
+// pairs are regular under K-DIAMOND only (Theorem 7), and there are
+// infinitely many of them.
+func RegularKDiamond(n, k int) bool {
+	return ExistsKDiamond(n, k) && (n-2*k)%(k-1) == 0
+}

@@ -1,0 +1,68 @@
+package core
+
+// K-TREE construction (Baldoni et al., Definition 1 and Theorem 2).
+//
+// A K-TREE graph consists of k copies of a height-balanced tree T pasted
+// together at shared leaves; the root has k children, other internal nodes
+// have k-1 children, and nodes just above the leaves may carry up to 2k-3
+// added leaves.
+//
+// Node accounting: with I internal positions and A added leaves,
+//
+//	n = k·I + L,  L = k + (I-1)(k-2) + A
+//	  = 2k + (I-1)·2(k-1) + A.
+//
+// The canonical builder decomposes n-2k uniquely as α·2(k-1) + j with
+// j ∈ {0..2k-3} (possible because 2(k-1) = 2k-2 > 2k-3), performs α leaf
+// conversions in BFS order and hangs all j added leaves off the shallowest
+// node that still has base leaf children. The result is k-regular exactly
+// when j = 0 (Theorem 3).
+
+// KTree holds a compiled K-TREE LHG together with its blueprint and the
+// decomposition parameters of the pair (n,k).
+type KTree struct {
+	N, K  int
+	Alpha int // number of leaf->internal conversions
+	J     int // number of added leaves, 0..2k-3
+	Blue  *Blueprint
+	Real  *Realization
+}
+
+// BuildKTree constructs the canonical K-TREE LHG for the pair (n,k).
+// It fails with ErrNotConstructible iff EX_K-TREE(n,k) is false,
+// i.e. unless k >= 3 and n >= 2k (Theorem 2).
+func BuildKTree(n, k int) (*KTree, error) {
+	if err := validatePair("K-TREE", n, k); err != nil {
+		return nil, err
+	}
+	rem := n - 2*k
+	alpha := rem / (2 * (k - 1))
+	j := rem % (2 * (k - 1))
+
+	s := newShape(k)
+	for c := 0; c < alpha; c++ {
+		if err := s.convert(); err != nil {
+			return nil, err
+		}
+	}
+	host := s.aboveLeafNode()
+	for a := 0; a < j; a++ {
+		s.addLeaf(host, true)
+	}
+
+	real, err := s.b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &KTree{N: n, K: k, Alpha: alpha, J: j, Blue: s.b, Real: real}, nil
+}
+
+// ExistsKTree is the closed-form characteristic function EX_K-TREE(n,k)
+// (Theorem 2): true iff n >= 2k (with the k >= 3 domain restriction).
+func ExistsKTree(n, k int) bool { return k >= 3 && n >= 2*k }
+
+// RegularKTree is the closed-form characteristic function REG_K-TREE(n,k)
+// (Theorem 3): a k-regular K-TREE LHG exists iff n = 2k + 2α(k-1).
+func RegularKTree(n, k int) bool {
+	return ExistsKTree(n, k) && (n-2*k)%(2*(k-1)) == 0
+}

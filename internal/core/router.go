@@ -1,0 +1,192 @@
+package core
+
+import "fmt"
+
+// Router answers point-to-point routing queries on a compiled blueprint
+// using only the tree structure — no graph search. It operationalizes the
+// Lemma 3 diameter argument: within a tree copy, routes follow tree paths;
+// across copies they descend to a junction leaf (shared by every copy, or
+// an unshared clique crossed in one hop) and ascend in the target copy.
+// Every route has length O(log n); the E19 experiment measures the stretch
+// against true shortest paths.
+type Router struct {
+	blue *Blueprint
+	real *Realization
+
+	// node -> (kind, position, copy); copy is -1 for shared leaves.
+	kind []PositionKind
+	pos  []int
+	copy []int
+	// junction[p]: a descendant leaf position of p (p itself if p is a
+	// leaf), following first children.
+	junction []int
+}
+
+// NewRouter indexes a compiled blueprint for routing.
+func NewRouter(blue *Blueprint, real *Realization) (*Router, error) {
+	if blue == nil || real == nil || real.Graph == nil {
+		return nil, fmt.Errorf("core: router needs a compiled blueprint")
+	}
+	n := real.Graph.Order()
+	r := &Router{
+		blue: blue,
+		real: real,
+		kind: make([]PositionKind, n),
+		pos:  make([]int, n),
+		copy: make([]int, n),
+	}
+	for p := 0; p < blue.Positions(); p++ {
+		switch blue.Kind[p] {
+		case Internal:
+			for i := 0; i < blue.K; i++ {
+				id := real.CopyNode[i][p]
+				r.kind[id], r.pos[id], r.copy[id] = Internal, p, i
+			}
+		case SharedLeaf:
+			id := real.LeafNode[p]
+			r.kind[id], r.pos[id], r.copy[id] = SharedLeaf, p, -1
+		case UnsharedLeaf:
+			for i, id := range real.GroupNode[p] {
+				r.kind[id], r.pos[id], r.copy[id] = UnsharedLeaf, p, i
+			}
+		}
+	}
+	r.junction = make([]int, blue.Positions())
+	for p := blue.Positions() - 1; p >= 0; p-- {
+		if blue.Kind[p] != Internal {
+			r.junction[p] = p
+			continue
+		}
+		// Positions are created in BFS order, so children have larger
+		// indices and their junctions are already computed.
+		r.junction[p] = r.junction[blue.Children[p][0]]
+	}
+	return r, nil
+}
+
+// Route returns a path from u to v (inclusive) using only blueprint
+// structure. The path is valid in the compiled graph and its length is
+// bounded by 3·height(T) + 3.
+func (r *Router) Route(u, v int) ([]int, error) {
+	n := r.real.Graph.Order()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return nil, fmt.Errorf("core: route endpoints (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if u == v {
+		return []int{u}, nil
+	}
+	uCopy, vCopy := r.copy[u], r.copy[v]
+	switch {
+	case r.kind[u] == SharedLeaf && r.kind[v] == SharedLeaf:
+		// Both in every copy: walk through copy 0.
+		return r.realizeTreePath(r.pos[u], r.pos[v], 0, u, v)
+	case r.kind[u] == SharedLeaf:
+		return r.realizeTreePath(r.pos[u], r.pos[v], r.copyOf(vCopy), u, v)
+	case r.kind[v] == SharedLeaf:
+		return r.realizeTreePath(r.pos[u], r.pos[v], r.copyOf(uCopy), u, v)
+	case uCopy == vCopy:
+		return r.realizeTreePath(r.pos[u], r.pos[v], uCopy, u, v)
+	default:
+		return r.crossCopyRoute(u, v)
+	}
+}
+
+// copyOf normalizes a copy index (shared leaves report -1).
+func (r *Router) copyOf(c int) int {
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// crossCopyRoute handles endpoints living in different tree copies:
+// descend from u to its junction leaf, switch copies there (free for a
+// shared leaf, one clique hop for an unshared one), ascend to v.
+func (r *Router) crossCopyRoute(u, v int) ([]int, error) {
+	uCopy, vCopy := r.copy[u], r.copy[v]
+	jPos := r.junction[r.pos[u]]
+
+	// Leg 1: u down to the junction in u's copy.
+	leg1, err := r.realizeTreePath(r.pos[u], jPos, uCopy, u, r.leafNode(jPos, uCopy))
+	if err != nil {
+		return nil, err
+	}
+	path := leg1
+	// Copy switch at the junction.
+	if r.blue.Kind[jPos] == UnsharedLeaf {
+		from := r.real.GroupNode[jPos][uCopy]
+		to := r.real.GroupNode[jPos][vCopy]
+		if from != path[len(path)-1] {
+			return nil, fmt.Errorf("core: junction mismatch at position %d", jPos)
+		}
+		path = append(path, to)
+	}
+	// Leg 2: junction up to v in v's copy.
+	start := path[len(path)-1]
+	leg2, err := r.realizeTreePath(jPos, r.pos[v], vCopy, start, v)
+	if err != nil {
+		return nil, err
+	}
+	return append(path, leg2[1:]...), nil
+}
+
+// leafNode realizes a leaf position in the given copy.
+func (r *Router) leafNode(p, copyIdx int) int {
+	if r.blue.Kind[p] == SharedLeaf {
+		return r.real.LeafNode[p]
+	}
+	return r.real.GroupNode[p][copyIdx]
+}
+
+// realizeTreePath walks the tree path between positions pu and pv and
+// realizes it in the given copy, with explicit endpoint nodes (which may be
+// shared leaves or clique members rather than copy nodes).
+func (r *Router) realizeTreePath(pu, pv, copyIdx, uNode, vNode int) ([]int, error) {
+	positions := r.treePath(pu, pv)
+	path := make([]int, 0, len(positions))
+	for idx, p := range positions {
+		var node int
+		switch {
+		case idx == 0:
+			node = uNode
+		case idx == len(positions)-1:
+			node = vNode
+		case r.blue.Kind[p] == Internal:
+			node = r.real.CopyNode[copyIdx][p]
+		default:
+			node = r.leafNode(p, copyIdx)
+		}
+		path = append(path, node)
+	}
+	return path, nil
+}
+
+// treePath lists the positions from pu to pv through their lowest common
+// ancestor.
+func (r *Router) treePath(pu, pv int) []int {
+	var up []int
+	a, b := pu, pv
+	for r.blue.Depth[a] > r.blue.Depth[b] {
+		up = append(up, a)
+		a = r.blue.Parent[a]
+	}
+	var down []int
+	for r.blue.Depth[b] > r.blue.Depth[a] {
+		down = append(down, b)
+		b = r.blue.Parent[b]
+	}
+	for a != b {
+		up = append(up, a)
+		down = append(down, b)
+		a = r.blue.Parent[a]
+		b = r.blue.Parent[b]
+	}
+	path := append(up, a)
+	for i := len(down) - 1; i >= 0; i-- {
+		path = append(path, down[i])
+	}
+	return path
+}
+
+// MaxRouteLength returns the worst-case route length bound 3·height + 3.
+func (r *Router) MaxRouteLength() int { return 3*r.blue.Height() + 3 }

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestRouter(t *testing.T, build func() (*Blueprint, *Realization)) *Router {
+	t.Helper()
+	blue, real := build()
+	r, err := NewRouter(blue, real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func ktreeRouter(t *testing.T, n, k int) *Router {
+	t.Helper()
+	kt, err := BuildKTree(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTestRouter(t, func() (*Blueprint, *Realization) { return kt.Blue, kt.Real })
+}
+
+func kdiamondRouter(t *testing.T, n, k int) *Router {
+	t.Helper()
+	kd, err := BuildKDiamond(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTestRouter(t, func() (*Blueprint, *Realization) { return kd.Blue, kd.Real })
+}
+
+func TestNewRouterErrors(t *testing.T) {
+	if _, err := NewRouter(nil, nil); err == nil {
+		t.Fatal("nil inputs must error")
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	r := ktreeRouter(t, 10, 3)
+	p, err := r.Route(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0] != 4 {
+		t.Fatalf("self route = %v", p)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	r := ktreeRouter(t, 10, 3)
+	if _, err := r.Route(-1, 3); err == nil {
+		t.Fatal("bad endpoint must error")
+	}
+	if _, err := r.Route(3, 99); err == nil {
+		t.Fatal("bad endpoint must error")
+	}
+}
+
+// assertRoute checks the route is a simple valid path between the
+// endpoints within the router's declared bound.
+func assertRoute(t *testing.T, r *Router, u, v int) []int {
+	t.Helper()
+	path, err := r.Route(u, v)
+	if err != nil {
+		t.Fatalf("route %d->%d: %v", u, v, err)
+	}
+	if path[0] != u || path[len(path)-1] != v {
+		t.Fatalf("route %d->%d endpoints wrong: %v", u, v, path)
+	}
+	g := r.real.Graph
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			t.Fatalf("route %d->%d uses missing edge (%d,%d): %v", u, v, path[i], path[i+1], path)
+		}
+	}
+	if len(path)-1 > r.MaxRouteLength() {
+		t.Fatalf("route %d->%d length %d exceeds bound %d", u, v, len(path)-1, r.MaxRouteLength())
+	}
+	return path
+}
+
+func TestRouteAllPairsKTree(t *testing.T) {
+	for _, n := range []int{6, 9, 21, 38} {
+		r := ktreeRouter(t, n, 3)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				assertRoute(t, r, u, v)
+			}
+		}
+	}
+}
+
+func TestRouteAllPairsKDiamond(t *testing.T) {
+	for _, n := range []int{7, 8, 13, 14, 26} {
+		r := kdiamondRouter(t, n, 3)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				assertRoute(t, r, u, v)
+			}
+		}
+	}
+}
+
+func TestRouteStretchIsBounded(t *testing.T) {
+	// Structured routes are never more than ~3x the true shortest path on
+	// these instances (typically much less; E19 reports the distribution).
+	r := kdiamondRouter(t, 41, 4)
+	g := r.real.Graph
+	worst := 0.0
+	for u := 0; u < g.Order(); u += 3 {
+		dist := g.BFSFrom(u)
+		for v := 0; v < g.Order(); v += 5 {
+			if u == v {
+				continue
+			}
+			path := assertRoute(t, r, u, v)
+			stretch := float64(len(path)-1) / float64(dist[v])
+			if stretch > worst {
+				worst = stretch
+			}
+		}
+	}
+	if worst > 3.5 {
+		t.Fatalf("worst stretch %v exceeds 3.5", worst)
+	}
+}
+
+func TestPropertyRoutesValidAcrossSizes(t *testing.T) {
+	f := func(nRaw, kRaw, uRaw, vRaw uint8) bool {
+		k := int(kRaw%3) + 3
+		n := 2*k + int(nRaw)%40
+		kd, err := BuildKDiamond(n, k)
+		if err != nil {
+			return false
+		}
+		r, err := NewRouter(kd.Blue, kd.Real)
+		if err != nil {
+			return false
+		}
+		u, v := int(uRaw)%n, int(vRaw)%n
+		path, err := r.Route(u, v)
+		if err != nil {
+			return false
+		}
+		if path[0] != u || path[len(path)-1] != v {
+			return false
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !kd.Real.Graph.HasEdge(path[i], path[i+1]) {
+				return false
+			}
+		}
+		return len(path)-1 <= r.MaxRouteLength()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import "fmt"
+
+// shape incrementally builds the abstract tree T shared by every
+// construction: start from a root with k base leaf children, then convert
+// leaves into internal nodes in creation (BFS) order. Creation order equals
+// breadth-first order, so conversions always extend the shallowest level
+// first and T stays height-balanced (rule "T is height-balanced").
+type shape struct {
+	b         *Blueprint
+	nextLeaf  int // cursor over positions: next base leaf to convert
+	baseChild int // base children per non-root internal node (k-1)
+}
+
+// newShape returns the minimal tree: a root with k shared-leaf children.
+func newShape(k int) *shape {
+	b := &Blueprint{
+		K:        k,
+		Parent:   []int{-1},
+		Children: [][]int{nil},
+		Kind:     []PositionKind{Internal},
+		Depth:    []int{0},
+	}
+	b.Added = []bool{false}
+	s := &shape{b: b, nextLeaf: 1, baseChild: k - 1}
+	for i := 0; i < k; i++ {
+		s.addLeaf(0, false)
+	}
+	return s
+}
+
+// addLeaf appends a shared-leaf child under parent p.
+func (s *shape) addLeaf(p int, added bool) int {
+	b := s.b
+	id := len(b.Parent)
+	b.Parent = append(b.Parent, p)
+	b.Children = append(b.Children, nil)
+	b.Kind = append(b.Kind, SharedLeaf)
+	b.Depth = append(b.Depth, b.Depth[p]+1)
+	b.Added = append(b.Added, added)
+	b.Children[p] = append(b.Children[p], id)
+	return id
+}
+
+// convert turns the next base leaf (in creation order) into an internal
+// node with k-1 fresh base leaf children. It fails only if every position
+// has already been converted, which callers prevent by sizing.
+func (s *shape) convert() error {
+	b := s.b
+	for s.nextLeaf < len(b.Kind) {
+		p := s.nextLeaf
+		s.nextLeaf++
+		if b.Kind[p] == SharedLeaf && !b.Added[p] {
+			b.Kind[p] = Internal
+			b.Added[p] = false
+			for i := 0; i < s.baseChild; i++ {
+				s.addLeaf(p, false)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: no leaf left to convert")
+}
+
+// aboveLeafNode returns the shallowest position that currently has at least
+// one base shared-leaf child — the canonical "node just above the leaves"
+// that receives added leaves.
+func (s *shape) aboveLeafNode() int {
+	b := s.b
+	for p := s.nextLeaf; p < len(b.Kind); p++ {
+		if b.Kind[p] == SharedLeaf && !b.Added[p] {
+			return b.Parent[p]
+		}
+	}
+	// Unreachable for well-formed shapes: conversions always create fresh
+	// base leaves, so a base leaf exists beyond the cursor.
+	return 0
+}
+
+// interiorAboveLeaves returns the non-root internal positions that have at
+// least one leaf child, in position order. These are the only nodes the
+// Jenkins–Demers rule allows to take extra children.
+func (s *shape) interiorAboveLeaves() []int {
+	b := s.b
+	var out []int
+	for p := 1; p < len(b.Kind); p++ {
+		if b.Kind[p] != Internal {
+			continue
+		}
+		for _, c := range b.Children[p] {
+			if b.Kind[c] != Internal {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// markLastLeafUnshared reclassifies the most recently created base leaf as
+// an unshared leaf (K-DIAMOND only).
+func (s *shape) markLastLeafUnshared() error {
+	b := s.b
+	for p := len(b.Kind) - 1; p >= 1; p-- {
+		if b.Kind[p] == SharedLeaf && !b.Added[p] {
+			b.Kind[p] = UnsharedLeaf
+			return nil
+		}
+	}
+	return fmt.Errorf("core: no base shared leaf to mark unshared")
+}

@@ -1,0 +1,181 @@
+package core
+
+import "fmt"
+
+// This file validates blueprints against the structural rules of each
+// constraint. The builders always produce valid blueprints; the validators
+// exist so tests (and users assembling blueprints by hand) can prove it,
+// and so the set inclusion "every JD graph satisfies K-TREE" is checkable.
+
+// ValidateKTree checks the blueprint against Definition 1 (K-TREE):
+//  1. k copies of a tree T            — implied by Compile
+//  2. shared leaves                   — no unshared positions allowed
+//  3. T height-balanced, root has k children, other internal nodes have
+//     k-1 children, nodes just above the leaves may carry up to 2k-3
+//     added leaves.
+func ValidateKTree(b *Blueprint) error {
+	if err := validateCommon(b); err != nil {
+		return err
+	}
+	for p, kind := range b.Kind {
+		if kind == UnsharedLeaf {
+			return fmt.Errorf("core: K-TREE forbids unshared leaves (position %d)", p)
+		}
+	}
+	return validateAddedLeaves(b, 2*b.K-3, true /* root may host added leaves */)
+}
+
+// ValidateKDiamond checks the blueprint against Definition 2 (K-DIAMOND):
+// like K-TREE but leaves may be shared or unshared and above-leaf nodes may
+// carry at most k-2 added leaves.
+func ValidateKDiamond(b *Blueprint) error {
+	if err := validateCommon(b); err != nil {
+		return err
+	}
+	return validateAddedLeaves(b, b.K-2, true)
+}
+
+// ValidateJD checks the blueprint against the Jenkins–Demers rule: shared
+// leaves only; exceptional nodes are non-root interior nodes above the
+// leaves carrying exactly two added leaves (k+1 children), and at most k
+// nodes are exceptional.
+func ValidateJD(b *Blueprint) error {
+	if err := validateCommon(b); err != nil {
+		return err
+	}
+	for p, kind := range b.Kind {
+		if kind == UnsharedLeaf {
+			return fmt.Errorf("core: JD forbids unshared leaves (position %d)", p)
+		}
+	}
+	exceptional := 0
+	for p, kind := range b.Kind {
+		if kind != Internal {
+			continue
+		}
+		added := addedChildren(b, p)
+		switch {
+		case added == 0:
+		case added == 2:
+			if p == 0 {
+				return fmt.Errorf("core: JD root cannot take extra children")
+			}
+			if !hasBaseLeafChild(b, p) {
+				return fmt.Errorf("core: JD exception node %d is not above the leaves", p)
+			}
+			exceptional++
+		default:
+			return fmt.Errorf("core: JD node %d has %d added leaves (must be 0 or 2)", p, added)
+		}
+	}
+	if exceptional > b.K {
+		return fmt.Errorf("core: JD allows at most k=%d exception nodes, found %d", b.K, exceptional)
+	}
+	return nil
+}
+
+// validateCommon checks the rules shared by all constraints: positions form
+// a tree rooted at 0; the root has k base children; non-root internal nodes
+// have k-1 base children; leaves have no children; the tree is
+// height-balanced (all leaves within one depth level).
+func validateCommon(b *Blueprint) error {
+	if b.K < 3 {
+		return fmt.Errorf("core: blueprint k=%d must be >= 3", b.K)
+	}
+	np := b.Positions()
+	if np == 0 || b.Kind[0] != Internal || b.Parent[0] != -1 {
+		return fmt.Errorf("core: blueprint must be rooted at internal position 0")
+	}
+	if len(b.Kind) != np || len(b.Children) != np || len(b.Depth) != np || len(b.Added) != np {
+		return fmt.Errorf("core: blueprint slices have inconsistent lengths")
+	}
+	minLeaf, maxLeaf := -1, -1
+	for p := 0; p < np; p++ {
+		if p > 0 {
+			parent := b.Parent[p]
+			if parent < 0 || parent >= np || b.Kind[parent] != Internal {
+				return fmt.Errorf("core: position %d has invalid parent %d", p, parent)
+			}
+			if b.Depth[p] != b.Depth[parent]+1 {
+				return fmt.Errorf("core: position %d depth %d inconsistent with parent depth %d",
+					p, b.Depth[p], b.Depth[parent])
+			}
+		}
+		switch b.Kind[p] {
+		case Internal:
+			base := len(b.Children[p]) - addedChildren(b, p)
+			want := b.K - 1
+			if p == 0 {
+				want = b.K
+			}
+			if base != want {
+				return fmt.Errorf("core: internal position %d has %d base children, want %d", p, base, want)
+			}
+		case SharedLeaf, UnsharedLeaf:
+			if len(b.Children[p]) != 0 {
+				return fmt.Errorf("core: leaf position %d has children", p)
+			}
+			d := b.Depth[p]
+			if minLeaf < 0 || d < minLeaf {
+				minLeaf = d
+			}
+			if d > maxLeaf {
+				maxLeaf = d
+			}
+		default:
+			return fmt.Errorf("core: position %d has invalid kind", p)
+		}
+	}
+	if minLeaf < 0 {
+		return fmt.Errorf("core: blueprint has no leaves")
+	}
+	if maxLeaf-minLeaf > 1 {
+		return fmt.Errorf("core: tree is not height-balanced (leaf depths span %d..%d)", minLeaf, maxLeaf)
+	}
+	return nil
+}
+
+// validateAddedLeaves enforces the per-node added-leaf budget and the
+// "just above the leaves" placement rule.
+func validateAddedLeaves(b *Blueprint, perNode int, rootAllowed bool) error {
+	for p, kind := range b.Kind {
+		if kind != Internal {
+			continue
+		}
+		added := addedChildren(b, p)
+		if added == 0 {
+			continue
+		}
+		if added > perNode {
+			return fmt.Errorf("core: node %d has %d added leaves, budget %d", p, added, perNode)
+		}
+		if p == 0 && !rootAllowed {
+			return fmt.Errorf("core: root cannot host added leaves")
+		}
+		if !hasBaseLeafChild(b, p) {
+			return fmt.Errorf("core: node %d hosts added leaves but is not above the leaves", p)
+		}
+	}
+	return nil
+}
+
+func addedChildren(b *Blueprint, p int) int {
+	n := 0
+	for _, c := range b.Children[p] {
+		if b.Added[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// hasBaseLeafChild reports whether p has a non-added leaf child, i.e.
+// whether p sits "just above the leaves" of the underlying balanced tree.
+func hasBaseLeafChild(b *Blueprint, p int) bool {
+	for _, c := range b.Children[p] {
+		if b.Kind[c] != Internal && !b.Added[c] {
+			return true
+		}
+	}
+	return false
+}

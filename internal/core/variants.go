@@ -1,0 +1,192 @@
+package core
+
+import (
+	"lhg/internal/sim"
+)
+
+// Variant builders: the canonical builders produce one witness per (n,k),
+// but Definitions 1 and 2 admit many graphs per pair (conversion order
+// within a level, placement of added leaves, choice of unshared
+// positions). The variant builders sample that space uniformly-ish with a
+// seeded generator, so the test suite can check that *the constraint*, not
+// just our canonical shape, yields LHGs — which is the actual content of
+// Theorems 1 and 4.
+
+// BuildKTreeVariant constructs a random K-TREE witness for (n,k):
+// conversions still fill levels in order (rule 3a requires it) but pick a
+// random leaf within the shallowest level, and each added leaf lands on a
+// random above-leaf node with spare capacity (rule 3d: at most 2k-3 each).
+func BuildKTreeVariant(n, k int, rng *sim.RNG) (*KTree, error) {
+	if err := validatePair("K-TREE", n, k); err != nil {
+		return nil, err
+	}
+	rem := n - 2*k
+	alpha := rem / (2 * (k - 1))
+	j := rem % (2 * (k - 1))
+
+	s := newShape(k)
+	for c := 0; c < alpha; c++ {
+		if err := s.convertRandom(rng); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.addLeavesRandom(rng, j, 2*k-3); err != nil {
+		return nil, err
+	}
+	real, err := s.b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &KTree{N: n, K: k, Alpha: alpha, J: j, Blue: s.b, Real: real}, nil
+}
+
+// BuildKDiamondVariant constructs a random K-DIAMOND witness for (n,k):
+// like the K-TREE variant (budget k-2 per above-leaf node) and, when the
+// decomposition calls for an unshared leaf, a random base leaf position at
+// the deepest level becomes the clique.
+func BuildKDiamondVariant(n, k int, rng *sim.RNG) (*KDiamond, error) {
+	if err := validatePair("K-DIAMOND", n, k); err != nil {
+		return nil, err
+	}
+	rem := n - 2*k
+	alpha := rem / (k - 1)
+	j := rem % (k - 1)
+	conversions := alpha / 2
+	unshared := alpha % 2
+
+	s := newShape(k)
+	for c := 0; c < conversions; c++ {
+		if err := s.convertRandom(rng); err != nil {
+			return nil, err
+		}
+	}
+	if unshared == 1 {
+		if err := s.markRandomLeafUnshared(rng); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.addLeavesRandom(rng, j, k-2); err != nil {
+		return nil, err
+	}
+	real, err := s.b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &KDiamond{
+		N: n, K: k,
+		Alpha: alpha, J: j, Unshared: unshared,
+		Blue: s.b, Real: real,
+	}, nil
+}
+
+// shallowestLeaves returns the base shared-leaf positions at the minimum
+// leaf depth.
+func (s *shape) shallowestLeaves() []int {
+	b := s.b
+	minDepth := -1
+	var out []int
+	for p := 0; p < len(b.Kind); p++ {
+		if b.Kind[p] != SharedLeaf || b.Added[p] {
+			continue
+		}
+		switch {
+		case minDepth < 0 || b.Depth[p] < minDepth:
+			minDepth = b.Depth[p]
+			out = out[:0]
+			out = append(out, p)
+		case b.Depth[p] == minDepth:
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// convertRandom converts a random shallowest base leaf (keeping the tree
+// height-balanced) into an internal node with k-1 fresh leaves.
+func (s *shape) convertRandom(rng *sim.RNG) error {
+	candidates := s.shallowestLeaves()
+	if len(candidates) == 0 {
+		return errNoLeaf()
+	}
+	p := candidates[rng.Intn(len(candidates))]
+	b := s.b
+	b.Kind[p] = Internal
+	for i := 0; i < s.baseChild; i++ {
+		s.addLeaf(p, false)
+	}
+	return nil
+}
+
+// addLeavesRandom hangs `count` added leaves on random above-leaf nodes,
+// respecting the per-node budget.
+func (s *shape) addLeavesRandom(rng *sim.RNG, count, perNode int) error {
+	if count == 0 {
+		return nil
+	}
+	b := s.b
+	for a := 0; a < count; a++ {
+		var hosts []int
+		for p := 0; p < len(b.Kind); p++ {
+			if b.Kind[p] != Internal || !s.hasBaseLeafChildShape(p) {
+				continue
+			}
+			if s.addedCount(p) < perNode {
+				hosts = append(hosts, p)
+			}
+		}
+		if len(hosts) == 0 {
+			return errNoLeaf()
+		}
+		s.addLeaf(hosts[rng.Intn(len(hosts))], true)
+	}
+	return nil
+}
+
+// markRandomLeafUnshared turns a random deepest base leaf into an unshared
+// clique position.
+func (s *shape) markRandomLeafUnshared(rng *sim.RNG) error {
+	b := s.b
+	maxDepth := -1
+	var candidates []int
+	for p := 0; p < len(b.Kind); p++ {
+		if b.Kind[p] != SharedLeaf || b.Added[p] {
+			continue
+		}
+		switch {
+		case b.Depth[p] > maxDepth:
+			maxDepth = b.Depth[p]
+			candidates = candidates[:0]
+			candidates = append(candidates, p)
+		case b.Depth[p] == maxDepth:
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return errNoLeaf()
+	}
+	b.Kind[candidates[rng.Intn(len(candidates))]] = UnsharedLeaf
+	return nil
+}
+
+func (s *shape) hasBaseLeafChildShape(p int) bool {
+	for _, c := range s.b.Children[p] {
+		if s.b.Kind[c] != Internal && !s.b.Added[c] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *shape) addedCount(p int) int {
+	n := 0
+	for _, c := range s.b.Children[p] {
+		if s.b.Added[c] {
+			n++
+		}
+	}
+	return n
+}
+
+func errNoLeaf() error {
+	return &PairError{Constraint: "variant", Reason: "no eligible position left"}
+}

@@ -1,0 +1,113 @@
+// Package flood simulates deterministic flooding over a topology in the
+// presence of crash and link failures — the application Logarithmic Harary
+// Graphs were designed for (Jenkins & Demers, ICDCS 2001).
+//
+// The model is round-synchronous: in round r every node that first learned
+// the message in round r-1 forwards it to all of its alive neighbors over
+// all alive links. The simulator reports the number of rounds until no new
+// node learns the message, the total messages sent, and the coverage (which
+// alive nodes were reached). On a k-connected graph, flooding reaches every
+// alive node despite any f <= k-1 node or link failures; the diameter of the
+// surviving topology bounds the latency — logarithmic for LHGs, linear for
+// classic Harary graphs.
+package flood
+
+import (
+	"fmt"
+
+	"lhg/internal/graph"
+)
+
+// Failures describes the fault environment of one flood run. The zero value
+// is the failure-free environment.
+type Failures struct {
+	// Nodes lists crashed nodes: they neither receive nor forward.
+	Nodes []int
+	// Links lists failed undirected links: no message crosses them.
+	Links []graph.Edge
+}
+
+// Result captures the outcome of one flood.
+type Result struct {
+	Source   int
+	Rounds   int  // rounds until quiescence (0 if nobody else is alive)
+	Messages int  // total point-to-point messages sent
+	Reached  int  // alive nodes holding the message at the end (incl. source)
+	Alive    int  // alive nodes at the start (incl. source)
+	Complete bool // every alive node was reached
+	// FirstHeard[v] is the round in which v first received the message
+	// (0 for the source, -1 for nodes never reached or crashed).
+	FirstHeard []int
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("flood(src=%d rounds=%d msgs=%d reached=%d/%d complete=%t)",
+		r.Source, r.Rounds, r.Messages, r.Reached, r.Alive, r.Complete)
+}
+
+// Run floods the message from source over g under the given failures.
+// The source must be alive.
+func Run(g *graph.Graph, source int, f Failures) (*Result, error) {
+	n := g.Order()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("flood: source %d out of range [0,%d)", source, n)
+	}
+	crashed := make([]bool, n)
+	for _, v := range f.Nodes {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("flood: crashed node %d out of range [0,%d)", v, n)
+		}
+		crashed[v] = true
+	}
+	if crashed[source] {
+		return nil, fmt.Errorf("flood: source %d is crashed", source)
+	}
+	linkDown := make(map[graph.Edge]bool, len(f.Links))
+	for _, e := range f.Links {
+		linkDown[normalize(e)] = true
+	}
+
+	res := &Result{Source: source, FirstHeard: make([]int, n)}
+	for v := range res.FirstHeard {
+		res.FirstHeard[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if !crashed[v] {
+			res.Alive++
+		}
+	}
+
+	res.FirstHeard[source] = 0
+	res.Reached = 1
+	frontier := []int{source}
+	for round := 1; len(frontier) > 0; round++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if crashed[v] || linkDown[normalize(graph.Edge{U: u, V: v})] {
+					continue
+				}
+				res.Messages++
+				if res.FirstHeard[v] < 0 {
+					res.FirstHeard[v] = round
+					res.Reached++
+					next = append(next, v)
+				}
+			}
+		}
+		if len(next) > 0 {
+			res.Rounds = round
+		}
+		frontier = next
+	}
+	res.Complete = res.Reached == res.Alive
+	return res, nil
+}
+
+func normalize(e graph.Edge) graph.Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}

@@ -1,0 +1,256 @@
+package flood
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lhg/internal/graph"
+	"lhg/internal/sim"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v)
+	}
+	return g
+}
+
+func randomGraph(n int, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	state := seed | 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if next()%3 == 0 {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestRunFaultFreeCycle(t *testing.T) {
+	g := cycle(10)
+	res, err := Run(g, 0, Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Reached != 10 {
+		t.Fatalf("cycle flood incomplete: %s", res)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("C10 flood rounds = %d, want 5 (eccentricity)", res.Rounds)
+	}
+	// Every informed node forwards on both its links exactly once: 2n
+	// messages total.
+	if res.Messages != 20 {
+		t.Fatalf("C10 flood messages = %d, want 20", res.Messages)
+	}
+}
+
+func TestRunFirstHeardEqualsBFS(t *testing.T) {
+	g := randomGraph(25, 99)
+	res, err := Run(g, 3, Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFSFrom(3)
+	for v, d := range dist {
+		if res.FirstHeard[v] != d {
+			t.Fatalf("FirstHeard[%d] = %d, BFS = %d", v, res.FirstHeard[v], d)
+		}
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	g := cycle(5)
+	if _, err := Run(g, -1, Failures{}); err == nil {
+		t.Fatal("negative source must error")
+	}
+	if _, err := Run(g, 5, Failures{}); err == nil {
+		t.Fatal("out-of-range source must error")
+	}
+	if _, err := Run(g, 0, Failures{Nodes: []int{0}}); err == nil {
+		t.Fatal("crashed source must error")
+	}
+	if _, err := Run(g, 0, Failures{Nodes: []int{9}}); err == nil {
+		t.Fatal("out-of-range crashed node must error")
+	}
+}
+
+func TestRunNodeFailureSplitsCycle(t *testing.T) {
+	// Crashing two opposite nodes of a cycle severs it: coverage drops.
+	g := cycle(10)
+	res, err := Run(g, 0, Failures{Nodes: []int{3, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatalf("flood should be partitioned: %s", res)
+	}
+	if res.Alive != 8 {
+		t.Fatalf("Alive = %d, want 8", res.Alive)
+	}
+	// Nodes 1,2 and 8,9 remain reachable; 4,5,6 are cut off.
+	wantReached := 5 // 0,1,2,8,9
+	if res.Reached != wantReached {
+		t.Fatalf("Reached = %d, want %d", res.Reached, wantReached)
+	}
+	for _, v := range []int{4, 5, 6} {
+		if res.FirstHeard[v] != -1 {
+			t.Fatalf("node %d should be unreachable", v)
+		}
+	}
+}
+
+func TestRunLinkFailures(t *testing.T) {
+	// Cutting both links of node 1 in a triangle isolates it.
+	g := cycle(3)
+	res, err := Run(g, 0, Failures{Links: []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("node 1 should be unreachable")
+	}
+	if res.Reached != 2 || res.Alive != 3 {
+		t.Fatalf("Reached=%d Alive=%d, want 2/3", res.Reached, res.Alive)
+	}
+}
+
+func TestRunLinkFailureNormalization(t *testing.T) {
+	// Link failures must apply regardless of endpoint order.
+	g := cycle(3)
+	resA, err := Run(g, 0, Failures{Links: []graph.Edge{{U: 1, V: 0}, {U: 2, V: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Reached != 2 {
+		t.Fatalf("reversed-order link failures not applied: %s", resA)
+	}
+}
+
+func TestRunStar(t *testing.T) {
+	g := star(8)
+	res, err := Run(g, 0, Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 || !res.Complete {
+		t.Fatalf("star flood: %s", res)
+	}
+	// Hub sends 7, every leaf echoes back once: 14 messages.
+	if res.Messages != 14 {
+		t.Fatalf("star messages = %d, want 14", res.Messages)
+	}
+	// From a leaf it takes 2 rounds.
+	res, err = Run(g, 3, Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("leaf-sourced star flood rounds = %d, want 2", res.Rounds)
+	}
+}
+
+func TestRunSingletonGraph(t *testing.T) {
+	g := graph.New(1)
+	res, err := Run(g, 0, Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Rounds != 0 || res.Messages != 0 {
+		t.Fatalf("singleton flood: %s", res)
+	}
+}
+
+func TestPropertyFloodMatchesReachability(t *testing.T) {
+	// Whatever the failures, the flood reaches exactly the nodes reachable
+	// in the surviving subgraph, in exactly BFS-distance rounds.
+	f := func(seed uint32, nRaw, fRaw uint8) bool {
+		n := int(nRaw%15) + 3
+		g := randomGraph(n, uint64(seed))
+		rng := sim.NewRNG(uint64(seed) * 31)
+		fails, err := RandomNodeFailures(g, 0, int(fRaw)%(n-1), rng)
+		if err != nil {
+			return false
+		}
+		res, err := Run(g, 0, fails)
+		if err != nil {
+			return false
+		}
+		// Build the survivor subgraph and BFS it.
+		crashed := make([]bool, n)
+		for _, v := range fails.Nodes {
+			crashed[v] = true
+		}
+		sub := graph.New(n)
+		for _, e := range g.Edges() {
+			if !crashed[e.U] && !crashed[e.V] {
+				sub.MustAddEdge(e.U, e.V)
+			}
+		}
+		dist := sub.BFSFrom(0)
+		for v := 0; v < n; v++ {
+			want := dist[v]
+			if crashed[v] {
+				want = -1
+			}
+			if res.FirstHeard[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMessageCountBound(t *testing.T) {
+	// Each informed node forwards once per alive incident link, so the
+	// message count never exceeds 2m and equals the sum of the alive
+	// degrees of informed nodes under no link failures.
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		g := randomGraph(n, uint64(seed))
+		res, err := Run(g, 0, Failures{})
+		if err != nil {
+			return false
+		}
+		want := 0
+		for v := 0; v < n; v++ {
+			if res.FirstHeard[v] >= 0 {
+				want += g.Degree(v)
+			}
+		}
+		return res.Messages == want && res.Messages <= 2*g.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package flood
+
+import (
+	"fmt"
+
+	"lhg/internal/graph"
+	"lhg/internal/sim"
+)
+
+// Gossip simulates push gossip with bounded fanout — the probabilistic
+// alternative to deterministic flooding discussed in the papers' related
+// work (Lin, Marzullo & Masini, DISC 2000; Eugster et al.). When a node
+// first receives the message it forwards it to at most `fanout` alive
+// neighbors chosen uniformly at random, instead of to all of them.
+//
+// With fanout >= deg the behavior coincides with deterministic flooding.
+// With fanout < k gossip sends fewer messages but loses the f <= k-1
+// delivery guarantee: coverage becomes probabilistic even without
+// failures. The E16 experiment quantifies exactly this trade-off.
+func Gossip(g *graph.Graph, source, fanout int, f Failures, rng *sim.RNG) (*Result, error) {
+	n := g.Order()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("flood: source %d out of range [0,%d)", source, n)
+	}
+	if fanout < 1 {
+		return nil, fmt.Errorf("flood: fanout %d must be >= 1", fanout)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("flood: gossip requires a generator")
+	}
+	crashed := make([]bool, n)
+	for _, v := range f.Nodes {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("flood: crashed node %d out of range [0,%d)", v, n)
+		}
+		crashed[v] = true
+	}
+	if crashed[source] {
+		return nil, fmt.Errorf("flood: source %d is crashed", source)
+	}
+	linkDown := make(map[graph.Edge]bool, len(f.Links))
+	for _, e := range f.Links {
+		linkDown[normalize(e)] = true
+	}
+
+	res := &Result{Source: source, FirstHeard: make([]int, n)}
+	for v := range res.FirstHeard {
+		res.FirstHeard[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if !crashed[v] {
+			res.Alive++
+		}
+	}
+
+	res.FirstHeard[source] = 0
+	res.Reached = 1
+	frontier := []int{source}
+	for round := 1; len(frontier) > 0; round++ {
+		var next []int
+		for _, u := range frontier {
+			targets := gossipTargets(g, u, fanout, crashed, linkDown, rng)
+			for _, v := range targets {
+				res.Messages++
+				if res.FirstHeard[v] < 0 {
+					res.FirstHeard[v] = round
+					res.Reached++
+					next = append(next, v)
+				}
+			}
+		}
+		if len(next) > 0 {
+			res.Rounds = round
+		}
+		frontier = next
+	}
+	res.Complete = res.Reached == res.Alive
+	return res, nil
+}
+
+// gossipTargets samples up to fanout distinct alive neighbors of u.
+func gossipTargets(g *graph.Graph, u, fanout int, crashed []bool, linkDown map[graph.Edge]bool, rng *sim.RNG) []int {
+	var alive []int
+	g.EachNeighbor(u, func(v int) {
+		if !crashed[v] && !linkDown[normalize(graph.Edge{U: u, V: v})] {
+			alive = append(alive, v)
+		}
+	})
+	if len(alive) <= fanout {
+		return alive
+	}
+	idx := rng.Sample(len(alive), fanout)
+	out := make([]int, 0, fanout)
+	for _, i := range idx {
+		out = append(out, alive[i])
+	}
+	return out
+}
+
+// GossipReliability estimates, over seeded trials, the probability that a
+// gossip round reaches every alive node under f random crashes.
+func GossipReliability(g *graph.Graph, source, fanout, failures, trials int, rng *sim.RNG) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("flood: trials must be positive, got %d", trials)
+	}
+	ok := 0
+	for i := 0; i < trials; i++ {
+		fails, err := RandomNodeFailures(g, source, failures, rng)
+		if err != nil {
+			return 0, err
+		}
+		res, err := Gossip(g, source, fanout, fails, rng)
+		if err != nil {
+			return 0, err
+		}
+		if res.Complete {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials), nil
+}

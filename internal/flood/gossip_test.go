@@ -1,0 +1,133 @@
+package flood
+
+import (
+	"testing"
+
+	"lhg/internal/graph"
+	"lhg/internal/harary"
+	"lhg/internal/sim"
+)
+
+func TestGossipArgumentErrors(t *testing.T) {
+	g := cycle(6)
+	rng := sim.NewRNG(1)
+	if _, err := Gossip(g, -1, 2, Failures{}, rng); err == nil {
+		t.Fatal("bad source must error")
+	}
+	if _, err := Gossip(g, 0, 0, Failures{}, rng); err == nil {
+		t.Fatal("fanout 0 must error")
+	}
+	if _, err := Gossip(g, 0, 2, Failures{}, nil); err == nil {
+		t.Fatal("nil rng must error")
+	}
+	if _, err := Gossip(g, 0, 2, Failures{Nodes: []int{0}}, rng); err == nil {
+		t.Fatal("crashed source must error")
+	}
+	if _, err := Gossip(g, 0, 2, Failures{Nodes: []int{99}}, rng); err == nil {
+		t.Fatal("bad crashed node must error")
+	}
+}
+
+func TestGossipFullFanoutEqualsFlood(t *testing.T) {
+	// With fanout >= max degree, gossip is deterministic flooding.
+	g, err := harary.Build(24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg, _ := g.MaxDegree()
+	rng := sim.NewRNG(3)
+	gossip, err := Gossip(g, 0, maxDeg, Failures{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := Run(g, 0, Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gossip.Reached != fl.Reached || gossip.Messages != fl.Messages || gossip.Rounds != fl.Rounds {
+		t.Fatalf("full-fanout gossip %s != flood %s", gossip, fl)
+	}
+	for v := range gossip.FirstHeard {
+		if gossip.FirstHeard[v] != fl.FirstHeard[v] {
+			t.Fatalf("node %d heard at %d vs flood %d", v, gossip.FirstHeard[v], fl.FirstHeard[v])
+		}
+	}
+}
+
+func TestGossipBoundedFanoutLosesCoverage(t *testing.T) {
+	// On a 4-regular graph, fanout 2 misses nodes with overwhelming
+	// probability at this size.
+	g, err := harary.Build(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(9)
+	incomplete := 0
+	for trial := 0; trial < 20; trial++ {
+		res, err := Gossip(g, 0, 2, Failures{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			incomplete++
+		}
+		// Messages are bounded by fanout per informed node.
+		if res.Messages > 2*res.Reached {
+			t.Fatalf("messages %d exceed fanout*reached %d", res.Messages, 2*res.Reached)
+		}
+	}
+	if incomplete == 0 {
+		t.Fatal("fanout-2 gossip never missed a node in 20 trials — implausible")
+	}
+}
+
+func TestGossipRespectsFailures(t *testing.T) {
+	g := cycle(8)
+	rng := sim.NewRNG(4)
+	res, err := Gossip(g, 0, 2, Failures{Nodes: []int{2, 6}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstHeard[2] != -1 || res.FirstHeard[6] != -1 {
+		t.Fatal("crashed nodes must never hear the message")
+	}
+	// On a cycle, crashing 2 and 6 isolates nodes 3,4,5 from source 0's
+	// side... 0's side is 7,1; gossip with fanout 2 on a cycle is flooding.
+	if res.Complete {
+		t.Fatal("coverage must be partial across the cut")
+	}
+}
+
+func TestGossipLinkFailures(t *testing.T) {
+	g := cycle(4)
+	rng := sim.NewRNG(5)
+	res, err := Gossip(g, 0, 2, Failures{Links: []graph.Edge{{U: 0, V: 1}, {U: 0, V: 3}}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 1 {
+		t.Fatalf("isolated source reached %d nodes, want 1", res.Reached)
+	}
+}
+
+func TestGossipReliabilityBounds(t *testing.T) {
+	g, err := harary.Build(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(6)
+	if _, err := GossipReliability(g, 0, 2, 1, 0, rng); err == nil {
+		t.Fatal("zero trials must error")
+	}
+	rel, err := GossipReliability(g, 0, 4, 0, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel < 0 || rel > 1 {
+		t.Fatalf("reliability %v out of [0,1]", rel)
+	}
+	// Full fanout with no failures on a regular graph = deterministic flood.
+	if rel != 1.0 {
+		t.Fatalf("full-fanout fault-free gossip reliability = %v, want 1", rel)
+	}
+}

@@ -1,0 +1,27 @@
+package flood
+
+import (
+	"testing"
+
+	"lhg/internal/sim"
+)
+
+// TestRandomNodeFailuresZero is the regression test for the off-by-one
+// that made f=0 crash every node except the source.
+func TestRandomNodeFailuresZero(t *testing.T) {
+	g := cycle(12)
+	f, err := RandomNodeFailures(g, 3, 0, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Nodes) != 0 {
+		t.Fatalf("f=0 drew %d failures: %v", len(f.Nodes), f.Nodes)
+	}
+	res, err := Run(g, 3, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alive != 12 || !res.Complete {
+		t.Fatalf("f=0 flood must cover all 12 nodes: %s", res)
+	}
+}

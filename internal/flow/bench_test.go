@@ -1,0 +1,103 @@
+package flow
+
+import (
+	"fmt"
+	"testing"
+
+	"lhg/internal/graph"
+)
+
+// Ablation benches for the design choices called out in DESIGN.md:
+//
+//  1. Esfahanian–Hakimi pair selection vs the naive all-non-adjacent-pairs
+//     sweep for global vertex connectivity.
+//  2. Early-exit (bounded) max flow vs exact flow for threshold queries.
+
+var benchSink int
+
+// naiveVertexConnectivity computes κ by running a max flow for every
+// non-adjacent pair — the textbook definition, quadratic in n.
+func naiveVertexConnectivity(g *graph.Graph) int {
+	n := g.Order()
+	if n < 2 || !g.Connected() {
+		return 0
+	}
+	best := n - 1
+	found := false
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			if g.HasEdge(s, t) {
+				continue
+			}
+			found = true
+			if f := stVertexFlow(g, s, t, best); f < best {
+				best = f
+			}
+		}
+	}
+	if !found {
+		return n - 1 // complete graph
+	}
+	return best
+}
+
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	// 4-regular circulant: connected, κ=4, plenty of non-adjacent pairs.
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n)
+		g.MustAddEdge(v, (v+2)%n)
+	}
+	return g
+}
+
+func BenchmarkVertexConnectivityEsfahanianHakimi(b *testing.B) {
+	for _, n := range []int{32, 96} {
+		g := benchGraph(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = VertexConnectivity(g)
+			}
+		})
+	}
+}
+
+func BenchmarkVertexConnectivityNaiveAllPairs(b *testing.B) {
+	for _, n := range []int{32, 96} {
+		g := benchGraph(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = naiveVertexConnectivity(g)
+			}
+		})
+	}
+}
+
+func BenchmarkThresholdEarlyExit(b *testing.B) {
+	g := benchGraph(b, 128)
+	b.Run("bounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !IsKNodeConnected(g, 4) {
+				b.Fatal("graph must be 4-connected")
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if VertexConnectivity(g) < 4 {
+				b.Fatal("graph must be 4-connected")
+			}
+		}
+	})
+}
+
+// TestNaiveMatchesEsfahanianHakimi keeps the ablation baseline honest.
+func TestNaiveMatchesEsfahanianHakimi(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		g := randomGraph(10, seed)
+		if got, want := naiveVertexConnectivity(g), VertexConnectivity(g); got != want {
+			t.Fatalf("seed %d: naive κ=%d, EH κ=%d", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package flow
+
+import (
+	"fmt"
+
+	"lhg/internal/graph"
+)
+
+// edgeNetwork builds the directed network for edge-connectivity queries:
+// every undirected edge becomes a pair of opposing unit-capacity arcs.
+func edgeNetwork(g *graph.Graph) *network {
+	nw := newNetwork(g.Order())
+	for _, e := range g.Edges() {
+		nw.addArc(e.U, e.V, 1)
+		nw.addArc(e.V, e.U, 1)
+	}
+	return nw
+}
+
+// vertexNetwork builds the split-node network for vertex-connectivity
+// queries. Node v becomes vIn=2v and vOut=2v+1 joined by a unit arc, so a
+// unit of flow "uses up" the node. The terminals s and t get unbounded
+// internal capacity.
+//
+// edgeCap controls the capacity of the arcs derived from graph edges:
+//   - cut queries pass an effectively infinite capacity so that minimum
+//     cuts consist of node arcs only (requires s,t non-adjacent);
+//   - path extraction passes 1 so that a physical edge carries at most one
+//     path (vertex-disjoint paths are automatically edge-disjoint, so this
+//     does not change the maximum).
+func vertexNetwork(g *graph.Graph, s, t, edgeCap int) *network {
+	n := g.Order()
+	nw := newNetwork(2 * n)
+	for v := 0; v < n; v++ {
+		c := 1
+		if v == s || v == t {
+			c = n + 1
+		}
+		nw.addArc(2*v, 2*v+1, c)
+	}
+	for _, e := range g.Edges() {
+		nw.addArc(2*e.U+1, 2*e.V, edgeCap)
+		nw.addArc(2*e.V+1, 2*e.U, edgeCap)
+	}
+	return nw
+}
+
+// stVertexFlow returns the maximum number of internally vertex-disjoint
+// s-t paths for a non-adjacent pair, early-exiting at limit if limit >= 0.
+func stVertexFlow(g *graph.Graph, s, t, limit int) int {
+	nw := vertexNetwork(g, s, t, g.Order()+1)
+	return nw.maxflow(2*s+1, 2*t, limit)
+}
+
+// EdgeCut returns the size of a minimum s-t edge cut (equivalently the
+// maximum number of edge-disjoint s-t paths).
+func EdgeCut(g *graph.Graph, s, t int) (int, error) {
+	if err := validatePair(g, s, t); err != nil {
+		return 0, err
+	}
+	return edgeNetwork(g).maxflow(s, t, -1), nil
+}
+
+// VertexCut returns the size of a minimum s-t vertex cut. s and t must be
+// non-adjacent (no node set separates adjacent nodes).
+func VertexCut(g *graph.Graph, s, t int) (int, error) {
+	if err := validatePair(g, s, t); err != nil {
+		return 0, err
+	}
+	if g.HasEdge(s, t) {
+		return 0, fmt.Errorf("flow: no vertex cut separates adjacent nodes %d and %d", s, t)
+	}
+	return stVertexFlow(g, s, t, -1), nil
+}
+
+// MinVertexCutSet returns an actual minimum vertex cut separating
+// non-adjacent s and t: a smallest node set whose removal disconnects them.
+func MinVertexCutSet(g *graph.Graph, s, t int) ([]int, error) {
+	if err := validatePair(g, s, t); err != nil {
+		return nil, err
+	}
+	if g.HasEdge(s, t) {
+		return nil, fmt.Errorf("flow: no vertex cut separates adjacent nodes %d and %d", s, t)
+	}
+	nw := vertexNetwork(g, s, t, g.Order()+1)
+	nw.maxflow(2*s+1, 2*t, -1)
+	reach := nw.residualReach(2*s + 1)
+	var cut []int
+	for v := 0; v < g.Order(); v++ {
+		if reach[2*v] && !reach[2*v+1] {
+			cut = append(cut, v)
+		}
+	}
+	return cut, nil
+}
+
+// EdgeConnectivity returns the global edge connectivity λ(G): the minimum
+// number of edges whose removal disconnects G. It returns 0 for graphs that
+// are already disconnected or have fewer than two nodes.
+func EdgeConnectivity(g *graph.Graph) int {
+	n := g.Order()
+	if n < 2 {
+		return 0
+	}
+	// λ(G) = min over t != s of the s-t min cut, for any fixed s: the
+	// global minimum cut separates node 0 from some other node.
+	best := inf
+	for t := 1; t < n; t++ {
+		nw := edgeNetwork(g)
+		if f := nw.maxflow(0, t, best); f < best {
+			best = f
+			if best == 0 {
+				return 0
+			}
+		}
+	}
+	return best
+}
+
+// VertexConnectivity returns the global vertex connectivity κ(G) using the
+// Esfahanian–Hakimi reduction: pick a minimum-degree node v; every minimum
+// vertex cut either avoids v (then it separates v from some non-neighbor) or
+// contains v (then, by minimality, v has neighbors in two different
+// components, and those neighbors form a non-adjacent pair). The complete
+// graph K_n has connectivity n-1 by convention.
+func VertexConnectivity(g *graph.Graph) int {
+	n := g.Order()
+	if n < 2 {
+		return 0
+	}
+	if !g.Connected() {
+		return 0
+	}
+	minDeg, v := g.MinDegree()
+	if minDeg == n-1 { // complete graph
+		return n - 1
+	}
+	best := minDeg // κ(G) <= δ(G)
+	// Part 1: v against every non-neighbor.
+	isNbr := make([]bool, n)
+	for _, w := range g.Neighbors(v) {
+		isNbr[w] = true
+	}
+	for t := 0; t < n; t++ {
+		if t == v || isNbr[t] {
+			continue
+		}
+		if f := stVertexFlow(g, v, t, best); f < best {
+			best = f
+		}
+	}
+	// Part 2: every non-adjacent pair of v's neighbors.
+	nbrs := g.Neighbors(v)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			u, w := nbrs[i], nbrs[j]
+			if g.HasEdge(u, w) {
+				continue
+			}
+			if f := stVertexFlow(g, u, w, best); f < best {
+				best = f
+			}
+		}
+	}
+	return best
+}
+
+// IsKNodeConnected reports whether κ(G) >= k without always computing the
+// exact connectivity (max flows early-exit at k).
+func IsKNodeConnected(g *graph.Graph, k int) bool {
+	n := g.Order()
+	if k <= 0 {
+		return true
+	}
+	if n < k+1 {
+		return false // κ(G) <= n-1
+	}
+	if !g.Connected() {
+		return false
+	}
+	minDeg, v := g.MinDegree()
+	if minDeg < k {
+		return false
+	}
+	if minDeg == n-1 {
+		return true
+	}
+	isNbr := make([]bool, n)
+	for _, w := range g.Neighbors(v) {
+		isNbr[w] = true
+	}
+	for t := 0; t < n; t++ {
+		if t == v || isNbr[t] {
+			continue
+		}
+		if stVertexFlow(g, v, t, k) < k {
+			return false
+		}
+	}
+	nbrs := g.Neighbors(v)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			u, w := nbrs[i], nbrs[j]
+			if g.HasEdge(u, w) {
+				continue
+			}
+			if stVertexFlow(g, u, w, k) < k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsKEdgeConnected reports whether λ(G) >= k using early-exit max flows.
+func IsKEdgeConnected(g *graph.Graph, k int) bool {
+	n := g.Order()
+	if k <= 0 {
+		return true
+	}
+	if n < 2 {
+		return false
+	}
+	if minDeg, _ := g.MinDegree(); minDeg < k {
+		return false
+	}
+	for t := 1; t < n; t++ {
+		if edgeNetwork(g).maxflow(0, t, k) < k {
+			return false
+		}
+	}
+	return true
+}
+
+// VertexDisjointPaths returns a maximum set of pairwise internally
+// vertex-disjoint s-t paths (each as a node sequence from s to t). For
+// adjacent s,t the direct edge is one of the paths.
+func VertexDisjointPaths(g *graph.Graph, s, t int) ([][]int, error) {
+	if err := validatePair(g, s, t); err != nil {
+		return nil, err
+	}
+	nw := vertexNetwork(g, s, t, 1)
+	count := nw.maxflow(2*s+1, 2*t, -1)
+	// Decompose the flow: each saturated forward edge arc uOut->vIn carries
+	// one unit. Walking from s along unconsumed flow arcs yields the paths;
+	// flow conservation guarantees each walk ends at t.
+	n := g.Order()
+	next := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, e := range nw.first[2*u+1] {
+			// Forward arcs have even indices (addArc appends pairs). Skip
+			// reverses and the node-internal reverse arc.
+			if e%2 != 0 {
+				continue
+			}
+			v := nw.to[e] / 2
+			if v == u || nw.cap[e] != 0 {
+				continue // not an edge arc carrying flow
+			}
+			next[u] = append(next[u], v)
+		}
+	}
+	paths := make([][]int, 0, count)
+	for i := 0; i < count; i++ {
+		path := []int{s}
+		u := s
+		for u != t {
+			if len(next[u]) == 0 {
+				return nil, fmt.Errorf("flow: path decomposition stuck at node %d", u)
+			}
+			v := next[u][0]
+			next[u] = next[u][1:]
+			path = append(path, v)
+			u = v
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+func validatePair(g *graph.Graph, s, t int) error {
+	n := g.Order()
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return fmt.Errorf("flow: node pair (%d,%d) out of range [0,%d)", s, t, n)
+	}
+	if s == t {
+		return fmt.Errorf("flow: source and sink are both node %d", s)
+	}
+	return nil
+}
+
+// MinEdgeCutSet returns an actual minimum s-t edge cut: a smallest edge set
+// whose removal disconnects s from t.
+func MinEdgeCutSet(g *graph.Graph, s, t int) ([]graph.Edge, error) {
+	if err := validatePair(g, s, t); err != nil {
+		return nil, err
+	}
+	nw := edgeNetwork(g)
+	nw.maxflow(s, t, -1)
+	reach := nw.residualReach(s)
+	var cut []graph.Edge
+	for _, e := range g.Edges() {
+		if reach[e.U] != reach[e.V] {
+			cut = append(cut, e)
+		}
+	}
+	return cut, nil
+}
+
+// GlobalMinEdgeCutSet returns a minimum edge cut of the whole graph: the
+// smallest link set whose removal disconnects G.
+func GlobalMinEdgeCutSet(g *graph.Graph) ([]graph.Edge, error) {
+	n := g.Order()
+	if n < 2 {
+		return nil, fmt.Errorf("flow: no cut in a graph with %d nodes", n)
+	}
+	best := inf
+	var bestCut []graph.Edge
+	for t := 1; t < n; t++ {
+		nw := edgeNetwork(g)
+		f := nw.maxflow(0, t, best)
+		if f >= best {
+			continue
+		}
+		best = f
+		cut, err := MinEdgeCutSet(g, 0, t)
+		if err != nil {
+			return nil, err
+		}
+		bestCut = cut
+		if best == 0 {
+			break
+		}
+	}
+	return bestCut, nil
+}

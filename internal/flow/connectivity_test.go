@@ -1,0 +1,469 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lhg/internal/graph"
+)
+
+// --- fixture builders -------------------------------------------------
+
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+func path(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// completeBipartite returns K_{a,b} with the left part 0..a-1.
+func completeBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// twoTriangles returns two triangles joined by a single bridge edge.
+func twoTriangles() *graph.Graph {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 5)
+	g.MustAddEdge(3, 5)
+	g.MustAddEdge(2, 3) // bridge
+	return g
+}
+
+func randomGraph(n int, seed uint64) *graph.Graph {
+	g := graph.New(n)
+	state := seed | 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if next()%2 == 0 {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// --- brute-force oracles ----------------------------------------------
+
+// bruteVertexConnectivity removes every node subset of size < n-1 and
+// returns the size of the smallest disconnecting one (n-1 for complete-like
+// graphs, matching the convention).
+func bruteVertexConnectivity(g *graph.Graph) int {
+	n := g.Order()
+	if n < 2 {
+		return 0
+	}
+	if !g.Connected() {
+		return 0
+	}
+	for size := 1; size <= n-2; size++ {
+		if subsetDisconnects(g, size) {
+			return size
+		}
+	}
+	return n - 1
+}
+
+func subsetDisconnects(g *graph.Graph, size int) bool {
+	n := g.Order()
+	removed := make([]bool, n)
+	var rec func(start, left int) bool
+	rec = func(start, left int) bool {
+		if left == 0 {
+			return !g.ConnectedIgnoring(removed)
+		}
+		for v := start; v <= n-left; v++ {
+			removed[v] = true
+			if rec(v+1, left-1) {
+				removed[v] = false
+				return true
+			}
+			removed[v] = false
+		}
+		return false
+	}
+	return rec(0, size)
+}
+
+// bruteEdgeConnectivity removes every edge subset of increasing size.
+func bruteEdgeConnectivity(g *graph.Graph) int {
+	if g.Order() < 2 || !g.Connected() {
+		return 0
+	}
+	edges := g.Edges()
+	for size := 1; size <= len(edges); size++ {
+		if edgeSubsetDisconnects(g, edges, size) {
+			return size
+		}
+	}
+	return len(edges)
+}
+
+func edgeSubsetDisconnects(g *graph.Graph, edges []graph.Edge, size int) bool {
+	var rec func(h *graph.Graph, start, left int) bool
+	rec = func(h *graph.Graph, start, left int) bool {
+		if left == 0 {
+			return !h.Connected()
+		}
+		for i := start; i <= len(edges)-left; i++ {
+			h.RemoveEdge(edges[i].U, edges[i].V)
+			if rec(h, i+1, left-1) {
+				h.MustAddEdge(edges[i].U, edges[i].V)
+				return true
+			}
+			h.MustAddEdge(edges[i].U, edges[i].V)
+		}
+		return false
+	}
+	return rec(g.Clone(), 0, size)
+}
+
+// --- tests --------------------------------------------------------------
+
+func TestVertexConnectivityKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{name: "path", g: path(6), want: 1},
+		{name: "cycle", g: cycle(6), want: 2},
+		{name: "K5", g: complete(5), want: 4},
+		{name: "K33", g: completeBipartite(3, 3), want: 3},
+		{name: "K24", g: completeBipartite(2, 4), want: 2},
+		{name: "two triangles", g: twoTriangles(), want: 1},
+		{name: "disconnected", g: graph.New(4), want: 0},
+		{name: "single node", g: graph.New(1), want: 0},
+		{name: "K2", g: complete(2), want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := VertexConnectivity(tt.g); got != tt.want {
+				t.Fatalf("VertexConnectivity = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEdgeConnectivityKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{name: "path", g: path(6), want: 1},
+		{name: "cycle", g: cycle(6), want: 2},
+		{name: "K5", g: complete(5), want: 4},
+		{name: "K33", g: completeBipartite(3, 3), want: 3},
+		{name: "two triangles", g: twoTriangles(), want: 1},
+		{name: "disconnected", g: graph.New(4), want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := EdgeConnectivity(tt.g); got != tt.want {
+				t.Fatalf("EdgeConnectivity = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIsKConnectedThresholds(t *testing.T) {
+	g := completeBipartite(3, 5) // κ = λ = 3
+	for k := 0; k <= 3; k++ {
+		if !IsKNodeConnected(g, k) {
+			t.Fatalf("IsKNodeConnected(K35, %d) = false", k)
+		}
+		if !IsKEdgeConnected(g, k) {
+			t.Fatalf("IsKEdgeConnected(K35, %d) = false", k)
+		}
+	}
+	if IsKNodeConnected(g, 4) {
+		t.Fatal("IsKNodeConnected(K35, 4) = true")
+	}
+	if IsKEdgeConnected(g, 4) {
+		t.Fatal("IsKEdgeConnected(K35, 4) = true")
+	}
+}
+
+func TestIsKNodeConnectedSmallN(t *testing.T) {
+	if IsKNodeConnected(complete(3), 3) {
+		t.Fatal("K3 cannot be 3-node-connected (needs n >= k+1)")
+	}
+	if !IsKNodeConnected(complete(4), 3) {
+		t.Fatal("K4 is 3-node-connected")
+	}
+}
+
+func TestEdgeCut(t *testing.T) {
+	g := twoTriangles()
+	cut, err := EdgeCut(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Fatalf("EdgeCut across bridge = %d, want 1", cut)
+	}
+	cut, err = EdgeCut(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 2 {
+		t.Fatalf("EdgeCut inside triangle = %d, want 2", cut)
+	}
+}
+
+func TestVertexCutErrors(t *testing.T) {
+	g := cycle(5)
+	if _, err := VertexCut(g, 0, 1); err == nil {
+		t.Fatal("VertexCut of adjacent nodes must error")
+	}
+	if _, err := VertexCut(g, 0, 0); err == nil {
+		t.Fatal("VertexCut of identical nodes must error")
+	}
+	if _, err := VertexCut(g, -1, 2); err == nil {
+		t.Fatal("VertexCut out of range must error")
+	}
+}
+
+func TestMinVertexCutSet(t *testing.T) {
+	g := twoTriangles()
+	cut, err := MinVertexCutSet(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != 1 {
+		t.Fatalf("cut = %v, want a single articulation node", cut)
+	}
+	if cut[0] != 2 && cut[0] != 3 {
+		t.Fatalf("cut = %v, want node 2 or 3", cut)
+	}
+	// Removing the cut must actually disconnect 0 from 5.
+	removed := make([]bool, g.Order())
+	for _, v := range cut {
+		removed[v] = true
+	}
+	if g.ConnectedIgnoring(removed) {
+		t.Fatal("returned cut does not disconnect the graph")
+	}
+}
+
+func TestVertexDisjointPathsCycle(t *testing.T) {
+	g := cycle(8)
+	paths, err := VertexDisjointPaths(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDisjointPaths(t, g, paths, 0, 4, 2)
+}
+
+func TestVertexDisjointPathsComplete(t *testing.T) {
+	g := complete(5)
+	paths, err := VertexDisjointPaths(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDisjointPaths(t, g, paths, 0, 4, 4)
+}
+
+func TestVertexDisjointPathsAdjacent(t *testing.T) {
+	g := cycle(5)
+	paths, err := VertexDisjointPaths(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDisjointPaths(t, g, paths, 0, 1, 2)
+	// One of the two paths must be the direct edge.
+	direct := false
+	for _, p := range paths {
+		if len(p) == 2 {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("paths %v miss the direct edge", paths)
+	}
+}
+
+// assertDisjointPaths checks count, endpoints, edge validity, and internal
+// disjointness.
+func assertDisjointPaths(t *testing.T, g *graph.Graph, paths [][]int, s, tt, want int) {
+	t.Helper()
+	if len(paths) != want {
+		t.Fatalf("got %d paths, want %d: %v", len(paths), want, paths)
+	}
+	seen := make(map[int]bool)
+	for _, p := range paths {
+		if p[0] != s || p[len(p)-1] != tt {
+			t.Fatalf("path %v must run %d..%d", p, s, tt)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasEdge(p[i], p[i+1]) {
+				t.Fatalf("path %v uses missing edge (%d,%d)", p, p[i], p[i+1])
+			}
+		}
+		for _, v := range p[1 : len(p)-1] {
+			if seen[v] {
+				t.Fatalf("internal node %d reused across paths %v", v, paths)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPropertyConnectivityMatchesBruteForce(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%6) + 2 // brute force is exponential; stay tiny
+		g := randomGraph(n, uint64(seed))
+		if VertexConnectivity(g) != bruteVertexConnectivity(g) {
+			return false
+		}
+		return EdgeConnectivity(g) == bruteEdgeConnectivity(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMengerDisjointPathsEqualCut(t *testing.T) {
+	// Menger: the number of vertex-disjoint paths equals the minimum vertex
+	// cut for non-adjacent pairs.
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%8) + 4
+		g := randomGraph(n, uint64(seed))
+		for s := 0; s < n; s++ {
+			for t2 := s + 1; t2 < n; t2++ {
+				if g.HasEdge(s, t2) {
+					continue
+				}
+				paths, err := VertexDisjointPaths(g, s, t2)
+				if err != nil {
+					return false
+				}
+				cut, err := VertexCut(g, s, t2)
+				if err != nil {
+					return false
+				}
+				if len(paths) != cut {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCutSetDisconnects(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%8) + 4
+		g := randomGraph(n, uint64(seed))
+		for s := 0; s < n; s++ {
+			for t2 := s + 1; t2 < n; t2++ {
+				if g.HasEdge(s, t2) {
+					continue
+				}
+				want, err := VertexCut(g, s, t2)
+				if err != nil {
+					return false
+				}
+				cut, err := MinVertexCutSet(g, s, t2)
+				if err != nil || len(cut) != want {
+					return false
+				}
+				removed := make([]bool, n)
+				for _, v := range cut {
+					if v == s || v == t2 {
+						return false // terminals may not be in the cut
+					}
+					removed[v] = true
+				}
+				// s and t2 must end up in different components.
+				if reachableAvoiding(g, s, t2, removed) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func reachableAvoiding(g *graph.Graph, s, t int, removed []bool) bool {
+	seen := make([]bool, g.Order())
+	seen[s] = true
+	stack := []int{s}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == t {
+			return true
+		}
+		for _, v := range g.Neighbors(u) {
+			if !seen[v] && !removed[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+func TestPropertyEarlyExitAgreesWithExact(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%8) + 3
+		g := randomGraph(n, uint64(seed))
+		kappa := VertexConnectivity(g)
+		lambda := EdgeConnectivity(g)
+		for k := 0; k <= n; k++ {
+			if IsKNodeConnected(g, k) != (kappa >= k) {
+				return false
+			}
+			if IsKEdgeConnected(g, k) != (lambda >= k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

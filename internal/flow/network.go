@@ -1,0 +1,138 @@
+// Package flow implements unit-capacity maximum flow (Dinic's algorithm)
+// and the connectivity queries built on it: s-t edge/vertex min cuts,
+// global edge connectivity, global vertex connectivity (Esfahanian–Hakimi),
+// and Menger-style extraction of vertex-disjoint paths.
+//
+// These are the verification workhorses for the LHG properties P1 and P2:
+// a graph is k-node (k-link) connected iff its vertex (edge) connectivity
+// is at least k, by Menger's theorem.
+package flow
+
+// network is a directed flow network stored as an edge list where the edge
+// with index e and its reverse e^1 are stored adjacently, the standard
+// Dinic layout.
+type network struct {
+	n     int
+	to    []int
+	cap   []int
+	first [][]int // first[v] lists edge indices leaving v
+
+	// scratch buffers reused across maxflow runs
+	level []int
+	iter  []int
+	queue []int
+}
+
+func newNetwork(n int) *network {
+	return &network{
+		n:     n,
+		first: make([][]int, n),
+		level: make([]int, n),
+		iter:  make([]int, n),
+		queue: make([]int, 0, n),
+	}
+}
+
+// addArc inserts a directed arc u->v with capacity c and its zero-capacity
+// reverse. It returns the forward edge index.
+func (nw *network) addArc(u, v, c int) int {
+	e := len(nw.to)
+	nw.to = append(nw.to, v, u)
+	nw.cap = append(nw.cap, c, 0)
+	nw.first[u] = append(nw.first[u], e)
+	nw.first[v] = append(nw.first[v], e+1)
+	return e
+}
+
+// bfs builds the level graph; it reports whether t is reachable in the
+// residual network.
+func (nw *network) bfs(s, t int) bool {
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	nw.queue = nw.queue[:0]
+	nw.queue = append(nw.queue, s)
+	nw.level[s] = 0
+	for qi := 0; qi < len(nw.queue); qi++ {
+		u := nw.queue[qi]
+		for _, e := range nw.first[u] {
+			v := nw.to[e]
+			if nw.cap[e] > 0 && nw.level[v] < 0 {
+				nw.level[v] = nw.level[u] + 1
+				nw.queue = append(nw.queue, v)
+			}
+		}
+	}
+	return nw.level[t] >= 0
+}
+
+// dfs sends blocking flow along the level graph.
+func (nw *network) dfs(u, t, f int) int {
+	if u == t {
+		return f
+	}
+	for ; nw.iter[u] < len(nw.first[u]); nw.iter[u]++ {
+		e := nw.first[u][nw.iter[u]]
+		v := nw.to[e]
+		if nw.cap[e] <= 0 || nw.level[v] != nw.level[u]+1 {
+			continue
+		}
+		pushed := f
+		if nw.cap[e] < pushed {
+			pushed = nw.cap[e]
+		}
+		if d := nw.dfs(v, t, pushed); d > 0 {
+			nw.cap[e] -= d
+			nw.cap[e^1] += d
+			return d
+		}
+	}
+	return 0
+}
+
+const inf = int(^uint(0) >> 1)
+
+// maxflow computes the maximum s-t flow, optionally stopping early once the
+// flow reaches `limit` (pass a negative limit for no bound). Early stopping
+// makes global-connectivity sweeps cheap: once the running minimum is m, any
+// pair with flow >= m cannot improve it.
+func (nw *network) maxflow(s, t, limit int) int {
+	if s == t {
+		return inf
+	}
+	flow := 0
+	for nw.bfs(s, t) {
+		for i := range nw.iter {
+			nw.iter[i] = 0
+		}
+		for {
+			f := nw.dfs(s, t, inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+			if limit >= 0 && flow >= limit {
+				return flow
+			}
+		}
+	}
+	return flow
+}
+
+// residualReach marks every node reachable from s in the residual network.
+func (nw *network) residualReach(s int) []bool {
+	seen := make([]bool, nw.n)
+	seen[s] = true
+	stack := []int{s}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range nw.first[u] {
+			if v := nw.to[e]; nw.cap[e] > 0 && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}

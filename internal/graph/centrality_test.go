@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetweennessPath(t *testing.T) {
+	// On a path 0-1-2-3-4 the middle node lies on all 2*(2*3... by the
+	// normalized definition: node 2 is on the shortest path of pairs
+	// (0,3),(0,4),(1,3),(1,4) both directions: 8 of (5-1)(5-2)=12.
+	bc := path(5).Betweenness()
+	want := []float64{0, 6.0 / 12, 8.0 / 12, 6.0 / 12, 0}
+	for i := range want {
+		if math.Abs(bc[i]-want[i]) > 1e-12 {
+			t.Fatalf("bc[%d] = %v, want %v (all %v)", i, bc[i], want[i], bc)
+		}
+	}
+}
+
+func TestBetweennessCompleteIsZero(t *testing.T) {
+	for _, v := range complete(6).Betweenness() {
+		if v != 0 {
+			t.Fatalf("complete graph has no intermediaries, got %v", v)
+		}
+	}
+}
+
+func TestBetweennessStarCenter(t *testing.T) {
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		g.MustAddEdge(0, v)
+	}
+	bc := g.Betweenness()
+	if bc[0] != 1 {
+		t.Fatalf("star center betweenness = %v, want 1", bc[0])
+	}
+	for v := 1; v < 5; v++ {
+		if bc[v] != 0 {
+			t.Fatalf("star leaf %d betweenness = %v, want 0", v, bc[v])
+		}
+	}
+}
+
+func TestBetweennessCycleUniform(t *testing.T) {
+	bc := cycle(9).Betweenness()
+	for i := 1; i < len(bc); i++ {
+		if math.Abs(bc[i]-bc[0]) > 1e-12 {
+			t.Fatalf("cycle betweenness not uniform: %v", bc)
+		}
+	}
+	if bc[0] <= 0 {
+		t.Fatal("cycle nodes are intermediaries")
+	}
+}
+
+func TestBetweennessTinyGraphs(t *testing.T) {
+	if bc := New(2).Betweenness(); bc[0] != 0 || bc[1] != 0 {
+		t.Fatal("graphs below 3 nodes have zero betweenness")
+	}
+}
+
+// bruteBetweenness counts shortest paths via BFS path enumeration on tiny
+// graphs.
+func bruteBetweenness(g *Graph) []float64 {
+	n := g.Order()
+	bc := make([]float64, n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			paths := allShortestPaths(g, s, t)
+			if len(paths) == 0 {
+				continue
+			}
+			counts := make(map[int]int)
+			for _, p := range paths {
+				for _, v := range p[1 : len(p)-1] {
+					counts[v]++
+				}
+			}
+			for v, c := range counts {
+				bc[v] += float64(c) / float64(len(paths))
+			}
+		}
+	}
+	norm := float64((n - 1) * (n - 2))
+	for i := range bc {
+		bc[i] /= norm
+	}
+	return bc
+}
+
+func allShortestPaths(g *Graph, s, t int) [][]int {
+	dist := g.BFSFrom(s)
+	if dist[t] < 0 {
+		return nil
+	}
+	var out [][]int
+	var rec func(v int, acc []int)
+	rec = func(v int, acc []int) {
+		acc = append(acc, v)
+		if v == s {
+			rev := make([]int, len(acc))
+			for i, x := range acc {
+				rev[len(acc)-1-i] = x
+			}
+			out = append(out, rev)
+			return
+		}
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == dist[v]-1 {
+				rec(w, acc)
+			}
+		}
+	}
+	rec(t, nil)
+	return out
+}
+
+func TestPropertyBetweennessMatchesBruteForce(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%6) + 3
+		g := randomGraph(n, uint64(seed))
+		fast := g.Betweenness()
+		slow := bruteBetweenness(g)
+		for i := range fast {
+			if math.Abs(fast[i]-slow[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+// Tarjan-style DFS low-link computation of articulation points and
+// bridges. These are the κ=1 and λ=1 witnesses: a connected graph is
+// 2-node-connected iff it has no articulation point, and 2-link-connected
+// iff it has no bridge. They serve as fast single-failure-vulnerability
+// scanners and as independent cross-checks of the max-flow connectivity
+// machinery (a graph with a bridge must report λ = 1).
+
+// ArticulationPoints returns the nodes whose removal increases the number
+// of connected components, in ascending order.
+func (g *Graph) ArticulationPoints() []int {
+	n := len(g.adj)
+	state := newLowlink(n)
+	for root := 0; root < n; root++ {
+		if state.disc[root] == 0 {
+			state.run(g, root)
+		}
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if state.isCut[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Bridges returns the edges whose removal disconnects their endpoints, in
+// canonical (U<V, sorted) order.
+func (g *Graph) Bridges() []Edge {
+	n := len(g.adj)
+	state := newLowlink(n)
+	for root := 0; root < n; root++ {
+		if state.disc[root] == 0 {
+			state.run(g, root)
+		}
+	}
+	out := state.bridges
+	sortEdges(out)
+	return out
+}
+
+// lowlink carries the shared DFS state. The traversal is iterative (an
+// explicit stack) so deep graphs cannot overflow the goroutine stack.
+type lowlink struct {
+	disc    []int
+	low     []int
+	parent  []int
+	isCut   []bool
+	bridges []Edge
+	time    int
+}
+
+func newLowlink(n int) *lowlink {
+	return &lowlink{
+		disc:   make([]int, n),
+		low:    make([]int, n),
+		parent: make([]int, n),
+		isCut:  make([]bool, n),
+	}
+}
+
+// frame is one DFS stack entry: node v and the index of the next neighbor
+// to visit.
+type frame struct {
+	v, next int
+}
+
+func (s *lowlink) run(g *Graph, root int) {
+	s.parent[root] = -1
+	s.time++
+	s.disc[root] = s.time
+	s.low[root] = s.time
+	stack := []frame{{v: root}}
+	rootChildren := 0
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		v := top.v
+		if top.next < len(g.adj[v]) {
+			w := g.adj[v][top.next]
+			top.next++
+			switch {
+			case s.disc[w] == 0:
+				s.parent[w] = v
+				if v == root {
+					rootChildren++
+				}
+				s.time++
+				s.disc[w] = s.time
+				s.low[w] = s.time
+				stack = append(stack, frame{v: w})
+			case w != s.parent[v] && s.disc[w] < s.low[v]:
+				s.low[v] = s.disc[w]
+			}
+			continue
+		}
+		// Post-order: fold v's low into its parent and classify.
+		stack = stack[:len(stack)-1]
+		p := s.parent[v]
+		if p < 0 {
+			continue
+		}
+		if s.low[v] < s.low[p] {
+			s.low[p] = s.low[v]
+		}
+		if s.low[v] > s.disc[p] {
+			s.bridges = append(s.bridges, edgeOf(p, v))
+		}
+		if p != root && s.low[v] >= s.disc[p] {
+			s.isCut[p] = true
+		}
+	}
+	if rootChildren > 1 {
+		s.isCut[root] = true
+	}
+}
+
+func edgeOf(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+func sortEdges(es []Edge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0; j-- {
+			a, b := es[j-1], es[j]
+			if a.U < b.U || (a.U == b.U && a.V <= b.V) {
+				break
+			}
+			es[j-1], es[j] = b, a
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArticulationPointsPath(t *testing.T) {
+	aps := path(5).ArticulationPoints()
+	want := []int{1, 2, 3}
+	if len(aps) != len(want) {
+		t.Fatalf("articulation points = %v, want %v", aps, want)
+	}
+	for i := range want {
+		if aps[i] != want[i] {
+			t.Fatalf("articulation points = %v, want %v", aps, want)
+		}
+	}
+}
+
+func TestArticulationPointsCycleNone(t *testing.T) {
+	if aps := cycle(6).ArticulationPoints(); len(aps) != 0 {
+		t.Fatalf("cycle has articulation points %v", aps)
+	}
+}
+
+func TestArticulationPointsTwoTriangles(t *testing.T) {
+	// Triangles {0,1,2} and {3,4,5} joined by bridge (2,3).
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 5)
+	g.MustAddEdge(3, 5)
+	g.MustAddEdge(2, 3)
+	aps := g.ArticulationPoints()
+	if len(aps) != 2 || aps[0] != 2 || aps[1] != 3 {
+		t.Fatalf("articulation points = %v, want [2 3]", aps)
+	}
+	bridges := g.Bridges()
+	if len(bridges) != 1 || (bridges[0] != Edge{U: 2, V: 3}) {
+		t.Fatalf("bridges = %v, want [(2,3)]", bridges)
+	}
+}
+
+func TestBridgesPathAll(t *testing.T) {
+	bridges := path(4).Bridges()
+	if len(bridges) != 3 {
+		t.Fatalf("path bridges = %v, want every edge", bridges)
+	}
+}
+
+func TestBridgesStarAll(t *testing.T) {
+	g := New(5)
+	for v := 1; v < 5; v++ {
+		g.MustAddEdge(0, v)
+	}
+	if len(g.Bridges()) != 4 {
+		t.Fatal("every star edge is a bridge")
+	}
+	aps := g.ArticulationPoints()
+	if len(aps) != 1 || aps[0] != 0 {
+		t.Fatalf("star articulation points = %v, want [0]", aps)
+	}
+}
+
+func TestCutpointsDisconnectedGraph(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4)
+	aps := g.ArticulationPoints()
+	if len(aps) != 1 || aps[0] != 1 {
+		t.Fatalf("articulation points = %v, want [1]", aps)
+	}
+	if len(g.Bridges()) != 3 {
+		t.Fatalf("bridges = %v, want all 3 edges", g.Bridges())
+	}
+}
+
+// Brute-force oracles.
+func bruteArticulation(g *Graph) []int {
+	n := g.Order()
+	base := len(g.Components())
+	var out []int
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		removed[v] = true
+		// Count components among the surviving nodes.
+		comps := 0
+		seen := make([]bool, n)
+		for s := 0; s < n; s++ {
+			if removed[s] || seen[s] {
+				continue
+			}
+			comps++
+			stack := []int{s}
+			seen[s] = true
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range g.Neighbors(u) {
+					if !seen[w] && !removed[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+		}
+		// v's removal also removes the singleton component it may have
+		// been; compare against base adjusted for isolated v.
+		adjust := 0
+		if g.Degree(v) == 0 {
+			adjust = 1
+		}
+		if comps > base-adjust {
+			out = append(out, v)
+		}
+		removed[v] = false
+	}
+	return out
+}
+
+func bruteBridges(g *Graph) []Edge {
+	var out []Edge
+	for _, e := range g.Edges() {
+		h := g.Clone()
+		h.RemoveEdge(e.U, e.V)
+		if h.BFSFrom(e.U)[e.V] < 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestPropertyCutpointsMatchBruteForce(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		g := randomGraph(n, uint64(seed))
+		gotA := g.ArticulationPoints()
+		wantA := bruteArticulation(g)
+		if len(gotA) != len(wantA) {
+			return false
+		}
+		for i := range wantA {
+			if gotA[i] != wantA[i] {
+				return false
+			}
+		}
+		gotB := g.Bridges()
+		wantB := bruteBridges(g)
+		if len(gotB) != len(wantB) {
+			return false
+		}
+		for i := range wantB {
+			if gotB[i] != wantB[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutpointsAgreeWithKConnectivityOnLHGs(t *testing.T) {
+	// Any 2-connected graph (in particular every built LHG) has no
+	// articulation points and no bridges.
+	g := cycle(12)
+	g.MustAddEdge(0, 6)
+	g.MustAddEdge(3, 9)
+	if len(g.ArticulationPoints()) != 0 || len(g.Bridges()) != 0 {
+		t.Fatal("chorded cycle is 2-connected")
+	}
+}

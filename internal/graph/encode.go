@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DOT writes g in Graphviz DOT format. Labels maps node ids to display
+// labels; nodes missing from the map use their numeric id.
+func (g *Graph) DOT(w io.Writer, name string, labels map[int]string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "graph %s {\n", sanitizeDOTName(name))
+	for v := 0; v < g.Order(); v++ {
+		label := labels[v]
+		if label == "" {
+			label = strconv.Itoa(v)
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q];\n", v, label)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  n%d -- n%d;\n", e.U, e.V)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// jsonGraph is the serialized form of a Graph.
+type jsonGraph struct {
+	Nodes int      `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes g as {"nodes": n, "edges": [[u,v], ...]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: g.Order(), Edges: make([][2]int, 0, g.Size())}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, [2]int{e.U, e.V})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes the format produced by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	ng := New(jg.Nodes)
+	for _, e := range jg.Edges {
+		if err := ng.AddEdge(e[0], e[1]); err != nil {
+			return fmt.Errorf("graph: decode edge (%d,%d): %w", e[0], e[1], err)
+		}
+	}
+	*g = *ng
+	return nil
+}
+
+// String returns a compact human-readable summary such as
+// "graph(n=10, m=15, degmin=3, degmax=3)".
+func (g *Graph) String() string {
+	minDeg, _ := g.MinDegree()
+	maxDeg, _ := g.MaxDegree()
+	return fmt.Sprintf("graph(n=%d, m=%d, degmin=%d, degmax=%d)",
+		g.Order(), g.Size(), minDeg, maxDeg)
+}
+
+func sanitizeDOTName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "G"
+	}
+	return b.String()
+}

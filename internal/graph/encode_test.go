@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	var buf bytes.Buffer
+	if err := g.DOT(&buf, "demo graph!", map[int]string{0: "root"}); err != nil {
+		t.Fatalf("DOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph demo_graph_ {",
+		`n0 [label="root"]`,
+		`n1 [label="1"]`,
+		"n0 -- n1;",
+		"n1 -- n2;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "n2 -- n1") {
+		t.Fatal("DOT must emit each undirected edge once")
+	}
+}
+
+func TestDOTEmptyName(t *testing.T) {
+	g := New(1)
+	var buf bytes.Buffer
+	if err := g.DOT(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "graph G {") {
+		t.Fatalf("DOT with empty name = %q", buf.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(1, 2)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Order() != 4 || back.Size() != 2 {
+		t.Fatalf("round trip: %s", back.String())
+	}
+	if !back.HasEdge(0, 3) || !back.HasEdge(1, 2) {
+		t.Fatal("round trip lost edges")
+	}
+}
+
+func TestJSONRejectsBadEdges(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"nodes":2,"edges":[[0,5]]}`), &g); err == nil {
+		t.Fatal("out-of-range edge must fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`{"nodes":2,"edges":[[1,1]]}`), &g); err == nil {
+		t.Fatal("self-loop must fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &g); err == nil {
+		t.Fatal("garbage must fail to decode")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := cycle(4)
+	want := "graph(n=4, m=4, degmin=2, degmax=2)"
+	if got := g.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,219 @@
+// Package graph provides the undirected-graph substrate used by every other
+// module in this repository: adjacency storage, traversal, distance and
+// degree queries, and deterministic iteration order.
+//
+// Nodes are dense non-negative integers in [0, Order()). All operations are
+// deterministic: neighbor sets are kept sorted so that algorithms built on
+// top (constructions, floods, encodings) are reproducible run to run.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph (no self-loops, no multi-edges) over
+// nodes 0..n-1. The zero value is an empty graph with no nodes.
+type Graph struct {
+	adj   [][]int // sorted adjacency lists
+	edges int
+}
+
+// New returns an empty graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int, len(g.adj)), edges: g.edges}
+	for v, nbrs := range g.adj {
+		c.adj[v] = append([]int(nil), nbrs...)
+	}
+	return c
+}
+
+// Order returns the number of nodes.
+func (g *Graph) Order() int { return len(g.adj) }
+
+// Size returns the number of edges.
+func (g *Graph) Size() int { return g.edges }
+
+// AddNode appends a new isolated node and returns its id.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge (u,v). It returns an error if either
+// endpoint is out of range or u == v. Adding an existing edge is a no-op.
+func (g *Graph) AddEdge(u, v int) error {
+	if err := g.check(u); err != nil {
+		return err
+	}
+	if err := g.check(v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return nil
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge for callers that guarantee valid endpoints, such as
+// the internal constructions; it panics on invalid input (a programming
+// error, not a runtime condition).
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the undirected edge (u,v) if present and reports
+// whether an edge was removed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) || !g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	g.edges--
+	return true
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	nbrs := g.adj[u]
+	i := sort.SearchInts(nbrs, v)
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Degree returns the degree of node v, or 0 if v is out of range.
+func (g *Graph) Degree(v int) int {
+	if v < 0 || v >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is a
+// copy; callers may mutate it freely.
+func (g *Graph) Neighbors(v int) []int {
+	if v < 0 || v >= len(g.adj) {
+		return nil
+	}
+	return append([]int(nil), g.adj[v]...)
+}
+
+// EachNeighbor calls fn for every neighbor of v in ascending order. It
+// avoids the copy made by Neighbors for hot paths.
+func (g *Graph) EachNeighbor(v int, fn func(w int)) {
+	if v < 0 || v >= len(g.adj) {
+		return
+	}
+	for _, w := range g.adj[v] {
+		fn(w)
+	}
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Edges returns every edge exactly once, ordered by (U,V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	return out
+}
+
+// Degrees returns the degree sequence indexed by node.
+func (g *Graph) Degrees() []int {
+	out := make([]int, len(g.adj))
+	for v, nbrs := range g.adj {
+		out[v] = len(nbrs)
+	}
+	return out
+}
+
+// MinDegree returns the smallest degree and one node attaining it.
+// It returns (-1, -1) for the empty graph.
+func (g *Graph) MinDegree() (deg, node int) {
+	if len(g.adj) == 0 {
+		return -1, -1
+	}
+	deg, node = len(g.adj[0]), 0
+	for v := 1; v < len(g.adj); v++ {
+		if len(g.adj[v]) < deg {
+			deg, node = len(g.adj[v]), v
+		}
+	}
+	return deg, node
+}
+
+// MaxDegree returns the largest degree and one node attaining it.
+// It returns (-1, -1) for the empty graph.
+func (g *Graph) MaxDegree() (deg, node int) {
+	if len(g.adj) == 0 {
+		return -1, -1
+	}
+	deg, node = len(g.adj[0]), 0
+	for v := 1; v < len(g.adj); v++ {
+		if len(g.adj[v]) > deg {
+			deg, node = len(g.adj[v]), v
+		}
+	}
+	return deg, node
+}
+
+// IsRegular reports whether every node has degree exactly k.
+func (g *Graph) IsRegular(k int) bool {
+	for _, nbrs := range g.adj {
+		if len(nbrs) != k {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Graph) check(v int) error {
+	if v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", v, len(g.adj))
+	}
+	return nil
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

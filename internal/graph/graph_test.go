@@ -1,0 +1,328 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := New(5)
+	if g.Order() != 5 {
+		t.Fatalf("Order = %d, want 5", g.Order())
+	}
+	if g.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", g.Size())
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Fatalf("Degree(%d) = %d, want 0", v, g.Degree(v))
+		}
+	}
+}
+
+func TestNewNegativeClampsToZero(t *testing.T) {
+	if g := New(-3); g.Order() != 0 {
+		t.Fatalf("Order = %d, want 0", g.Order())
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) missing in one direction")
+	}
+	if g.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", g.Size())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatal("degrees not updated")
+	}
+}
+
+func TestAddEdgeDuplicateIsNoop(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 1 {
+		t.Fatalf("Size = %d after duplicate add, want 1", g.Size())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name string
+		u, v int
+	}{
+		{name: "self loop", u: 1, v: 1},
+		{name: "u out of range", u: -1, v: 0},
+		{name: "v out of range", u: 0, v: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.u, tt.v); err == nil {
+				t.Fatalf("AddEdge(%d,%d) succeeded, want error", tt.u, tt.v)
+			}
+		})
+	}
+	if g.Size() != 0 {
+		t.Fatal("failed adds must not change the graph")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	if !g.RemoveEdge(1, 0) {
+		t.Fatal("RemoveEdge(1,0) = false, want true")
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge (0,1) still present")
+	}
+	if g.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", g.Size())
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("removing a missing edge must return false")
+	}
+	if g.RemoveEdge(0, 99) {
+		t.Fatal("removing an out-of-range edge must return false")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(2)
+	id := g.AddNode()
+	if id != 2 {
+		t.Fatalf("AddNode = %d, want 2", id)
+	}
+	if g.Order() != 3 {
+		t.Fatalf("Order = %d, want 3", g.Order())
+	}
+	if err := g.AddEdge(0, id); err != nil {
+		t.Fatalf("AddEdge to new node: %v", err)
+	}
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	g := New(5)
+	for _, v := range []int{4, 1, 3} {
+		g.MustAddEdge(0, v)
+	}
+	nbrs := g.Neighbors(0)
+	want := []int{1, 3, 4}
+	if len(nbrs) != len(want) {
+		t.Fatalf("Neighbors = %v, want %v", nbrs, want)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", nbrs, want)
+		}
+	}
+	nbrs[0] = 99
+	if g.Neighbors(0)[0] != 1 {
+		t.Fatal("Neighbors must return a copy")
+	}
+	if g.Neighbors(-1) != nil || g.Neighbors(9) != nil {
+		t.Fatal("out-of-range Neighbors must be nil")
+	}
+}
+
+func TestEachNeighborOrder(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 1)
+	var got []int
+	g.EachNeighbor(2, func(w int) { got = append(got, w) })
+	want := []int{0, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EachNeighbor order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(2, 1)
+	edges := g.Edges()
+	want := []Edge{{0, 2}, {1, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	c := g.Clone()
+	c.MustAddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if c.Size() != 2 || g.Size() != 1 {
+		t.Fatalf("sizes: clone=%d orig=%d, want 2 and 1", c.Size(), g.Size())
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := New(4) // star around 0 plus an isolated node 3
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	minDeg, minNode := g.MinDegree()
+	if minDeg != 0 || minNode != 3 {
+		t.Fatalf("MinDegree = (%d,%d), want (0,3)", minDeg, minNode)
+	}
+	maxDeg, maxNode := g.MaxDegree()
+	if maxDeg != 2 || maxNode != 0 {
+		t.Fatalf("MaxDegree = (%d,%d), want (2,0)", maxDeg, maxNode)
+	}
+	degs := g.Degrees()
+	want := []int{2, 1, 1, 0}
+	for i := range want {
+		if degs[i] != want[i] {
+			t.Fatalf("Degrees = %v, want %v", degs, want)
+		}
+	}
+}
+
+func TestDegreeStatsEmpty(t *testing.T) {
+	var g Graph
+	if d, v := g.MinDegree(); d != -1 || v != -1 {
+		t.Fatalf("MinDegree on empty = (%d,%d), want (-1,-1)", d, v)
+	}
+	if d, v := g.MaxDegree(); d != -1 || v != -1 {
+		t.Fatalf("MaxDegree on empty = (%d,%d), want (-1,-1)", d, v)
+	}
+}
+
+func TestIsRegular(t *testing.T) {
+	g := cycle(5)
+	if !g.IsRegular(2) {
+		t.Fatal("C5 must be 2-regular")
+	}
+	if g.IsRegular(3) {
+		t.Fatal("C5 is not 3-regular")
+	}
+	g.MustAddEdge(0, 2)
+	if g.IsRegular(2) {
+		t.Fatal("C5 plus a chord is not 2-regular")
+	}
+}
+
+// cycle returns the n-cycle 0-1-...-n-1-0.
+func cycle(n int) *Graph {
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// path returns the n-path 0-1-...-n-1.
+func path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	return g
+}
+
+// complete returns K_n.
+func complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestPropertyEdgeCountMatchesHandshake(t *testing.T) {
+	// For random graphs, sum of degrees equals twice the edge count and
+	// every reported edge exists in both adjacency lists.
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		g := randomGraph(n, uint64(seed))
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		if sum != 2*g.Size() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) || e.U >= e.V {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRemoveUndoesAdd(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		g := randomGraph(n, uint64(seed))
+		before := g.Size()
+		u, v := int(seed)%n, int(seed/7)%n
+		if u == v {
+			return true
+		}
+		had := g.HasEdge(u, v)
+		if err := g.AddEdge(u, v); err != nil {
+			return false
+		}
+		if !g.RemoveEdge(u, v) {
+			return false
+		}
+		if had {
+			// Edge pre-existed: add was a no-op, remove deleted it.
+			return g.Size() == before-1
+		}
+		return g.Size() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomGraph builds a deterministic pseudo-random graph on n nodes.
+func randomGraph(n int, seed uint64) *Graph {
+	g := New(n)
+	state := seed | 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if next()%3 == 0 {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,28 @@
+package graph
+
+// BFSTree returns the breadth-first spanning tree of g rooted at src as a
+// new graph over the same node ids (n-1 edges when g is connected). It is
+// the classic fragile-dissemination baseline: flooding over a tree uses the
+// fewest messages possible but any single node or link failure partitions
+// it.
+func (g *Graph) BFSTree(src int) *Graph {
+	t := New(g.Order())
+	if src < 0 || src >= g.Order() {
+		return t
+	}
+	visited := make([]bool, g.Order())
+	visited[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				t.MustAddEdge(u, v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSTreeOfCycle(t *testing.T) {
+	g := cycle(7)
+	tree := g.BFSTree(0)
+	if tree.Size() != 6 {
+		t.Fatalf("spanning tree has %d edges, want n-1=6", tree.Size())
+	}
+	if !tree.Connected() {
+		t.Fatal("spanning tree must be connected")
+	}
+	// Every tree edge exists in the source graph.
+	for _, e := range tree.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("tree edge %v not in source graph", e)
+		}
+	}
+}
+
+func TestBFSTreePreservesDistances(t *testing.T) {
+	g := complete(6)
+	tree := g.BFSTree(2)
+	gd := g.BFSFrom(2)
+	td := tree.BFSFrom(2)
+	for v := range gd {
+		if gd[v] != td[v] {
+			t.Fatalf("BFS tree distance to %d is %d, graph distance %d", v, td[v], gd[v])
+		}
+	}
+}
+
+func TestBFSTreeDisconnected(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	tree := g.BFSTree(0)
+	if tree.Size() != 1 {
+		t.Fatalf("tree of a 2-node component has %d edges, want 1", tree.Size())
+	}
+}
+
+func TestBFSTreeBadSource(t *testing.T) {
+	g := cycle(4)
+	tree := g.BFSTree(-1)
+	if tree.Size() != 0 || tree.Order() != 4 {
+		t.Fatalf("tree from invalid source: %s", tree.String())
+	}
+}
+
+func TestPropertyBFSTreeIsSpanningTree(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		g := randomGraph(n, uint64(seed))
+		tree := g.BFSTree(0)
+		// Edge count must be (reachable nodes - 1); tree must be acyclic
+		// (edge count equals that) and distances preserved.
+		reach := 0
+		gd := g.BFSFrom(0)
+		for _, d := range gd {
+			if d >= 0 {
+				reach++
+			}
+		}
+		if tree.Size() != reach-1 {
+			return false
+		}
+		td := tree.BFSFrom(0)
+		for v := range gd {
+			if gd[v] != td[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

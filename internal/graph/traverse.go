@@ -1,0 +1,222 @@
+package graph
+
+// BFSFrom runs a breadth-first search from src and returns the distance (in
+// hops) to every node; unreachable nodes get -1. If src is out of range the
+// result is all -1.
+func (g *Graph) BFSFrom(src int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= len(g.adj) {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, len(g.adj))
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst as a node sequence
+// including both endpoints, or nil if dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int) []int {
+	if src < 0 || dst < 0 || src >= len(g.adj) || dst >= len(g.adj) {
+		return nil
+	}
+	if src == dst {
+		return []int{src}
+	}
+	parent := make([]int, len(g.adj))
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if parent[v] < 0 {
+				parent[v] = u
+				if v == dst {
+					return buildPath(parent, src, dst)
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+func buildPath(parent []int, src, dst int) []int {
+	var rev []int
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+// Connected reports whether g is connected. Graphs with fewer than two
+// nodes are connected by convention.
+func (g *Graph) Connected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	dist := g.BFSFrom(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedIgnoring reports whether the subgraph induced by removing the
+// nodes in `removed` (a boolean mask indexed by node) is connected. A
+// subgraph with fewer than two surviving nodes is connected by convention.
+func (g *Graph) ConnectedIgnoring(removed []bool) bool {
+	n := len(g.adj)
+	start := -1
+	alive := 0
+	for v := 0; v < n; v++ {
+		if v < len(removed) && removed[v] {
+			continue
+		}
+		alive++
+		if start < 0 {
+			start = v
+		}
+	}
+	if alive <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	seen[start] = true
+	queue := []int{start}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if seen[v] || (v < len(removed) && removed[v]) {
+				continue
+			}
+			seen[v] = true
+			count++
+			queue = append(queue, v)
+		}
+	}
+	return count == alive
+}
+
+// Components returns the connected components of g, each as a sorted node
+// slice, ordered by their smallest member.
+func (g *Graph) Components() [][]int {
+	n := len(g.adj)
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		seen[s] = true
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, sortedCopy(comp))
+	}
+	return comps
+}
+
+// Eccentricity returns the greatest BFS distance from v to any reachable
+// node, and whether the whole graph is reachable from v.
+func (g *Graph) Eccentricity(v int) (ecc int, wholeGraph bool) {
+	dist := g.BFSFrom(v)
+	wholeGraph = true
+	for _, d := range dist {
+		if d < 0 {
+			wholeGraph = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, wholeGraph
+}
+
+// Diameter returns the longest shortest path in g. It returns -1 when g is
+// disconnected or has no nodes.
+func (g *Graph) Diameter() int {
+	if len(g.adj) == 0 {
+		return -1
+	}
+	diam := 0
+	for v := range g.adj {
+		ecc, whole := g.Eccentricity(v)
+		if !whole {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// AvgPathLength returns the mean shortest-path length over all ordered node
+// pairs, or -1 when g is disconnected or has fewer than two nodes.
+func (g *Graph) AvgPathLength() float64 {
+	n := len(g.adj)
+	if n < 2 {
+		return -1
+	}
+	var total, pairs int64
+	for v := 0; v < n; v++ {
+		for _, d := range g.BFSFrom(v) {
+			if d < 0 {
+				return -1
+			}
+			total += int64(d)
+		}
+	}
+	pairs = int64(n) * int64(n-1)
+	return float64(total) / float64(pairs)
+}
+
+func sortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

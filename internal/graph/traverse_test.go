@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSFromDistances(t *testing.T) {
+	g := path(5)
+	dist := g.BFSFrom(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+}
+
+func TestBFSFromUnreachable(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	dist := g.BFSFrom(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable distances = %v, want -1", dist[2:])
+	}
+}
+
+func TestBFSFromOutOfRange(t *testing.T) {
+	g := New(3)
+	for _, d := range g.BFSFrom(7) {
+		if d != -1 {
+			t.Fatal("BFS from invalid source must mark everything unreachable")
+		}
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := cycle(6)
+	p := g.ShortestPath(0, 3)
+	if len(p) != 4 {
+		t.Fatalf("path length %d, want 4 nodes (3 hops)", len(p))
+	}
+	if p[0] != 0 || p[len(p)-1] != 3 {
+		t.Fatalf("path %v must start at 0 and end at 3", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path %v uses missing edge (%d,%d)", p, p[i], p[i+1])
+		}
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := cycle(4)
+	p := g.ShortestPath(2, 2)
+	if len(p) != 1 || p[0] != 2 {
+		t.Fatalf("self path = %v, want [2]", p)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	if p := g.ShortestPath(0, 3); p != nil {
+		t.Fatalf("unreachable path = %v, want nil", p)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{name: "empty", g: New(0), want: true},
+		{name: "single", g: New(1), want: true},
+		{name: "two isolated", g: New(2), want: false},
+		{name: "path", g: path(6), want: true},
+		{name: "cycle", g: cycle(6), want: true},
+		{name: "broken path", g: brokenPath(6), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Connected(); got != tt.want {
+				t.Fatalf("Connected = %t, want %t", got, tt.want)
+			}
+		})
+	}
+}
+
+func brokenPath(n int) *Graph {
+	g := path(n)
+	g.RemoveEdge(n/2-1, n/2)
+	return g
+}
+
+func TestConnectedIgnoring(t *testing.T) {
+	g := path(5) // 0-1-2-3-4
+	removed := make([]bool, 5)
+	removed[2] = true
+	if g.ConnectedIgnoring(removed) {
+		t.Fatal("removing the middle of a path must disconnect it")
+	}
+	removed[2] = false
+	removed[0] = true
+	if !g.ConnectedIgnoring(removed) {
+		t.Fatal("removing an endpoint must keep the path connected")
+	}
+	all := []bool{true, true, true, true, false}
+	if !g.ConnectedIgnoring(all) {
+		t.Fatal("a single surviving node is connected by convention")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4: %v", len(comps), comps)
+	}
+	if comps[0][0] != 0 || len(comps[0]) != 2 {
+		t.Fatalf("first component %v, want [0 1]", comps[0])
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{name: "path5", g: path(5), want: 4},
+		{name: "cycle6", g: cycle(6), want: 3},
+		{name: "cycle7", g: cycle(7), want: 3},
+		{name: "K5", g: complete(5), want: 1},
+		{name: "single node", g: New(1), want: 0},
+		{name: "disconnected", g: New(3), want: -1},
+		{name: "empty", g: New(0), want: -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Diameter(); got != tt.want {
+				t.Fatalf("Diameter = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := path(5)
+	ecc, whole := g.Eccentricity(2)
+	if !whole || ecc != 2 {
+		t.Fatalf("Eccentricity(2) = (%d,%t), want (2,true)", ecc, whole)
+	}
+	ecc, whole = g.Eccentricity(0)
+	if !whole || ecc != 4 {
+		t.Fatalf("Eccentricity(0) = (%d,%t), want (4,true)", ecc, whole)
+	}
+}
+
+func TestAvgPathLength(t *testing.T) {
+	g := complete(4)
+	if got := g.AvgPathLength(); got != 1.0 {
+		t.Fatalf("AvgPathLength(K4) = %v, want 1", got)
+	}
+	if got := New(3).AvgPathLength(); got != -1 {
+		t.Fatalf("AvgPathLength(disconnected) = %v, want -1", got)
+	}
+	if got := New(1).AvgPathLength(); got != -1 {
+		t.Fatalf("AvgPathLength(singleton) = %v, want -1", got)
+	}
+}
+
+func TestPropertyShortestPathMatchesBFS(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%15) + 2
+		g := randomGraph(n, uint64(seed))
+		dist := g.BFSFrom(0)
+		for t := 1; t < n; t++ {
+			p := g.ShortestPath(0, t)
+			if dist[t] < 0 {
+				if p != nil {
+					return false
+				}
+				continue
+			}
+			if len(p) != dist[t]+1 {
+				return false
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !g.HasEdge(p[i], p[i+1]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyComponentsPartition(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		g := randomGraph(n, uint64(seed))
+		seen := make([]bool, n)
+		total := 0
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if seen[v] {
+					return false // node in two components
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDiameterTriangleInequality(t *testing.T) {
+	// Any two eccentricities differ by at most the distance between their
+	// nodes; in particular diam <= 2*ecc(v) for every v of a connected g.
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		g := randomGraph(n, uint64(seed))
+		if !g.Connected() {
+			return true
+		}
+		diam := g.Diameter()
+		for v := 0; v < n; v++ {
+			ecc, _ := g.Eccentricity(v)
+			if ecc > diam || diam > 2*ecc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package member composes the repository's layers into a membership
+// service: a system of processes whose topology is the canonical LHG for
+// the current view, whose view changes are disseminated by flooding over
+// that same topology, and which repairs itself after crashes by proposing
+// leaves for the dead members and rebuilding.
+//
+// The service demonstrates the end-to-end guarantee chain:
+//
+//	k-connectivity  =>  view-change floods reach every alive member despite
+//	                    up to k-1 crashed members still in the topology
+//	                =>  all correct members apply the same view sequence
+//	                =>  the next topology is consistent, and flooding keeps
+//	                    working through the repair.
+package member
+
+import (
+	"fmt"
+
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+	"lhg/internal/overlay"
+)
+
+// View is a membership epoch: a version counter and the member count of
+// the epoch's topology.
+type View struct {
+	Version int
+	Size    int
+}
+
+// ChangeReport describes the dissemination of one view change.
+type ChangeReport struct {
+	View     View // the view that was installed
+	Rounds   int  // flood rounds to reach every alive member
+	Messages int  // flood messages
+	Applied  int  // alive members that applied the change
+	Churn    overlay.Churn
+}
+
+// System is a simulated membership service. Member ids are dense in the
+// current topology; crashed members stay in the topology (and keep
+// wasting links) until a leave is proposed for them — exactly the window
+// the k-connectivity guarantee must cover.
+type System struct {
+	k       int
+	topo    overlay.TopologyFunc
+	g       *graph.Graph
+	view    View
+	views   []View // per-member installed view
+	crashed []bool
+}
+
+// New creates a system of `initial` members on the canonical topology.
+func New(k, initial int, topo overlay.TopologyFunc) (*System, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("member: nil topology func")
+	}
+	g, err := topo(initial, k)
+	if err != nil {
+		return nil, fmt.Errorf("member: initial topology: %w", err)
+	}
+	s := &System{
+		k:       k,
+		topo:    topo,
+		g:       g,
+		view:    View{Version: 0, Size: initial},
+		views:   make([]View, initial),
+		crashed: make([]bool, initial),
+	}
+	for i := range s.views {
+		s.views[i] = s.view
+	}
+	return s, nil
+}
+
+// Size returns the current topology size (including crashed members not
+// yet removed).
+func (s *System) Size() int { return s.g.Order() }
+
+// K returns the connectivity target.
+func (s *System) K() int { return s.k }
+
+// CurrentView returns the view of the latest installed epoch.
+func (s *System) CurrentView() View { return s.view }
+
+// Graph returns a copy of the current topology.
+func (s *System) Graph() *graph.Graph { return s.g.Clone() }
+
+// CrashedCount returns how many members are crashed but still wired in.
+func (s *System) CrashedCount() int {
+	c := 0
+	for _, dead := range s.crashed {
+		if dead {
+			c++
+		}
+	}
+	return c
+}
+
+// Crash marks members as failed. They stop participating immediately but
+// remain in the topology until repaired away.
+func (s *System) Crash(ids ...int) error {
+	for _, id := range ids {
+		if id < 0 || id >= s.g.Order() {
+			return fmt.Errorf("member: unknown member %d", id)
+		}
+		s.crashed[id] = true
+	}
+	return nil
+}
+
+// aliveSource returns the lowest-id alive member (the sequencer).
+func (s *System) aliveSource() (int, error) {
+	for id, dead := range s.crashed {
+		if !dead {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("member: every member has crashed")
+}
+
+// disseminate floods a view change from the sequencer over the current
+// topology and returns the flood result.
+func (s *System) disseminate() (*flood.Result, int, error) {
+	src, err := s.aliveSource()
+	if err != nil {
+		return nil, 0, err
+	}
+	var dead []int
+	for id, d := range s.crashed {
+		if d {
+			dead = append(dead, id)
+		}
+	}
+	res, err := flood.Run(s.g, src, flood.Failures{Nodes: dead})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, src, nil
+}
+
+// ProposeJoin admits one member: the view change floods over the current
+// topology, every alive member applies it, and the topology is rebuilt for
+// the grown view. The joiner starts with the new view installed.
+func (s *System) ProposeJoin() (*ChangeReport, error) {
+	res, _, err := s.disseminate()
+	if err != nil {
+		return nil, err
+	}
+	if !res.Complete {
+		return nil, fmt.Errorf("member: view change failed to reach %d members (connectivity exhausted)",
+			res.Alive-res.Reached)
+	}
+	newSize := s.g.Order() + 1
+	ng, err := s.topo(newSize, s.k)
+	if err != nil {
+		return nil, fmt.Errorf("member: topology at n=%d: %w", newSize, err)
+	}
+	churn := diffChurn(s.g, ng)
+	s.g = ng
+	s.view = View{Version: s.view.Version + 1, Size: newSize}
+	for id := range s.views {
+		if !s.crashed[id] {
+			s.views[id] = s.view
+		}
+	}
+	s.views = append(s.views, s.view)
+	s.crashed = append(s.crashed, false)
+	return &ChangeReport{
+		View: s.view, Rounds: res.Rounds, Messages: res.Messages,
+		Applied: res.Reached, Churn: churn,
+	}, nil
+}
+
+// Repair removes every crashed member in one view change: the change
+// floods over the degraded topology (tolerable while crashed <= k-1),
+// survivors relabel densely, and the topology is rebuilt at the surviving
+// size.
+func (s *System) Repair() (*ChangeReport, error) {
+	deadCount := s.CrashedCount()
+	if deadCount == 0 {
+		return nil, fmt.Errorf("member: nothing to repair")
+	}
+	res, _, err := s.disseminate()
+	if err != nil {
+		return nil, err
+	}
+	if !res.Complete {
+		return nil, fmt.Errorf("member: repair flood failed to reach %d members", res.Alive-res.Reached)
+	}
+	newSize := s.g.Order() - deadCount
+	ng, err := s.topo(newSize, s.k)
+	if err != nil {
+		return nil, fmt.Errorf("member: topology at n=%d: %w", newSize, err)
+	}
+	// Survivors keep their relative order and take the dense ids.
+	churn := diffChurn(s.survivorSubgraph(newSize), ng)
+	s.g = ng
+	s.view = View{Version: s.view.Version + 1, Size: newSize}
+	views := make([]View, 0, newSize)
+	for id := range s.views {
+		if !s.crashed[id] {
+			views = append(views, s.view)
+		}
+	}
+	s.views = views
+	s.crashed = make([]bool, newSize)
+	return &ChangeReport{
+		View: s.view, Rounds: res.Rounds, Messages: res.Messages,
+		Applied: res.Reached, Churn: churn,
+	}, nil
+}
+
+// survivorSubgraph renders the current topology restricted to alive
+// members under their new dense ids.
+func (s *System) survivorSubgraph(newSize int) *graph.Graph {
+	relabel := make([]int, s.g.Order())
+	next := 0
+	for id := range relabel {
+		if s.crashed[id] {
+			relabel[id] = -1
+			continue
+		}
+		relabel[id] = next
+		next++
+	}
+	sub := graph.New(newSize)
+	for _, e := range s.g.Edges() {
+		u, v := relabel[e.U], relabel[e.V]
+		if u >= 0 && v >= 0 {
+			sub.MustAddEdge(u, v)
+		}
+	}
+	return sub
+}
+
+// Views returns the per-member installed views (crashed members report the
+// last view they saw).
+func (s *System) Views() []View { return append([]View(nil), s.views...) }
+
+// ConsistentViews reports whether every alive member has installed the
+// current view.
+func (s *System) ConsistentViews() bool {
+	for id, v := range s.views {
+		if id < len(s.crashed) && s.crashed[id] {
+			continue
+		}
+		if v != s.view {
+			return false
+		}
+	}
+	return true
+}
+
+// Broadcast floods an application message over the current (possibly
+// degraded) topology from the sequencer; it reports delivery coverage.
+func (s *System) Broadcast() (*flood.Result, error) {
+	res, _, err := s.disseminate()
+	return res, err
+}
+
+func diffChurn(oldG, newG *graph.Graph) overlay.Churn {
+	var c overlay.Churn
+	for _, e := range oldG.Edges() {
+		if e.U < newG.Order() && e.V < newG.Order() && newG.HasEdge(e.U, e.V) {
+			c.Kept++
+		} else {
+			c.Removed++
+		}
+	}
+	c.Added = newG.Size() - c.Kept
+	return c
+}

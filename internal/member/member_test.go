@@ -1,0 +1,174 @@
+package member
+
+import (
+	"testing"
+
+	"lhg/internal/check"
+	"lhg/internal/core"
+	"lhg/internal/graph"
+)
+
+func kdiamondTopo(n, k int) (*graph.Graph, error) {
+	kd, err := core.BuildKDiamond(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return kd.Real.Graph, nil
+}
+
+func newSystem(t *testing.T, k, n int) *System {
+	t.Helper()
+	s, err := New(k, n, kdiamondTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(3, 10, nil); err == nil {
+		t.Fatal("nil topology must error")
+	}
+	if _, err := New(3, 4, kdiamondTopo); err == nil {
+		t.Fatal("n < 2k must error")
+	}
+}
+
+func TestJoinSequenceKeepsConsistentViews(t *testing.T) {
+	s := newSystem(t, 3, 6)
+	for i := 0; i < 10; i++ {
+		rep, err := s.ProposeJoin()
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		if rep.View.Version != i+1 || rep.View.Size != 7+i {
+			t.Fatalf("join %d installed view %+v", i, rep.View)
+		}
+		if !s.ConsistentViews() {
+			t.Fatalf("join %d left inconsistent views: %v", i, s.Views())
+		}
+		if rep.Applied != 6+i {
+			t.Fatalf("join %d applied by %d members, want %d", i, rep.Applied, 6+i)
+		}
+	}
+	if s.Size() != 16 {
+		t.Fatalf("size = %d, want 16", s.Size())
+	}
+}
+
+func TestCrashThenRepair(t *testing.T) {
+	s := newSystem(t, 4, 20)
+	if err := s.Crash(3, 7, 11); err != nil { // k-1 = 3 crashes
+		t.Fatal(err)
+	}
+	if s.CrashedCount() != 3 {
+		t.Fatalf("crashed = %d", s.CrashedCount())
+	}
+	// Application traffic still reaches every survivor pre-repair.
+	res, err := s.Broadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Reached != 17 {
+		t.Fatalf("degraded broadcast: %v", res)
+	}
+	// Repair removes the dead members and rebuilds at 17.
+	rep, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.View.Size != 17 || s.Size() != 17 {
+		t.Fatalf("repair produced size %d (report %+v)", s.Size(), rep.View)
+	}
+	if !s.ConsistentViews() {
+		t.Fatal("views inconsistent after repair")
+	}
+	if s.CrashedCount() != 0 {
+		t.Fatal("crashed members must be gone after repair")
+	}
+	// The repaired topology is a verified LHG again.
+	r, err := check.Verify(s.Graph(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsLHG() {
+		t.Fatalf("repaired topology is not an LHG: %s", r)
+	}
+}
+
+func TestRepairNothingToDo(t *testing.T) {
+	s := newSystem(t, 3, 8)
+	if _, err := s.Repair(); err == nil {
+		t.Fatal("repair with no crashes must error")
+	}
+}
+
+func TestCrashUnknownMember(t *testing.T) {
+	s := newSystem(t, 3, 8)
+	if err := s.Crash(99); err == nil {
+		t.Fatal("unknown member must error")
+	}
+}
+
+func TestJoinWithCrashedMembersStillConsistent(t *testing.T) {
+	// Joins keep working while k-1 crashed members are still wired in.
+	s := newSystem(t, 4, 16)
+	if err := s.Crash(2, 9, 14); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.ProposeJoin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 13 { // 16 - 3 alive
+		t.Fatalf("applied by %d, want 13", rep.Applied)
+	}
+	if !s.ConsistentViews() {
+		t.Fatal("alive views inconsistent")
+	}
+	// The crashed members' installed views lag behind.
+	views := s.Views()
+	if views[2] == s.CurrentView() {
+		t.Fatal("crashed member cannot have installed the new view")
+	}
+}
+
+func TestTooManyCrashesBlockViewChanges(t *testing.T) {
+	// With k crashes the adversary could cut the flood; with the sequencer
+	// pattern and k random-ish crashes the flood may still succeed, so
+	// force a real cut: crash every neighbor of the last member.
+	s := newSystem(t, 3, 12)
+	g := s.Graph()
+	victim := g.Order() - 1
+	nbrs := g.Neighbors(victim)
+	if err := s.Crash(nbrs...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ProposeJoin(); err == nil {
+		t.Fatal("isolated member must block the view change")
+	}
+}
+
+func TestEveryMemberCrashed(t *testing.T) {
+	s := newSystem(t, 3, 6)
+	if err := s.Crash(0, 1, 2, 3, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Broadcast(); err == nil {
+		t.Fatal("no alive sequencer must error")
+	}
+}
+
+func TestRepairChurnAccounting(t *testing.T) {
+	s := newSystem(t, 3, 14)
+	if err := s.Crash(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Churn.Kept+rep.Churn.Added != s.Graph().Size() {
+		t.Fatalf("churn accounting: %+v vs new m=%d", rep.Churn, s.Graph().Size())
+	}
+}

@@ -1,0 +1,463 @@
+// Package netflood runs the flooding protocol over real TCP sockets on the
+// loopback interface: one node per topology vertex, one connection per
+// edge, length-prefixed JSON frames, duplicate suppression, and forwarding
+// on every link — the deployment shape of the paper's protocol, in
+// miniature. The cluster supports *live reconfiguration* (AddNode, Connect,
+// Disconnect, Apply), so the incremental growers of package core can drive
+// a real socket overlay one admission at a time.
+//
+// The simulators (flood, proc) answer "what does the topology guarantee";
+// this package demonstrates the same protocol working over the standard
+// library's actual networking stack.
+package netflood
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"lhg/internal/core"
+	"lhg/internal/graph"
+)
+
+// Message is one flooded payload.
+type Message struct {
+	Src     int    `json:"src"`
+	Seq     int    `json:"seq"`
+	Payload string `json:"payload"`
+}
+
+// frame is the wire envelope: either a hello (link handshake identifying
+// the dialing node) or a flooded message.
+type frame struct {
+	Kind string   `json:"kind"` // "hello" or "msg"
+	From int      `json:"from,omitempty"`
+	Msg  *Message `json:"msg,omitempty"`
+}
+
+// id is the dedup key of a message.
+type id struct {
+	src, seq int
+}
+
+// maxFrame bounds a frame to keep a corrupted length prefix from
+// allocating unbounded memory.
+const maxFrame = 1 << 20
+
+// node is one process: a TCP listener plus one registered connection per
+// incident topology edge.
+type node struct {
+	idx      int
+	ln       net.Listener
+	mu       sync.Mutex
+	peers    map[int]*peerConn // remote node id -> connection
+	seen     map[id]Message
+	order    []Message
+	nextSeq  int
+	delivery chan<- Message
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type peerConn struct {
+	mu   sync.Mutex // serializes frame writes
+	conn net.Conn
+}
+
+// Cluster is a set of nodes wired along a topology's edges.
+type Cluster struct {
+	mu         sync.Mutex
+	nodes      []*node
+	deliveries chan Message
+}
+
+// Start launches one node per vertex of g on loopback TCP ports and dials
+// every edge. The returned cluster must be Shutdown.
+func Start(g *graph.Graph) (*Cluster, error) {
+	n := g.Order()
+	if n == 0 {
+		return nil, errors.New("netflood: empty topology")
+	}
+	c := &Cluster{
+		// Deliveries across the whole cluster; sized generously so reader
+		// goroutines never block in tests.
+		deliveries: make(chan Message, 64*n),
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.AddNode(); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+	}
+	for _, e := range g.Edges() {
+		if err := c.Connect(e.U, e.V); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// StartEmpty creates a cluster with no nodes; grow it with AddNode,
+// Connect and Apply.
+func StartEmpty() *Cluster {
+	return &Cluster{deliveries: make(chan Message, 4096)}
+}
+
+// Size returns the number of nodes (alive or crashed).
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// AddNode spawns a new process with its own listener and returns its id.
+func (c *Cluster) AddNode() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("netflood: listen: %w", err)
+	}
+	c.mu.Lock()
+	idx := len(c.nodes)
+	nd := &node{
+		idx:      idx,
+		ln:       ln,
+		peers:    make(map[int]*peerConn),
+		seen:     make(map[id]Message),
+		delivery: c.deliveries,
+		closed:   make(chan struct{}),
+	}
+	c.nodes = append(c.nodes, nd)
+	c.mu.Unlock()
+	nd.wg.Add(1)
+	go nd.acceptLoop()
+	return idx, nil
+}
+
+// Connect dials a link between two nodes. It is idempotent for an
+// existing link.
+func (c *Cluster) Connect(u, v int) error {
+	nu, nv, err := c.pair(u, v)
+	if err != nil {
+		return err
+	}
+	nu.mu.Lock()
+	_, exists := nu.peers[v]
+	nu.mu.Unlock()
+	if exists {
+		return nil
+	}
+	conn, err := net.Dial("tcp", nv.ln.Addr().String())
+	if err != nil {
+		return fmt.Errorf("netflood: dial (%d,%d): %w", u, v, err)
+	}
+	p := &peerConn{conn: conn}
+	// Handshake: tell the acceptor who is calling.
+	if err := writeFrame(p, frame{Kind: "hello", From: u}); err != nil {
+		conn.Close()
+		return fmt.Errorf("netflood: hello (%d,%d): %w", u, v, err)
+	}
+	nu.register(v, p)
+	// Wait until the acceptor has processed the hello: the link is then
+	// usable in both directions before Connect returns, which keeps
+	// reconfiguration deterministic.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		nv.mu.Lock()
+		_, ready := nv.peers[u]
+		nv.mu.Unlock()
+		if ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netflood: handshake (%d,%d) timed out", u, v)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Disconnect tears down the link between two nodes (no-op if absent).
+func (c *Cluster) Disconnect(u, v int) error {
+	nu, nv, err := c.pair(u, v)
+	if err != nil {
+		return err
+	}
+	nu.unregister(v)
+	nv.unregister(u)
+	return nil
+}
+
+// Apply executes an edge delta from an incremental grower against the live
+// cluster: removed links are torn down, added links dialed. Node ids
+// beyond the current size must have been created with AddNode first.
+func (c *Cluster) Apply(delta core.EdgeDelta) error {
+	for _, e := range delta.Removed {
+		if err := c.Disconnect(e.U, e.V); err != nil {
+			return err
+		}
+	}
+	for _, e := range delta.Added {
+		if err := c.Connect(e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) pair(u, v int) (*node, *node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if u < 0 || v < 0 || u >= len(c.nodes) || v >= len(c.nodes) || u == v {
+		return nil, nil, fmt.Errorf("netflood: bad link (%d,%d)", u, v)
+	}
+	return c.nodes[u], c.nodes[v], nil
+}
+
+// Broadcast floods a payload from node src.
+func (c *Cluster) Broadcast(src int, payload string) (Message, error) {
+	c.mu.Lock()
+	if src < 0 || src >= len(c.nodes) {
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("netflood: unknown node %d", src)
+	}
+	nd := c.nodes[src]
+	c.mu.Unlock()
+	nd.mu.Lock()
+	msg := Message{Src: src, Seq: nd.nextSeq, Payload: payload}
+	nd.nextSeq++
+	nd.mu.Unlock()
+	nd.handle(msg)
+	return msg, nil
+}
+
+// Deliveries exposes the cluster-wide delivery stream: one entry per
+// (node, message) first delivery.
+func (c *Cluster) Deliveries() <-chan Message { return c.deliveries }
+
+// Delivered returns the messages node idx has delivered so far, in order.
+func (c *Cluster) Delivered(idx int) []Message {
+	c.mu.Lock()
+	if idx < 0 || idx >= len(c.nodes) {
+		c.mu.Unlock()
+		return nil
+	}
+	nd := c.nodes[idx]
+	c.mu.Unlock()
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return append([]Message(nil), nd.order...)
+}
+
+// CrashNode closes node idx's listener and connections, simulating a
+// process crash. Returns false if idx is out of range or already down.
+func (c *Cluster) CrashNode(idx int) bool {
+	c.mu.Lock()
+	if idx < 0 || idx >= len(c.nodes) {
+		c.mu.Unlock()
+		return false
+	}
+	nd := c.nodes[idx]
+	c.mu.Unlock()
+	select {
+	case <-nd.closed:
+		return false
+	default:
+	}
+	nd.shutdown()
+	return true
+}
+
+// Alive reports whether node idx is still running.
+func (c *Cluster) Alive(idx int) bool {
+	c.mu.Lock()
+	if idx < 0 || idx >= len(c.nodes) {
+		c.mu.Unlock()
+		return false
+	}
+	nd := c.nodes[idx]
+	c.mu.Unlock()
+	select {
+	case <-nd.closed:
+		return false
+	default:
+		return true
+	}
+}
+
+// Shutdown closes every listener and connection and waits for all node
+// goroutines to exit.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	nodes := append([]*node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, nd := range nodes {
+		nd.shutdown()
+	}
+	for _, nd := range nodes {
+		nd.wg.Wait()
+	}
+}
+
+func (n *node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p := &peerConn{conn: conn}
+		n.wg.Add(1)
+		go n.readLoop(p, true)
+	}
+}
+
+// register records a peer connection under its remote id and starts its
+// reader (dialer side).
+func (n *node) register(remote int, p *peerConn) {
+	n.mu.Lock()
+	if old, ok := n.peers[remote]; ok {
+		old.conn.Close()
+	}
+	n.peers[remote] = p
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.readLoop(p, false)
+}
+
+// unregister closes and forgets the link to remote.
+func (n *node) unregister(remote int) {
+	n.mu.Lock()
+	p, ok := n.peers[remote]
+	if ok {
+		delete(n.peers, remote)
+	}
+	n.mu.Unlock()
+	if ok {
+		p.conn.Close()
+	}
+}
+
+// readLoop consumes frames from one connection. Acceptor-side loops expect
+// a hello first to learn the remote id and register the link.
+func (n *node) readLoop(p *peerConn, expectHello bool) {
+	defer n.wg.Done()
+	r := bufio.NewReader(p.conn)
+	if expectHello {
+		f, err := readFrame(r)
+		if err != nil || f.Kind != "hello" {
+			p.conn.Close()
+			return
+		}
+		n.mu.Lock()
+		if old, ok := n.peers[f.From]; ok {
+			old.conn.Close()
+		}
+		n.peers[f.From] = p
+		n.mu.Unlock()
+	}
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return // peer closed, link removed, or shutdown
+		}
+		if f.Kind == "msg" && f.Msg != nil {
+			n.handle(*f.Msg)
+		}
+	}
+}
+
+// handle delivers msg if new and forwards it on every registered link.
+func (n *node) handle(msg Message) {
+	select {
+	case <-n.closed:
+		return
+	default:
+	}
+	key := id{src: msg.Src, seq: msg.Seq}
+	n.mu.Lock()
+	if _, dup := n.seen[key]; dup {
+		n.mu.Unlock()
+		return
+	}
+	n.seen[key] = msg
+	n.order = append(n.order, msg)
+	peers := make([]*peerConn, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+
+	select {
+	case n.delivery <- msg:
+	case <-n.closed:
+		return
+	}
+	m := msg
+	for _, p := range peers {
+		// Best effort: a closed peer just drops the frame — the crash
+		// model of the paper.
+		_ = writeFrame(p, frame{Kind: "msg", Msg: &m})
+	}
+}
+
+func (n *node) shutdown() {
+	select {
+	case <-n.closed:
+		return
+	default:
+	}
+	close(n.closed)
+	_ = n.ln.Close()
+	n.mu.Lock()
+	peers := make([]*peerConn, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		_ = p.conn.Close()
+	}
+}
+
+func writeFrame(p *peerConn, f frame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = p.conn.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > maxFrame {
+		return frame{}, fmt.Errorf("netflood: frame of %d bytes exceeds limit", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return frame{}, fmt.Errorf("netflood: decode frame: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,99 @@
+package overlay
+
+import (
+	"fmt"
+
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+	"lhg/internal/sim"
+)
+
+// AsyncResult reports a discrete-event broadcast: per-node delivery times
+// under per-link latencies, rather than the synchronized rounds of
+// flood.Run.
+type AsyncResult struct {
+	Source    int
+	Delivered int     // alive nodes that received the message
+	Alive     int     // alive nodes at the start
+	Messages  int     // point-to-point messages sent
+	MakeSpan  int64   // time of the last delivery
+	Times     []int64 // first delivery time per node; -1 if never delivered
+	Complete  bool
+}
+
+// String renders a one-line summary.
+func (r *AsyncResult) String() string {
+	return fmt.Sprintf("async(src=%d delivered=%d/%d msgs=%d makespan=%d complete=%t)",
+		r.Source, r.Delivered, r.Alive, r.Messages, r.MakeSpan, r.Complete)
+}
+
+// AsyncBroadcast runs an event-driven flood on g: when a node first
+// receives the message it immediately forwards it to every alive neighbor;
+// each link delivery takes latency(u,v) time units (pass nil for unit
+// latency). With unit latencies the delivery times equal the round numbers
+// of flood.Run — asserted by the integration tests.
+func AsyncBroadcast(g *graph.Graph, source int, f flood.Failures, latency func(u, v int) int64) (*AsyncResult, error) {
+	n := g.Order()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("overlay: source %d out of range [0,%d)", source, n)
+	}
+	if latency == nil {
+		latency = func(u, v int) int64 { return 1 }
+	}
+	crashed := make([]bool, n)
+	for _, v := range f.Nodes {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("overlay: crashed node %d out of range [0,%d)", v, n)
+		}
+		crashed[v] = true
+	}
+	if crashed[source] {
+		return nil, fmt.Errorf("overlay: source %d is crashed", source)
+	}
+	linkDown := make(map[graph.Edge]bool, len(f.Links))
+	for _, e := range f.Links {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		linkDown[e] = true
+	}
+
+	res := &AsyncResult{Source: source, Times: make([]int64, n)}
+	for i := range res.Times {
+		res.Times[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if !crashed[v] {
+			res.Alive++
+		}
+	}
+
+	var q sim.EventQueue
+	var deliver func(v int)
+	deliver = func(v int) {
+		if res.Times[v] >= 0 {
+			return
+		}
+		res.Times[v] = q.Now()
+		res.Delivered++
+		if q.Now() > res.MakeSpan {
+			res.MakeSpan = q.Now()
+		}
+		for _, w := range g.Neighbors(v) {
+			e := graph.Edge{U: v, V: w}
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			if crashed[w] || linkDown[e] {
+				continue
+			}
+			res.Messages++
+			target := w
+			q.After(latency(v, w), func() { deliver(target) })
+		}
+	}
+	deliver(source)
+	q.Run(-1)
+	res.Complete = res.Delivered == res.Alive
+	return res, nil
+}

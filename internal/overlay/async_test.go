@@ -1,0 +1,131 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lhg/internal/core"
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+)
+
+func TestAsyncBroadcastUnitLatencyMatchesRounds(t *testing.T) {
+	kt, err := core.BuildKTree(30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kt.Real.Graph
+	sync, err := flood.Run(g, 0, flood.Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := AsyncBroadcast(g, 0, flood.Failures{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.MakeSpan != int64(sync.Rounds) {
+		t.Fatalf("makespan %d != rounds %d", async.MakeSpan, sync.Rounds)
+	}
+	if async.Messages != sync.Messages {
+		t.Fatalf("messages %d != %d", async.Messages, sync.Messages)
+	}
+	for v := range async.Times {
+		if async.Times[v] != int64(sync.FirstHeard[v]) {
+			t.Fatalf("node %d delivered at %d, sync round %d", v, async.Times[v], sync.FirstHeard[v])
+		}
+	}
+}
+
+func TestAsyncBroadcastWithFailures(t *testing.T) {
+	kt, err := core.BuildKTree(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kt.Real.Graph
+	fails := flood.Failures{Nodes: []int{4, 9}}
+	res, err := AsyncBroadcast(g, 0, fails, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("3-connected graph must survive 2 crashes: %s", res)
+	}
+	if res.Alive != 18 || res.Delivered != 18 {
+		t.Fatalf("alive=%d delivered=%d, want 18/18", res.Alive, res.Delivered)
+	}
+	for _, v := range fails.Nodes {
+		if res.Times[v] != -1 {
+			t.Fatalf("crashed node %d has delivery time %d", v, res.Times[v])
+		}
+	}
+}
+
+func TestAsyncBroadcastCustomLatency(t *testing.T) {
+	// A path with latency 2 per hop: makespan is 2*(n-1).
+	g := graph.New(5)
+	for v := 0; v+1 < 5; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	res, err := AsyncBroadcast(g, 0, flood.Failures{}, func(u, v int) int64 { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakeSpan != 8 {
+		t.Fatalf("makespan = %d, want 8", res.MakeSpan)
+	}
+}
+
+func TestAsyncBroadcastErrors(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := AsyncBroadcast(g, 9, flood.Failures{}, nil); err == nil {
+		t.Fatal("bad source must error")
+	}
+	if _, err := AsyncBroadcast(g, 0, flood.Failures{Nodes: []int{0}}, nil); err == nil {
+		t.Fatal("crashed source must error")
+	}
+	if _, err := AsyncBroadcast(g, 0, flood.Failures{Nodes: []int{7}}, nil); err == nil {
+		t.Fatal("bad crashed node must error")
+	}
+}
+
+func TestPropertyAsyncEquivalentToSync(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%12) + 3
+		g := graph.New(n)
+		state := uint64(seed) | 1
+		next := func() uint64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if next()%3 == 0 {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+		syncRes, err := flood.Run(g, 0, flood.Failures{})
+		if err != nil {
+			return false
+		}
+		asyncRes, err := AsyncBroadcast(g, 0, flood.Failures{}, nil)
+		if err != nil {
+			return false
+		}
+		if asyncRes.Delivered != syncRes.Reached || asyncRes.Messages != syncRes.Messages {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if asyncRes.Times[v] != int64(syncRes.FirstHeard[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

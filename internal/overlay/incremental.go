@@ -1,0 +1,70 @@
+package overlay
+
+import (
+	"fmt"
+
+	"lhg/internal/core"
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+)
+
+// Grower is the incremental-maintenance interface implemented by
+// core.KTreeGrower and core.KDiamondGrower: one admission per Grow call,
+// O(k²) edge churn, stable node ids, LHG-valid after every step.
+type Grower interface {
+	Grow() (core.EdgeDelta, error)
+	Graph() *graph.Graph
+	Snapshot() *graph.Graph
+	N() int
+	K() int
+}
+
+var (
+	_ Grower = (*core.KTreeGrower)(nil)
+	_ Grower = (*core.KDiamondGrower)(nil)
+)
+
+// Incremental is a join-only overlay maintained by graph surgery instead of
+// canonical rebuilds. Compared to Overlay it trades leave-support for
+// constant (in n) reconfiguration cost per join — see experiment E15.
+type Incremental struct {
+	gr   Grower
+	gens int
+}
+
+// NewIncremental wraps a grower as an overlay.
+func NewIncremental(gr Grower) (*Incremental, error) {
+	if gr == nil {
+		return nil, fmt.Errorf("overlay: nil grower")
+	}
+	return &Incremental{gr: gr}, nil
+}
+
+// Size returns the current number of members.
+func (o *Incremental) Size() int { return o.gr.N() }
+
+// K returns the connectivity target.
+func (o *Incremental) K() int { return o.gr.K() }
+
+// Generation returns how many joins have been processed.
+func (o *Incremental) Generation() int { return o.gens }
+
+// Graph returns a copy of the current topology.
+func (o *Incremental) Graph() *graph.Graph { return o.gr.Graph() }
+
+// Join admits one member and returns the link churn (setup + teardown
+// counts mirroring Overlay's accounting).
+func (o *Incremental) Join() (Churn, error) {
+	d, err := o.gr.Grow()
+	if err != nil {
+		return Churn{}, fmt.Errorf("overlay: incremental join: %w", err)
+	}
+	o.gens++
+	kept := o.gr.Snapshot().Size() - len(d.Added)
+	return Churn{Added: len(d.Added), Removed: len(d.Removed), Kept: kept}, nil
+}
+
+// Broadcast floods from source over the current topology under failures.
+func (o *Incremental) Broadcast(source int, f flood.Failures) (*flood.Result, error) {
+	return flood.Run(o.gr.Snapshot(), source, f)
+}

@@ -1,0 +1,151 @@
+// Package overlay maintains a Logarithmic-Harary-Graph topology over a
+// dynamic membership — the peer-to-peer scenario motivating the paper: the
+// number of processes n is arbitrary and changes over time, so the topology
+// construction must exist for *every* pair (n,k), which is exactly what the
+// K-TREE/K-DIAMOND constraints provide (and the original Jenkins–Demers
+// rule does not).
+//
+// On every membership change the overlay rebuilds the canonical topology
+// for the new size and reports the edge churn (links torn down and set up),
+// the cost a deployment would pay in reconfiguration messages.
+package overlay
+
+import (
+	"fmt"
+
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+)
+
+// TopologyFunc builds the overlay topology for n members with connectivity
+// target k. The canonical constructions in internal/core satisfy it.
+type TopologyFunc func(n, k int) (*graph.Graph, error)
+
+// Churn summarizes the edge difference between two consecutive topologies.
+type Churn struct {
+	Added   int // links created
+	Removed int // links torn down
+	Kept    int // links surviving the rebuild
+}
+
+// Total returns the number of link operations (setup + teardown).
+func (c Churn) Total() int { return c.Added + c.Removed }
+
+// Overlay is a dynamic-membership topology manager. Members are the dense
+// ids 0..Size()-1; a leave is modeled as the last member departing (the
+// canonical constructions relabel internally anyway, so any-node departure
+// costs the same set of edge diffs).
+type Overlay struct {
+	k        int
+	topology TopologyFunc
+	g        *graph.Graph
+	gen      int
+}
+
+// New creates an overlay of initial members using the given topology.
+func New(k, initial int, topology TopologyFunc) (*Overlay, error) {
+	if topology == nil {
+		return nil, fmt.Errorf("overlay: nil topology func")
+	}
+	g, err := topology(initial, k)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: initial topology: %w", err)
+	}
+	return &Overlay{k: k, topology: topology, g: g}, nil
+}
+
+// Size returns the current number of members.
+func (o *Overlay) Size() int { return o.g.Order() }
+
+// Generation returns how many rebuilds have occurred.
+func (o *Overlay) Generation() int { return o.gen }
+
+// Graph returns a copy of the current topology.
+func (o *Overlay) Graph() *graph.Graph { return o.g.Clone() }
+
+// K returns the connectivity target.
+func (o *Overlay) K() int { return o.k }
+
+// Join grows the membership by one and rebuilds, returning the churn.
+func (o *Overlay) Join() (Churn, error) { return o.resize(o.g.Order() + 1) }
+
+// Leave shrinks the membership by one and rebuilds, returning the churn.
+func (o *Overlay) Leave() (Churn, error) { return o.resize(o.g.Order() - 1) }
+
+// LeaveNode removes an arbitrary member: the departing id swaps labels with
+// the last member (the standard dense-id relabeling) and the topology is
+// rebuilt at n-1. The churn accounts for the relabeled node's links too,
+// since a deployment must re-point them at the surviving process.
+func (o *Overlay) LeaveNode(id int) (Churn, error) {
+	n := o.g.Order()
+	if id < 0 || id >= n {
+		return Churn{}, fmt.Errorf("overlay: unknown member %d", id)
+	}
+	ng, err := o.topology(n-1, o.k)
+	if err != nil {
+		return Churn{}, fmt.Errorf("overlay: rebuild at n=%d: %w", n-1, err)
+	}
+	// Physical-link view of the departure: the departing member's own
+	// links are torn down; the last member inherits the freed label (so
+	// its surviving links are re-pointed, not recreated); everything else
+	// diffs against the new topology.
+	last := n - 1
+	relabel := func(v int) int {
+		if v == last {
+			return id
+		}
+		return v
+	}
+	var c Churn
+	for _, e := range o.g.Edges() {
+		if e.U == id || e.V == id {
+			c.Removed++ // departing member's links are always torn down
+			continue
+		}
+		u, v := relabel(e.U), relabel(e.V)
+		if ng.HasEdge(u, v) {
+			c.Kept++
+		} else {
+			c.Removed++
+		}
+	}
+	c.Added = ng.Size() - c.Kept
+	o.g = ng
+	o.gen++
+	return c, nil
+}
+
+// Resize jumps the membership to n members and rebuilds.
+func (o *Overlay) Resize(n int) (Churn, error) { return o.resize(n) }
+
+func (o *Overlay) resize(n int) (Churn, error) {
+	ng, err := o.topology(n, o.k)
+	if err != nil {
+		return Churn{}, fmt.Errorf("overlay: rebuild at n=%d: %w", n, err)
+	}
+	c := diff(o.g, ng)
+	o.g = ng
+	o.gen++
+	return c, nil
+}
+
+// Broadcast floods a message from source over the current topology under
+// the given failures.
+func (o *Overlay) Broadcast(source int, f flood.Failures) (*flood.Result, error) {
+	return flood.Run(o.g, source, f)
+}
+
+// diff counts the edge changes from old to new, comparing the edges between
+// ids present in both.
+func diff(oldG, newG *graph.Graph) Churn {
+	var c Churn
+	for _, e := range oldG.Edges() {
+		if newG.HasEdge(e.U, e.V) {
+			c.Kept++
+		} else {
+			c.Removed++
+		}
+	}
+	c.Added = newG.Size() - c.Kept
+	return c
+}

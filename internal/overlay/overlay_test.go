@@ -1,0 +1,245 @@
+package overlay
+
+import (
+	"testing"
+
+	"lhg/internal/check"
+	"lhg/internal/core"
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+	"lhg/internal/harary"
+)
+
+func ktreeTopology(n, k int) (*graph.Graph, error) {
+	kt, err := core.BuildKTree(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return kt.Real.Graph, nil
+}
+
+func kdiamondTopology(n, k int) (*graph.Graph, error) {
+	kd, err := core.BuildKDiamond(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return kd.Real.Graph, nil
+}
+
+func TestNewRejectsNilTopology(t *testing.T) {
+	if _, err := New(3, 10, nil); err == nil {
+		t.Fatal("nil topology must be rejected")
+	}
+}
+
+func TestNewRejectsImpossibleSize(t *testing.T) {
+	if _, err := New(3, 5, ktreeTopology); err == nil {
+		t.Fatal("n=5 < 2k=6 must fail")
+	}
+}
+
+func TestJoinGrowsAndStaysLHG(t *testing.T) {
+	o, err := New(3, 6, kdiamondTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := o.Join(); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if o.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", o.Size())
+	}
+	if o.Generation() != 10 {
+		t.Fatalf("Generation = %d, want 10", o.Generation())
+	}
+	r, err := check.Verify(o.Graph(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsLHG() {
+		t.Fatalf("overlay topology is not an LHG after churn: %s", r)
+	}
+}
+
+func TestLeaveShrinks(t *testing.T) {
+	o, err := New(3, 10, ktreeTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", o.Size())
+	}
+	// Shrinking below 2k must fail and leave the overlay unchanged.
+	if _, err := o.Resize(5); err == nil {
+		t.Fatal("resize below 2k must fail")
+	}
+	if o.Size() != 9 {
+		t.Fatalf("failed resize changed the size to %d", o.Size())
+	}
+}
+
+func TestChurnAccounting(t *testing.T) {
+	o, err := New(3, 12, ktreeTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.Graph()
+	c, err := o.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := o.Graph()
+	if c.Kept+c.Removed != before.Size() {
+		t.Fatalf("kept %d + removed %d != old size %d", c.Kept, c.Removed, before.Size())
+	}
+	if c.Kept+c.Added != after.Size() {
+		t.Fatalf("kept %d + added %d != new size %d", c.Kept, c.Added, after.Size())
+	}
+	if c.Total() != c.Added+c.Removed {
+		t.Fatalf("Total = %d, want %d", c.Total(), c.Added+c.Removed)
+	}
+}
+
+func TestChurnZeroOnNoopResize(t *testing.T) {
+	o, err := New(3, 12, ktreeTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := o.Resize(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Added != 0 || c.Removed != 0 {
+		t.Fatalf("rebuilding the same size churned: %+v", c)
+	}
+}
+
+func TestBroadcastOnOverlay(t *testing.T) {
+	o, err := New(4, 20, kdiamondTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Broadcast(0, flood.Failures{Nodes: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("4-connected overlay must survive 3 failures: %s", res)
+	}
+}
+
+func TestOverlayAccessors(t *testing.T) {
+	o, err := New(3, 8, ktreeTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.K() != 3 {
+		t.Fatalf("K = %d, want 3", o.K())
+	}
+	size := o.Graph().Size()
+	g := o.Graph()
+	g.RemoveEdge(g.Edges()[0].U, g.Edges()[0].V)
+	if o.Graph().Size() != size {
+		t.Fatal("Graph() must return a defensive copy")
+	}
+}
+
+func TestHararyOverlayWorksToo(t *testing.T) {
+	o, err := New(3, 9, harary.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Join(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Broadcast(2, flood.Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("harary broadcast incomplete: %s", res)
+	}
+}
+
+func TestLeaveNodeArbitrary(t *testing.T) {
+	o, err := New(3, 12, kdiamondTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := o.Graph()
+	c, err := o.LeaveNode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 11 {
+		t.Fatalf("Size = %d, want 11", o.Size())
+	}
+	// Accounting identities: every old edge is kept or removed; every new
+	// edge is kept or added.
+	if c.Kept+c.Removed != before.Size() {
+		t.Fatalf("kept %d + removed %d != old m %d", c.Kept, c.Removed, before.Size())
+	}
+	if c.Kept+c.Added != o.Graph().Size() {
+		t.Fatalf("kept %d + added %d != new m %d", c.Kept, c.Added, o.Graph().Size())
+	}
+	// The departing member had degree >= k, so at least k links died.
+	if c.Removed < 3 {
+		t.Fatalf("removed %d links, want >= k", c.Removed)
+	}
+	r, err := check.Verify(o.Graph(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsLHG() {
+		t.Fatalf("overlay not an LHG after departure: %s", r)
+	}
+}
+
+func TestLeaveNodeLastEqualsLeave(t *testing.T) {
+	a, err := New(3, 10, ktreeTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(3, 10, ktreeTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.LeaveNode(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Leave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("LeaveNode(last) churn %+v != Leave churn %+v", ca, cb)
+	}
+}
+
+func TestLeaveNodeErrors(t *testing.T) {
+	o, err := New(3, 8, ktreeTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.LeaveNode(99); err == nil {
+		t.Fatal("unknown member must error")
+	}
+	// Shrinking to below 2k must fail and leave the overlay intact.
+	for o.Size() > 6 {
+		if _, err := o.LeaveNode(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := o.LeaveNode(0); err == nil {
+		t.Fatal("shrinking below 2k must fail")
+	}
+	if o.Size() != 6 {
+		t.Fatalf("failed departure changed size to %d", o.Size())
+	}
+}

@@ -1,0 +1,126 @@
+package proc
+
+import (
+	"testing"
+
+	"lhg/internal/graph"
+)
+
+func TestFIFOMatchesRawWhenUniform(t *testing.T) {
+	// With unit latencies, a single source's messages arrive in order:
+	// FIFO order equals raw order.
+	g := ktree(t, 12, 3)
+	n, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := n.Broadcast(0, "m", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Run()
+	for id := 0; id < g.Order(); id++ {
+		raw := n.Delivered(id)
+		fifo := n.FIFODelivered(id)
+		if len(raw) != 4 || len(fifo) != 4 {
+			t.Fatalf("process %d delivered raw=%d fifo=%d", id, len(raw), len(fifo))
+		}
+		for i := range raw {
+			if raw[i] != fifo[i] {
+				t.Fatalf("process %d order differs at %d", id, i)
+			}
+		}
+		if n.FIFOPending(id) != 0 {
+			t.Fatalf("process %d holds %d pending", id, n.FIFOPending(id))
+		}
+	}
+}
+
+func TestFIFOReordersInvertedArrivals(t *testing.T) {
+	// Exercise the reordering machinery directly: the later message (seq 1)
+	// arrives first and must be held back until seq 0 lands.
+	f := newFIFOState()
+	b := Message{ID: MsgID{Src: 0, Seq: 1}, Payload: "B"}
+	a := Message{ID: MsgID{Src: 0, Seq: 0}, Payload: "A"}
+	f.push(b) // arrives first
+	if len(f.order) != 0 {
+		t.Fatal("B must be held back until A arrives")
+	}
+	f.push(a)
+	if len(f.order) != 2 || f.order[0] != a || f.order[1] != b {
+		t.Fatalf("FIFO order = %v, want [A B]", f.order)
+	}
+	if len(f.pending) != 0 {
+		t.Fatal("nothing should remain pending")
+	}
+}
+
+func TestFIFOInversionEndToEnd(t *testing.T) {
+	// Two-node network where the link is slow; the source's second message
+	// is injected with an earlier flood start than the first one's arrival,
+	// so raw arrivals at node 1 can interleave across sources but stay
+	// ordered per source. Verify per-source order holds in FIFO output even
+	// when raw output mixes sources.
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	n, err := NewNetwork(g, WithLatency(func(u, v int) int64 { return 3 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Broadcast(0, "a0", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Broadcast(1, "b0", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Broadcast(0, "a1", 2); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	for id := 0; id < 2; id++ {
+		fifo := n.FIFODelivered(id)
+		if len(fifo) != 3 {
+			t.Fatalf("process %d FIFO-delivered %d, want 3", id, len(fifo))
+		}
+		// Per-source sequence numbers must be non-decreasing in FIFO order.
+		lastSeq := map[int]int{}
+		for _, m := range fifo {
+			if last, ok := lastSeq[m.ID.Src]; ok && m.ID.Seq != last+1 {
+				t.Fatalf("process %d: source %d jumped %d -> %d", id, m.ID.Src, last, m.ID.Seq)
+			}
+			lastSeq[m.ID.Src] = m.ID.Seq
+		}
+	}
+}
+
+func TestFIFOBlocksOnMissingPredecessor(t *testing.T) {
+	f := newFIFOState()
+	f.push(Message{ID: MsgID{Src: 3, Seq: 2}})
+	f.push(Message{ID: MsgID{Src: 3, Seq: 1}})
+	if len(f.order) != 0 {
+		t.Fatal("seq 0 never arrived; nothing may be FIFO-delivered")
+	}
+	if len(f.pending) != 2 {
+		t.Fatalf("pending = %d, want 2", len(f.pending))
+	}
+	f.push(Message{ID: MsgID{Src: 3, Seq: 0}})
+	if len(f.order) != 3 {
+		t.Fatalf("all three must flush, got %d", len(f.order))
+	}
+}
+
+func TestFIFOAccessorsOutOfRange(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	n, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.FIFODelivered(-1) != nil {
+		t.Fatal("out of range must be nil")
+	}
+	if n.FIFOPending(5) != 0 {
+		t.Fatal("out of range must be 0")
+	}
+}

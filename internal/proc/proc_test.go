@@ -1,0 +1,365 @@
+package proc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lhg/internal/core"
+	"lhg/internal/graph"
+	"lhg/internal/harary"
+	"lhg/internal/sim"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+func ktree(t testing.TB, n, k int) *graph.Graph {
+	t.Helper()
+	kt, err := core.BuildKTree(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kt.Real.Graph
+}
+
+func TestNewNetworkErrors(t *testing.T) {
+	if _, err := NewNetwork(nil); err == nil {
+		t.Fatal("nil topology must error")
+	}
+	if _, err := NewNetwork(graph.New(0)); err == nil {
+		t.Fatal("empty topology must error")
+	}
+	if _, err := NewNetwork(cycle(4), WithCrashAt(9, 1)); err == nil {
+		t.Fatal("crash schedule for unknown process must error")
+	}
+}
+
+func TestBroadcastFaultFreeDeliversEverywhere(t *testing.T) {
+	g := ktree(t, 20, 3)
+	n, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := n.Broadcast(0, "hello", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	for id := 0; id < g.Order(); id++ {
+		msgs := n.Delivered(id)
+		if len(msgs) != 1 || msgs[0].ID != mid || msgs[0].Payload != "hello" {
+			t.Fatalf("process %d delivered %v", id, msgs)
+		}
+	}
+	// Unit latency: delivery time equals BFS distance.
+	dist := g.BFSFrom(0)
+	for id := 0; id < g.Order(); id++ {
+		if n.HeardAt(id, mid) != int64(dist[id]) {
+			t.Fatalf("process %d heard at %d, BFS distance %d", id, n.HeardAt(id, mid), dist[id])
+		}
+	}
+	// Each process forwards once on every link: 2m transmissions.
+	if n.MessagesSent() != 2*g.Size() {
+		t.Fatalf("sent %d messages, want %d", n.MessagesSent(), 2*g.Size())
+	}
+}
+
+func TestBroadcastFromUnknownProcess(t *testing.T) {
+	n, err := NewNetwork(cycle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Broadcast(7, "x", 0); err == nil {
+		t.Fatal("unknown source must error")
+	}
+}
+
+func TestBroadcastFromCrashedSourceIsLost(t *testing.T) {
+	n, err := NewNetwork(cycle(5), WithCrashAt(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Broadcast(2, "late", 10); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	for id := 0; id < 5; id++ {
+		if len(n.Delivered(id)) != 0 {
+			t.Fatalf("process %d delivered a message from a dead source", id)
+		}
+	}
+}
+
+func TestCrashedProcessStopsReceiving(t *testing.T) {
+	// Path 0-1-2-3-4 as a cycle cut: crash 2 before the flood reaches it.
+	g := cycle(10)
+	n, err := NewNetwork(g, WithCrashAt(3, 1), WithCrashAt(7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := n.Broadcast(0, "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	for _, id := range []int{4, 5, 6} {
+		if n.HeardAt(id, mid) != -1 {
+			t.Fatalf("process %d is behind the cut but delivered", id)
+		}
+	}
+	for _, id := range []int{1, 2, 8, 9} {
+		if n.HeardAt(id, mid) == -1 {
+			t.Fatalf("process %d should have delivered", id)
+		}
+	}
+	if n.Dropped() == 0 {
+		t.Fatal("arrivals at crashed processes must be counted")
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	g, err := harary.Build(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Broadcast(0, "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	for id := 0; id < g.Order(); id++ {
+		if len(n.Delivered(id)) != 1 {
+			t.Fatalf("process %d delivered %d copies", id, len(n.Delivered(id)))
+		}
+	}
+}
+
+func TestMultipleConcurrentBroadcasts(t *testing.T) {
+	g := ktree(t, 14, 3)
+	n, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []MsgID
+	for i := 0; i < 5; i++ {
+		mid, err := n.Broadcast(i, "payload", int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, mid)
+	}
+	n.Run()
+	for id := 0; id < g.Order(); id++ {
+		got := n.DeliveredIDs(id)
+		if len(got) != 5 {
+			t.Fatalf("process %d delivered %d of 5 broadcasts", id, len(got))
+		}
+	}
+	// Sequence numbers from one source are distinct and increasing.
+	seen := map[MsgID]bool{}
+	for _, mid := range ids {
+		if seen[mid] {
+			t.Fatalf("duplicate message id %v", mid)
+		}
+		seen[mid] = true
+	}
+}
+
+func TestPerSourceFIFOSequenceNumbers(t *testing.T) {
+	n, err := NewNetwork(cycle(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.Broadcast(1, "first", 0)
+	b, _ := n.Broadcast(1, "second", 0)
+	if a.Seq+1 != b.Seq || a.Src != 1 || b.Src != 1 {
+		t.Fatalf("sequence numbers %v then %v", a, b)
+	}
+}
+
+// TestAgreementUnderMidFloodCrashes is the protocol-level headline: on a
+// k-connected LHG with at most k-1 crashes at *arbitrary times* (including
+// mid-forwarding, forced by a send overhead), the correct processes agree.
+func TestAgreementUnderMidFloodCrashes(t *testing.T) {
+	g := ktree(t, 30, 4)
+	rng := sim.NewRNG(77)
+	for trial := 0; trial < 30; trial++ {
+		opts := []Option{WithSendOverhead(1)}
+		// Crash 3 random non-source processes at random times, some of
+		// them right in the middle of the flood.
+		for _, v := range rng.Sample(g.Order()-1, 3) {
+			opts = append(opts, WithCrashAt(v+1, int64(rng.Intn(12))))
+		}
+		n, err := NewNetwork(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid, err := n.Broadcast(0, "m", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		count, err := n.CheckAgreement(mid)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Validity: source 0 is correct, so everybody correct delivers.
+		if count != len(n.Correct()) {
+			t.Fatalf("trial %d: validity violated: %d of %d", trial, count, len(n.Correct()))
+		}
+	}
+}
+
+// TestAgreementCanBreakAtKCrashes: with k crashes mid-flood a split is
+// possible (not guaranteed); we assert the checker can detect one by
+// crashing an entire vertex cut just after it forwards nothing.
+func TestAgreementDetectorFindsSplit(t *testing.T) {
+	// Path topology: crash the middle node before the flood crosses it;
+	// node 0 delivered, node 4 did not -> agreement over correct procs
+	// fails only if somebody correct delivered and another did not.
+	g := graph.New(5)
+	for v := 0; v+1 < 5; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	n, err := NewNetwork(g, WithCrashAt(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := n.Broadcast(0, "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if _, err := n.CheckAgreement(mid); err == nil {
+		t.Fatal("split must be detected on a severed path")
+	}
+}
+
+func TestSendOverheadPartialForwarding(t *testing.T) {
+	// Star center crashes after getting one transmission out: exactly one
+	// leaf hears.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	n, err := NewNetwork(g, WithSendOverhead(2), WithCrashAt(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := n.Broadcast(0, "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	heard := 0
+	for id := 1; id < 4; id++ {
+		if n.HeardAt(id, mid) >= 0 {
+			heard++
+		}
+	}
+	if heard != 1 {
+		t.Fatalf("%d leaves heard, want exactly 1 (center crashed mid-forward)", heard)
+	}
+}
+
+func TestCustomLatencyShapesDelivery(t *testing.T) {
+	g := cycle(6)
+	n, err := NewNetwork(g, WithLatency(func(u, v int) int64 { return 5 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := n.Broadcast(0, "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if n.HeardAt(3, mid) != 15 {
+		t.Fatalf("opposite node heard at %d, want 15", n.HeardAt(3, mid))
+	}
+}
+
+func TestAccessorsOutOfRange(t *testing.T) {
+	n, err := NewNetwork(cycle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Delivered(-1) != nil || n.DeliveredIDs(9) != nil {
+		t.Fatal("out-of-range accessors must return nil")
+	}
+	if n.HeardAt(9, MsgID{}) != -1 {
+		t.Fatal("out-of-range HeardAt must return -1")
+	}
+	if n.Crashed(9) {
+		t.Fatal("out-of-range Crashed must be false")
+	}
+}
+
+// TestPropertyProtocolMatchesTopologicalFlood: with unit latency, no
+// overhead and crashes at time 0, the protocol delivers exactly the set the
+// round-based simulator reaches.
+func TestPropertyProtocolMatchesTopologicalFlood(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		size := int(nRaw%12) + 4
+		g := graph.New(size)
+		state := uint64(seed) | 1
+		next := func() uint64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state
+		}
+		for u := 0; u < size; u++ {
+			for v := u + 1; v < size; v++ {
+				if next()%3 == 0 {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+		rng := sim.NewRNG(uint64(seed) * 17)
+		crashCount := rng.Intn(size / 2)
+		var opts []Option
+		crashed := map[int]bool{}
+		for _, v := range rng.Sample(size-1, crashCount) {
+			opts = append(opts, WithCrashAt(v+1, 0))
+			crashed[v+1] = true
+		}
+		n, err := NewNetwork(g, opts...)
+		if err != nil {
+			return false
+		}
+		mid, err := n.Broadcast(0, "m", 0)
+		if err != nil {
+			return false
+		}
+		n.Run()
+		// Survivor-subgraph BFS oracle.
+		sub := graph.New(size)
+		for _, e := range g.Edges() {
+			if !crashed[e.U] && !crashed[e.V] {
+				sub.MustAddEdge(e.U, e.V)
+			}
+		}
+		dist := sub.BFSFrom(0)
+		for v := 0; v < size; v++ {
+			want := int64(dist[v])
+			if crashed[v] {
+				want = -1
+			}
+			if n.HeardAt(v, mid) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package render draws topologies as standalone SVG documents. Two
+// layouts are provided: a generic circular layout for arbitrary graphs,
+// and a blueprint-aware layered layout that draws an LHG the way the
+// papers draw their figures — the k tree copies side by side with the
+// shared leaves on the bottom level spanning all of them.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"lhg/internal/core"
+	"lhg/internal/graph"
+)
+
+// Style controls the rendered appearance. The zero value is usable.
+type Style struct {
+	Width, Height int     // canvas size; default 960x600
+	NodeRadius    float64 // default 14
+	FontSize      int     // default 11
+}
+
+func (s Style) withDefaults() Style {
+	if s.Width <= 0 {
+		s.Width = 960
+	}
+	if s.Height <= 0 {
+		s.Height = 600
+	}
+	if s.NodeRadius <= 0 {
+		s.NodeRadius = 14
+	}
+	if s.FontSize <= 0 {
+		s.FontSize = 11
+	}
+	return s
+}
+
+type point struct{ x, y float64 }
+
+// Circular renders g on a circle, labels optional (nil uses node ids).
+func Circular(w io.Writer, g *graph.Graph, labels map[int]string, style Style) error {
+	st := style.withDefaults()
+	n := g.Order()
+	if n == 0 {
+		return fmt.Errorf("render: empty graph")
+	}
+	cx, cy := float64(st.Width)/2, float64(st.Height)/2
+	r := math.Min(cx, cy) - 3*st.NodeRadius
+	pos := make([]point, n)
+	for v := 0; v < n; v++ {
+		angle := 2 * math.Pi * float64(v) / float64(n)
+		pos[v] = point{x: cx + r*math.Cos(angle), y: cy + r*math.Sin(angle)}
+	}
+	return emit(w, g, labels, pos, st)
+}
+
+// Blueprint renders a compiled LHG with the layered layout: internal
+// copies arranged per tree, shared leaves on a bottom band, unshared
+// cliques as tight clusters.
+func Blueprint(w io.Writer, blue *core.Blueprint, real *core.Realization, style Style) error {
+	if blue == nil || real == nil || real.Graph == nil {
+		return fmt.Errorf("render: nil blueprint")
+	}
+	st := style.withDefaults()
+	g := real.Graph
+	pos := make([]point, g.Order())
+
+	height := blue.Height()
+	margin := 3 * st.NodeRadius
+	bandH := (float64(st.Height) - 2*margin - 4*st.NodeRadius) / float64(height+1)
+	copyW := (float64(st.Width) - 2*margin) / float64(blue.K)
+
+	// Internal positions: per copy column, per depth row, spread by
+	// position order within the depth.
+	depthCount := make(map[int]int)
+	depthIndex := make(map[int]int)
+	for p := 0; p < blue.Positions(); p++ {
+		if blue.Kind[p] == core.Internal {
+			depthIndex[p] = depthCount[blue.Depth[p]]
+			depthCount[blue.Depth[p]]++
+		}
+	}
+	for p := 0; p < blue.Positions(); p++ {
+		switch blue.Kind[p] {
+		case core.Internal:
+			row := float64(blue.Depth[p])
+			frac := (float64(depthIndex[p]) + 1) / (float64(depthCount[blue.Depth[p]]) + 1)
+			for i := 0; i < blue.K; i++ {
+				id := real.CopyNode[i][p]
+				pos[id] = point{
+					x: margin + copyW*float64(i) + frac*copyW,
+					y: margin + row*bandH,
+				}
+			}
+		}
+	}
+	// Leaves: evenly spread along the bottom band, shared singletons and
+	// clique clusters alike.
+	leafSlots := 0
+	for p := 0; p < blue.Positions(); p++ {
+		if blue.Kind[p] != core.Internal {
+			leafSlots++
+		}
+	}
+	slot := 0
+	bottom := float64(st.Height) - margin
+	for p := 0; p < blue.Positions(); p++ {
+		switch blue.Kind[p] {
+		case core.SharedLeaf:
+			slot++
+			x := leafX(slot, leafSlots, st, margin)
+			pos[real.LeafNode[p]] = point{x: x, y: bottom}
+		case core.UnsharedLeaf:
+			slot++
+			x := leafX(slot, leafSlots, st, margin)
+			for i, id := range real.GroupNode[p] {
+				angle := 2 * math.Pi * float64(i) / float64(blue.K)
+				pos[id] = point{
+					x: x + 1.8*st.NodeRadius*math.Cos(angle),
+					y: bottom - 2.2*st.NodeRadius + 1.8*st.NodeRadius*math.Sin(angle),
+				}
+			}
+		}
+	}
+	return emit(w, g, real.Labels, pos, st)
+}
+
+func leafX(slot, slots int, st Style, margin float64) float64 {
+	return margin + (float64(st.Width)-2*margin)*float64(slot)/(float64(slots)+1)
+}
+
+// emit writes the SVG document: edges as lines under nodes as circles with
+// centered labels.
+func emit(w io.Writer, g *graph.Graph, labels map[int]string, pos []point, st Style) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		st.Width, st.Height, st.Width, st.Height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", st.Width, st.Height)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#888" stroke-width="1.2"/>`+"\n",
+			pos[e.U].x, pos[e.U].y, pos[e.V].x, pos[e.V].y)
+	}
+	for v := 0; v < g.Order(); v++ {
+		label := ""
+		if labels != nil {
+			label = labels[v]
+		}
+		if label == "" {
+			label = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#e8f0fe" stroke="#1a56db" stroke-width="1.5"/>`+"\n",
+			pos[v].x, pos[v].y, st.NodeRadius)
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="middle" dominant-baseline="central">%s</text>`+"\n",
+			pos[v].x, pos[v].y, st.FontSize, label)
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}

@@ -1,0 +1,122 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"lhg/internal/core"
+	"lhg/internal/graph"
+)
+
+// svgDoc is a minimal decode target proving well-formed XML.
+type svgDoc struct {
+	XMLName xml.Name `xml:"svg"`
+	Width   string   `xml:"width,attr"`
+	Lines   []struct {
+		X1 string `xml:"x1,attr"`
+	} `xml:"line"`
+	Circles []struct {
+		CX string `xml:"cx,attr"`
+	} `xml:"circle"`
+	Texts []struct {
+		Body string `xml:",chardata"`
+	} `xml:"text"`
+}
+
+func decode(t *testing.T, buf *bytes.Buffer) svgDoc {
+	t.Helper()
+	var doc svgDoc
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not well-formed XML: %v", err)
+	}
+	return doc
+}
+
+func TestCircularRendersEveryElement(t *testing.T) {
+	g := graph.New(5)
+	for v := 0; v < 5; v++ {
+		g.MustAddEdge(v, (v+1)%5)
+	}
+	var buf bytes.Buffer
+	if err := Circular(&buf, g, nil, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	doc := decode(t, &buf)
+	if len(doc.Circles) != 5 {
+		t.Fatalf("rendered %d circles, want 5", len(doc.Circles))
+	}
+	if len(doc.Lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5", len(doc.Lines))
+	}
+	if len(doc.Texts) != 5 {
+		t.Fatalf("rendered %d labels, want 5", len(doc.Texts))
+	}
+}
+
+func TestCircularEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Circular(&buf, graph.New(0), nil, Style{}); err == nil {
+		t.Fatal("empty graph must error")
+	}
+}
+
+func TestCircularCustomLabels(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	var buf bytes.Buffer
+	if err := Circular(&buf, g, map[int]string{0: "alpha"}, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ">alpha</text>") {
+		t.Fatal("custom label missing")
+	}
+	if !strings.Contains(buf.String(), ">1</text>") {
+		t.Fatal("fallback numeric label missing")
+	}
+}
+
+func TestBlueprintLayoutKDiamond(t *testing.T) {
+	kd, err := core.BuildKDiamond(13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Blueprint(&buf, kd.Blue, kd.Real, Style{Width: 800, Height: 500}); err != nil {
+		t.Fatal(err)
+	}
+	doc := decode(t, &buf)
+	if len(doc.Circles) != 13 {
+		t.Fatalf("rendered %d circles, want 13", len(doc.Circles))
+	}
+	if len(doc.Lines) != kd.Real.Graph.Size() {
+		t.Fatalf("rendered %d lines, want %d", len(doc.Lines), kd.Real.Graph.Size())
+	}
+	// Blueprint labels make it into the drawing.
+	if !strings.Contains(buf.String(), ">R0<") {
+		t.Fatal("root label missing")
+	}
+}
+
+func TestBlueprintNilInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Blueprint(&buf, nil, nil, Style{}); err == nil {
+		t.Fatal("nil inputs must error")
+	}
+}
+
+func TestBlueprintDeepTree(t *testing.T) {
+	kt, err := core.BuildKTree(38, 3) // height 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Blueprint(&buf, kt.Blue, kt.Real, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	doc := decode(t, &buf)
+	if len(doc.Circles) != 38 {
+		t.Fatalf("rendered %d circles, want 38", len(doc.Circles))
+	}
+}

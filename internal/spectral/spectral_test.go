@@ -1,0 +1,165 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"lhg/internal/core"
+	"lhg/internal/graph"
+	"lhg/internal/harary"
+)
+
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func petersen() *graph.Graph {
+	g := graph.New(10)
+	for v := 0; v < 5; v++ {
+		g.MustAddEdge(v, (v+1)%5)
+		g.MustAddEdge(5+v, 5+(v+2)%5)
+		g.MustAddEdge(v, 5+v)
+	}
+	return g
+}
+
+func TestSecondEigenvalueErrors(t *testing.T) {
+	if _, err := SecondEigenvalue(graph.New(1), Options{}); err == nil {
+		t.Fatal("tiny graph must error")
+	}
+	star := graph.New(4)
+	star.MustAddEdge(0, 1)
+	star.MustAddEdge(0, 2)
+	star.MustAddEdge(0, 3)
+	if _, err := SecondEigenvalue(star, Options{}); err == nil {
+		t.Fatal("irregular graph must error")
+	}
+	if _, err := SecondEigenvalue(graph.New(4), Options{}); err == nil {
+		t.Fatal("disconnected graph must error")
+	}
+}
+
+func TestSecondEigenvalueCycle(t *testing.T) {
+	// C_n has λ2 = 2cos(2π/n) exactly.
+	for _, n := range []int{8, 16, 50} {
+		got, err := SecondEigenvalue(cycle(n), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * math.Cos(2*math.Pi/float64(n))
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("λ2(C%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSecondEigenvalueComplete(t *testing.T) {
+	// K_n has λ2 = -1.
+	got, err := SecondEigenvalue(complete(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-1)) > 1e-6 {
+		t.Fatalf("λ2(K8) = %v, want -1", got)
+	}
+}
+
+func TestSecondEigenvaluePetersen(t *testing.T) {
+	// The Petersen graph has eigenvalues 3, 1 (×5), -2 (×4): λ2 = 1.
+	got, err := SecondEigenvalue(petersen(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("λ2(Petersen) = %v, want 1", got)
+	}
+}
+
+func TestSpectralGapShrinksForHarary(t *testing.T) {
+	// The ring-like Harary graphs lose their gap quadratically.
+	gap32, err := SpectralGap(mustHarary(t, 32, 4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap128, err := SpectralGap(mustHarary(t, 128, 4), Options{Iterations: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap128 > gap32/4 {
+		t.Fatalf("Harary gap should shrink ~quadratically: gap(32)=%v gap(128)=%v", gap32, gap128)
+	}
+	// And it tracks the circulant closed form.
+	if bound := RingGapBound(128, 4); math.Abs(gap128-bound) > bound {
+		t.Fatalf("gap(128)=%v far from ring bound %v", gap128, bound)
+	}
+}
+
+func TestSpectralGapDecaysSlowerForKDiamond(t *testing.T) {
+	// LHGs are tree-like, not expanders: their gap decays ≈Θ(1/n) — but
+	// that is a full polynomial order slower than Harary's Θ(1/n²), so the
+	// gap ratio grows with n.
+	k := 4
+	gaps := map[int]float64{}
+	hGaps := map[int]float64{}
+	for _, n := range []int{32, 128} { // regular sizes for both families
+		if !core.RegularKDiamond(n, k) {
+			t.Fatalf("pick regular sizes: (%d,%d)", n, k)
+		}
+		kd, err := core.BuildKDiamond(n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap, err := SpectralGap(kd.Real.Graph, Options{Iterations: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps[n] = gap
+		hGap, err := SpectralGap(mustHarary(t, n, k), Options{Iterations: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hGaps[n] = hGap
+		if gap < 2*hGap {
+			t.Fatalf("n=%d: LHG gap %v not clearly above Harary gap %v", n, gap, hGap)
+		}
+	}
+	// Quadrupling n costs Harary ~16x of its gap but the LHG only ~8x;
+	// assert the ratio widens by at least 1.5x.
+	ratio32 := gaps[32] / hGaps[32]
+	ratio128 := gaps[128] / hGaps[128]
+	if ratio128 < 1.5*ratio32 {
+		t.Fatalf("gap ratio must widen with n: %v at n=32, %v at n=128", ratio32, ratio128)
+	}
+}
+
+func TestRingGapBoundMonotone(t *testing.T) {
+	if RingGapBound(64, 4) <= RingGapBound(256, 4) {
+		t.Fatal("ring gap must shrink with n")
+	}
+}
+
+func mustHarary(t *testing.T, n, k int) *graph.Graph {
+	t.Helper()
+	g, err := harary.Build(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsRegular(k) {
+		t.Fatalf("H(%d,%d) not regular; pick even k*n", k, n)
+	}
+	return g
+}

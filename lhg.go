@@ -1,0 +1,318 @@
+// Package lhg builds, verifies and simulates Logarithmic Harary Graphs
+// (LHGs): n-node topologies that tolerate k-1 arbitrary node or link
+// failures with the minimum (or near-minimum) number of links while keeping
+// the diameter — and therefore flooding latency — logarithmic in n.
+//
+// The package implements four constructions:
+//
+//   - Harary:   the classic Harary graph H(k,n) (1962). Minimum links
+//     (⌈kn/2⌉) and k-connectivity, but linear diameter. The baseline.
+//   - JD:       the Jenkins–Demers operational rule (ICDCS 2001). The first
+//     logarithmic-diameter Harary family, but unbuildable for infinitely
+//     many pairs (n,k).
+//   - KTree:    the K-TREE graph constraint (Baldoni et al.). Exists for
+//     every n >= 2k; k-regular when n = 2k + 2α(k-1).
+//   - KDiamond: the K-DIAMOND graph constraint (Baldoni et al.). Exists for
+//     every n >= 2k and is k-regular for twice as many sizes,
+//     n = 2k + α(k-1).
+//
+// Quick start:
+//
+//	g, err := lhg.Build(lhg.KDiamond, 50, 4)
+//	report, err := lhg.Verify(g, 4)          // proves P1..P4 via max-flow
+//	res, err := lhg.Flood(g, 0, lhg.Failures{Nodes: []int{3, 7, 9}})
+//
+// See the examples directory for complete programs and cmd/experiments for
+// the reproduction of every result in the paper.
+package lhg
+
+import (
+	"fmt"
+
+	"lhg/internal/check"
+	"lhg/internal/core"
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+	"lhg/internal/harary"
+	"lhg/internal/member"
+	"lhg/internal/overlay"
+	"lhg/internal/sim"
+)
+
+// Re-exported core types, so that typical use needs only this package.
+type (
+	// Graph is an undirected simple graph over nodes 0..n-1.
+	Graph = graph.Graph
+	// Edge is an undirected edge with U < V.
+	Edge = graph.Edge
+	// Report is the outcome of verifying the LHG properties.
+	Report = check.Report
+	// Failures selects crashed nodes and failed links for a flood.
+	Failures = flood.Failures
+	// FloodResult reports rounds, messages and coverage of one flood.
+	FloodResult = flood.Result
+)
+
+// Constraint selects a topology construction.
+type Constraint int
+
+const (
+	// Harary is the classic linear-diameter baseline H(k,n).
+	Harary Constraint = iota + 1
+	// JD is the Jenkins–Demers LHG rule (ICDCS 2001).
+	JD
+	// KTree is the K-TREE graph constraint.
+	KTree
+	// KDiamond is the K-DIAMOND graph constraint.
+	KDiamond
+)
+
+var constraintNames = map[Constraint]string{
+	Harary:   "harary",
+	JD:       "jd",
+	KTree:    "ktree",
+	KDiamond: "kdiamond",
+}
+
+func (c Constraint) String() string {
+	if s, ok := constraintNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("constraint(%d)", int(c))
+}
+
+// ParseConstraint maps a name ("harary", "jd", "ktree", "kdiamond") to its
+// Constraint.
+func ParseConstraint(s string) (Constraint, error) {
+	for c, name := range constraintNames {
+		if name == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("lhg: unknown constraint %q (want harary, jd, ktree or kdiamond)", s)
+}
+
+// Constraints lists every supported constraint in presentation order.
+func Constraints() []Constraint { return []Constraint{Harary, JD, KTree, KDiamond} }
+
+// ErrNotConstructible is returned (wrapped) by Build when no graph
+// satisfying the constraint exists for the pair (n,k). Match it with
+// errors.Is.
+var ErrNotConstructible = core.ErrNotConstructible
+
+// Build constructs the canonical graph of the given constraint for the
+// pair (n,k).
+func Build(c Constraint, n, k int) (*Graph, error) {
+	switch c {
+	case Harary:
+		return harary.Build(n, k)
+	case JD:
+		jd, err := core.BuildJD(n, k)
+		if err != nil {
+			return nil, err
+		}
+		return jd.Real.Graph, nil
+	case KTree:
+		kt, err := core.BuildKTree(n, k)
+		if err != nil {
+			return nil, err
+		}
+		return kt.Real.Graph, nil
+	case KDiamond:
+		kd, err := core.BuildKDiamond(n, k)
+		if err != nil {
+			return nil, err
+		}
+		return kd.Real.Graph, nil
+	default:
+		return nil, fmt.Errorf("lhg: unknown constraint %v", c)
+	}
+}
+
+// Labeled builds the graph together with human-readable node labels
+// (R<i> root copies, N<p>.<i> internal copies, L<p> shared leaves,
+// U<p>.<i> unshared clique members) for DOT rendering. The Harary baseline
+// has no tree structure, so its labels are the numeric ids.
+func Labeled(c Constraint, n, k int) (*Graph, map[int]string, error) {
+	switch c {
+	case Harary:
+		g, err := harary.Build(n, k)
+		return g, nil, err
+	case JD:
+		jd, err := core.BuildJD(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return jd.Real.Graph, jd.Real.Labels, nil
+	case KTree:
+		kt, err := core.BuildKTree(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kt.Real.Graph, kt.Real.Labels, nil
+	case KDiamond:
+		kd, err := core.BuildKDiamond(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kd.Real.Graph, kd.Real.Labels, nil
+	default:
+		return nil, nil, fmt.Errorf("lhg: unknown constraint %v", c)
+	}
+}
+
+// Exists is the characteristic function EX_Π(n,k): whether a graph
+// satisfying the constraint exists for the pair. For K-TREE and K-DIAMOND
+// this is the closed form n >= 2k proved by Theorems 2 and 5; for JD it is
+// decided by the decomposition search; Harary exists for every 2 <= k < n.
+func Exists(c Constraint, n, k int) bool {
+	switch c {
+	case Harary:
+		return k >= 2 && n > k
+	case JD:
+		return core.ExistsJD(n, k)
+	case KTree:
+		return core.ExistsKTree(n, k)
+	case KDiamond:
+		return core.ExistsKDiamond(n, k)
+	default:
+		return false
+	}
+}
+
+// Regular is the characteristic function REG_Π(n,k): whether a k-regular
+// graph satisfying the constraint exists for the pair (Theorems 3 and 6).
+// Harary graphs are k-regular iff k·n is even.
+func Regular(c Constraint, n, k int) bool {
+	switch c {
+	case Harary:
+		return Exists(c, n, k) && (k*n)%2 == 0
+	case JD:
+		return core.RegularJD(n, k)
+	case KTree:
+		return core.RegularKTree(n, k)
+	case KDiamond:
+		return core.RegularKDiamond(n, k)
+	default:
+		return false
+	}
+}
+
+// Verify proves or refutes every LHG property of g for target k, exactly
+// (max-flow based). See check.Report for the fields.
+func Verify(g *Graph, k int) (*Report, error) { return check.Verify(g, k) }
+
+// IsLHG is the fast boolean check of the four mandatory properties.
+func IsLHG(g *Graph, k int) (bool, error) { return check.QuickVerify(g, k) }
+
+// Flood runs a round-synchronous flood from source under failures.
+func Flood(g *Graph, source int, f Failures) (*FloodResult, error) {
+	return flood.Run(g, source, f)
+}
+
+// Incremental maintenance: the constructive procedures inside the proofs
+// of Theorems 2 and 5, exposed as join-only growers. Each Grow admits one
+// node with O(k²) edge churn (independent of n) and the topology satisfies
+// every LHG property after every single step.
+type (
+	// KTreeGrower grows a K-TREE LHG one node at a time.
+	KTreeGrower = core.KTreeGrower
+	// KDiamondGrower grows a K-DIAMOND LHG one node at a time.
+	KDiamondGrower = core.KDiamondGrower
+	// EdgeDelta is the edge surgery performed by one growth step.
+	EdgeDelta = core.EdgeDelta
+)
+
+// NewKTreeGrower starts an incremental K-TREE overlay at its minimum size
+// 2k.
+func NewKTreeGrower(k int) (*KTreeGrower, error) { return core.NewKTreeGrower(k) }
+
+// NewKDiamondGrower starts an incremental K-DIAMOND overlay at its minimum
+// size 2k.
+func NewKDiamondGrower(k int) (*KDiamondGrower, error) { return core.NewKDiamondGrower(k) }
+
+// Router answers point-to-point routing queries from blueprint metadata
+// alone (no search, no routing tables): tree paths within a copy, junction
+// leaves across copies. Routes are bounded by 3·height(T)+3 hops — the
+// Lemma 3 diameter argument as an algorithm.
+type Router = core.Router
+
+// BuildRouted constructs the canonical K-TREE or K-DIAMOND graph together
+// with its structured router. The Harary and JD constraints are not
+// supported (Harary has no tree structure; use KTree or KDiamond).
+func BuildRouted(c Constraint, n, k int) (*Graph, *Router, error) {
+	switch c {
+	case KTree:
+		kt, err := core.BuildKTree(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := core.NewRouter(kt.Blue, kt.Real)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kt.Real.Graph, r, nil
+	case KDiamond:
+		kd, err := core.BuildKDiamond(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := core.NewRouter(kd.Blue, kd.Real)
+		if err != nil {
+			return nil, nil, err
+		}
+		return kd.Real.Graph, r, nil
+	default:
+		return nil, nil, fmt.Errorf("lhg: constraint %v has no structured router (use ktree or kdiamond)", c)
+	}
+}
+
+// Overlay is a dynamic-membership topology manager (canonical rebuild per
+// change, churn accounting). See also NewKTreeGrower/NewKDiamondGrower for
+// the O(k²)-churn incremental alternative.
+type Overlay = overlay.Overlay
+
+// Membership is the self-healing membership service: view changes flooded
+// over the current topology, crash windows, repair.
+type Membership = member.System
+
+// NewOverlay creates a rebuild-based overlay of `initial` members using the
+// given constraint's canonical construction.
+func NewOverlay(c Constraint, k, initial int) (*Overlay, error) {
+	return overlay.New(k, initial, topologyFunc(c))
+}
+
+// NewMembership creates a self-healing membership service of `initial`
+// members on the given constraint's canonical construction.
+func NewMembership(c Constraint, k, initial int) (*Membership, error) {
+	return member.New(k, initial, topologyFunc(c))
+}
+
+func topologyFunc(c Constraint) func(n, k int) (*Graph, error) {
+	return func(n, k int) (*Graph, error) { return Build(c, n, k) }
+}
+
+// BuildVariant constructs a randomly sampled (seeded, reproducible)
+// witness of the K-TREE or K-DIAMOND constraint for (n,k) — the
+// constraints admit many graphs per pair; the canonical Build picks one,
+// BuildVariant explores the rest. Useful for topology diversity across
+// deployments and for testing downstream code against more than one shape.
+func BuildVariant(c Constraint, n, k int, seed uint64) (*Graph, error) {
+	rng := sim.NewRNG(seed)
+	switch c {
+	case KTree:
+		kt, err := core.BuildKTreeVariant(n, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		return kt.Real.Graph, nil
+	case KDiamond:
+		kd, err := core.BuildKDiamondVariant(n, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		return kd.Real.Graph, nil
+	default:
+		return nil, fmt.Errorf("lhg: constraint %v has no variant builder (use ktree or kdiamond)", c)
+	}
+}

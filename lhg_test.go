@@ -1,0 +1,269 @@
+package lhg_test
+
+import (
+	"errors"
+	"testing"
+
+	"lhg"
+)
+
+func TestBuildAllConstraints(t *testing.T) {
+	tests := []struct {
+		c    lhg.Constraint
+		n, k int
+	}{
+		{c: lhg.Harary, n: 12, k: 3},
+		{c: lhg.JD, n: 10, k: 3},
+		{c: lhg.KTree, n: 11, k: 3},
+		{c: lhg.KDiamond, n: 11, k: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.c.String(), func(t *testing.T) {
+			g, err := lhg.Build(tt.c, tt.n, tt.k)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if g.Order() != tt.n {
+				t.Fatalf("Order = %d, want %d", g.Order(), tt.n)
+			}
+			r, err := lhg.Verify(g, tt.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.KNodeConnected || !r.KLinkConnected {
+				t.Fatalf("%v(%d,%d) not %d-connected: %s", tt.c, tt.n, tt.k, tt.k, r)
+			}
+		})
+	}
+}
+
+func TestBuildUnknownConstraint(t *testing.T) {
+	if _, err := lhg.Build(lhg.Constraint(99), 10, 3); err == nil {
+		t.Fatal("unknown constraint must error")
+	}
+	if _, _, err := lhg.Labeled(lhg.Constraint(99), 10, 3); err == nil {
+		t.Fatal("unknown constraint must error")
+	}
+}
+
+func TestBuildNotConstructible(t *testing.T) {
+	_, err := lhg.Build(lhg.KTree, 5, 3)
+	if !errors.Is(err, lhg.ErrNotConstructible) {
+		t.Fatalf("err = %v, want ErrNotConstructible", err)
+	}
+	_, err = lhg.Build(lhg.JD, 9, 3)
+	if !errors.Is(err, lhg.ErrNotConstructible) {
+		t.Fatalf("err = %v, want ErrNotConstructible", err)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	g, labels, err := lhg.Labeled(lhg.KDiamond, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != g.Order() {
+		t.Fatalf("labels cover %d of %d nodes", len(labels), g.Order())
+	}
+	// Harary has no tree labels.
+	_, labels, err = lhg.Labeled(lhg.Harary, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != nil {
+		t.Fatal("Harary labels must be nil")
+	}
+}
+
+func TestParseConstraint(t *testing.T) {
+	for _, c := range lhg.Constraints() {
+		got, err := lhg.ParseConstraint(c.String())
+		if err != nil {
+			t.Fatalf("ParseConstraint(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("round trip %v != %v", got, c)
+		}
+	}
+	if _, err := lhg.ParseConstraint("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+	if s := lhg.Constraint(99).String(); s != "constraint(99)" {
+		t.Fatalf("String of invalid = %q", s)
+	}
+}
+
+func TestExistsMatrix(t *testing.T) {
+	tests := []struct {
+		c    lhg.Constraint
+		n, k int
+		want bool
+	}{
+		{c: lhg.Harary, n: 5, k: 2, want: true},
+		{c: lhg.Harary, n: 2, k: 2, want: false},
+		{c: lhg.KTree, n: 6, k: 3, want: true},
+		{c: lhg.KTree, n: 5, k: 3, want: false},
+		{c: lhg.KDiamond, n: 7, k: 3, want: true},
+		{c: lhg.JD, n: 9, k: 3, want: false},
+		{c: lhg.JD, n: 10, k: 3, want: true},
+		{c: lhg.Constraint(99), n: 10, k: 3, want: false},
+	}
+	for _, tt := range tests {
+		if got := lhg.Exists(tt.c, tt.n, tt.k); got != tt.want {
+			t.Fatalf("Exists(%v,%d,%d) = %t, want %t", tt.c, tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestRegularMatrix(t *testing.T) {
+	tests := []struct {
+		c    lhg.Constraint
+		n, k int
+		want bool
+	}{
+		{c: lhg.Harary, n: 6, k: 3, want: true},
+		{c: lhg.Harary, n: 7, k: 3, want: false}, // odd k*n
+		{c: lhg.KTree, n: 10, k: 3, want: true},
+		{c: lhg.KTree, n: 8, k: 3, want: false},
+		{c: lhg.KDiamond, n: 8, k: 3, want: true},
+		{c: lhg.JD, n: 10, k: 3, want: true},
+		{c: lhg.JD, n: 12, k: 3, want: false},
+		{c: lhg.Constraint(99), n: 10, k: 3, want: false},
+	}
+	for _, tt := range tests {
+		if got := lhg.Regular(tt.c, tt.n, tt.k); got != tt.want {
+			t.Fatalf("Regular(%v,%d,%d) = %t, want %t", tt.c, tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestIsLHGFacade(t *testing.T) {
+	g, err := lhg.Build(lhg.KTree, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := lhg.IsLHG(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("K-TREE(12,3) must be an LHG")
+	}
+}
+
+func TestFloodFacadeSurvivesFailures(t *testing.T) {
+	g, err := lhg.Build(lhg.KDiamond, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lhg.Flood(g, 0, lhg.Failures{Nodes: []int{2, 5, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("4-connected flood with 3 failures incomplete: %s", res)
+	}
+}
+
+// TestEndToEndAllConstraintsAgree is the integration pass: for a grid of
+// pairs, whenever two constructions both exist they are both verified LHGs
+// and both flood completely under k-1 adversarial-ish failures.
+func TestEndToEndAllConstraintsAgree(t *testing.T) {
+	k := 3
+	for n := 2 * k; n <= 30; n++ {
+		for _, c := range []lhg.Constraint{lhg.JD, lhg.KTree, lhg.KDiamond} {
+			if !lhg.Exists(c, n, k) {
+				continue
+			}
+			g, err := lhg.Build(c, n, k)
+			if err != nil {
+				t.Fatalf("Build(%v,%d,%d): %v", c, n, k, err)
+			}
+			ok, err := lhg.IsLHG(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("%v(%d,%d) is not an LHG", c, n, k)
+			}
+			res, err := lhg.Flood(g, n-1, lhg.Failures{Nodes: []int{0, 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Complete {
+				t.Fatalf("%v(%d,%d) flood incomplete with 2 failures", c, n, k)
+			}
+		}
+	}
+}
+
+func TestBuildRouted(t *testing.T) {
+	for _, c := range []lhg.Constraint{lhg.KTree, lhg.KDiamond} {
+		g, router, err := lhg.BuildRouted(c, 26, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := router.Route(0, g.Order()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !g.HasEdge(path[i], path[i+1]) {
+				t.Fatalf("%v route uses missing edge", c)
+			}
+		}
+		if len(path)-1 > router.MaxRouteLength() {
+			t.Fatalf("%v route too long", c)
+		}
+	}
+	if _, _, err := lhg.BuildRouted(lhg.Harary, 26, 3); err == nil {
+		t.Fatal("harary must have no router")
+	}
+}
+
+func TestNewOverlayFacade(t *testing.T) {
+	o, err := lhg.NewOverlay(lhg.KDiamond, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", o.Size())
+	}
+	if _, err := lhg.NewOverlay(lhg.KTree, 3, 5); err == nil {
+		t.Fatal("n < 2k must fail")
+	}
+}
+
+func TestNewMembershipFacade(t *testing.T) {
+	s, err := lhg.NewMembership(lhg.KTree, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Crash(4, 7); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.View.Size != 8 || !s.ConsistentViews() {
+		t.Fatalf("repair: %+v consistent=%t", rep.View, s.ConsistentViews())
+	}
+}
+
+func TestBuildVariantFacade(t *testing.T) {
+	g, err := lhg.BuildVariant(lhg.KDiamond, 20, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := lhg.IsLHG(g, 3)
+	if err != nil || !ok {
+		t.Fatalf("variant not an LHG: %v", err)
+	}
+	if _, err := lhg.BuildVariant(lhg.Harary, 20, 3, 5); err == nil {
+		t.Fatal("harary has no variant builder")
+	}
+}
