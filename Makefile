@@ -1,0 +1,47 @@
+GO ?= go
+
+.PHONY: all build vet fmt test race bench clean
+
+all: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the perf-trajectory series (exact verification and flooding at
+# n in {256, 1024, 4096} plus the steady-state 0-alloc probes) and emits
+# BENCH_verify.json with ns/op and allocs/op per benchmark, so successive
+# PRs can diff verification throughput.
+bench:
+	$(GO) test -run '^$$' \
+		-bench '^(BenchmarkVerifySweep|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState)$$' \
+		-benchmem -benchtime=1x . | tee bench.out
+	@awk 'BEGIN { printf "{\n  \"benchmarks\": [" } \
+		/^Benchmark/ { \
+			name=$$1; sub(/-[0-9]+$$/, "", name); ns=""; allocs=""; \
+			for (i=2; i<=NF; i++) { \
+				if ($$i == "ns/op") ns=$$(i-1); \
+				if ($$i == "allocs/op") allocs=$$(i-1); \
+			} \
+			if (ns != "") { \
+				printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, (allocs == "" ? "null" : allocs); \
+				sep=","; \
+			} \
+		} \
+		END { printf "\n  ]\n}\n" }' bench.out > BENCH_verify.json
+	@rm -f bench.out
+	@echo "wrote BENCH_verify.json"
+
+clean:
+	rm -f bench.out BENCH_verify.json

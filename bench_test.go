@@ -93,11 +93,13 @@ func BenchmarkBuildHarary(b *testing.B) {
 }
 
 // BenchmarkVerify covers the exact property verification used in E1/E2:
-// full max-flow based κ/λ plus P3/P4.
+// full max-flow based κ/λ plus P3/P4. The n=64 case is irregular (off the
+// Theorem 6 regularity grid), so it exercises the full per-edge P3 sweep.
 func BenchmarkVerify(b *testing.B) {
 	for _, n := range []int{32, 64, 128} {
 		g := buildOrFatal(b, lhg.KDiamond, n, 4)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				r, err := lhg.Verify(g, 4)
 				if err != nil {
@@ -106,6 +108,109 @@ func BenchmarkVerify(b *testing.B) {
 				sinkBool = r.IsLHG()
 			}
 		})
+	}
+	// The headline irregular case: 1024 nodes, k=8. The canonical
+	// K-DIAMOND(1024,8) lands exactly on the Theorem 6 regularity grid
+	// (1024 = 16 + 7·144), which would short-circuit P3; dropping one edge
+	// makes the graph irregular so every edge is probed by the per-edge
+	// P3 sweep — the path that used to Clone() per edge.
+	g := buildOrFatal(b, lhg.KDiamond, 1024, 8)
+	e := g.Edges()[0]
+	g = g.WithoutEdge(e.U, e.V)
+	b.Run("n=1024-k=8-irregular", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := lhg.Verify(g, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkBool = r.IsLHG()
+		}
+	})
+}
+
+// BenchmarkVerifySweep is the perf-trajectory series emitted into
+// BENCH_verify.json by `make bench`: full exact verification at the sweep
+// sizes (all three are irregular K-DIAMOND instances, so the per-edge P3
+// sweep runs).
+func BenchmarkVerifySweep(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		g := buildOrFatal(b, lhg.KDiamond, n, 4)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := lhg.Verify(g, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkBool = r.IsLHG()
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyParallel is BenchmarkVerifySweep driven through the
+// worker-pool verifier with one worker per core.
+func BenchmarkVerifyParallel(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		g := buildOrFatal(b, lhg.KDiamond, n, 4)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := lhg.VerifyParallel(g, 4, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkBool = r.IsLHG()
+			}
+		})
+	}
+}
+
+// BenchmarkFlood is the flood series for BENCH_verify.json: one fault-free
+// flood per iteration at the sweep sizes. Steady-state floods allocate only
+// the per-run result slices.
+func BenchmarkFlood(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		g := buildOrFatal(b, lhg.KDiamond, n, 4)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := lhg.Flood(g, 0, lhg.Failures{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkResult = res
+			}
+		})
+	}
+}
+
+// BenchmarkBFSSteadyState measures one full BFS on the frozen CSR view.
+// After the first iteration warms the scratch pool, the traversal itself
+// is allocation-free (0 allocs/op).
+func BenchmarkBFSSteadyState(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 1024, 4)
+	sinkBool = g.Connected() // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBool = g.Connected()
+	}
+}
+
+// BenchmarkEdgeProbeSteadyState measures one P3 removal probe — two
+// single-pair max flows on the masked CSR view. With the network pool warm
+// it runs without allocating (0 allocs/op); this is the per-edge cost of
+// verifyLinkMinimality.
+func BenchmarkEdgeProbeSteadyState(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 1024, 4)
+	e := g.Edges()[0]
+	sinkBool = flow.EdgeIsRemovable(g, e, 4, 4) // warm the network pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBool = flow.EdgeIsRemovable(g, e, 4, 4)
 	}
 }
 
@@ -122,6 +227,28 @@ func BenchmarkQuickVerify(b *testing.B) {
 				sinkBool = ok
 			}
 		})
+	}
+}
+
+// TestSteadyStateProbesAllocFree pins the acceptance criterion behind the
+// scratch/network pools: once warm, a full BFS and a P3 edge probe on the
+// frozen view run without allocating.
+func TestSteadyStateProbesAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse; alloc counts are meaningless")
+	}
+	g, err := lhg.Build(lhg.KDiamond, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges()[0]
+	sinkBool = g.Connected()                    // warm the BFS scratch pool
+	sinkBool = flow.EdgeIsRemovable(g, e, 4, 4) // warm the network pool
+	if avg := testing.AllocsPerRun(50, func() { sinkBool = g.Connected() }); avg != 0 {
+		t.Fatalf("steady-state BFS allocates %.1f times per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { sinkBool = flow.EdgeIsRemovable(g, e, 4, 4) }); avg != 0 {
+		t.Fatalf("steady-state edge probe allocates %.1f times per run, want 0", avg)
 	}
 }
 

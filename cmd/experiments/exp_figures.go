@@ -52,7 +52,7 @@ func runE2(w io.Writer) error {
 }
 
 func printWitnessRow(w io.Writer, name string, real *core.Realization, k int) error {
-	r, err := check.Verify(real.Graph, k)
+	r, err := check.VerifyParallel(real.Graph, k, verifyWorkers)
 	if err != nil {
 		return err
 	}

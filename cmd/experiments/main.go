@@ -17,6 +17,10 @@ import (
 	"strings"
 )
 
+// verifyWorkers is the -workers flag: goroutine budget handed to the
+// parallel verifier by the experiments that prove LHG properties.
+var verifyWorkers int
+
 // experiment is one reproducible table/figure.
 type experiment struct {
 	ID    string
@@ -66,10 +70,12 @@ func run(args []string, out io.Writer) error {
 		only    = fs.String("only", "", "run a single experiment id (e.g. E4)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		figures = fs.String("figures", "", "write the paper's witness graphs as DOT files into this directory and exit")
+		workers = fs.Int("workers", 0, "goroutines for verification-heavy experiments (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	verifyWorkers = *workers
 	if *figures != "" {
 		return writeFigures(*figures, out)
 	}

@@ -41,6 +41,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		n          = fs.Int("n", 20, "number of nodes")
 		k          = fs.Int("k", 3, "connectivity target")
 		stdin      = fs.Bool("stdin", false, "read a JSON graph from stdin instead of building one")
+		workers    = fs.Int("workers", 0, "verification worker goroutines (0 = all cores)")
 		blueprint  = fs.Bool("blueprint", false, "read a blueprint JSON (lhgen -format blueprint) from stdin, validate its constraints, compile and verify")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,7 +86,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 	}
 
-	r, err := lhg.Verify(g, *k)
+	r, err := lhg.VerifyParallel(g, *k, *workers)
 	if err != nil {
 		return err
 	}

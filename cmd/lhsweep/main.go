@@ -40,6 +40,7 @@ func run(args []string, out io.Writer) error {
 		step     = fs.String("step", "x2", "sweep step: a number (additive) or xN (multiplicative)")
 		doGap    = fs.Bool("spectral", false, "include the spectral gap column (k-regular sizes only, slower)")
 		families = fs.String("families", "harary,jd,ktree,kdiamond", "comma-separated constraint list")
+		workers  = fs.Int("workers", 0, "goroutines for the diameter sweep (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +83,7 @@ func run(args []string, out io.Writer) error {
 				strconv.Itoa(n),
 				strconv.Itoa(*k),
 				strconv.Itoa(g.Size()),
-				strconv.Itoa(g.Diameter()),
+				strconv.Itoa(g.DiameterParallel(*workers)),
 				strconv.Itoa(res.Rounds),
 				strconv.Itoa(res.Messages),
 				strconv.Itoa(check.MooreDiameterLowerBound(n, *k)),

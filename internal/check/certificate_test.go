@@ -43,8 +43,7 @@ func TestCertifyCompleteGraph(t *testing.T) {
 }
 
 func TestCertifyDisconnected(t *testing.T) {
-	g := graph.New(4)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}})
 	cert, err := Certify(g)
 	if err != nil {
 		t.Fatal(err)
@@ -150,7 +149,7 @@ func TestPropertyCertifyRoundTrips(t *testing.T) {
 }
 
 func randomGraph(n int, seed uint64) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	state := seed | 1
 	next := func() uint64 {
 		state ^= state << 13
@@ -161,9 +160,9 @@ func randomGraph(n int, seed uint64) *graph.Graph {
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if next()%2 == 0 {
-				g.MustAddEdge(u, v)
+				b.MustAddEdge(u, v)
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }

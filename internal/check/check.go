@@ -72,7 +72,12 @@ func (r *Report) String() string {
 // Verify computes the full report for g against target connectivity k.
 // It is exact and therefore O(n·maxflow) — intended for verification, not
 // for hot paths. k must be at least 1 and less than n.
-func Verify(g *graph.Graph, k int) (*Report, error) {
+func Verify(g *graph.Graph, k int) (*Report, error) { return verify(g, k, 1) }
+
+// verify is the shared serial/parallel driver; workers <= 1 runs serially,
+// larger values fan the connectivity cuts, the per-edge P3 probes and the
+// distance sweep across that many goroutines (see VerifyParallel).
+func verify(g *graph.Graph, k, workers int) (*Report, error) {
 	n := g.Order()
 	if k < 1 {
 		return nil, fmt.Errorf("check: connectivity target k=%d must be >= 1", k)
@@ -85,17 +90,21 @@ func Verify(g *graph.Graph, k int) (*Report, error) {
 	r.MaxDegree, _ = g.MaxDegree()
 	r.Regular = g.IsRegular(k)
 
-	r.NodeConnectivity = flow.VertexConnectivity(g)
-	r.EdgeConnectivity = flow.EdgeConnectivity(g)
+	if workers > 1 {
+		r.NodeConnectivity = flow.VertexConnectivityParallel(g, workers)
+		r.EdgeConnectivity = flow.EdgeConnectivityParallel(g, workers)
+	} else {
+		r.NodeConnectivity = flow.VertexConnectivity(g)
+		r.EdgeConnectivity = flow.EdgeConnectivity(g)
+	}
 	r.KNodeConnected = r.NodeConnectivity >= k
 	r.KLinkConnected = r.EdgeConnectivity >= k
 
-	r.LinkMinimal = verifyLinkMinimality(g, r)
+	r.LinkMinimal = verifyLinkMinimality(g, r, workers)
 
-	r.Diameter = g.Diameter()
+	r.Diameter, r.AvgPathLen = g.DistanceStats(workers)
 	r.DiameterBound = DiameterBound(n, k)
 	r.LogDiameter = r.Diameter >= 0 && r.Diameter <= r.DiameterBound
-	r.AvgPathLen = g.AvgPathLength()
 	return r, nil
 }
 
@@ -114,8 +123,14 @@ func DiameterBound(n, k int) int {
 // verifyLinkMinimality checks P3: every single-edge removal must reduce the
 // node or link connectivity below its current value. For k-regular graphs
 // this is immediate (removing an edge drops a degree below κ=λ=k), so the
-// expensive per-edge recomputation only runs for irregular graphs.
-func verifyLinkMinimality(g *graph.Graph, r *Report) bool {
+// per-edge probes only run for irregular graphs.
+//
+// Each probe is two single-pair max flows on the masked CSR view
+// (flow.EdgeIsRemovable) — connectivity under an edge removal can only drop
+// through cuts separating that edge's endpoints, so no clone and no global
+// re-sweep is needed. With workers > 1 the probes fan out across a worker
+// pool.
+func verifyLinkMinimality(g *graph.Graph, r *Report, workers int) bool {
 	kappa, lambda := r.NodeConnectivity, r.EdgeConnectivity
 	if kappa == 0 || lambda == 0 {
 		return false // already disconnected; nothing to preserve
@@ -125,10 +140,12 @@ func verifyLinkMinimality(g *graph.Graph, r *Report) bool {
 		// lowers a degree below λ and with it the link connectivity.
 		return true
 	}
-	for _, e := range g.Edges() {
-		h := g.Clone()
-		h.RemoveEdge(e.U, e.V)
-		if flow.IsKEdgeConnected(h, lambda) && flow.IsKNodeConnected(h, kappa) {
+	edges := g.Edges()
+	removable := flow.EdgesRemovable(g, edges, kappa, lambda, workers)
+	// Report the first removable edge in canonical order, so the parallel
+	// and serial drivers return identical witnesses.
+	for i, e := range edges {
+		if removable[i] {
 			r.ViolatingEdge = e
 			r.hasViolation = true
 			return false
@@ -168,9 +185,7 @@ func QuickVerify(g *graph.Graph, k int) (bool, error) {
 		return true, nil // P3 immediate for k-regular k-connected graphs
 	}
 	for _, e := range g.Edges() {
-		h := g.Clone()
-		h.RemoveEdge(e.U, e.V)
-		if flow.IsKEdgeConnected(h, k) && flow.IsKNodeConnected(h, k) {
+		if flow.EdgeIsRemovable(g, e, k, k) {
 			return false, nil
 		}
 	}

@@ -8,32 +8,32 @@ import (
 )
 
 func cycle(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
-		g.MustAddEdge(v, (v+1)%n)
+		b.MustAddEdge(v, (v+1)%n)
 	}
-	return g
+	return b.Freeze()
 }
 
 func complete(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.MustAddEdge(u, v)
+			b.MustAddEdge(u, v)
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // petersen returns the Petersen graph: 3-regular, 3-connected, diameter 2.
 func petersen() *graph.Graph {
-	g := graph.New(10)
+	b := graph.NewBuilder(10)
 	for v := 0; v < 5; v++ {
-		g.MustAddEdge(v, (v+1)%5)     // outer cycle
-		g.MustAddEdge(5+v, 5+(v+2)%5) // inner pentagram
-		g.MustAddEdge(v, 5+v)         // spokes
+		b.MustAddEdge(v, (v+1)%5)     // outer cycle
+		b.MustAddEdge(5+v, 5+(v+2)%5) // inner pentagram
+		b.MustAddEdge(v, 5+v)         // spokes
 	}
-	return g
+	return b.Freeze()
 }
 
 func TestVerifyArgumentErrors(t *testing.T) {
@@ -88,9 +88,7 @@ func TestVerifyCycleFailsP4(t *testing.T) {
 
 func TestVerifyDetectsNonMinimalGraph(t *testing.T) {
 	// A cycle plus one chord: still κ=λ=2 but the chord is removable.
-	g := cycle(8)
-	g.MustAddEdge(0, 4)
-	r, err := Verify(g, 2)
+	r, err := Verify(chorded(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,8 +123,7 @@ func TestVerifyUnderConnected(t *testing.T) {
 }
 
 func TestVerifyDisconnected(t *testing.T) {
-	g := graph.New(6)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(6, []graph.Edge{{U: 0, V: 1}})
 	r, err := Verify(g, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -197,9 +194,9 @@ func TestQuickVerifyAgreesWithVerify(t *testing.T) {
 }
 
 func chorded() *graph.Graph {
-	g := cycle(8)
-	g.MustAddEdge(0, 4)
-	return g
+	b := cycle(8).Thaw()
+	b.MustAddEdge(0, 4)
+	return b.Freeze()
 }
 
 func TestQuickVerifyErrors(t *testing.T) {

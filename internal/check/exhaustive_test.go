@@ -15,17 +15,17 @@ import (
 
 // buildFromMask decodes a labeled graph on n nodes from an edge bitmask.
 func buildFromMask(n int, mask uint64) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	bit := 0
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if mask&(1<<bit) != 0 {
-				g.MustAddEdge(u, v)
+				b.MustAddEdge(u, v)
 			}
 			bit++
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 func bruteKappa(g *graph.Graph) int {
@@ -65,23 +65,23 @@ func bruteLambda(g *graph.Graph) int {
 		return 0
 	}
 	edges := g.Edges()
-	var rec func(h *graph.Graph, start, left int) bool
-	rec = func(h *graph.Graph, start, left int) bool {
+	var rec func(b *graph.Builder, start, left int) bool
+	rec = func(b *graph.Builder, start, left int) bool {
 		if left == 0 {
-			return !h.Connected()
+			return !b.Freeze().Connected()
 		}
 		for i := start; i <= len(edges)-left; i++ {
-			h.RemoveEdge(edges[i].U, edges[i].V)
-			if rec(h, i+1, left-1) {
-				h.MustAddEdge(edges[i].U, edges[i].V)
+			b.RemoveEdge(edges[i].U, edges[i].V)
+			if rec(b, i+1, left-1) {
+				b.MustAddEdge(edges[i].U, edges[i].V)
 				return true
 			}
-			h.MustAddEdge(edges[i].U, edges[i].V)
+			b.MustAddEdge(edges[i].U, edges[i].V)
 		}
 		return false
 	}
 	for size := 1; size <= len(edges); size++ {
-		if rec(g.Clone(), 0, size) {
+		if rec(g.Thaw(), 0, size) {
 			return size
 		}
 	}
@@ -93,8 +93,7 @@ func bruteMinimal(g *graph.Graph, kappa, lambda int) bool {
 		return false
 	}
 	for _, e := range g.Edges() {
-		h := g.Clone()
-		h.RemoveEdge(e.U, e.V)
+		h := g.WithoutEdge(e.U, e.V)
 		if bruteKappa(h) >= kappa && bruteLambda(h) >= lambda {
 			return false
 		}

@@ -1,0 +1,19 @@
+package check
+
+import (
+	"lhg/internal/graph"
+)
+
+// VerifyParallel computes the same exact Report as Verify but fans the
+// independent probes — the per-pair connectivity cuts of κ and λ, the
+// per-edge P3 removal probes, and the all-sources distance sweep — across a
+// pool of `workers` goroutines. workers <= 0 means GOMAXPROCS; workers == 1
+// is exactly Verify.
+//
+// The frozen CSR graph is shared by every worker without cloning or locks;
+// each worker draws its flow network and BFS scratch from the package
+// pools. The report is deterministic: the same values (and the same P3
+// witness edge) as the serial path, regardless of worker count.
+func VerifyParallel(g *graph.Graph, k, workers int) (*Report, error) {
+	return verify(g, k, graph.ClampWorkers(workers, 0))
+}

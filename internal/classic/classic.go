@@ -21,16 +21,16 @@ func Hypercube(d int) (*graph.Graph, error) {
 		return nil, fmt.Errorf("classic: hypercube dimension %d out of [1,20]", d)
 	}
 	n := 1 << d
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
 		for bit := 0; bit < d; bit++ {
 			w := v ^ (1 << bit)
 			if v < w {
-				g.MustAddEdge(v, w)
+				b.MustAddEdge(v, w)
 			}
 		}
 	}
-	return g, nil
+	return b.Freeze(), nil
 }
 
 // HypercubeExists reports whether a hypercube matches the pair (n,k):
@@ -48,20 +48,20 @@ func CCC(d int) (*graph.Graph, error) {
 	}
 	corners := 1 << d
 	n := d * corners
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	id := func(corner, pos int) int { return corner*d + pos }
 	for corner := 0; corner < corners; corner++ {
 		for pos := 0; pos < d; pos++ {
 			// Cycle edge within the corner.
-			g.MustAddEdge(id(corner, pos), id(corner, (pos+1)%d))
+			b.MustAddEdge(id(corner, pos), id(corner, (pos+1)%d))
 			// Hypercube edge along dimension pos.
 			other := corner ^ (1 << pos)
 			if corner < other {
-				g.MustAddEdge(id(corner, pos), id(other, pos))
+				b.MustAddEdge(id(corner, pos), id(other, pos))
 			}
 		}
 	}
-	return g, nil
+	return b.Freeze(), nil
 }
 
 // CCCExists reports whether CCC matches the pair (n,k): k must be 3 and
@@ -94,16 +94,16 @@ func DeBruijn(b, d int) (*graph.Graph, error) {
 	if d < 2 || !ok {
 		return nil, fmt.Errorf("classic: de Bruijn dimension %d out of range", d)
 	}
-	g := graph.New(n)
+	bld := graph.NewBuilder(n)
 	for x := 0; x < n; x++ {
 		for c := 0; c < b; c++ {
 			y := (b*x + c) % n
 			if x != y {
-				g.MustAddEdge(x, y)
+				bld.MustAddEdge(x, y)
 			}
 		}
 	}
-	return g, nil
+	return bld.Freeze(), nil
 }
 
 // DeBruijnExists reports whether a de Bruijn graph matches the pair (n,k):

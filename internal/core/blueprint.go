@@ -130,8 +130,8 @@ func (b *Blueprint) Compile() (*Realization, error) {
 		return nil, fmt.Errorf("core: blueprint has invalid k=%d", b.K)
 	}
 	np := b.Positions()
+	bld := graph.NewBuilder(b.NodeCount())
 	r := &Realization{
-		Graph:     graph.New(b.NodeCount()),
 		CopyNode:  make([][]int, b.K),
 		LeafNode:  make([]int, np),
 		GroupNode: make([][]int, np),
@@ -185,11 +185,11 @@ func (b *Blueprint) Compile() (*Realization, error) {
 			u := r.CopyNode[i][parent]
 			switch b.Kind[p] {
 			case Internal:
-				r.Graph.MustAddEdge(u, r.CopyNode[i][p])
+				bld.MustAddEdge(u, r.CopyNode[i][p])
 			case SharedLeaf:
-				r.Graph.MustAddEdge(u, r.LeafNode[p])
+				bld.MustAddEdge(u, r.LeafNode[p])
 			case UnsharedLeaf:
-				r.Graph.MustAddEdge(u, r.GroupNode[p][i])
+				bld.MustAddEdge(u, r.GroupNode[p][i])
 			}
 		}
 	}
@@ -201,10 +201,11 @@ func (b *Blueprint) Compile() (*Realization, error) {
 		members := r.GroupNode[p]
 		for i := 0; i < len(members); i++ {
 			for j := i + 1; j < len(members); j++ {
-				r.Graph.MustAddEdge(members[i], members[j])
+				bld.MustAddEdge(members[i], members[j])
 			}
 		}
 	}
+	r.Graph = bld.Freeze()
 	return r, nil
 }
 

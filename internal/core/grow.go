@@ -55,7 +55,7 @@ type pendingLeaf struct {
 // once assigned, a process keeps its id across every growth step.
 type KTreeGrower struct {
 	k     int
-	g     *graph.Graph
+	g     *graph.Builder
 	queue []pendingLeaf // base leaves in creation (BFS) order
 	added []int         // waiting added leaves, attached to queue[0].parents
 }
@@ -66,7 +66,7 @@ func NewKTreeGrower(k int) (*KTreeGrower, error) {
 	if k < 3 {
 		return nil, notConstructible("K-TREE", 2*k, k, "k must be >= 3")
 	}
-	g := graph.New(2 * k)
+	g := graph.NewBuilder(2 * k)
 	roots := make([]int, k)
 	for i := range roots {
 		roots[i] = i
@@ -87,12 +87,13 @@ func (gr *KTreeGrower) N() int { return gr.g.Order() }
 // K returns the connectivity target.
 func (gr *KTreeGrower) K() int { return gr.k }
 
-// Graph returns a copy of the current topology.
-func (gr *KTreeGrower) Graph() *graph.Graph { return gr.g.Clone() }
+// Graph returns the current topology as a frozen, immutable view. The
+// freeze is cached between growth steps, so repeated calls are free.
+func (gr *KTreeGrower) Graph() *graph.Graph { return gr.g.Freeze() }
 
-// Snapshot returns the live graph for read-only use by callers that promise
-// not to mutate it (the growers' own tests and the churn experiment).
-func (gr *KTreeGrower) Snapshot() *graph.Graph { return gr.g }
+// Snapshot is Graph under its historical name: the frozen view needs no
+// copy-vs-live distinction anymore.
+func (gr *KTreeGrower) Snapshot() *graph.Graph { return gr.g.Freeze() }
 
 // Grow admits one node and returns the edge surgery performed.
 func (gr *KTreeGrower) Grow() (EdgeDelta, error) {

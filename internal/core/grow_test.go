@@ -186,7 +186,7 @@ func TestGrowerDeltaMatchesGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prev := gr.Graph()
+	prev := gr.Graph().Thaw()
 	for step := 0; step < 25; step++ {
 		d, err := gr.Grow()
 		if err != nil {

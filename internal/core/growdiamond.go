@@ -15,7 +15,7 @@ import (
 // predicts.
 type KDiamondGrower struct {
 	k     int
-	g     *graph.Graph
+	g     *graph.Builder
 	queue []pendingLeaf // base shared leaves in creation order
 	added []int         // waiting added leaves (at most k-2)
 	// group is the pending unshared clique: group[i] is the member holding
@@ -29,7 +29,7 @@ func NewKDiamondGrower(k int) (*KDiamondGrower, error) {
 	if k < 3 {
 		return nil, notConstructible("K-DIAMOND", 2*k, k, "k must be >= 3")
 	}
-	g := graph.New(2 * k)
+	g := graph.NewBuilder(2 * k)
 	roots := make([]int, k)
 	for i := range roots {
 		roots[i] = i
@@ -50,11 +50,13 @@ func (gr *KDiamondGrower) N() int { return gr.g.Order() }
 // K returns the connectivity target.
 func (gr *KDiamondGrower) K() int { return gr.k }
 
-// Graph returns a copy of the current topology.
-func (gr *KDiamondGrower) Graph() *graph.Graph { return gr.g.Clone() }
+// Graph returns the current topology as a frozen, immutable view. The
+// freeze is cached between growth steps, so repeated calls are free.
+func (gr *KDiamondGrower) Graph() *graph.Graph { return gr.g.Freeze() }
 
-// Snapshot returns the live graph for read-only use.
-func (gr *KDiamondGrower) Snapshot() *graph.Graph { return gr.g }
+// Snapshot is Graph under its historical name: the frozen view needs no
+// copy-vs-live distinction anymore.
+func (gr *KDiamondGrower) Snapshot() *graph.Graph { return gr.g.Freeze() }
 
 // Grow admits one node and returns the edge surgery performed.
 func (gr *KDiamondGrower) Grow() (EdgeDelta, error) {

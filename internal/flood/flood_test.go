@@ -9,33 +9,33 @@ import (
 )
 
 func cycle(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
-		g.MustAddEdge(v, (v+1)%n)
+		b.MustAddEdge(v, (v+1)%n)
 	}
-	return g
+	return b.Freeze()
 }
 
 func complete(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.MustAddEdge(u, v)
+			b.MustAddEdge(u, v)
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 func star(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 1; v < n; v++ {
-		g.MustAddEdge(0, v)
+		b.MustAddEdge(0, v)
 	}
-	return g
+	return b.Freeze()
 }
 
 func randomGraph(n int, seed uint64) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	state := seed | 1
 	next := func() uint64 {
 		state ^= state << 13
@@ -46,11 +46,11 @@ func randomGraph(n int, seed uint64) *graph.Graph {
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if next()%3 == 0 {
-				g.MustAddEdge(u, v)
+				b.MustAddEdge(u, v)
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 func TestRunFaultFreeCycle(t *testing.T) {
@@ -208,12 +208,13 @@ func TestPropertyFloodMatchesReachability(t *testing.T) {
 		for _, v := range fails.Nodes {
 			crashed[v] = true
 		}
-		sub := graph.New(n)
+		var alive []graph.Edge
 		for _, e := range g.Edges() {
 			if !crashed[e.U] && !crashed[e.V] {
-				sub.MustAddEdge(e.U, e.V)
+				alive = append(alive, e)
 			}
 		}
+		sub := graph.MustFromEdges(n, alive)
 		dist := sub.BFSFrom(0)
 		for v := 0; v < n; v++ {
 			want := dist[v]

@@ -44,12 +44,12 @@ func naiveVertexConnectivity(g *graph.Graph) int {
 func benchGraph(b *testing.B, n int) *graph.Graph {
 	b.Helper()
 	// 4-regular circulant: connected, κ=4, plenty of non-adjacent pairs.
-	g := graph.New(n)
+	bld := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
-		g.MustAddEdge(v, (v+1)%n)
-		g.MustAddEdge(v, (v+2)%n)
+		bld.MustAddEdge(v, (v+1)%n)
+		bld.MustAddEdge(v, (v+2)%n)
 	}
-	return g
+	return bld.Freeze()
 }
 
 func BenchmarkVertexConnectivityEsfahanianHakimi(b *testing.B) {

@@ -6,50 +6,34 @@ import (
 	"lhg/internal/graph"
 )
 
-// edgeNetwork builds the directed network for edge-connectivity queries:
-// every undirected edge becomes a pair of opposing unit-capacity arcs.
-func edgeNetwork(g *graph.Graph) *network {
-	nw := newNetwork(g.Order())
-	for _, e := range g.Edges() {
-		nw.addArc(e.U, e.V, 1)
-		nw.addArc(e.V, e.U, 1)
-	}
-	return nw
-}
-
-// vertexNetwork builds the split-node network for vertex-connectivity
-// queries. Node v becomes vIn=2v and vOut=2v+1 joined by a unit arc, so a
-// unit of flow "uses up" the node. The terminals s and t get unbounded
-// internal capacity.
-//
-// edgeCap controls the capacity of the arcs derived from graph edges:
-//   - cut queries pass an effectively infinite capacity so that minimum
-//     cuts consist of node arcs only (requires s,t non-adjacent);
-//   - path extraction passes 1 so that a physical edge carries at most one
-//     path (vertex-disjoint paths are automatically edge-disjoint, so this
-//     does not change the maximum).
-func vertexNetwork(g *graph.Graph, s, t, edgeCap int) *network {
-	n := g.Order()
-	nw := newNetwork(2 * n)
-	for v := 0; v < n; v++ {
-		c := 1
-		if v == s || v == t {
-			c = n + 1
-		}
-		nw.addArc(2*v, 2*v+1, c)
-	}
-	for _, e := range g.Edges() {
-		nw.addArc(2*e.U+1, 2*e.V, edgeCap)
-		nw.addArc(2*e.V+1, 2*e.U, edgeCap)
-	}
-	return nw
-}
-
 // stVertexFlow returns the maximum number of internally vertex-disjoint
 // s-t paths for a non-adjacent pair, early-exiting at limit if limit >= 0.
 func stVertexFlow(g *graph.Graph, s, t, limit int) int {
-	nw := vertexNetwork(g, s, t, g.Order()+1)
-	return nw.maxflow(2*s+1, 2*t, limit)
+	nw := getNetwork(2 * g.Order())
+	nw.buildVertex(g, s, t, g.Order()+1, noEdge)
+	f := nw.maxflow(2*s+1, 2*t, limit)
+	putNetwork(nw)
+	return f
+}
+
+// stVertexFlowExcluding is stVertexFlow on G−skip: the masked edge never
+// enters the network, so removal probes cost one flow, not one clone.
+func stVertexFlowExcluding(g *graph.Graph, s, t, limit int, skip graph.Edge) int {
+	nw := getNetwork(2 * g.Order())
+	nw.buildVertex(g, s, t, g.Order()+1, skip)
+	f := nw.maxflow(2*s+1, 2*t, limit)
+	putNetwork(nw)
+	return f
+}
+
+// stEdgeFlowExcluding returns the maximum s-t flow in the edge network of
+// G−skip, early-exiting at limit.
+func stEdgeFlowExcluding(g *graph.Graph, s, t, limit int, skip graph.Edge) int {
+	nw := getNetwork(g.Order())
+	nw.buildEdge(g, skip)
+	f := nw.maxflow(s, t, limit)
+	putNetwork(nw)
+	return f
 }
 
 // EdgeCut returns the size of a minimum s-t edge cut (equivalently the
@@ -58,7 +42,7 @@ func EdgeCut(g *graph.Graph, s, t int) (int, error) {
 	if err := validatePair(g, s, t); err != nil {
 		return 0, err
 	}
-	return edgeNetwork(g).maxflow(s, t, -1), nil
+	return stEdgeFlowExcluding(g, s, t, -1, noEdge), nil
 }
 
 // VertexCut returns the size of a minimum s-t vertex cut. s and t must be
@@ -82,7 +66,9 @@ func MinVertexCutSet(g *graph.Graph, s, t int) ([]int, error) {
 	if g.HasEdge(s, t) {
 		return nil, fmt.Errorf("flow: no vertex cut separates adjacent nodes %d and %d", s, t)
 	}
-	nw := vertexNetwork(g, s, t, g.Order()+1)
+	nw := getNetwork(2 * g.Order())
+	defer putNetwork(nw)
+	nw.buildVertex(g, s, t, g.Order()+1, noEdge)
 	nw.maxflow(2*s+1, 2*t, -1)
 	reach := nw.residualReach(2*s + 1)
 	var cut []int
@@ -105,8 +91,10 @@ func EdgeConnectivity(g *graph.Graph) int {
 	// λ(G) = min over t != s of the s-t min cut, for any fixed s: the
 	// global minimum cut separates node 0 from some other node.
 	best := inf
+	nw := getNetwork(n)
+	defer putNetwork(nw)
 	for t := 1; t < n; t++ {
-		nw := edgeNetwork(g)
+		nw.buildEdge(g, noEdge)
 		if f := nw.maxflow(0, t, best); f < best {
 			best = f
 			if best == 0 {
@@ -224,12 +212,38 @@ func IsKEdgeConnected(g *graph.Graph, k int) bool {
 	if minDeg, _ := g.MinDegree(); minDeg < k {
 		return false
 	}
+	nw := getNetwork(n)
+	defer putNetwork(nw)
 	for t := 1; t < n; t++ {
-		if edgeNetwork(g).maxflow(0, t, k) < k {
+		nw.buildEdge(g, noEdge)
+		if nw.maxflow(0, t, k) < k {
 			return false
 		}
 	}
 	return true
+}
+
+// EdgeIsRemovable reports whether removing e=(u,v) keeps both the node
+// connectivity at kappa and the link connectivity at lambda — i.e. whether
+// e witnesses a P3 (link-minimality) violation. It costs two single-pair
+// max flows on the masked view instead of 2n flows on a clone, by the
+// classic localization lemma:
+//
+//	λ(G−e) < λ(G)  ⟺  the u-v min edge cut in G−e has size < λ(G), and
+//	κ(G−e) < κ(G)  ⟺  the u-v min vertex cut in G−e has size < κ(G).
+//
+// Both directions follow from the fact that a small cut of G−e that fails
+// to separate u from v would already be a small cut of G: only cuts that
+// e itself bridged can shrink. (u and v are non-adjacent in G−e, so the
+// vertex-cut query is well defined.)
+func EdgeIsRemovable(g *graph.Graph, e graph.Edge, kappa, lambda int) bool {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	if stEdgeFlowExcluding(g, e.U, e.V, lambda, e) < lambda {
+		return false
+	}
+	return stVertexFlowExcluding(g, e.U, e.V, kappa, e) >= kappa
 }
 
 // VertexDisjointPaths returns a maximum set of pairwise internally
@@ -239,7 +253,9 @@ func VertexDisjointPaths(g *graph.Graph, s, t int) ([][]int, error) {
 	if err := validatePair(g, s, t); err != nil {
 		return nil, err
 	}
-	nw := vertexNetwork(g, s, t, 1)
+	nw := getNetwork(2 * g.Order())
+	defer putNetwork(nw)
+	nw.buildVertex(g, s, t, 1, noEdge)
 	count := nw.maxflow(2*s+1, 2*t, -1)
 	// Decompose the flow: each saturated forward edge arc uOut->vIn carries
 	// one unit. Walking from s along unconsumed flow arcs yields the paths;
@@ -253,7 +269,7 @@ func VertexDisjointPaths(g *graph.Graph, s, t int) ([][]int, error) {
 			if e%2 != 0 {
 				continue
 			}
-			v := nw.to[e] / 2
+			v := int(nw.to[e]) / 2
 			if v == u || nw.cap[e] != 0 {
 				continue // not an edge arc carrying flow
 			}
@@ -295,7 +311,9 @@ func MinEdgeCutSet(g *graph.Graph, s, t int) ([]graph.Edge, error) {
 	if err := validatePair(g, s, t); err != nil {
 		return nil, err
 	}
-	nw := edgeNetwork(g)
+	nw := getNetwork(g.Order())
+	defer putNetwork(nw)
+	nw.buildEdge(g, noEdge)
 	nw.maxflow(s, t, -1)
 	reach := nw.residualReach(s)
 	var cut []graph.Edge
@@ -316,8 +334,10 @@ func GlobalMinEdgeCutSet(g *graph.Graph) ([]graph.Edge, error) {
 	}
 	best := inf
 	var bestCut []graph.Edge
+	nw := getNetwork(n)
+	defer putNetwork(nw)
 	for t := 1; t < n; t++ {
-		nw := edgeNetwork(g)
+		nw.buildEdge(g, noEdge)
 		f := nw.maxflow(0, t, best)
 		if f >= best {
 			continue

@@ -10,57 +10,53 @@ import (
 // --- fixture builders -------------------------------------------------
 
 func cycle(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
-		g.MustAddEdge(v, (v+1)%n)
+		b.MustAddEdge(v, (v+1)%n)
 	}
-	return g
+	return b.Freeze()
 }
 
 func path(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 0; v+1 < n; v++ {
-		g.MustAddEdge(v, v+1)
+		b.MustAddEdge(v, v+1)
 	}
-	return g
+	return b.Freeze()
 }
 
 func complete(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.MustAddEdge(u, v)
+			b.MustAddEdge(u, v)
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // completeBipartite returns K_{a,b} with the left part 0..a-1.
 func completeBipartite(a, b int) *graph.Graph {
-	g := graph.New(a + b)
+	bld := graph.NewBuilder(a + b)
 	for u := 0; u < a; u++ {
 		for v := a; v < a+b; v++ {
-			g.MustAddEdge(u, v)
+			bld.MustAddEdge(u, v)
 		}
 	}
-	return g
+	return bld.Freeze()
 }
 
 // twoTriangles returns two triangles joined by a single bridge edge.
 func twoTriangles() *graph.Graph {
-	g := graph.New(6)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	g.MustAddEdge(0, 2)
-	g.MustAddEdge(3, 4)
-	g.MustAddEdge(4, 5)
-	g.MustAddEdge(3, 5)
-	g.MustAddEdge(2, 3) // bridge
-	return g
+	return graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+		{U: 2, V: 3}, // bridge
+	})
 }
 
 func randomGraph(n int, seed uint64) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	state := seed | 1
 	next := func() uint64 {
 		state ^= state << 13
@@ -71,11 +67,11 @@ func randomGraph(n int, seed uint64) *graph.Graph {
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if next()%2 == 0 {
-				g.MustAddEdge(u, v)
+				b.MustAddEdge(u, v)
 			}
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 // --- brute-force oracles ----------------------------------------------
@@ -135,22 +131,22 @@ func bruteEdgeConnectivity(g *graph.Graph) int {
 }
 
 func edgeSubsetDisconnects(g *graph.Graph, edges []graph.Edge, size int) bool {
-	var rec func(h *graph.Graph, start, left int) bool
-	rec = func(h *graph.Graph, start, left int) bool {
+	var rec func(b *graph.Builder, start, left int) bool
+	rec = func(b *graph.Builder, start, left int) bool {
 		if left == 0 {
-			return !h.Connected()
+			return !b.Freeze().Connected()
 		}
 		for i := start; i <= len(edges)-left; i++ {
-			h.RemoveEdge(edges[i].U, edges[i].V)
-			if rec(h, i+1, left-1) {
-				h.MustAddEdge(edges[i].U, edges[i].V)
+			b.RemoveEdge(edges[i].U, edges[i].V)
+			if rec(b, i+1, left-1) {
+				b.MustAddEdge(edges[i].U, edges[i].V)
 				return true
 			}
-			h.MustAddEdge(edges[i].U, edges[i].V)
+			b.MustAddEdge(edges[i].U, edges[i].V)
 		}
 		return false
 	}
-	return rec(g.Clone(), 0, size)
+	return rec(g.Thaw(), 0, size)
 }
 
 // --- tests --------------------------------------------------------------

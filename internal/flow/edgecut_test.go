@@ -37,9 +37,9 @@ func TestGlobalMinEdgeCutSetCycle(t *testing.T) {
 	if len(cut) != 2 {
 		t.Fatalf("global cut of a cycle has %d edges, want 2", len(cut))
 	}
-	h := g.Clone()
+	h := g
 	for _, e := range cut {
-		h.RemoveEdge(e.U, e.V)
+		h = h.WithoutEdge(e.U, e.V)
 	}
 	if h.Connected() {
 		t.Fatal("removing the global cut must disconnect the cycle")
@@ -76,11 +76,12 @@ func TestPropertyEdgeCutSetMatchesValueAndDisconnects(t *testing.T) {
 				if err != nil || len(cut) != want {
 					return false
 				}
-				h := g.Clone()
+				h := g
 				for _, e := range cut {
-					if !h.RemoveEdge(e.U, e.V) {
+					if !h.HasEdge(e.U, e.V) {
 						return false
 					}
+					h = h.WithoutEdge(e.U, e.V)
 				}
 				if want > 0 && h.BFSFrom(s)[t2] >= 0 {
 					return false // cut failed to separate
@@ -108,9 +109,9 @@ func TestPropertyGlobalEdgeCutMatchesConnectivity(t *testing.T) {
 		if len(cut) == 0 {
 			return true
 		}
-		h := g.Clone()
+		h := g
 		for _, e := range cut {
-			h.RemoveEdge(e.U, e.V)
+			h = h.WithoutEdge(e.U, e.V)
 		}
 		return !h.Connected()
 	}

@@ -1,47 +1,130 @@
 // Package flow implements unit-capacity maximum flow (Dinic's algorithm)
 // and the connectivity queries built on it: s-t edge/vertex min cuts,
 // global edge connectivity, global vertex connectivity (Esfahanian–Hakimi),
-// and Menger-style extraction of vertex-disjoint paths.
+// parallel variants of both, and Menger-style extraction of vertex-disjoint
+// paths.
 //
 // These are the verification workhorses for the LHG properties P1 and P2:
 // a graph is k-node (k-link) connected iff its vertex (edge) connectivity
 // is at least k, by Menger's theorem.
+//
+// Networks are recycled through a sync.Pool and rebuilt in place from the
+// frozen CSR graph view, so the steady state of a connectivity sweep —
+// thousands of small max-flow probes — allocates nothing.
 package flow
+
+import (
+	"sync"
+
+	"lhg/internal/graph"
+)
 
 // network is a directed flow network stored as an edge list where the edge
 // with index e and its reverse e^1 are stored adjacently, the standard
 // Dinic layout.
 type network struct {
 	n     int
-	to    []int
-	cap   []int
-	first [][]int // first[v] lists edge indices leaving v
+	to    []int32
+	cap   []int32
+	first [][]int32 // first[v] lists edge indices leaving v
 
 	// scratch buffers reused across maxflow runs
-	level []int
-	iter  []int
-	queue []int
+	level []int32
+	iter  []int32
+	queue []int32
 }
 
-func newNetwork(n int) *network {
-	return &network{
-		n:     n,
-		first: make([][]int, n),
-		level: make([]int, n),
-		iter:  make([]int, n),
-		queue: make([]int, 0, n),
+// netPool recycles networks across probes. A recycled network keeps the
+// capacity of every buffer it ever grew to, so rebuilding one for a graph
+// of similar size costs appends into retained storage — zero allocations.
+var netPool = sync.Pool{New: func() any { return new(network) }}
+
+func getNetwork(n int) *network {
+	nw := netPool.Get().(*network)
+	nw.reset(n)
+	return nw
+}
+
+func putNetwork(nw *network) { netPool.Put(nw) }
+
+// reset prepares the network for n nodes, reusing all prior storage.
+func (nw *network) reset(n int) {
+	nw.n = n
+	nw.to = nw.to[:0]
+	nw.cap = nw.cap[:0]
+	if cap(nw.first) < n {
+		nw.first = append(nw.first[:cap(nw.first)], make([][]int32, n-cap(nw.first))...)
 	}
+	nw.first = nw.first[:n]
+	for v := range nw.first {
+		nw.first[v] = nw.first[v][:0]
+	}
+	if cap(nw.level) < n {
+		nw.level = make([]int32, n)
+		nw.iter = make([]int32, n)
+		nw.queue = make([]int32, 0, n)
+	}
+	nw.level = nw.level[:n]
+	nw.iter = nw.iter[:n]
 }
 
 // addArc inserts a directed arc u->v with capacity c and its zero-capacity
 // reverse. It returns the forward edge index.
 func (nw *network) addArc(u, v, c int) int {
 	e := len(nw.to)
-	nw.to = append(nw.to, v, u)
-	nw.cap = append(nw.cap, c, 0)
-	nw.first[u] = append(nw.first[u], e)
-	nw.first[v] = append(nw.first[v], e+1)
+	nw.to = append(nw.to, int32(v), int32(u))
+	nw.cap = append(nw.cap, int32(c), 0)
+	nw.first[u] = append(nw.first[u], int32(e))
+	nw.first[v] = append(nw.first[v], int32(e+1))
 	return e
+}
+
+// noEdge is the sentinel "exclude nothing" mask.
+var noEdge = graph.Edge{U: -1, V: -1}
+
+// buildEdge assembles the directed network for edge-connectivity queries:
+// every undirected edge becomes a pair of opposing unit-capacity arcs. The
+// edge `skip` (if present in g) is masked out, which probes G−e without
+// materializing the smaller graph.
+func (nw *network) buildEdge(g *graph.Graph, skip graph.Edge) {
+	nw.reset(g.Order())
+	g.EachEdge(func(u, v int) {
+		if u == skip.U && v == skip.V {
+			return
+		}
+		nw.addArc(u, v, 1)
+		nw.addArc(v, u, 1)
+	})
+}
+
+// buildVertex assembles the split-node network for vertex-connectivity
+// queries. Node v becomes vIn=2v and vOut=2v+1 joined by a unit arc, so a
+// unit of flow "uses up" the node. The terminals s and t get unbounded
+// internal capacity. The edge `skip` is masked out as in buildEdge.
+//
+// edgeCap controls the capacity of the arcs derived from graph edges:
+//   - cut queries pass an effectively infinite capacity so that minimum
+//     cuts consist of node arcs only (requires s,t non-adjacent);
+//   - path extraction passes 1 so that a physical edge carries at most one
+//     path (vertex-disjoint paths are automatically edge-disjoint, so this
+//     does not change the maximum).
+func (nw *network) buildVertex(g *graph.Graph, s, t, edgeCap int, skip graph.Edge) {
+	n := g.Order()
+	nw.reset(2 * n)
+	for v := 0; v < n; v++ {
+		c := 1
+		if v == s || v == t {
+			c = n + 1
+		}
+		nw.addArc(2*v, 2*v+1, c)
+	}
+	g.EachEdge(func(u, v int) {
+		if u == skip.U && v == skip.V {
+			return
+		}
+		nw.addArc(2*u+1, 2*v, edgeCap)
+		nw.addArc(2*v+1, 2*u, edgeCap)
+	})
 }
 
 // bfs builds the level graph; it reports whether t is reachable in the
@@ -51,7 +134,7 @@ func (nw *network) bfs(s, t int) bool {
 		nw.level[i] = -1
 	}
 	nw.queue = nw.queue[:0]
-	nw.queue = append(nw.queue, s)
+	nw.queue = append(nw.queue, int32(s))
 	nw.level[s] = 0
 	for qi := 0; qi < len(nw.queue); qi++ {
 		u := nw.queue[qi]
@@ -71,19 +154,19 @@ func (nw *network) dfs(u, t, f int) int {
 	if u == t {
 		return f
 	}
-	for ; nw.iter[u] < len(nw.first[u]); nw.iter[u]++ {
+	for ; int(nw.iter[u]) < len(nw.first[u]); nw.iter[u]++ {
 		e := nw.first[u][nw.iter[u]]
 		v := nw.to[e]
 		if nw.cap[e] <= 0 || nw.level[v] != nw.level[u]+1 {
 			continue
 		}
 		pushed := f
-		if nw.cap[e] < pushed {
-			pushed = nw.cap[e]
+		if int(nw.cap[e]) < pushed {
+			pushed = int(nw.cap[e])
 		}
-		if d := nw.dfs(v, t, pushed); d > 0 {
-			nw.cap[e] -= d
-			nw.cap[e^1] += d
+		if d := nw.dfs(int(v), t, pushed); d > 0 {
+			nw.cap[e] -= int32(d)
+			nw.cap[e^1] += int32(d)
 			return d
 		}
 	}
@@ -106,7 +189,7 @@ func (nw *network) maxflow(s, t, limit int) int {
 			nw.iter[i] = 0
 		}
 		for {
-			f := nw.dfs(s, t, inf)
+			f := nw.dfs(s, t, int32max)
 			if f == 0 {
 				break
 			}
@@ -119,6 +202,10 @@ func (nw *network) maxflow(s, t, limit int) int {
 	return flow
 }
 
+// int32max bounds the per-augmentation request so int32 capacities never
+// overflow when added to the reverse arc.
+const int32max = int(^uint32(0) >> 1)
+
 // residualReach marks every node reachable from s in the residual network.
 func (nw *network) residualReach(s int) []bool {
 	seen := make([]bool, nw.n)
@@ -128,7 +215,7 @@ func (nw *network) residualReach(s int) []bool {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range nw.first[u] {
-			if v := nw.to[e]; nw.cap[e] > 0 && !seen[v] {
+			if v := int(nw.to[e]); nw.cap[e] > 0 && !seen[v] {
 				seen[v] = true
 				stack = append(stack, v)
 			}

@@ -1,0 +1,180 @@
+package flow
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lhg/internal/graph"
+)
+
+// Parallel global-connectivity sweeps. The frozen CSR graph is shared
+// read-only by every worker; each worker owns a pooled network it rebuilds
+// per probe. The running minimum is kept in an atomic and doubles as the
+// early-exit limit for every in-flight max flow: a stale (too high) limit
+// only costs extra augmentation, never correctness, because any flow value
+// below the limit is exact.
+
+// atomicMin lowers a to v if v is smaller, returning the post-update value.
+func atomicMin(a *atomic.Int64, v int) int {
+	for {
+		cur := a.Load()
+		if int64(v) >= cur {
+			return int(cur)
+		}
+		if a.CompareAndSwap(cur, int64(v)) {
+			return v
+		}
+	}
+}
+
+// EdgeConnectivityParallel is EdgeConnectivity with the per-target min-cut
+// probes fanned across `workers` goroutines (<= 1 falls back to the serial
+// sweep; <= 0 means GOMAXPROCS).
+func EdgeConnectivityParallel(g *graph.Graph, workers int) int {
+	n := g.Order()
+	if n < 2 {
+		return 0
+	}
+	workers = graph.ClampWorkers(workers, n-1)
+	if workers == 1 {
+		return EdgeConnectivity(g)
+	}
+	var (
+		best atomic.Int64
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	best.Store(int64(inf))
+	next.Store(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nw := getNetwork(n)
+			defer putNetwork(nw)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= n {
+					return
+				}
+				limit := int(best.Load())
+				if limit == 0 {
+					return
+				}
+				nw.buildEdge(g, noEdge)
+				if f := nw.maxflow(0, t, limit); f < limit {
+					atomicMin(&best, f)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(best.Load())
+}
+
+// VertexConnectivityParallel is VertexConnectivity (Esfahanian–Hakimi) with
+// the per-pair vertex-cut probes fanned across `workers` goroutines.
+func VertexConnectivityParallel(g *graph.Graph, workers int) int {
+	n := g.Order()
+	if n < 2 {
+		return 0
+	}
+	if !g.Connected() {
+		return 0
+	}
+	minDeg, v := g.MinDegree()
+	if minDeg == n-1 { // complete graph
+		return n - 1
+	}
+	// Collect the probe pairs of both reduction parts up front, then sweep
+	// them with a shared running minimum.
+	isNbr := make([]bool, n)
+	nbrs := g.Neighbors(v)
+	for _, w := range nbrs {
+		isNbr[w] = true
+	}
+	type pair struct{ s, t int }
+	var pairs []pair
+	for t := 0; t < n; t++ {
+		if t != v && !isNbr[t] {
+			pairs = append(pairs, pair{v, t})
+		}
+	}
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if !g.HasEdge(nbrs[i], nbrs[j]) {
+				pairs = append(pairs, pair{nbrs[i], nbrs[j]})
+			}
+		}
+	}
+	workers = graph.ClampWorkers(workers, len(pairs))
+	if workers == 1 || len(pairs) == 0 {
+		return VertexConnectivity(g)
+	}
+	var (
+		best atomic.Int64
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	best.Store(int64(minDeg)) // κ(G) <= δ(G)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nw := getNetwork(2 * n)
+			defer putNetwork(nw)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				limit := int(best.Load())
+				if limit == 0 {
+					return
+				}
+				p := pairs[i]
+				nw.buildVertex(g, p.s, p.t, n+1, noEdge)
+				if f := nw.maxflow(2*p.s+1, 2*p.t, limit); f < limit {
+					atomicMin(&best, f)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(best.Load())
+}
+
+// EdgesRemovable runs EdgeIsRemovable over a batch of edges across
+// `workers` goroutines and returns a parallel bool slice: out[i] reports
+// whether edges[i] can be removed without lowering κ below kappa or λ
+// below lambda. It is the fan-out primitive of the P3 link-minimality
+// sweep in internal/check.
+func EdgesRemovable(g *graph.Graph, edges []graph.Edge, kappa, lambda, workers int) []bool {
+	out := make([]bool, len(edges))
+	workers = graph.ClampWorkers(workers, len(edges))
+	if workers == 1 {
+		for i, e := range edges {
+			out[i] = EdgeIsRemovable(g, e, kappa, lambda)
+		}
+		return out
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(edges) {
+					return
+				}
+				out[i] = EdgeIsRemovable(g, edges[i], kappa, lambda)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

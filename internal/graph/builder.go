@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder is the mutable construction phase of a graph: nodes and edges are
+// appended (and, for the incremental growers, removed) without any sorting;
+// Freeze compacts the adjacency into the immutable CSR Graph, sorting each
+// row exactly once.
+//
+// Neighbor lists are kept unsorted while building, so AddEdge and
+// RemoveEdge cost O(deg) for the duplicate/membership scan but never shift
+// a sorted slice. A Builder is not safe for concurrent use; freeze it and
+// share the Graph instead.
+type Builder struct {
+	adj    [][]int32 // unsorted neighbor lists
+	edges  int
+	frozen *Graph // cached freeze, invalidated by any mutation
+}
+
+// NewBuilder returns a builder over n isolated nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{adj: make([][]int32, n)}
+}
+
+// Order returns the current number of nodes.
+func (b *Builder) Order() int { return len(b.adj) }
+
+// Size returns the current number of edges.
+func (b *Builder) Size() int { return b.edges }
+
+// AddNode appends a new isolated node and returns its id.
+func (b *Builder) AddNode() int {
+	b.frozen = nil
+	b.adj = append(b.adj, nil)
+	return len(b.adj) - 1
+}
+
+// Grow appends m isolated nodes and returns the id of the first.
+func (b *Builder) Grow(m int) int {
+	b.frozen = nil
+	first := len(b.adj)
+	b.adj = append(b.adj, make([][]int32, m)...)
+	return first
+}
+
+// AddEdge inserts the undirected edge (u,v). It returns an error if either
+// endpoint is out of range or u == v. Adding an existing edge is a no-op.
+func (b *Builder) AddEdge(u, v int) error {
+	if err := b.check(u); err != nil {
+		return err
+	}
+	if err := b.check(v); err != nil {
+		return err
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d", u)
+	}
+	if b.HasEdge(u, v) {
+		return nil
+	}
+	b.frozen = nil
+	b.adj[u] = append(b.adj[u], int32(v))
+	b.adj[v] = append(b.adj[v], int32(u))
+	b.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge for callers that guarantee valid endpoints, such as
+// the internal constructions; it panics on invalid input (a programming
+// error, not a runtime condition).
+func (b *Builder) MustAddEdge(u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the undirected edge (u,v) if present and reports
+// whether an edge was removed.
+func (b *Builder) RemoveEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(b.adj) || v >= len(b.adj) || u == v {
+		return false
+	}
+	if !b.removeHalf(u, v) {
+		return false
+	}
+	b.removeHalf(v, u)
+	b.frozen = nil
+	b.edges--
+	return true
+}
+
+// removeHalf drops w from u's list by swap-delete, reporting presence.
+func (b *Builder) removeHalf(u, w int) bool {
+	row := b.adj[u]
+	for i, x := range row {
+		if int(x) == w {
+			row[i] = row[len(row)-1]
+			b.adj[u] = row[:len(row)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(b.adj) || v < 0 || v >= len(b.adj) {
+		return false
+	}
+	row := b.adj[u]
+	if r := b.adj[v]; len(r) < len(row) {
+		row, v = r, u
+	}
+	for _, x := range row {
+		if int(x) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of node v, or 0 if v is out of range.
+func (b *Builder) Degree(v int) int {
+	if v < 0 || v >= len(b.adj) {
+		return 0
+	}
+	return len(b.adj[v])
+}
+
+// Neighbors returns a sorted copy of v's neighbor list.
+func (b *Builder) Neighbors(v int) []int {
+	if v < 0 || v >= len(b.adj) {
+		return nil
+	}
+	out := make([]int, len(b.adj[v]))
+	for i, w := range b.adj[v] {
+		out[i] = int(w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Freeze compacts the builder into an immutable CSR Graph, sorting each
+// adjacency row once. The builder remains usable; repeated freezes without
+// intervening mutation return the same cached Graph. The returned Graph
+// shares no storage with the builder.
+func (b *Builder) Freeze() *Graph {
+	if b.frozen != nil {
+		return b.frozen
+	}
+	n := len(b.adj)
+	g := &Graph{off: make([]int32, n+1), edges: b.edges}
+	total := 0
+	for v, row := range b.adj {
+		total += len(row)
+		g.off[v+1] = int32(total)
+	}
+	g.nbr = make([]int32, 0, total)
+	for _, row := range b.adj {
+		g.nbr = append(g.nbr, row...)
+	}
+	g.sortRows()
+	b.frozen = g
+	return g
+}
+
+func (b *Builder) check(v int) error {
+	if v < 0 || v >= len(b.adj) {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", v, len(b.adj))
+	}
+	return nil
+}

@@ -7,7 +7,7 @@ package graph
 // classic Harary circulants spread load perfectly evenly, while the
 // tree-shaped LHGs concentrate it on root copies (experiment E20).
 func (g *Graph) Betweenness() []float64 {
-	n := len(g.adj)
+	n := g.Order()
 	bc := make([]float64, n)
 	if n < 3 {
 		return bc
@@ -35,7 +35,8 @@ func (g *Graph) Betweenness() []float64 {
 		for qi := 0; qi < len(queue); qi++ {
 			v := queue[qi]
 			stack = append(stack, v)
-			for _, w := range g.adj[v] {
+			for _, nb := range g.row(v) {
+				w := int(nb)
 				if dist[w] < 0 {
 					dist[w] = dist[v] + 1
 					queue = append(queue, w)

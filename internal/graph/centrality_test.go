@@ -28,11 +28,11 @@ func TestBetweennessCompleteIsZero(t *testing.T) {
 }
 
 func TestBetweennessStarCenter(t *testing.T) {
-	g := New(5)
+	b := NewBuilder(5)
 	for v := 1; v < 5; v++ {
-		g.MustAddEdge(0, v)
+		b.MustAddEdge(0, v)
 	}
-	bc := g.Betweenness()
+	bc := b.Freeze().Betweenness()
 	if bc[0] != 1 {
 		t.Fatalf("star center betweenness = %v, want 1", bc[0])
 	}

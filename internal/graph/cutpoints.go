@@ -10,7 +10,7 @@ package graph
 // ArticulationPoints returns the nodes whose removal increases the number
 // of connected components, in ascending order.
 func (g *Graph) ArticulationPoints() []int {
-	n := len(g.adj)
+	n := g.Order()
 	state := newLowlink(n)
 	for root := 0; root < n; root++ {
 		if state.disc[root] == 0 {
@@ -29,7 +29,7 @@ func (g *Graph) ArticulationPoints() []int {
 // Bridges returns the edges whose removal disconnects their endpoints, in
 // canonical (U<V, sorted) order.
 func (g *Graph) Bridges() []Edge {
-	n := len(g.adj)
+	n := g.Order()
 	state := newLowlink(n)
 	for root := 0; root < n; root++ {
 		if state.disc[root] == 0 {
@@ -77,8 +77,9 @@ func (s *lowlink) run(g *Graph, root int) {
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
 		v := top.v
-		if top.next < len(g.adj[v]) {
-			w := g.adj[v][top.next]
+		row := g.row(v)
+		if top.next < len(row) {
+			w := int(row[top.next])
 			top.next++
 			switch {
 			case s.disc[w] == 0:

@@ -26,14 +26,11 @@ func TestArticulationPointsCycleNone(t *testing.T) {
 
 func TestArticulationPointsTwoTriangles(t *testing.T) {
 	// Triangles {0,1,2} and {3,4,5} joined by bridge (2,3).
-	g := New(6)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	g.MustAddEdge(0, 2)
-	g.MustAddEdge(3, 4)
-	g.MustAddEdge(4, 5)
-	g.MustAddEdge(3, 5)
-	g.MustAddEdge(2, 3)
+	g := MustFromEdges(6, []Edge{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+		{2, 3},
+	})
 	aps := g.ArticulationPoints()
 	if len(aps) != 2 || aps[0] != 2 || aps[1] != 3 {
 		t.Fatalf("articulation points = %v, want [2 3]", aps)
@@ -52,10 +49,11 @@ func TestBridgesPathAll(t *testing.T) {
 }
 
 func TestBridgesStarAll(t *testing.T) {
-	g := New(5)
+	b := NewBuilder(5)
 	for v := 1; v < 5; v++ {
-		g.MustAddEdge(0, v)
+		b.MustAddEdge(0, v)
 	}
+	g := b.Freeze()
 	if len(g.Bridges()) != 4 {
 		t.Fatal("every star edge is a bridge")
 	}
@@ -66,10 +64,7 @@ func TestBridgesStarAll(t *testing.T) {
 }
 
 func TestCutpointsDisconnectedGraph(t *testing.T) {
-	g := New(6)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	g.MustAddEdge(3, 4)
+	g := MustFromEdges(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
 	aps := g.ArticulationPoints()
 	if len(aps) != 1 || aps[0] != 1 {
 		t.Fatalf("articulation points = %v, want [1]", aps)
@@ -125,8 +120,7 @@ func bruteArticulation(g *Graph) []int {
 func bruteBridges(g *Graph) []Edge {
 	var out []Edge
 	for _, e := range g.Edges() {
-		h := g.Clone()
-		h.RemoveEdge(e.U, e.V)
+		h := g.WithoutEdge(e.U, e.V)
 		if h.BFSFrom(e.U)[e.V] < 0 {
 			out = append(out, e)
 		}
@@ -168,9 +162,10 @@ func TestPropertyCutpointsMatchBruteForce(t *testing.T) {
 func TestCutpointsAgreeWithKConnectivityOnLHGs(t *testing.T) {
 	// Any 2-connected graph (in particular every built LHG) has no
 	// articulation points and no bridges.
-	g := cycle(12)
-	g.MustAddEdge(0, 6)
-	g.MustAddEdge(3, 9)
+	b := cycle(12).Thaw()
+	b.MustAddEdge(0, 6)
+	b.MustAddEdge(3, 9)
+	g := b.Freeze()
 	if len(g.ArticulationPoints()) != 0 || len(g.Bridges()) != 0 {
 		t.Fatal("chorded cycle is 2-connected")
 	}

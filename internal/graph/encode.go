@@ -52,11 +52,13 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &jg); err != nil {
 		return fmt.Errorf("graph: decode: %w", err)
 	}
-	ng := New(jg.Nodes)
-	for _, e := range jg.Edges {
-		if err := ng.AddEdge(e[0], e[1]); err != nil {
-			return fmt.Errorf("graph: decode edge (%d,%d): %w", e[0], e[1], err)
-		}
+	edges := make([]Edge, len(jg.Edges))
+	for i, e := range jg.Edges {
+		edges[i] = Edge{U: e[0], V: e[1]}
+	}
+	ng, err := FromEdges(jg.Nodes, edges)
+	if err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
 	}
 	*g = *ng
 	return nil

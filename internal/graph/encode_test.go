@@ -8,9 +8,7 @@ import (
 )
 
 func TestDOTOutput(t *testing.T) {
-	g := New(3)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
 	var buf bytes.Buffer
 	if err := g.DOT(&buf, "demo graph!", map[int]string{0: "root"}); err != nil {
 		t.Fatalf("DOT: %v", err)
@@ -44,9 +42,7 @@ func TestDOTEmptyName(t *testing.T) {
 }
 
 func TestJSONRoundTrip(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 3)
-	g.MustAddEdge(1, 2)
+	g := MustFromEdges(4, []Edge{{0, 3}, {1, 2}})
 	data, err := json.Marshal(g)
 	if err != nil {
 		t.Fatalf("marshal: %v", err)

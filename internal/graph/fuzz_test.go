@@ -5,9 +5,10 @@ import (
 	"testing"
 )
 
-// FuzzGraphOps replays an arbitrary byte string as a sequence of graph
-// mutations and asserts the structural invariants after every operation:
-// the handshake identity, sorted adjacency, and symmetric edges.
+// FuzzGraphOps replays an arbitrary byte string as a sequence of builder
+// mutations and asserts the structural invariants of the frozen view after
+// every operation: the handshake identity, sorted adjacency, and symmetric
+// edges.
 func FuzzGraphOps(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6})
 	f.Add([]byte("add remove add"))
@@ -16,17 +17,22 @@ func FuzzGraphOps(f *testing.F) {
 		if len(ops) > 400 {
 			t.Skip("cap the op sequence")
 		}
-		g := New(8)
+		b := NewBuilder(8)
 		for i := 0; i+2 < len(ops); i += 3 {
 			op, u, v := ops[i]%3, int(ops[i+1]), int(ops[i+2])
 			switch op {
 			case 0:
 				// AddEdge may fail for invalid input; it must not corrupt.
-				_ = g.AddEdge(u%12-2, v%12-2)
+				_ = b.AddEdge(u%12-2, v%12-2)
 			case 1:
-				g.RemoveEdge(u%12-2, v%12-2)
+				b.RemoveEdge(u%12-2, v%12-2)
 			case 2:
-				g.AddNode()
+				b.AddNode()
+			}
+			g := b.Freeze()
+			if g.Order() != b.Order() || g.Size() != b.Size() {
+				t.Fatalf("freeze shape (n=%d,m=%d) disagrees with builder (n=%d,m=%d)",
+					g.Order(), g.Size(), b.Order(), b.Size())
 			}
 			assertInvariants(t, g)
 		}

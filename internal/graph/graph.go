@@ -2,9 +2,21 @@
 // module in this repository: adjacency storage, traversal, distance and
 // degree queries, and deterministic iteration order.
 //
+// The package follows a two-phase build/freeze design:
+//
+//   - Builder is the mutable phase: append nodes and edges freely (and, for
+//     the incremental growers, remove them); nothing is kept sorted while
+//     building.
+//   - Graph is the frozen phase: an immutable compressed-sparse-row (CSR)
+//     view produced by Builder.Freeze or by the bulk constructors New and
+//     FromEdges. A frozen Graph is never mutated, so it is safe to share
+//     across goroutines without cloning — the property the parallel
+//     verification pipeline in internal/check relies on.
+//
 // Nodes are dense non-negative integers in [0, Order()). All operations are
-// deterministic: neighbor sets are kept sorted so that algorithms built on
-// top (constructions, floods, encodings) are reproducible run to run.
+// deterministic: neighbor rows are sorted at freeze time so that algorithms
+// built on top (constructions, floods, encodings) are reproducible run to
+// run.
 package graph
 
 import (
@@ -12,119 +24,203 @@ import (
 	"sort"
 )
 
-// Graph is a simple undirected graph (no self-loops, no multi-edges) over
-// nodes 0..n-1. The zero value is an empty graph with no nodes.
+// Graph is an immutable simple undirected graph (no self-loops, no
+// multi-edges) over nodes 0..n-1, stored in compressed sparse row form: one
+// flat neighbor array indexed by per-node offsets. The zero value is an
+// empty graph with no nodes.
+//
+// Graphs are produced by Builder.Freeze, New or FromEdges and are never
+// modified afterwards; every method is safe for concurrent use. To derive a
+// modified topology, use Thaw (full mutability) or WithoutEdge (single-edge
+// removal).
 type Graph struct {
-	adj   [][]int // sorted adjacency lists
+	off   []int32 // off[v]..off[v+1] delimits v's row in nbr; len n+1
+	nbr   []int32 // concatenated sorted neighbor rows; len 2m
 	edges int
 }
 
-// New returns an empty graph with n isolated nodes.
+// New returns an empty (edgeless) frozen graph with n isolated nodes.
 func New(n int) *Graph {
 	if n < 0 {
 		n = 0
 	}
-	return &Graph{adj: make([][]int, n)}
+	return &Graph{off: make([]int32, n+1)}
 }
 
-// Clone returns a deep copy of g.
-func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([][]int, len(g.adj)), edges: g.edges}
-	for v, nbrs := range g.adj {
-		c.adj[v] = append([]int(nil), nbrs...)
+// FromEdges bulk-builds a frozen graph over n nodes from an edge list,
+// sorting each adjacency row exactly once (instead of maintaining sorted
+// order per insertion). Duplicate edges are coalesced; an out-of-range
+// endpoint or a self-loop is an error. This is the preferred constructor
+// for decode paths and any caller that already holds a complete edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
 	}
-	return c
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop on node %d", e.U)
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	off := deg
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	nbr := make([]int32, off[n])
+	fill := make([]int32, n)
+	for _, e := range edges {
+		nbr[off[e.U]+fill[e.U]] = int32(e.V)
+		fill[e.U]++
+		nbr[off[e.V]+fill[e.V]] = int32(e.U)
+		fill[e.V]++
+	}
+	g := &Graph{off: off, nbr: nbr}
+	g.sortRows()
+	g.dedupRows()
+	return g, nil
+}
+
+// MustFromEdges is FromEdges for callers that guarantee valid input; it
+// panics on error.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortRows sorts every adjacency row in place.
+func (g *Graph) sortRows() {
+	n := g.Order()
+	for v := 0; v < n; v++ {
+		row := g.nbr[g.off[v]:g.off[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+}
+
+// dedupRows removes duplicate entries from every (sorted) row, compacting
+// nbr and rebuilding the offsets, and recounts the edges.
+func (g *Graph) dedupRows() {
+	n := g.Order()
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		start, end := g.off[v], g.off[v+1]
+		g.off[v] = w
+		for i := start; i < end; i++ {
+			if i > start && g.nbr[i] == g.nbr[i-1] {
+				continue
+			}
+			g.nbr[w] = g.nbr[i]
+			w++
+		}
+	}
+	g.off[n] = w
+	g.nbr = g.nbr[:w]
+	g.edges = int(w) / 2
+}
+
+// row returns v's neighbor row (shared storage — callers must not mutate).
+func (g *Graph) row(v int) []int32 {
+	return g.nbr[g.off[v]:g.off[v+1]]
 }
 
 // Order returns the number of nodes.
-func (g *Graph) Order() int { return len(g.adj) }
+func (g *Graph) Order() int {
+	if len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
 
 // Size returns the number of edges.
 func (g *Graph) Size() int { return g.edges }
 
-// AddNode appends a new isolated node and returns its id.
-func (g *Graph) AddNode() int {
-	g.adj = append(g.adj, nil)
-	return len(g.adj) - 1
+// Thaw returns a new Builder pre-loaded with g's nodes and edges; mutations
+// on the builder never affect g.
+func (g *Graph) Thaw() *Builder {
+	b := NewBuilder(g.Order())
+	b.edges = g.edges
+	for v := range b.adj {
+		b.adj[v] = append([]int32(nil), g.row(v)...)
+	}
+	return b
 }
 
-// AddEdge inserts the undirected edge (u,v). It returns an error if either
-// endpoint is out of range or u == v. Adding an existing edge is a no-op.
-func (g *Graph) AddEdge(u, v int) error {
-	if err := g.check(u); err != nil {
-		return err
+// WithoutEdge returns a frozen copy of g with the single edge (u,v)
+// removed (or g itself if the edge is absent). It is a cheap O(n+m) row
+// copy — no builder round-trip — for callers probing edge removals.
+func (g *Graph) WithoutEdge(u, v int) *Graph {
+	if !g.HasEdge(u, v) {
+		return g
 	}
-	if err := g.check(v); err != nil {
-		return err
+	n := g.Order()
+	h := &Graph{
+		off:   make([]int32, n+1),
+		nbr:   make([]int32, 0, len(g.nbr)-2),
+		edges: g.edges - 1,
 	}
-	if u == v {
-		return fmt.Errorf("graph: self-loop on node %d", u)
+	for w := 0; w < n; w++ {
+		for _, x := range g.row(w) {
+			if (w == u && int(x) == v) || (w == v && int(x) == u) {
+				continue
+			}
+			h.nbr = append(h.nbr, x)
+		}
+		h.off[w+1] = int32(len(h.nbr))
 	}
-	if g.HasEdge(u, v) {
-		return nil
-	}
-	g.adj[u] = insertSorted(g.adj[u], v)
-	g.adj[v] = insertSorted(g.adj[v], u)
-	g.edges++
-	return nil
-}
-
-// MustAddEdge is AddEdge for callers that guarantee valid endpoints, such as
-// the internal constructions; it panics on invalid input (a programming
-// error, not a runtime condition).
-func (g *Graph) MustAddEdge(u, v int) {
-	if err := g.AddEdge(u, v); err != nil {
-		panic(err)
-	}
-}
-
-// RemoveEdge deletes the undirected edge (u,v) if present and reports
-// whether an edge was removed.
-func (g *Graph) RemoveEdge(u, v int) bool {
-	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) || !g.HasEdge(u, v) {
-		return false
-	}
-	g.adj[u] = removeSorted(g.adj[u], v)
-	g.adj[v] = removeSorted(g.adj[v], u)
-	g.edges--
-	return true
+	return h
 }
 
 // HasEdge reports whether the edge (u,v) exists.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || u >= len(g.adj) {
+	n := g.Order()
+	if u < 0 || u >= n || v < 0 || v >= n {
 		return false
 	}
-	nbrs := g.adj[u]
-	i := sort.SearchInts(nbrs, v)
-	return i < len(nbrs) && nbrs[i] == v
+	row := g.row(u)
+	if r := g.row(v); len(r) < len(row) {
+		row, v = r, u
+	}
+	i := sort.Search(len(row), func(i int) bool { return int(row[i]) >= v })
+	return i < len(row) && int(row[i]) == v
 }
 
 // Degree returns the degree of node v, or 0 if v is out of range.
 func (g *Graph) Degree(v int) int {
-	if v < 0 || v >= len(g.adj) {
+	if v < 0 || v >= g.Order() {
 		return 0
 	}
-	return len(g.adj[v])
+	return int(g.off[v+1] - g.off[v])
 }
 
 // Neighbors returns the sorted neighbor list of v. The returned slice is a
 // copy; callers may mutate it freely.
 func (g *Graph) Neighbors(v int) []int {
-	if v < 0 || v >= len(g.adj) {
+	if v < 0 || v >= g.Order() {
 		return nil
 	}
-	return append([]int(nil), g.adj[v]...)
+	row := g.row(v)
+	out := make([]int, len(row))
+	for i, w := range row {
+		out[i] = int(w)
+	}
+	return out
 }
 
 // EachNeighbor calls fn for every neighbor of v in ascending order. It
 // avoids the copy made by Neighbors for hot paths.
 func (g *Graph) EachNeighbor(v int, fn func(w int)) {
-	if v < 0 || v >= len(g.adj) {
+	if v < 0 || v >= g.Order() {
 		return
 	}
-	for _, w := range g.adj[v] {
-		fn(w)
+	for _, w := range g.row(v) {
+		fn(int(w))
 	}
 }
 
@@ -136,21 +232,31 @@ type Edge struct {
 // Edges returns every edge exactly once, ordered by (U,V).
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.edges)
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
-			if u < v {
-				out = append(out, Edge{U: u, V: v})
+	g.EachEdge(func(u, v int) {
+		out = append(out, Edge{U: u, V: v})
+	})
+	return out
+}
+
+// EachEdge calls fn for every edge exactly once with u < v, ordered by
+// (u,v). It is the allocation-free alternative to Edges for hot paths such
+// as flow-network assembly.
+func (g *Graph) EachEdge(fn func(u, v int)) {
+	n := g.Order()
+	for u := 0; u < n; u++ {
+		for _, w := range g.row(u) {
+			if v := int(w); u < v {
+				fn(u, v)
 			}
 		}
 	}
-	return out
 }
 
 // Degrees returns the degree sequence indexed by node.
 func (g *Graph) Degrees() []int {
-	out := make([]int, len(g.adj))
-	for v, nbrs := range g.adj {
-		out[v] = len(nbrs)
+	out := make([]int, g.Order())
+	for v := range out {
+		out[v] = g.Degree(v)
 	}
 	return out
 }
@@ -158,13 +264,14 @@ func (g *Graph) Degrees() []int {
 // MinDegree returns the smallest degree and one node attaining it.
 // It returns (-1, -1) for the empty graph.
 func (g *Graph) MinDegree() (deg, node int) {
-	if len(g.adj) == 0 {
+	n := g.Order()
+	if n == 0 {
 		return -1, -1
 	}
-	deg, node = len(g.adj[0]), 0
-	for v := 1; v < len(g.adj); v++ {
-		if len(g.adj[v]) < deg {
-			deg, node = len(g.adj[v]), v
+	deg, node = g.Degree(0), 0
+	for v := 1; v < n; v++ {
+		if d := g.Degree(v); d < deg {
+			deg, node = d, v
 		}
 	}
 	return deg, node
@@ -173,13 +280,14 @@ func (g *Graph) MinDegree() (deg, node int) {
 // MaxDegree returns the largest degree and one node attaining it.
 // It returns (-1, -1) for the empty graph.
 func (g *Graph) MaxDegree() (deg, node int) {
-	if len(g.adj) == 0 {
+	n := g.Order()
+	if n == 0 {
 		return -1, -1
 	}
-	deg, node = len(g.adj[0]), 0
-	for v := 1; v < len(g.adj); v++ {
-		if len(g.adj[v]) > deg {
-			deg, node = len(g.adj[v]), v
+	deg, node = g.Degree(0), 0
+	for v := 1; v < n; v++ {
+		if d := g.Degree(v); d > deg {
+			deg, node = d, v
 		}
 	}
 	return deg, node
@@ -187,33 +295,10 @@ func (g *Graph) MaxDegree() (deg, node int) {
 
 // IsRegular reports whether every node has degree exactly k.
 func (g *Graph) IsRegular(k int) bool {
-	for _, nbrs := range g.adj {
-		if len(nbrs) != k {
+	for v, n := 0, g.Order(); v < n; v++ {
+		if g.Degree(v) != k {
 			return false
 		}
 	}
 	return true
-}
-
-func (g *Graph) check(v int) error {
-	if v < 0 || v >= len(g.adj) {
-		return fmt.Errorf("graph: node %d out of range [0,%d)", v, len(g.adj))
-	}
-	return nil
-}
-
-func insertSorted(s []int, v int) []int {
-	i := sort.SearchInts(s, v)
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s
-}
-
-func removeSorted(s []int, v int) []int {
-	i := sort.SearchInts(s, v)
-	if i < len(s) && s[i] == v {
-		return append(s[:i], s[i+1:]...)
-	}
-	return s
 }

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sweepResult is one worker's share of an all-sources BFS sweep.
+type sweepResult struct {
+	maxDist   int
+	total     int64
+	connected bool
+}
+
+// parallelSweep fans BFS-from-every-source across workers goroutines. Each
+// worker owns its scratch; the frozen graph is shared read-only. Sources
+// are handed out via an atomic counter so stragglers do not imbalance the
+// sweep; a disconnection found by any worker stops the others early.
+func parallelSweep(g *Graph, workers int) []sweepResult {
+	n := g.Order()
+	workers = ClampWorkers(workers, n)
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	results := make([]sweepResult, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := getScratch(n)
+			defer putScratch(s)
+			r := sweepResult{connected: true}
+			for !stop.Load() {
+				v := int(next.Add(1)) - 1
+				if v >= n {
+					break
+				}
+				for i := range s.dist {
+					s.dist[i] = -1
+				}
+				if g.bfsInto(v, s) != n {
+					r.connected = false
+					stop.Store(true)
+					break
+				}
+				for _, d := range s.dist {
+					if int(d) > r.maxDist {
+						r.maxDist = int(d)
+					}
+					r.total += int64(d)
+				}
+			}
+			results[w] = r
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// ClampWorkers bounds a worker count to [1, min(requested, items)]; zero
+// or negative requests mean "use GOMAXPROCS". An explicit positive request
+// is honored even beyond the core count — oversubscription costs little
+// for these CPU-bound pools and keeps worker-count semantics (and race
+// tests) deterministic across machines. The flow and check layers use it
+// to size their verification pools.
+func ClampWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if items > 0 && workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

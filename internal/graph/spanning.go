@@ -6,23 +6,25 @@ package graph
 // fewest messages possible but any single node or link failure partitions
 // it.
 func (g *Graph) BFSTree(src int) *Graph {
-	t := New(g.Order())
-	if src < 0 || src >= g.Order() {
-		return t
+	n := g.Order()
+	if src < 0 || src >= n {
+		return New(n)
 	}
-	visited := make([]bool, g.Order())
+	visited := make([]bool, n)
 	visited[src] = true
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	edges := make([]Edge, 0, n)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, w := range g.row(u) {
+			v := int(w)
 			if !visited[v] {
 				visited[v] = true
-				t.MustAddEdge(u, v)
+				edges = append(edges, edgeOf(u, v))
 				queue = append(queue, v)
 			}
 		}
 	}
-	return t
+	return MustFromEdges(n, edges)
 }

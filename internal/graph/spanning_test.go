@@ -35,8 +35,7 @@ func TestBFSTreePreservesDistances(t *testing.T) {
 }
 
 func TestBFSTreeDisconnected(t *testing.T) {
-	g := New(5)
-	g.MustAddEdge(0, 1)
+	g := MustFromEdges(5, []Edge{{0, 1}})
 	tree := g.BFSTree(0)
 	if tree.Size() != 1 {
 		t.Fatalf("tree of a 2-node component has %d edges, want 1", tree.Size())

@@ -2,50 +2,41 @@ package graph
 
 // BFSFrom runs a breadth-first search from src and returns the distance (in
 // hops) to every node; unreachable nodes get -1. If src is out of range the
-// result is all -1.
+// result is all -1. The returned slice is freshly allocated; internal
+// callers that need allocation-free probes use the pooled scratch instead.
 func (g *Graph) BFSFrom(src int) []int {
-	dist := make([]int, len(g.adj))
-	for i := range dist {
-		dist[i] = -1
+	n := g.Order()
+	dist := make([]int, n)
+	s := getScratch(n)
+	g.bfsInto(src, s)
+	for i, d := range s.dist {
+		dist[i] = int(d)
 	}
-	if src < 0 || src >= len(g.adj) {
-		return dist
-	}
-	dist[src] = 0
-	queue := make([]int, 0, len(g.adj))
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				queue = append(queue, v)
-			}
-		}
-	}
+	putScratch(s)
 	return dist
 }
 
 // ShortestPath returns one shortest path from src to dst as a node sequence
 // including both endpoints, or nil if dst is unreachable.
 func (g *Graph) ShortestPath(src, dst int) []int {
-	if src < 0 || dst < 0 || src >= len(g.adj) || dst >= len(g.adj) {
+	n := g.Order()
+	if src < 0 || dst < 0 || src >= n || dst >= n {
 		return nil
 	}
 	if src == dst {
 		return []int{src}
 	}
-	parent := make([]int, len(g.adj))
+	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = -1
 	}
 	parent[src] = src
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, w := range g.row(u) {
+			v := int(w)
 			if parent[v] < 0 {
 				parent[v] = u
 				if v == dst {
@@ -74,25 +65,24 @@ func buildPath(parent []int, src, dst int) []int {
 }
 
 // Connected reports whether g is connected. Graphs with fewer than two
-// nodes are connected by convention.
+// nodes are connected by convention. It allocates nothing in steady state.
 func (g *Graph) Connected() bool {
-	if len(g.adj) <= 1 {
+	n := g.Order()
+	if n <= 1 {
 		return true
 	}
-	dist := g.BFSFrom(0)
-	for _, d := range dist {
-		if d < 0 {
-			return false
-		}
-	}
-	return true
+	s := getScratch(n)
+	reached := g.bfsInto(0, s)
+	putScratch(s)
+	return reached == n
 }
 
 // ConnectedIgnoring reports whether the subgraph induced by removing the
 // nodes in `removed` (a boolean mask indexed by node) is connected. A
 // subgraph with fewer than two surviving nodes is connected by convention.
+// It allocates nothing in steady state.
 func (g *Graph) ConnectedIgnoring(removed []bool) bool {
-	n := len(g.adj)
+	n := g.Order()
 	start := -1
 	alive := 0
 	for v := 0; v < n; v++ {
@@ -107,46 +97,51 @@ func (g *Graph) ConnectedIgnoring(removed []bool) bool {
 	if alive <= 1 {
 		return true
 	}
-	seen := make([]bool, n)
-	seen[start] = true
-	queue := []int{start}
-	count := 1
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.adj[u] {
-			if seen[v] || (v < len(removed) && removed[v]) {
-				continue
-			}
-			seen[v] = true
-			count++
-			queue = append(queue, v)
+	s := getScratch(n)
+	// Mark removed nodes visited up front so the BFS never enters them.
+	for v := 0; v < n && v < len(removed); v++ {
+		if removed[v] {
+			s.dist[v] = 0
 		}
 	}
+	s.dist[start] = 0
+	s.queue = append(s.queue[:0], int32(start))
+	count := 1
+	for qi := 0; qi < len(s.queue); qi++ {
+		u := s.queue[qi]
+		for _, v := range g.row(int(u)) {
+			if s.dist[v] < 0 {
+				s.dist[v] = 0
+				count++
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	putScratch(s)
 	return count == alive
 }
 
 // Components returns the connected components of g, each as a sorted node
 // slice, ordered by their smallest member.
 func (g *Graph) Components() [][]int {
-	n := len(g.adj)
-	seen := make([]bool, n)
+	n := g.Order()
+	s := getScratch(n)
+	defer putScratch(s)
 	var comps [][]int
-	for s := 0; s < n; s++ {
-		if seen[s] {
+	for root := 0; root < n; root++ {
+		if s.dist[root] >= 0 {
 			continue
 		}
+		s.dist[root] = 0
+		s.queue = append(s.queue[:0], int32(root))
 		var comp []int
-		seen[s] = true
-		queue := []int{s}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			comp = append(comp, u)
-			for _, v := range g.adj[u] {
-				if !seen[v] {
-					seen[v] = true
-					queue = append(queue, v)
+		for qi := 0; qi < len(s.queue); qi++ {
+			u := s.queue[qi]
+			comp = append(comp, int(u))
+			for _, v := range g.row(int(u)) {
+				if s.dist[v] < 0 {
+					s.dist[v] = 0
+					s.queue = append(s.queue, v)
 				}
 			}
 		}
@@ -158,35 +153,35 @@ func (g *Graph) Components() [][]int {
 // Eccentricity returns the greatest BFS distance from v to any reachable
 // node, and whether the whole graph is reachable from v.
 func (g *Graph) Eccentricity(v int) (ecc int, wholeGraph bool) {
-	dist := g.BFSFrom(v)
-	wholeGraph = true
-	for _, d := range dist {
-		if d < 0 {
-			wholeGraph = false
-			continue
-		}
-		if d > ecc {
-			ecc = d
+	n := g.Order()
+	s := getScratch(n)
+	reached := g.bfsInto(v, s)
+	for _, d := range s.dist {
+		if int(d) > ecc {
+			ecc = int(d)
 		}
 	}
-	return ecc, wholeGraph
+	putScratch(s)
+	return ecc, reached == n
 }
 
 // Diameter returns the longest shortest path in g. It returns -1 when g is
 // disconnected or has no nodes.
-func (g *Graph) Diameter() int {
-	if len(g.adj) == 0 {
+func (g *Graph) Diameter() int { return g.diameter(1) }
+
+// DiameterParallel computes Diameter with the per-source BFS sweeps fanned
+// across `workers` goroutines (values < 2 fall back to the serial path).
+// The graph is frozen, so the workers share it without synchronization.
+func (g *Graph) DiameterParallel(workers int) int { return g.diameter(workers) }
+
+func (g *Graph) diameter(workers int) int {
+	n := g.Order()
+	if n == 0 {
 		return -1
 	}
-	diam := 0
-	for v := range g.adj {
-		ecc, whole := g.Eccentricity(v)
-		if !whole {
-			return -1
-		}
-		if ecc > diam {
-			diam = ecc
-		}
+	diam, _, connected := g.sweepAllSources(workers)
+	if !connected {
+		return -1
 	}
 	return diam
 }
@@ -194,21 +189,73 @@ func (g *Graph) Diameter() int {
 // AvgPathLength returns the mean shortest-path length over all ordered node
 // pairs, or -1 when g is disconnected or has fewer than two nodes.
 func (g *Graph) AvgPathLength() float64 {
-	n := len(g.adj)
+	n := g.Order()
 	if n < 2 {
 		return -1
 	}
-	var total, pairs int64
-	for v := 0; v < n; v++ {
-		for _, d := range g.BFSFrom(v) {
-			if d < 0 {
-				return -1
-			}
-			total += int64(d)
-		}
+	_, total, connected := g.sweepAllSources(1)
+	if !connected {
+		return -1
 	}
-	pairs = int64(n) * int64(n-1)
-	return float64(total) / float64(pairs)
+	return float64(total) / float64(int64(n)*int64(n-1))
+}
+
+// DistanceStats runs one all-sources BFS sweep (optionally parallel) and
+// returns the diameter and average path length together — the P4 inputs —
+// so verification pays for the sweep once instead of twice. Both are -1
+// when g is disconnected; the diameter alone is -1 on the empty graph.
+func (g *Graph) DistanceStats(workers int) (diam int, avg float64) {
+	n := g.Order()
+	if n == 0 {
+		return -1, -1
+	}
+	diam, total, connected := g.sweepAllSources(workers)
+	if !connected {
+		return -1, -1
+	}
+	if n < 2 {
+		return diam, -1
+	}
+	return diam, float64(total) / float64(int64(n)*int64(n-1))
+}
+
+// sweepAllSources BFSes from every node, accumulating the maximum distance
+// and the sum of all distances, and reports whether every BFS reached the
+// whole graph. Workers < 2 run serially on pooled scratch.
+func (g *Graph) sweepAllSources(workers int) (maxDist int, total int64, connected bool) {
+	n := g.Order()
+	if workers < 2 {
+		s := getScratch(n)
+		defer putScratch(s)
+		connected = true
+		for v := 0; v < n; v++ {
+			for i := range s.dist {
+				s.dist[i] = -1
+			}
+			if g.bfsInto(v, s) != n {
+				return 0, 0, false
+			}
+			for _, d := range s.dist {
+				if int(d) > maxDist {
+					maxDist = int(d)
+				}
+				total += int64(d)
+			}
+		}
+		return maxDist, total, connected
+	}
+	results := parallelSweep(g, workers)
+	connected = true
+	for _, r := range results {
+		if !r.connected {
+			return 0, 0, false
+		}
+		if r.maxDist > maxDist {
+			maxDist = r.maxDist
+		}
+		total += r.total
+	}
+	return maxDist, total, connected
 }
 
 func sortedCopy(s []int) []int {

@@ -16,8 +16,7 @@ func TestBFSFromDistances(t *testing.T) {
 }
 
 func TestBFSFromUnreachable(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 1)
+	g := MustFromEdges(4, []Edge{{0, 1}})
 	dist := g.BFSFrom(0)
 	if dist[2] != -1 || dist[3] != -1 {
 		t.Fatalf("unreachable distances = %v, want -1", dist[2:])
@@ -58,8 +57,7 @@ func TestShortestPathSelf(t *testing.T) {
 }
 
 func TestShortestPathUnreachable(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 1)
+	g := MustFromEdges(4, []Edge{{0, 1}})
 	if p := g.ShortestPath(0, 3); p != nil {
 		t.Fatalf("unreachable path = %v, want nil", p)
 	}
@@ -88,9 +86,7 @@ func TestConnected(t *testing.T) {
 }
 
 func brokenPath(n int) *Graph {
-	g := path(n)
-	g.RemoveEdge(n/2-1, n/2)
-	return g
+	return path(n).WithoutEdge(n/2-1, n/2)
 }
 
 func TestConnectedIgnoring(t *testing.T) {
@@ -109,18 +105,30 @@ func TestConnectedIgnoring(t *testing.T) {
 	if !g.ConnectedIgnoring(all) {
 		t.Fatal("a single surviving node is connected by convention")
 	}
+	everyone := []bool{true, true, true, true, true}
+	if !g.ConnectedIgnoring(everyone) {
+		t.Fatal("the empty survivor set is vacuously connected")
+	}
 }
 
 func TestComponents(t *testing.T) {
-	g := New(6)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(3, 4)
+	g := MustFromEdges(6, []Edge{{0, 1}, {3, 4}})
 	comps := g.Components()
 	if len(comps) != 4 {
 		t.Fatalf("got %d components, want 4: %v", len(comps), comps)
 	}
 	if comps[0][0] != 0 || len(comps[0]) != 2 {
 		t.Fatalf("first component %v, want [0 1]", comps[0])
+	}
+}
+
+func TestComponentsDegenerate(t *testing.T) {
+	if comps := New(0).Components(); len(comps) != 0 {
+		t.Fatalf("empty graph components = %v, want none", comps)
+	}
+	comps := New(1).Components()
+	if len(comps) != 1 || len(comps[0]) != 1 || comps[0][0] != 0 {
+		t.Fatalf("single-node components = %v, want [[0]]", comps)
 	}
 }
 

@@ -28,26 +28,26 @@ func Build(n, k int) (*graph.Graph, error) {
 	if n <= k {
 		return nil, fmt.Errorf("harary: need n > k, got n=%d k=%d", n, k)
 	}
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	r := k / 2
 	for v := 0; v < n; v++ {
 		for d := 1; d <= r; d++ {
-			g.MustAddEdge(v, (v+d)%n)
+			b.MustAddEdge(v, (v+d)%n)
 		}
 	}
 	if k%2 == 1 {
 		if n%2 == 0 {
 			for v := 0; v < n/2; v++ {
-				g.MustAddEdge(v, v+n/2)
+				b.MustAddEdge(v, v+n/2)
 			}
 		} else {
 			half := (n - 1) / 2
 			for v := 0; v <= half; v++ {
-				g.MustAddEdge(v, (v+half)%n)
+				b.MustAddEdge(v, (v+half)%n)
 			}
 		}
 	}
-	return g, nil
+	return b.Freeze(), nil
 }
 
 // EdgeCount returns the number of edges of H(k,n), ⌈kn/2⌉.

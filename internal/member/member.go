@@ -83,8 +83,9 @@ func (s *System) K() int { return s.k }
 // CurrentView returns the view of the latest installed epoch.
 func (s *System) CurrentView() View { return s.view }
 
-// Graph returns a copy of the current topology.
-func (s *System) Graph() *graph.Graph { return s.g.Clone() }
+// Graph returns the current topology. Frozen graphs are immutable, so the
+// caller shares the view without a defensive copy.
+func (s *System) Graph() *graph.Graph { return s.g }
 
 // CrashedCount returns how many members are crashed but still wired in.
 func (s *System) CrashedCount() int {
@@ -224,14 +225,17 @@ func (s *System) survivorSubgraph(newSize int) *graph.Graph {
 		relabel[id] = next
 		next++
 	}
-	sub := graph.New(newSize)
+	edges := make([]graph.Edge, 0, s.g.Size())
 	for _, e := range s.g.Edges() {
 		u, v := relabel[e.U], relabel[e.V]
 		if u >= 0 && v >= 0 {
-			sub.MustAddEdge(u, v)
+			if u > v {
+				u, v = v, u
+			}
+			edges = append(edges, graph.Edge{U: u, V: v})
 		}
 	}
-	return sub
+	return graph.MustFromEdges(newSize, edges)
 }
 
 // Views returns the per-member installed views (crashed members report the

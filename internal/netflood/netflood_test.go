@@ -93,8 +93,7 @@ func TestMultipleBroadcastsAllDelivered(t *testing.T) {
 }
 
 func TestBroadcastUnknownNode(t *testing.T) {
-	g := graph.New(2)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
 	c, err := Start(g)
 	if err != nil {
 		t.Fatal(err)
@@ -106,8 +105,7 @@ func TestBroadcastUnknownNode(t *testing.T) {
 }
 
 func TestDeliveredOutOfRange(t *testing.T) {
-	g := graph.New(2)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
 	c, err := Start(g)
 	if err != nil {
 		t.Fatal(err)
@@ -119,8 +117,7 @@ func TestDeliveredOutOfRange(t *testing.T) {
 }
 
 func TestSequenceNumbersIncrease(t *testing.T) {
-	g := graph.New(2)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
 	c, err := Start(g)
 	if err != nil {
 		t.Fatal(err)
@@ -157,10 +154,7 @@ func TestShutdownIsIdempotentAndStopsGoroutines(t *testing.T) {
 }
 
 func TestDeliveryStreamCarriesPayloads(t *testing.T) {
-	g := graph.New(3)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	g.MustAddEdge(0, 2)
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
 	c, err := Start(g)
 	if err != nil {
 		t.Fatal(err)

@@ -62,10 +62,11 @@ func TestAsyncBroadcastWithFailures(t *testing.T) {
 
 func TestAsyncBroadcastCustomLatency(t *testing.T) {
 	// A path with latency 2 per hop: makespan is 2*(n-1).
-	g := graph.New(5)
+	b := graph.NewBuilder(5)
 	for v := 0; v+1 < 5; v++ {
-		g.MustAddEdge(v, v+1)
+		b.MustAddEdge(v, v+1)
 	}
+	g := b.Freeze()
 	res, err := AsyncBroadcast(g, 0, flood.Failures{}, func(u, v int) int64 { return 2 })
 	if err != nil {
 		t.Fatal(err)
@@ -76,8 +77,7 @@ func TestAsyncBroadcastCustomLatency(t *testing.T) {
 }
 
 func TestAsyncBroadcastErrors(t *testing.T) {
-	g := graph.New(3)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}})
 	if _, err := AsyncBroadcast(g, 9, flood.Failures{}, nil); err == nil {
 		t.Fatal("bad source must error")
 	}
@@ -92,7 +92,7 @@ func TestAsyncBroadcastErrors(t *testing.T) {
 func TestPropertyAsyncEquivalentToSync(t *testing.T) {
 	f := func(seed uint32, nRaw uint8) bool {
 		n := int(nRaw%12) + 3
-		g := graph.New(n)
+		b := graph.NewBuilder(n)
 		state := uint64(seed) | 1
 		next := func() uint64 {
 			state ^= state << 13
@@ -103,10 +103,11 @@ func TestPropertyAsyncEquivalentToSync(t *testing.T) {
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
 				if next()%3 == 0 {
-					g.MustAddEdge(u, v)
+					b.MustAddEdge(u, v)
 				}
 			}
 		}
+		g := b.Freeze()
 		syncRes, err := flood.Run(g, 0, flood.Failures{})
 		if err != nil {
 			return false

@@ -10,7 +10,10 @@ import (
 
 // Grower is the incremental-maintenance interface implemented by
 // core.KTreeGrower and core.KDiamondGrower: one admission per Grow call,
-// O(k²) edge churn, stable node ids, LHG-valid after every step.
+// O(k²) edge churn, stable node ids, LHG-valid after every step. Graph and
+// Snapshot both return the frozen (immutable) view of the current
+// topology; the names survive from the mutable era, when only Graph
+// copied.
 type Grower interface {
 	Grow() (core.EdgeDelta, error)
 	Graph() *graph.Graph

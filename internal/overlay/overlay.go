@@ -60,8 +60,9 @@ func (o *Overlay) Size() int { return o.g.Order() }
 // Generation returns how many rebuilds have occurred.
 func (o *Overlay) Generation() int { return o.gen }
 
-// Graph returns a copy of the current topology.
-func (o *Overlay) Graph() *graph.Graph { return o.g.Clone() }
+// Graph returns the current topology. Frozen graphs are immutable, so the
+// caller shares the view without a defensive copy.
+func (o *Overlay) Graph() *graph.Graph { return o.g }
 
 // K returns the connectivity target.
 func (o *Overlay) K() int { return o.k }

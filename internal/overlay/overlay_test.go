@@ -142,10 +142,11 @@ func TestOverlayAccessors(t *testing.T) {
 		t.Fatalf("K = %d, want 3", o.K())
 	}
 	size := o.Graph().Size()
-	g := o.Graph()
-	g.RemoveEdge(g.Edges()[0].U, g.Edges()[0].V)
-	if o.Graph().Size() != size {
-		t.Fatal("Graph() must return a defensive copy")
+	b := o.Graph().Thaw()
+	e := o.Graph().Edges()[0]
+	b.RemoveEdge(e.U, e.V)
+	if b.Freeze().Size() != size-1 || o.Graph().Size() != size {
+		t.Fatal("mutating a thawed copy must not affect the overlay's frozen view")
 	}
 }
 

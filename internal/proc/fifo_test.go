@@ -62,8 +62,7 @@ func TestFIFOInversionEndToEnd(t *testing.T) {
 	// so raw arrivals at node 1 can interleave across sources but stay
 	// ordered per source. Verify per-source order holds in FIFO output even
 	// when raw output mixes sources.
-	g := graph.New(2)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
 	n, err := NewNetwork(g, WithLatency(func(u, v int) int64 { return 3 }))
 	if err != nil {
 		t.Fatal(err)
@@ -111,8 +110,7 @@ func TestFIFOBlocksOnMissingPredecessor(t *testing.T) {
 }
 
 func TestFIFOAccessorsOutOfRange(t *testing.T) {
-	g := graph.New(2)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
 	n, err := NewNetwork(g)
 	if err != nil {
 		t.Fatal(err)

@@ -11,11 +11,11 @@ import (
 )
 
 func cycle(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
-		g.MustAddEdge(v, (v+1)%n)
+		b.MustAddEdge(v, (v+1)%n)
 	}
-	return g
+	return b.Freeze()
 }
 
 func ktree(t testing.TB, n, k int) *graph.Graph {
@@ -225,10 +225,11 @@ func TestAgreementDetectorFindsSplit(t *testing.T) {
 	// Path topology: crash the middle node before the flood crosses it;
 	// node 0 delivered, node 4 did not -> agreement over correct procs
 	// fails only if somebody correct delivered and another did not.
-	g := graph.New(5)
+	b := graph.NewBuilder(5)
 	for v := 0; v+1 < 5; v++ {
-		g.MustAddEdge(v, v+1)
+		b.MustAddEdge(v, v+1)
 	}
+	g := b.Freeze()
 	n, err := NewNetwork(g, WithCrashAt(2, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -246,10 +247,7 @@ func TestAgreementDetectorFindsSplit(t *testing.T) {
 func TestSendOverheadPartialForwarding(t *testing.T) {
 	// Star center crashes after getting one transmission out: exactly one
 	// leaf hears.
-	g := graph.New(4)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(0, 2)
-	g.MustAddEdge(0, 3)
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
 	n, err := NewNetwork(g, WithSendOverhead(2), WithCrashAt(0, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -308,7 +306,7 @@ func TestAccessorsOutOfRange(t *testing.T) {
 func TestPropertyProtocolMatchesTopologicalFlood(t *testing.T) {
 	f := func(seed uint32, nRaw uint8) bool {
 		size := int(nRaw%12) + 4
-		g := graph.New(size)
+		b := graph.NewBuilder(size)
 		state := uint64(seed) | 1
 		next := func() uint64 {
 			state ^= state << 13
@@ -319,10 +317,11 @@ func TestPropertyProtocolMatchesTopologicalFlood(t *testing.T) {
 		for u := 0; u < size; u++ {
 			for v := u + 1; v < size; v++ {
 				if next()%3 == 0 {
-					g.MustAddEdge(u, v)
+					b.MustAddEdge(u, v)
 				}
 			}
 		}
+		g := b.Freeze()
 		rng := sim.NewRNG(uint64(seed) * 17)
 		crashCount := rng.Intn(size / 2)
 		var opts []Option
@@ -341,12 +340,13 @@ func TestPropertyProtocolMatchesTopologicalFlood(t *testing.T) {
 		}
 		n.Run()
 		// Survivor-subgraph BFS oracle.
-		sub := graph.New(size)
+		var alive []graph.Edge
 		for _, e := range g.Edges() {
 			if !crashed[e.U] && !crashed[e.V] {
-				sub.MustAddEdge(e.U, e.V)
+				alive = append(alive, e)
 			}
 		}
+		sub := graph.MustFromEdges(size, alive)
 		dist := sub.BFSFrom(0)
 		for v := 0; v < size; v++ {
 			want := int64(dist[v])

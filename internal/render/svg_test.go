@@ -35,10 +35,11 @@ func decode(t *testing.T, buf *bytes.Buffer) svgDoc {
 }
 
 func TestCircularRendersEveryElement(t *testing.T) {
-	g := graph.New(5)
+	b := graph.NewBuilder(5)
 	for v := 0; v < 5; v++ {
-		g.MustAddEdge(v, (v+1)%5)
+		b.MustAddEdge(v, (v+1)%5)
 	}
+	g := b.Freeze()
 	var buf bytes.Buffer
 	if err := Circular(&buf, g, nil, Style{}); err != nil {
 		t.Fatal(err)
@@ -63,8 +64,7 @@ func TestCircularEmptyGraph(t *testing.T) {
 }
 
 func TestCircularCustomLabels(t *testing.T) {
-	g := graph.New(2)
-	g.MustAddEdge(0, 1)
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
 	var buf bytes.Buffer
 	if err := Circular(&buf, g, map[int]string{0: "alpha"}, Style{}); err != nil {
 		t.Fatal(err)

@@ -10,41 +10,38 @@ import (
 )
 
 func cycle(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for v := 0; v < n; v++ {
-		g.MustAddEdge(v, (v+1)%n)
+		b.MustAddEdge(v, (v+1)%n)
 	}
-	return g
+	return b.Freeze()
 }
 
 func complete(n int) *graph.Graph {
-	g := graph.New(n)
+	b := graph.NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.MustAddEdge(u, v)
+			b.MustAddEdge(u, v)
 		}
 	}
-	return g
+	return b.Freeze()
 }
 
 func petersen() *graph.Graph {
-	g := graph.New(10)
+	b := graph.NewBuilder(10)
 	for v := 0; v < 5; v++ {
-		g.MustAddEdge(v, (v+1)%5)
-		g.MustAddEdge(5+v, 5+(v+2)%5)
-		g.MustAddEdge(v, 5+v)
+		b.MustAddEdge(v, (v+1)%5)
+		b.MustAddEdge(5+v, 5+(v+2)%5)
+		b.MustAddEdge(v, 5+v)
 	}
-	return g
+	return b.Freeze()
 }
 
 func TestSecondEigenvalueErrors(t *testing.T) {
 	if _, err := SecondEigenvalue(graph.New(1), Options{}); err == nil {
 		t.Fatal("tiny graph must error")
 	}
-	star := graph.New(4)
-	star.MustAddEdge(0, 1)
-	star.MustAddEdge(0, 2)
-	star.MustAddEdge(0, 3)
+	star := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
 	if _, err := SecondEigenvalue(star, Options{}); err == nil {
 		t.Fatal("irregular graph must error")
 	}

@@ -51,7 +51,20 @@ type (
 	Failures = flood.Failures
 	// FloodResult reports rounds, messages and coverage of one flood.
 	FloodResult = flood.Result
+	// Builder is the mutable accumulator for graphs: add and remove edges
+	// freely, then Freeze into an immutable Graph that is safe to share
+	// across goroutines.
+	Builder = graph.Builder
 )
+
+// NewBuilder returns an empty mutable builder on n nodes. Call Freeze to
+// obtain the immutable, shareable Graph.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges bulk-loads a frozen graph on n nodes from an edge list in one
+// pass (duplicates are coalesced). It is the fastest path from external
+// data — e.g. decoded JSON — to a usable Graph.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
 
 // Constraint selects a topology construction.
 type Constraint int
@@ -201,6 +214,14 @@ func Regular(c Constraint, n, k int) bool {
 // Verify proves or refutes every LHG property of g for target k, exactly
 // (max-flow based). See check.Report for the fields.
 func Verify(g *Graph, k int) (*Report, error) { return check.Verify(g, k) }
+
+// VerifyParallel computes the same exact Report as Verify with the
+// independent probes fanned across a pool of `workers` goroutines
+// (workers <= 0 means GOMAXPROCS). The report is deterministic — identical
+// to the serial one regardless of worker count.
+func VerifyParallel(g *Graph, k, workers int) (*Report, error) {
+	return check.VerifyParallel(g, k, workers)
+}
 
 // IsLHG is the fast boolean check of the four mandatory properties.
 func IsLHG(g *Graph, k int) (bool, error) { return check.QuickVerify(g, k) }

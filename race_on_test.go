@@ -1,0 +1,8 @@
+//go:build race
+
+package lhg_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// The detector intentionally randomizes and bypasses sync.Pool reuse, so
+// allocation-count assertions are meaningless under -race.
+const raceEnabled = true
