@@ -20,14 +20,23 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the perf-trajectory series (exact verification and flooding at
-# n in {256, 1024, 4096} plus the steady-state 0-alloc probes) and emits
-# BENCH_verify.json with ns/op and allocs/op per benchmark, so successive
-# PRs can diff verification throughput.
+# n in {256, 1024, 4096}, the steady-state 0-alloc probes, and their
+# metrics-enabled twins) and emits BENCH_verify.json with run metadata plus
+# ns/op and allocs/op per benchmark, so successive PRs can diff
+# verification throughput across machines and toolchains.
 bench:
 	$(GO) test -run '^$$' \
-		-bench '^(BenchmarkVerifySweep|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState)$$' \
+		-bench '^(BenchmarkVerifySweep|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState|BenchmarkBFSSteadyStateMetricsOn|BenchmarkEdgeProbeSteadyStateMetricsOn)$$' \
 		-benchmem -benchtime=1x . | tee bench.out
-	@awk 'BEGIN { printf "{\n  \"benchmarks\": [" } \
+	@awk \
+		-v commit="$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		-v gover="$$($(GO) env GOVERSION)" \
+		-v maxprocs="$$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
+		-v stamp="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		'BEGIN { \
+			printf "{\n  \"meta\": {\"commit\": \"%s\", \"go\": \"%s\", \"gomaxprocs\": %s, \"timestamp\": \"%s\"},\n", commit, gover, maxprocs, stamp; \
+			printf "  \"benchmarks\": [" \
+		} \
 		/^Benchmark/ { \
 			name=$$1; sub(/-[0-9]+$$/, "", name); ns=""; allocs=""; \
 			for (i=2; i<=NF; i++) { \

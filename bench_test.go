@@ -214,6 +214,43 @@ func BenchmarkEdgeProbeSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkBFSSteadyStateMetricsOn is BenchmarkBFSSteadyState with the
+// metrics sink enabled: what one live counter costs on the BFS entry path
+// (one atomic add per traversal, still 0 allocs/op).
+func BenchmarkBFSSteadyStateMetricsOn(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 1024, 4)
+	sinkBool = g.Connected() // warm the scratch pool
+	lhg.EnableMetrics()
+	defer func() {
+		lhg.DisableMetrics()
+		lhg.ResetMetrics()
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBool = g.Connected()
+	}
+}
+
+// BenchmarkEdgeProbeSteadyStateMetricsOn is BenchmarkEdgeProbeSteadyState
+// with the metrics sink enabled: per-probe counters on the hottest
+// verification path (a handful of atomic adds per probe, 0 allocs/op).
+func BenchmarkEdgeProbeSteadyStateMetricsOn(b *testing.B) {
+	g := buildOrFatal(b, lhg.KDiamond, 1024, 4)
+	e := g.Edges()[0]
+	sinkBool = flow.EdgeIsRemovable(g, e, 4, 4) // warm the network pool
+	lhg.EnableMetrics()
+	defer func() {
+		lhg.DisableMetrics()
+		lhg.ResetMetrics()
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBool = flow.EdgeIsRemovable(g, e, 4, 4)
+	}
+}
+
 // BenchmarkQuickVerify is the sweep-mode verification used by E4/E6.
 func BenchmarkQuickVerify(b *testing.B) {
 	for _, n := range []int{32, 128, 512} {

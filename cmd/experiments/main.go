@@ -7,6 +7,10 @@
 //	experiments              # run everything
 //	experiments -only E4     # run a single experiment
 //	experiments -list        # list experiment ids and titles
+//	experiments -progress -metrics > tables.txt
+//
+// Tables go to stdout; -progress lines, the -metrics JSON dump and the
+// -http endpoint announcement go to stderr.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"lhg/internal/obs"
 )
 
 // verifyWorkers is the -workers flag: goroutine budget handed to the
@@ -67,15 +73,23 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "run a single experiment id (e.g. E4)")
-		list    = fs.Bool("list", false, "list experiments and exit")
-		figures = fs.String("figures", "", "write the paper's witness graphs as DOT files into this directory and exit")
-		workers = fs.Int("workers", 0, "goroutines for verification-heavy experiments (0 = all cores)")
+		only     = fs.String("only", "", "run a single experiment id (e.g. E4)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		figures  = fs.String("figures", "", "write the paper's witness graphs as DOT files into this directory and exit")
+		workers  = fs.Int("workers", 0, "goroutines for verification-heavy experiments (0 = all cores)")
+		progress = fs.Bool("progress", false, "report per-experiment progress on stderr")
+		metrics  = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	verifyWorkers = *workers
+	stopObs, err := obs.StartCLI(*metrics, *httpAddr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if *figures != "" {
 		return writeFigures(*figures, out)
 	}
@@ -86,10 +100,23 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	var prog *obs.Progress
+	if *progress {
+		total := int64(0)
+		for _, e := range exps {
+			if *only == "" || strings.EqualFold(*only, e.ID) {
+				total++
+			}
+		}
+		prog = obs.NewProgress(os.Stderr, "experiments", total)
+	}
 	ran := 0
 	for _, e := range exps {
 		if *only != "" && !strings.EqualFold(*only, e.ID) {
 			continue
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
 		}
 		fmt.Fprintf(out, "== %s: %s ==\n", e.ID, e.Title)
 		if err := e.Run(out); err != nil {
@@ -97,7 +124,9 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 		ran++
+		prog.Add(1)
 	}
+	prog.Finish()
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment id %q (use -list)", *only)
 	}

@@ -6,9 +6,15 @@
 //	floodsim -constraint ktree -n 100 -k 4 -fail 3 -mode random -seed 7
 //	floodsim -constraint kdiamond -n 64 -k 3 -fail 2 -mode adversarial
 //	floodsim -constraint harary -n 100 -k 4 -trials 200 -fail 3   # reliability
+//	floodsim -constraint kdiamond -n 64 -k 3 -fail 2 -json | jq .rounds
+//
+// -json replaces the human-readable report with a single JSON object on
+// stdout; diagnostics, the -metrics dump and the -http announcement always
+// go to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +22,7 @@ import (
 
 	"lhg"
 	"lhg/internal/flood"
+	"lhg/internal/obs"
 	"lhg/internal/sim"
 )
 
@@ -37,10 +44,18 @@ func run(args []string, out io.Writer) error {
 		mode       = fs.String("mode", "random", "failure mode: random or adversarial")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		trials     = fs.Int("trials", 1, "trials > 1 runs a Monte-Carlo reliability estimate")
+		asJSON     = fs.Bool("json", false, "emit the result as a JSON object on stdout")
+		metrics    = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obs.StartCLI(*metrics, *httpAddr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	c, err := lhg.ParseConstraint(*constraint)
 	if err != nil {
 		return err
@@ -55,6 +70,16 @@ func run(args []string, out io.Writer) error {
 		rel, err := flood.Reliability(g, *source, *failCount, *trials, rng)
 		if err != nil {
 			return err
+		}
+		if *asJSON {
+			return json.NewEncoder(out).Encode(map[string]any{
+				"topology":    c.String(),
+				"n":           *n,
+				"k":           *k,
+				"failures":    *failCount,
+				"trials":      *trials,
+				"reliability": rel,
+			})
 		}
 		fmt.Fprintf(out, "topology: %s(%d,%d)  failures: %d  trials: %d\n", c, *n, *k, *failCount, *trials)
 		fmt.Fprintf(out, "reliability (full coverage): %.4f\n", rel)
@@ -76,6 +101,21 @@ func run(args []string, out io.Writer) error {
 	res, err := flood.Run(g, *source, fails)
 	if err != nil {
 		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(out).Encode(map[string]any{
+			"topology": c.String(),
+			"n":        *n,
+			"k":        *k,
+			"edges":    g.Size(),
+			"mode":     *mode,
+			"failed":   fails.Nodes,
+			"rounds":   res.Rounds,
+			"messages": res.Messages,
+			"reached":  res.Reached,
+			"alive":    res.Alive,
+			"complete": res.Complete,
+		})
 	}
 	fmt.Fprintf(out, "topology:   %s(%d,%d), %d edges, diameter %d\n", c, *n, *k, g.Size(), g.Diameter())
 	fmt.Fprintf(out, "failures:   %v (%s)\n", fails.Nodes, *mode)

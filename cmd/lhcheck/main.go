@@ -8,6 +8,12 @@
 //
 //	lhcheck -constraint ktree -n 21 -k 3
 //	lhgen -constraint kdiamond -n 50 -k 4 -format json | lhcheck -stdin -k 4
+//	lhcheck -constraint kdiamond -n 200 -k 4 -v -metrics
+//
+// -v prints the per-phase timing breakdown of the verification run;
+// -metrics dumps the JSON metrics report to stderr at exit; -http serves
+// /debug/vars, /metrics and /debug/pprof/ for the duration of the run.
+// The report goes to stdout, diagnostics to stderr.
 //
 // Exit status 0 means every mandatory property holds.
 package main
@@ -22,6 +28,7 @@ import (
 
 	"lhg"
 	"lhg/internal/core"
+	"lhg/internal/obs"
 )
 
 var errNotLHG = errors.New("graph is not an LHG")
@@ -43,15 +50,25 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		stdin      = fs.Bool("stdin", false, "read a JSON graph from stdin instead of building one")
 		workers    = fs.Int("workers", 0, "verification worker goroutines (0 = all cores)")
 		blueprint  = fs.Bool("blueprint", false, "read a blueprint JSON (lhgen -format blueprint) from stdin, validate its constraints, compile and verify")
+		verbose    = fs.Bool("v", false, "print the per-phase timing breakdown of the verification run")
+		metrics    = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *verbose {
+		// Verbose mode wants probe counts in the phase block, which come
+		// from the metrics registry.
+		obs.Enable()
+	}
+	stopObs, err := obs.StartCLI(*metrics, *httpAddr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 
-	var (
-		g   *lhg.Graph
-		err error
-	)
+	var g *lhg.Graph
 	switch {
 	case *blueprint:
 		var blue core.Blueprint
@@ -101,6 +118,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fmt.Fprintf(out, "diameter:             %d (bound %d, P4 %s)\n", r.Diameter, r.DiameterBound, pass(r.LogDiameter))
 	fmt.Fprintf(out, "k-regular:            %t (P5, optional)\n", r.Regular)
 	fmt.Fprintf(out, "avg path length:      %.3f\n", r.AvgPathLen)
+	if *verbose {
+		fmt.Fprintln(out, "phase timings:")
+		fmt.Fprint(out, r.PhaseBreakdown())
+	}
 	if !r.IsLHG() {
 		return errNotLHG
 	}

@@ -17,6 +17,7 @@ import (
 
 	"lhg"
 	"lhg/internal/core"
+	"lhg/internal/obs"
 	"lhg/internal/render"
 )
 
@@ -36,10 +37,17 @@ func run(args []string, out io.Writer) error {
 		format     = fs.String("format", "stats", "output format: dot, json, stats, svg or blueprint")
 		name       = fs.String("name", "lhg", "graph name for DOT output")
 		variant    = fs.Uint64("variant", 0, "non-zero: sample a random constraint witness with this seed (ktree/kdiamond only)")
+		metrics    = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obs.StartCLI(*metrics, *httpAddr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	c, err := lhg.ParseConstraint(*constraint)
 	if err != nil {
 		return err

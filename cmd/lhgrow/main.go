@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"lhg"
+	"lhg/internal/obs"
 )
 
 type joinRecord struct {
@@ -47,10 +48,17 @@ func run(args []string, out io.Writer) error {
 		k          = fs.Int("k", 3, "connectivity target")
 		joins      = fs.Int("joins", 10, "number of joins to perform")
 		summary    = fs.Bool("summary", false, "print aggregate churn stats instead of JSON lines")
+		metrics    = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obs.StartCLI(*metrics, *httpAddr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if *joins < 0 {
 		return fmt.Errorf("joins must be non-negative, got %d", *joins)
 	}

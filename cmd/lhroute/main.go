@@ -17,6 +17,7 @@ import (
 
 	"lhg"
 	"lhg/internal/core"
+	"lhg/internal/obs"
 )
 
 func main() {
@@ -35,10 +36,17 @@ func run(args []string, out io.Writer) error {
 		from       = fs.Int("from", 0, "route source node")
 		to         = fs.Int("to", 1, "route target node")
 		all        = fs.Bool("all", false, "sweep all pairs and report the stretch distribution")
+		metrics    = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obs.StartCLI(*metrics, *httpAddr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	c, err := lhg.ParseConstraint(*constraint)
 	if err != nil {
 		return err

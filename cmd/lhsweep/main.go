@@ -7,8 +7,13 @@
 //
 //	lhsweep -k 4 -from 16 -to 512 -step x2 > sweep.csv
 //	lhsweep -k 3 -from 10 -to 100 -step 10 -spectral
+//	lhsweep -k 4 -from 16 -to 4096 -step x2 -progress -metrics > sweep.csv
 //
 // Columns: family,n,k,edges,diameter,rounds,messages,moore[,gap]
+//
+// Only the CSV goes to stdout; progress lines, the -metrics JSON dump and
+// the -http endpoint announcement all go to stderr, so redirecting stdout
+// always yields a clean, parseable file.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"lhg"
 	"lhg/internal/check"
+	"lhg/internal/obs"
 	"lhg/internal/spectral"
 )
 
@@ -41,10 +47,18 @@ func run(args []string, out io.Writer) error {
 		doGap    = fs.Bool("spectral", false, "include the spectral gap column (k-regular sizes only, slower)")
 		families = fs.String("families", "harary,jd,ktree,kdiamond", "comma-separated constraint list")
 		workers  = fs.Int("workers", 0, "goroutines for the diameter sweep (0 = all cores)")
+		progress = fs.Bool("progress", false, "report sweep progress on stderr")
+		metrics  = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obs.StartCLI(*metrics, *httpAddr, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if *from < 2 || *to < *from {
 		return fmt.Errorf("invalid range [%d,%d]", *from, *to)
 	}
@@ -64,6 +78,18 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := w.Write(header); err != nil {
 		return err
+	}
+	var prog *obs.Progress
+	if *progress {
+		total := int64(0)
+		for n := *from; n <= *to; n = next(n) {
+			for _, c := range constraints {
+				if lhg.Exists(c, n, *k) {
+					total++
+				}
+			}
+		}
+		prog = obs.NewProgress(os.Stderr, "sweep", total)
 	}
 	for n := *from; n <= *to; n = next(n) {
 		for _, c := range constraints {
@@ -102,8 +128,10 @@ func run(args []string, out io.Writer) error {
 			if err := w.Write(row); err != nil {
 				return err
 			}
+			prog.Add(1)
 		}
 	}
+	prog.Finish()
 	w.Flush()
 	return w.Error()
 }

@@ -19,9 +19,27 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"lhg/internal/flow"
 	"lhg/internal/graph"
+	"lhg/internal/obs"
+)
+
+// Verification telemetry. The phase timers mirror Report.Phases into the
+// metrics registry; the probe counter handles are the same registered
+// metrics the flow layer increments (registration is idempotent), so the
+// per-phase probe deltas in Report come from the authoritative counters.
+var (
+	mVerifyRuns      = obs.NewCounter("check.verify.runs")
+	mQuickRuns       = obs.NewCounter("check.quickverify.runs")
+	gVerifyWorkers   = obs.NewGauge("check.verify.workers")
+	mP3EdgesProbed   = obs.NewCounter("check.p3.edges_probed")
+	tPhaseKappa      = obs.NewTimer("check.phase.kappa")
+	tPhaseLambda     = obs.NewTimer("check.phase.lambda")
+	tPhaseMinimality = obs.NewTimer("check.phase.minimality")
+	tPhaseDistances  = obs.NewTimer("check.phase.distances")
+	mFlowProbes      = obs.NewCounter("flow.maxflow.probes")
 )
 
 // DiameterSlack is the additive slack allowed on top of 2*log_{k-1}(n) when
@@ -52,6 +70,40 @@ type Report struct {
 	MinDegree     int     // smallest degree
 	MaxDegree     int     // largest degree
 	AvgPathLen    float64 // mean shortest-path length (-1 if disconnected)
+
+	// Workers is the goroutine budget the run used (1 = serial).
+	Workers int `json:"workers"`
+	// Phases records per-phase wall time in execution order. Probe counts
+	// are filled from the metrics registry when the obs sink is enabled.
+	Phases []PhaseTiming `json:"phases,omitempty"`
+}
+
+// PhaseTiming is the wall time (and, with the obs sink enabled, the
+// max-flow probe count) of one verification phase.
+type PhaseTiming struct {
+	Phase  string  `json:"phase"`
+	Ms     float64 `json:"ms"`
+	Probes int64   `json:"probes,omitempty"`
+}
+
+// PhaseBreakdown renders the structured timing block printed by
+// `lhcheck -v`: one line per phase plus a total.
+func (r *Report) PhaseBreakdown() string {
+	if len(r.Phases) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	total := 0.0
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "  %-12s %10.2fms", p.Phase+":", p.Ms)
+		if p.Probes > 0 {
+			fmt.Fprintf(&b, "  (%d max-flow probes)", p.Probes)
+		}
+		b.WriteByte('\n')
+		total += p.Ms
+	}
+	fmt.Fprintf(&b, "  %-12s %10.2fms  (workers: %d)\n", "total:", total, r.Workers)
+	return b.String()
 }
 
 // IsLHG reports whether all four mandatory LHG properties hold.
@@ -85,24 +137,53 @@ func verify(g *graph.Graph, k, workers int) (*Report, error) {
 	if n <= k {
 		return nil, fmt.Errorf("check: k=%d must be < n=%d", k, n)
 	}
-	r := &Report{N: n, M: g.Size(), K: k}
+	r := &Report{N: n, M: g.Size(), K: k, Workers: workers}
 	r.MinDegree, _ = g.MinDegree()
 	r.MaxDegree, _ = g.MaxDegree()
 	r.Regular = g.IsRegular(k)
+	mVerifyRuns.Inc()
+	gVerifyWorkers.Set(int64(workers))
 
-	if workers > 1 {
-		r.NodeConnectivity = flow.VertexConnectivityParallel(g, workers)
-		r.EdgeConnectivity = flow.EdgeConnectivityParallel(g, workers)
-	} else {
-		r.NodeConnectivity = flow.VertexConnectivity(g)
-		r.EdgeConnectivity = flow.EdgeConnectivity(g)
+	// runPhase wall-times one verification phase into Report.Phases
+	// (always) and the obs timers (when the sink is on), attributing the
+	// max-flow probes the phase issued via the shared flow counter.
+	runPhase := func(name string, t *obs.Timer, fn func()) {
+		p0 := mFlowProbes.Value()
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		t.Observe(d)
+		r.Phases = append(r.Phases, PhaseTiming{
+			Phase:  name,
+			Ms:     float64(d) / 1e6,
+			Probes: mFlowProbes.Value() - p0,
+		})
 	}
+
+	runPhase("kappa", tPhaseKappa, func() {
+		if workers > 1 {
+			r.NodeConnectivity = flow.VertexConnectivityParallel(g, workers)
+		} else {
+			r.NodeConnectivity = flow.VertexConnectivity(g)
+		}
+	})
+	runPhase("lambda", tPhaseLambda, func() {
+		if workers > 1 {
+			r.EdgeConnectivity = flow.EdgeConnectivityParallel(g, workers)
+		} else {
+			r.EdgeConnectivity = flow.EdgeConnectivity(g)
+		}
+	})
 	r.KNodeConnected = r.NodeConnectivity >= k
 	r.KLinkConnected = r.EdgeConnectivity >= k
 
-	r.LinkMinimal = verifyLinkMinimality(g, r, workers)
+	runPhase("minimality", tPhaseMinimality, func() {
+		r.LinkMinimal = verifyLinkMinimality(g, r, workers)
+	})
 
-	r.Diameter, r.AvgPathLen = g.DistanceStats(workers)
+	runPhase("distances", tPhaseDistances, func() {
+		r.Diameter, r.AvgPathLen = g.DistanceStats(workers)
+	})
 	r.DiameterBound = DiameterBound(n, k)
 	r.LogDiameter = r.Diameter >= 0 && r.Diameter <= r.DiameterBound
 	return r, nil
@@ -141,6 +222,7 @@ func verifyLinkMinimality(g *graph.Graph, r *Report, workers int) bool {
 		return true
 	}
 	edges := g.Edges()
+	mP3EdgesProbed.Add(int64(len(edges)))
 	removable := flow.EdgesRemovable(g, edges, kappa, lambda, workers)
 	// Report the first removable edge in canonical order, so the parallel
 	// and serial drivers return identical witnesses.
@@ -167,6 +249,7 @@ func QuickVerify(g *graph.Graph, k int) (bool, error) {
 	if k < 1 || n <= k {
 		return false, fmt.Errorf("check: invalid pair n=%d k=%d", n, k)
 	}
+	mQuickRuns.Inc()
 	if k >= 2 {
 		// Linear-time pre-filter: a single articulation point or bridge
 		// already refutes 2-connectivity, far cheaper than max-flow.
@@ -185,6 +268,7 @@ func QuickVerify(g *graph.Graph, k int) (bool, error) {
 		return true, nil // P3 immediate for k-regular k-connected graphs
 	}
 	for _, e := range g.Edges() {
+		mP3EdgesProbed.Inc()
 		if flow.EdgeIsRemovable(g, e, k, k) {
 			return false, nil
 		}

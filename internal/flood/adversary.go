@@ -5,7 +5,16 @@ import (
 
 	"lhg/internal/flow"
 	"lhg/internal/graph"
+	"lhg/internal/obs"
 	"lhg/internal/sim"
+)
+
+// Adversary telemetry: how many nodes/links each planner killed, and how
+// often the planner found an actual disconnecting cut (f >= connectivity).
+var (
+	mAdvNodeKills = obs.NewCounter("flood.adversary.node_kills")
+	mAdvLinkKills = obs.NewCounter("flood.adversary.link_kills")
+	mAdvCutsFound = obs.NewCounter("flood.adversary.cuts_found")
 )
 
 // RandomNodeFailures draws f distinct crashed nodes, never including the
@@ -59,6 +68,8 @@ func AdversarialNodeFailures(g *graph.Graph, source, f int) (Failures, error) {
 	kappa := flow.VertexConnectivity(g)
 	if f >= kappa {
 		if cut := findCut(g, source, f); cut != nil {
+			mAdvCutsFound.Inc()
+			mAdvNodeKills.Add(int64(len(cut)))
 			return Failures{Nodes: cut}, nil
 		}
 	}
@@ -75,6 +86,7 @@ func AdversarialNodeFailures(g *graph.Graph, source, f int) (Failures, error) {
 			nodes = append(nodes, v)
 		}
 	}
+	mAdvNodeKills.Add(int64(len(nodes)))
 	return Failures{Nodes: nodes}, nil
 }
 
@@ -153,6 +165,8 @@ func AdversarialLinkFailures(g *graph.Graph, source, f int) (Failures, error) {
 					links = append(links, e)
 				}
 			}
+			mAdvCutsFound.Inc()
+			mAdvLinkKills.Add(int64(len(links)))
 			return Failures{Links: links}, nil
 		}
 	}
@@ -171,6 +185,7 @@ func AdversarialLinkFailures(g *graph.Graph, source, f int) (Failures, error) {
 			links = append(links, e)
 		}
 	}
+	mAdvLinkKills.Add(int64(len(links)))
 	return Failures{Links: links}, nil
 }
 

@@ -16,6 +16,19 @@ import (
 	"fmt"
 
 	"lhg/internal/graph"
+	"lhg/internal/obs"
+)
+
+// Flood telemetry, published once per run (not per message): total
+// point-to-point messages, duplicates (messages received by nodes that
+// already held the payload), rounds to quiescence, and a per-node delivery
+// latency histogram in rounds.
+var (
+	mFloodRuns       = obs.NewCounter("flood.runs")
+	mFloodMessages   = obs.NewCounter("flood.messages")
+	mFloodDuplicates = obs.NewCounter("flood.duplicates")
+	hFloodRounds     = obs.NewHistogram("flood.rounds", 1, 2, 4, 8, 16, 32, 64, 128)
+	hFloodDelivery   = obs.NewHistogram("flood.delivery.rounds", 1, 2, 4, 8, 16, 32, 64, 128)
 )
 
 // Failures describes the fault environment of one flood run. The zero value
@@ -102,6 +115,19 @@ func Run(g *graph.Graph, source int, f Failures) (*Result, error) {
 		frontier = next
 	}
 	res.Complete = res.Reached == res.Alive
+	mFloodRuns.Inc()
+	mFloodMessages.Add(int64(res.Messages))
+	// Every counted message was received by an alive node; all but the
+	// first delivery at each non-source node were duplicates.
+	mFloodDuplicates.Add(int64(res.Messages - (res.Reached - 1)))
+	if obs.Enabled() {
+		hFloodRounds.Observe(int64(res.Rounds))
+		for _, round := range res.FirstHeard {
+			if round > 0 {
+				hFloodDelivery.Observe(int64(round))
+			}
+		}
+	}
 	return res, nil
 }
 

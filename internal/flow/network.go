@@ -17,6 +17,17 @@ import (
 	"sync"
 
 	"lhg/internal/graph"
+	"lhg/internal/obs"
+)
+
+// Flow-layer telemetry. Probes and augmenting paths are counted per
+// maxflow call (one add each, outside the inner loops); pool gets/misses
+// expose the recycling behaviour the zero-alloc steady state depends on.
+var (
+	mMaxflowProbes = obs.NewCounter("flow.maxflow.probes")
+	mAugPaths      = obs.NewCounter("flow.maxflow.augmenting_paths")
+	mNetPoolGets   = obs.NewCounter("flow.pool.gets")
+	mNetPoolMisses = obs.NewCounter("flow.pool.misses")
 )
 
 // network is a directed flow network stored as an edge list where the edge
@@ -37,9 +48,13 @@ type network struct {
 // netPool recycles networks across probes. A recycled network keeps the
 // capacity of every buffer it ever grew to, so rebuilding one for a graph
 // of similar size costs appends into retained storage — zero allocations.
-var netPool = sync.Pool{New: func() any { return new(network) }}
+var netPool = sync.Pool{New: func() any {
+	mNetPoolMisses.Inc()
+	return new(network)
+}}
 
 func getNetwork(n int) *network {
+	mNetPoolGets.Inc()
 	nw := netPool.Get().(*network)
 	nw.reset(n)
 	return nw
@@ -180,10 +195,19 @@ const inf = int(^uint(0) >> 1)
 // makes global-connectivity sweeps cheap: once the running minimum is m, any
 // pair with flow >= m cannot improve it.
 func (nw *network) maxflow(s, t, limit int) int {
+	f, paths := nw.maxflowCounted(s, t, limit)
+	mMaxflowProbes.Inc()
+	mAugPaths.Add(paths)
+	return f
+}
+
+// maxflowCounted is maxflow returning the number of augmenting paths found
+// alongside the flow value. The path count is tallied in a local so the
+// hot loop stays free of atomics; the caller publishes it once.
+func (nw *network) maxflowCounted(s, t, limit int) (flow int, paths int64) {
 	if s == t {
-		return inf
+		return inf, 0
 	}
-	flow := 0
 	for nw.bfs(s, t) {
 		for i := range nw.iter {
 			nw.iter[i] = 0
@@ -193,13 +217,14 @@ func (nw *network) maxflow(s, t, limit int) int {
 			if f == 0 {
 				break
 			}
+			paths++
 			flow += f
 			if limit >= 0 && flow >= limit {
-				return flow
+				return flow, paths
 			}
 		}
 	}
-	return flow
+	return flow, paths
 }
 
 // int32max bounds the per-augmentation request so int32 capacities never

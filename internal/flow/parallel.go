@@ -5,6 +5,15 @@ import (
 	"sync/atomic"
 
 	"lhg/internal/graph"
+	"lhg/internal/obs"
+)
+
+// Worker-pool telemetry: spawned counts pool members across all fan-out
+// drivers; busy accumulates each worker's wall time inside its probe loop.
+// Utilization over a phase is busy / (workers × phase wall time).
+var (
+	mWorkersSpawned = obs.NewCounter("flow.workers.spawned")
+	tWorkerBusy     = obs.NewTimer("flow.workers.busy")
 )
 
 // Parallel global-connectivity sweeps. The frozen CSR graph is shared
@@ -46,10 +55,12 @@ func EdgeConnectivityParallel(g *graph.Graph, workers int) int {
 	)
 	best.Store(int64(inf))
 	next.Store(1)
+	mWorkersSpawned.Add(int64(workers))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer tWorkerBusy.Start().End()
 			nw := getNetwork(n)
 			defer putNetwork(nw)
 			for {
@@ -117,10 +128,12 @@ func VertexConnectivityParallel(g *graph.Graph, workers int) int {
 		wg   sync.WaitGroup
 	)
 	best.Store(int64(minDeg)) // κ(G) <= δ(G)
+	mWorkersSpawned.Add(int64(workers))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer tWorkerBusy.Start().End()
 			nw := getNetwork(2 * n)
 			defer putNetwork(nw)
 			for {
@@ -162,10 +175,12 @@ func EdgesRemovable(g *graph.Graph, edges []graph.Edge, kappa, lambda, workers i
 		next atomic.Int64
 		wg   sync.WaitGroup
 	)
+	mWorkersSpawned.Add(int64(workers))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer tWorkerBusy.Start().End()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(edges) {

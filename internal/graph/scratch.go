@@ -1,6 +1,18 @@
 package graph
 
-import "sync"
+import (
+	"sync"
+
+	"lhg/internal/obs"
+)
+
+// Pool telemetry: gets counts every scratch checkout, misses counts the
+// ones the pool had to allocate for. hits = gets - misses; a healthy
+// steady state is all hits.
+var (
+	mScratchGets   = obs.NewCounter("graph.scratch.gets")
+	mScratchMisses = obs.NewCounter("graph.scratch.misses")
+)
 
 // scratch is the reusable per-traversal working set: a distance array and a
 // BFS queue. Traversals Get one from the pool, run, and Put it back, so
@@ -13,11 +25,15 @@ type scratch struct {
 	queue []int32
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+var scratchPool = sync.Pool{New: func() any {
+	mScratchMisses.Inc()
+	return new(scratch)
+}}
 
 // getScratch returns a scratch with dist sized (and reset to -1) for n
 // nodes and an empty queue of capacity >= n.
 func getScratch(n int) *scratch {
+	mScratchGets.Inc()
 	s := scratchPool.Get().(*scratch)
 	if cap(s.dist) < n {
 		s.dist = make([]int32, n)

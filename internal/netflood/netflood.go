@@ -24,13 +24,32 @@ import (
 
 	"lhg/internal/core"
 	"lhg/internal/graph"
+	"lhg/internal/obs"
 )
 
-// Message is one flooded payload.
+// Cluster telemetry. Frames are counted at the sender, deliveries and
+// duplicates at the receiver; hops is the socket-level analog of the
+// simulator's per-round delivery latency (each forward adds one hop).
+var (
+	mNetBroadcasts  = obs.NewCounter("netflood.broadcasts")
+	mNetFramesSent  = obs.NewCounter("netflood.frames.sent")
+	mNetDelivered   = obs.NewCounter("netflood.msgs.delivered")
+	mNetDuplicates  = obs.NewCounter("netflood.msgs.duplicate")
+	mNetNodesAdded  = obs.NewCounter("netflood.nodes.added")
+	mNetCrashes     = obs.NewCounter("netflood.nodes.crashed")
+	mNetConnects    = obs.NewCounter("netflood.links.connected")
+	mNetDisconnects = obs.NewCounter("netflood.links.disconnected")
+	hNetHops        = obs.NewHistogram("netflood.delivery.hops", 1, 2, 4, 8, 16, 32)
+)
+
+// Message is one flooded payload. Hops counts the links the copy crossed
+// before its first delivery at a node (0 at the source), the socket-level
+// delivery-latency measure.
 type Message struct {
 	Src     int    `json:"src"`
 	Seq     int    `json:"seq"`
 	Payload string `json:"payload"`
+	Hops    int    `json:"hops,omitempty"`
 }
 
 // frame is the wire envelope: either a hello (link handshake identifying
@@ -136,6 +155,7 @@ func (c *Cluster) AddNode() (int, error) {
 	}
 	c.nodes = append(c.nodes, nd)
 	c.mu.Unlock()
+	mNetNodesAdded.Inc()
 	nd.wg.Add(1)
 	go nd.acceptLoop()
 	return idx, nil
@@ -165,6 +185,7 @@ func (c *Cluster) Connect(u, v int) error {
 		return fmt.Errorf("netflood: hello (%d,%d): %w", u, v, err)
 	}
 	nu.register(v, p)
+	mNetConnects.Inc()
 	// Wait until the acceptor has processed the hello: the link is then
 	// usable in both directions before Connect returns, which keeps
 	// reconfiguration deterministic.
@@ -189,8 +210,13 @@ func (c *Cluster) Disconnect(u, v int) error {
 	if err != nil {
 		return err
 	}
-	nu.unregister(v)
-	nv.unregister(u)
+	// Tear down both directions unconditionally (|| would short-circuit
+	// and leave the reverse registration behind).
+	removedU := nu.unregister(v)
+	removedV := nv.unregister(u)
+	if removedU || removedV {
+		mNetDisconnects.Inc()
+	}
 	return nil
 }
 
@@ -233,6 +259,7 @@ func (c *Cluster) Broadcast(src int, payload string) (Message, error) {
 	msg := Message{Src: src, Seq: nd.nextSeq, Payload: payload}
 	nd.nextSeq++
 	nd.mu.Unlock()
+	mNetBroadcasts.Inc()
 	nd.handle(msg)
 	return msg, nil
 }
@@ -271,6 +298,7 @@ func (c *Cluster) CrashNode(idx int) bool {
 	default:
 	}
 	nd.shutdown()
+	mNetCrashes.Inc()
 	return true
 }
 
@@ -331,8 +359,9 @@ func (n *node) register(remote int, p *peerConn) {
 	go n.readLoop(p, false)
 }
 
-// unregister closes and forgets the link to remote.
-func (n *node) unregister(remote int) {
+// unregister closes and forgets the link to remote, reporting whether it
+// existed.
+func (n *node) unregister(remote int) bool {
 	n.mu.Lock()
 	p, ok := n.peers[remote]
 	if ok {
@@ -342,6 +371,7 @@ func (n *node) unregister(remote int) {
 	if ok {
 		p.conn.Close()
 	}
+	return ok
 }
 
 // readLoop consumes frames from one connection. Acceptor-side loops expect
@@ -384,6 +414,7 @@ func (n *node) handle(msg Message) {
 	n.mu.Lock()
 	if _, dup := n.seen[key]; dup {
 		n.mu.Unlock()
+		mNetDuplicates.Inc()
 		return
 	}
 	n.seen[key] = msg
@@ -393,16 +424,21 @@ func (n *node) handle(msg Message) {
 		peers = append(peers, p)
 	}
 	n.mu.Unlock()
+	mNetDelivered.Inc()
+	hNetHops.Observe(int64(msg.Hops))
 
 	select {
 	case n.delivery <- msg:
 	case <-n.closed:
 		return
 	}
+	// Forwarded copies are one hop further from the source.
 	m := msg
+	m.Hops++
 	for _, p := range peers {
 		// Best effort: a closed peer just drops the frame — the crash
 		// model of the paper.
+		mNetFramesSent.Inc()
 		_ = writeFrame(p, frame{Kind: "msg", Msg: &m})
 	}
 }

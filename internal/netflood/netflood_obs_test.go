@@ -1,0 +1,182 @@
+package netflood
+
+import (
+	"testing"
+	"time"
+
+	"lhg/internal/core"
+	"lhg/internal/obs"
+)
+
+// withSink resets the metrics registry and enables the sink for one test,
+// restoring the disabled default afterwards. Tests that use it share the
+// process-global registry and therefore must not run in parallel.
+func withSink(t *testing.T) {
+	t.Helper()
+	obs.Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+}
+
+// waitCounters polls the registry until every listed counter holds exactly
+// its expected value. Frames propagate asynchronously over real sockets,
+// so tests assert the converged totals rather than a snapshot mid-flood.
+func waitCounters(t *testing.T, want map[string]int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := obs.Counters()
+		ok := true
+		for name, v := range want {
+			if got[name] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters did not converge:\n got %v\nwant %v", got, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBroadcastFrameAccounting pins the exact message-complexity invariants
+// of a fault-free flood on a connected overlay: every node delivers once,
+// every delivering node forwards on each incident link (2m frames total),
+// and every frame that is not a first delivery is a suppressed duplicate —
+// so duplicates = 2m - (n-1), the paper's per-broadcast overhead.
+func TestBroadcastFrameAccounting(t *testing.T) {
+	kt, err := core.BuildKTree(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSink(t)
+	c, err := Start(kt.Real.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	n := int64(c.Size())
+	m := int64(kt.Real.Graph.Size())
+	if _, err := c.Broadcast(0, "accounted"); err != nil {
+		t.Fatal(err)
+	}
+	waitCounters(t, map[string]int64{
+		"netflood.broadcasts":     1,
+		"netflood.msgs.delivered": n,
+		"netflood.frames.sent":    2 * m,
+		"netflood.msgs.duplicate": 2*m - (n - 1),
+	})
+
+	// Delivery latency: one hop observation per delivered message; every
+	// node except the source is at least one hop out.
+	h, ok := obs.Snapshot().Histograms["netflood.delivery.hops"]
+	if !ok {
+		t.Fatal("netflood.delivery.hops histogram not registered")
+	}
+	if h.Count != n {
+		t.Fatalf("hop observations = %d, want %d", h.Count, n)
+	}
+	if h.Sum < n-1 {
+		t.Fatalf("hop sum = %d, want >= %d", h.Sum, n-1)
+	}
+}
+
+// TestDuplicateSuppressionCounters drives the dedup path directly: handing
+// a node a message it has already seen must bump only the duplicate
+// counter, never the delivery counter or the per-node log.
+func TestDuplicateSuppressionCounters(t *testing.T) {
+	withSink(t)
+	c := StartEmpty()
+	defer c.Shutdown()
+	for i := 0; i < 2; i++ {
+		if _, err := c.AddNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Broadcast(0, "once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCounters(t, map[string]int64{
+		"netflood.msgs.delivered": 2,
+		"netflood.msgs.duplicate": 1, // node 0 hears its own message back
+	})
+
+	c.mu.Lock()
+	nd := c.nodes[1]
+	c.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		nd.handle(msg) // already seen: must be suppressed
+	}
+	waitCounters(t, map[string]int64{
+		"netflood.msgs.delivered": 2,
+		"netflood.msgs.duplicate": 4,
+	})
+	if got := len(c.Delivered(1)); got != 1 {
+		t.Fatalf("node 1 logged %d deliveries, want 1", got)
+	}
+}
+
+// TestFailureInjectionCounters floods a 3-node path with its far endpoint
+// crashed: the reconfiguration counters must record the topology surgery
+// and the flood counters the exact frames a crash absorbs. On 0-1-2 with
+// node 2 down, node 0 forwards once, node 1 forwards twice (one frame dies
+// at the crashed socket), and the only duplicate is node 0 hearing its own
+// message back.
+func TestFailureInjectionCounters(t *testing.T) {
+	withSink(t)
+	c := StartEmpty()
+	defer c.Shutdown()
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CrashNode(2) {
+		t.Fatal("crash failed")
+	}
+	if c.CrashNode(2) {
+		t.Fatal("double crash must report false")
+	}
+	if _, err := c.Broadcast(0, "survivors"); err != nil {
+		t.Fatal(err)
+	}
+	waitCounters(t, map[string]int64{
+		"netflood.nodes.added":     3,
+		"netflood.links.connected": 2,
+		"netflood.nodes.crashed":   1,
+		"netflood.broadcasts":      1,
+		"netflood.msgs.delivered":  2,
+		"netflood.frames.sent":     3,
+		"netflood.msgs.duplicate":  1,
+	})
+	if len(c.Delivered(2)) != 0 {
+		t.Fatal("crashed node delivered")
+	}
+
+	// Disconnect counts once per removed link and is idempotent.
+	if err := c.Disconnect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Disconnect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitCounters(t, map[string]int64{"netflood.links.disconnected": 1})
+}

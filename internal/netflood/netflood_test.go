@@ -59,9 +59,14 @@ func TestBroadcastReachesEveryNodeOverTCP(t *testing.T) {
 		if counts[i] != 1 {
 			t.Fatalf("node %d delivered %d messages, want 1", i, counts[i])
 		}
+		// Delivered copies carry their hop count, so compare identity and
+		// payload rather than the whole struct.
 		got := c.Delivered(i)
-		if got[0] != msg {
+		if got[0].Src != msg.Src || got[0].Seq != msg.Seq || got[0].Payload != msg.Payload {
 			t.Fatalf("node %d delivered %+v, want %+v", i, got[0], msg)
+		}
+		if i != 0 && got[0].Hops == 0 {
+			t.Fatalf("node %d delivered with 0 hops", i)
 		}
 	}
 }

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// StartCLI is the shared wiring behind the -metrics and -http flags of
+// every command in cmd/: it enables the sink if either flag is set,
+// optionally starts the debug endpoint, and returns a stop function that
+// shuts the endpoint down and — when metrics was requested — dumps the
+// JSON metrics report to logw (conventionally stderr, keeping stdout
+// machine-parseable).
+func StartCLI(metrics bool, httpAddr string, logw io.Writer) (stop func(), err error) {
+	if !metrics && httpAddr == "" {
+		return func() {}, nil
+	}
+	Enable()
+	var closeHTTP func() error
+	if httpAddr != "" {
+		addr, closer, err := Serve(httpAddr)
+		if err != nil {
+			return nil, fmt.Errorf("debug endpoint: %w", err)
+		}
+		closeHTTP = closer
+		fmt.Fprintf(logw, "debug endpoint listening on http://%s (/debug/vars, /metrics, /debug/pprof/)\n", addr)
+	}
+	return func() {
+		if closeHTTP != nil {
+			_ = closeHTTP()
+		}
+		if metrics {
+			_ = WriteJSON(logw)
+		}
+	}, nil
+}

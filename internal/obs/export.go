@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TimerSnapshot is a point-in-time copy of a timer.
+type TimerSnapshot struct {
+	Count   int64   `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	Ms      float64 `json:"ms"`
+}
+
+// Report is a full snapshot of a registry, the shape the -metrics flag
+// dumps as JSON.
+type Report struct {
+	Timestamp  string                       `json:"timestamp"`
+	GoVersion  string                       `json:"go_version"`
+	GOMAXPROCS int                          `json:"gomaxprocs"`
+	Enabled    bool                         `json:"enabled"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Timers     map[string]TimerSnapshot     `json:"timers"`
+}
+
+// Snapshot copies every metric of the registry into a Report.
+func (r *Registry) Snapshot() Report {
+	rep := Report{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Enabled:    Enabled(),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+		Timers:     make(map[string]TimerSnapshot),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		rep.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		rep.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		rep.Histograms[name] = h.snapshot()
+	}
+	for name, t := range r.timers {
+		total := t.ns.Load()
+		rep.Timers[name] = TimerSnapshot{
+			Count:   t.count.Load(),
+			TotalNs: total,
+			Ms:      float64(total) / 1e6,
+		}
+	}
+	return rep
+}
+
+// Snapshot copies the Default registry.
+func Snapshot() Report { return Default.Snapshot() }
+
+// Counters returns just the counter values of the Default registry — the
+// convenient shape for differential tests.
+func Counters() map[string]int64 { return Snapshot().Counters }
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteJSON writes the Default registry snapshot as indented JSON.
+func WriteJSON(w io.Writer) error { return Default.WriteJSON(w) }
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and timers as counter families, gauges
+// as gauges, histograms with cumulative le buckets. Metric names are the
+// registry names with dots mapped to underscores under an lhg_ prefix.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	rep := r.Snapshot()
+	var b strings.Builder
+	for _, name := range sortedKeys(rep.Counters) {
+		p := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", p, p, rep.Counters[name])
+	}
+	for _, name := range sortedKeys(rep.Gauges) {
+		p := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", p, p, rep.Gauges[name])
+	}
+	for _, name := range sortedKeys(rep.Timers) {
+		t := rep.Timers[name]
+		p := promName(name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s summary\n", p)
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", p, float64(t.TotalNs)/1e9, p, t.Count)
+	}
+	for _, name := range sortedKeys(rep.Histograms) {
+		h := rep.Histograms[name]
+		p := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", p)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", p, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", p, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", p, h.Sum, p, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus renders the Default registry in Prometheus text format.
+func WritePrometheus(w io.Writer) error { return Default.WritePrometheus(w) }
+
+func promName(name string) string {
+	return "lhg_" + strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the Default registry under the expvar key
+// "lhg_metrics", so /debug/vars includes the full snapshot. Safe to call
+// more than once (expvar panics on duplicate publication; this does not).
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("lhg_metrics", expvar.Func(func() any { return Snapshot() }))
+	})
+}

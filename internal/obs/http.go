@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugHandler returns the debug mux served by the -http CLI flag:
+//
+//	/debug/vars    expvar JSON (includes the lhg_metrics snapshot)
+//	/metrics       Prometheus text exposition
+//	/debug/pprof/  the standard pprof index and profiles
+//
+// The pprof handlers are mounted explicitly rather than via the
+// net/http/pprof side-effect import so nothing leaks onto
+// http.DefaultServeMux.
+func DebugHandler() http.Handler {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060" or
+// ":0" for an ephemeral port) in a background goroutine. It returns the
+// bound address and a stop function that shuts the listener down.
+func Serve(addr string) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

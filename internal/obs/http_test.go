@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugHandlerServesAllEndpoints(t *testing.T) {
+	withSink(t)
+	NewCounter("test.http.counter").Add(12)
+
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, "lhg_metrics") {
+		t.Fatalf("/debug/vars missing lhg_metrics publication:\n%s", body)
+	}
+	if !strings.Contains(body, "test.http.counter") {
+		t.Fatalf("/debug/vars missing counter snapshot:\n%s", body)
+	}
+
+	code, body = get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "lhg_test_http_counter 12") {
+		t.Fatalf("/metrics missing prometheus line:\n%s", body)
+	}
+
+	code, body = get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	withSink(t)
+	addr, stop, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	code, _ := get(t, "http://"+addr.String()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics over Serve status %d", code)
+	}
+}
+
+func TestStartCLI(t *testing.T) {
+	Reset()
+	t.Cleanup(func() { Disable(); Reset() })
+
+	// Neither flag: a no-op stop and the sink stays off.
+	stop, err := StartCLI(false, "", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if Enabled() {
+		t.Fatal("sink enabled without flags")
+	}
+
+	// -metrics: sink on, report dumped at stop.
+	var buf strings.Builder
+	stop, err = StartCLI(true, "", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("sink not enabled by -metrics")
+	}
+	NewCounter("test.cli.counter").Inc()
+	stop()
+	if !strings.Contains(buf.String(), "test.cli.counter") {
+		t.Fatalf("stop did not dump the metrics report: %q", buf.String())
+	}
+
+	// -http: endpoint announced on the log writer and reachable.
+	buf.Reset()
+	stop, err = StartCLI(false, "127.0.0.1:0", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	line := buf.String()
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("no endpoint announcement: %q", line)
+	}
+	url := strings.Fields(line[i:])[0]
+	code, _ := get(t, url+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("announced endpoint not serving: %d", code)
+	}
+}

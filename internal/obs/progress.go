@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a throttled progress reporter for long sweeps. Add is safe
+// from many goroutines and prints at most once per interval, so a sweep
+// can report per-item without flooding the terminal. A nil writer (or a
+// nil *Progress) disables all output, letting callers thread one through
+// unconditionally.
+//
+// Output is plain lines — not carriage-return tricks — so it composes with
+// CI logs and with stdout redirection (progress always belongs on stderr;
+// see the cmd-level stdout/stderr contract).
+type Progress struct {
+	w        io.Writer
+	label    string
+	total    int64
+	interval time.Duration
+	start    time.Time
+
+	done     atomic.Int64
+	lastNano atomic.Int64 // unix nanos of the last print
+
+	mu sync.Mutex // serializes writes to w
+}
+
+// NewProgress starts a progress reporter labelled label over total items
+// (total <= 0 means "unknown total"), printing to w at most every 500ms.
+// Pass a nil writer to disable output.
+func NewProgress(w io.Writer, label string, total int64) *Progress {
+	return &Progress{
+		w:        w,
+		label:    label,
+		total:    total,
+		interval: 500 * time.Millisecond,
+		start:    time.Now(),
+	}
+}
+
+// Add records n completed items and prints a line if the throttle allows.
+func (p *Progress) Add(n int64) {
+	if p == nil || p.w == nil {
+		return
+	}
+	done := p.done.Add(n)
+	now := time.Now().UnixNano()
+	last := p.lastNano.Load()
+	if now-last < int64(p.interval) || !p.lastNano.CompareAndSwap(last, now) {
+		return
+	}
+	p.print(done, false)
+}
+
+// Finish prints the final count unconditionally.
+func (p *Progress) Finish() {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.print(p.done.Load(), true)
+}
+
+func (p *Progress) print(done int64, final bool) {
+	elapsed := time.Since(p.start).Round(time.Millisecond)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.total > 0:
+		fmt.Fprintf(p.w, "%s: %d/%d (%.1f%%) in %s\n",
+			p.label, done, p.total, 100*float64(done)/float64(p.total), elapsed)
+	case final:
+		fmt.Fprintf(p.w, "%s: %d done in %s\n", p.label, done, elapsed)
+	default:
+		fmt.Fprintf(p.w, "%s: %d in %s\n", p.label, done, elapsed)
+	}
+}

@@ -28,6 +28,8 @@ package lhg
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 
 	"lhg/internal/check"
 	"lhg/internal/core"
@@ -35,6 +37,7 @@ import (
 	"lhg/internal/graph"
 	"lhg/internal/harary"
 	"lhg/internal/member"
+	"lhg/internal/obs"
 	"lhg/internal/overlay"
 	"lhg/internal/sim"
 )
@@ -312,6 +315,43 @@ func NewMembership(c Constraint, k, initial int) (*Membership, error) {
 func topologyFunc(c Constraint) func(n, k int) (*Graph, error) {
 	return func(n, k int) (*Graph, error) { return Build(c, n, k) }
 }
+
+// Observability. The library carries an always-compiled metrics layer
+// (counters, gauges, histograms, phase timers) over every hot path:
+// verification phases and probe counts, max-flow augmenting paths,
+// scratch/network pool recycling, flood messages/duplicates/latency, and
+// socket-cluster traffic. The sink is off by default and costs one atomic
+// load per update; EnableMetrics turns it on process-wide.
+
+// EnableMetrics turns the metrics sink on: instrumented code starts
+// accumulating counters, histograms and phase timers.
+func EnableMetrics() { obs.Enable() }
+
+// DisableMetrics turns the metrics sink off. Accumulated values are kept
+// until ResetMetrics.
+func DisableMetrics() { obs.Disable() }
+
+// MetricsEnabled reports whether the sink is collecting.
+func MetricsEnabled() bool { return obs.Enabled() }
+
+// ResetMetrics zeroes every metric (the handles stay valid).
+func ResetMetrics() { obs.Reset() }
+
+// MetricsCounters returns a snapshot of all counter values by metric name
+// — the convenient shape for tests and programmatic diffing.
+func MetricsCounters() map[string]int64 { return obs.Counters() }
+
+// WriteMetricsJSON dumps the full metrics snapshot (counters, gauges,
+// histograms, timers, run metadata) as indented JSON.
+func WriteMetricsJSON(w io.Writer) error { return obs.WriteJSON(w) }
+
+// WriteMetricsPrometheus renders the metrics in the Prometheus text
+// exposition format.
+func WriteMetricsPrometheus(w io.Writer) error { return obs.WritePrometheus(w) }
+
+// MetricsHandler returns the debug HTTP mux the CLIs serve under -http:
+// /debug/vars (expvar), /metrics (Prometheus) and /debug/pprof/.
+func MetricsHandler() http.Handler { return obs.DebugHandler() }
 
 // BuildVariant constructs a randomly sampled (seeded, reproducible)
 // witness of the K-TREE or K-DIAMOND constraint for (n,k) — the
