@@ -8,6 +8,15 @@
 //	floodsim -constraint harary -n 100 -k 4 -trials 200 -fail 3   # reliability
 //	floodsim -constraint kdiamond -n 64 -k 3 -fail 2 -json | jq .rounds
 //
+// -net switches from the simulator to the chaos harness: a real loopback
+// TCP cluster with the same failures injected at the socket layer, plus
+// seeded link faults (loss, duplication, delay/reordering) and optionally
+// the acked reliable protocol:
+//
+//	floodsim -net -reliable -constraint kdiamond -n 20 -k 4 -fail 3 \
+//	    -mode adversarial -loss 0.25 -dup 0.1 -delay 2ms -seed 7
+//	floodsim -net -constraint kdiamond -n 20 -k 4 -fail 4 -mode adversarial -linkfail
+//
 // -json replaces the human-readable report with a single JSON object on
 // stdout; diagnostics, the -metrics dump and the -http announcement always
 // go to stderr.
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"lhg"
 	"lhg/internal/flood"
@@ -47,6 +57,14 @@ func run(args []string, out io.Writer) error {
 		asJSON     = fs.Bool("json", false, "emit the result as a JSON object on stdout")
 		metrics    = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
 		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
+
+		netMode  = fs.Bool("net", false, "run over real loopback TCP sockets (chaos harness) instead of the simulator")
+		reliable = fs.Bool("reliable", false, "with -net: acked protocol with retransmission and reconnection")
+		loss     = fs.Float64("loss", 0, "with -net: per-frame drop probability on every link")
+		dupProb  = fs.Float64("dup", 0, "with -net: per-frame duplication probability on every link")
+		delayMax = fs.Duration("delay", 0, "with -net: max per-frame delay (uniform; causes reordering)")
+		linkFail = fs.Bool("linkfail", false, "with -net: fail links instead of nodes")
+		waitFor  = fs.Duration("wait", 15*time.Second, "with -net: delivery wait budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +83,22 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	rng := sim.NewRNG(*seed)
+
+	if *netMode {
+		if *mode != "random" && *mode != "adversarial" {
+			return fmt.Errorf("unknown failure mode %q (want random or adversarial)", *mode)
+		}
+		cfg := netConfig{
+			reliable: *reliable,
+			loss:     *loss,
+			dup:      *dupProb,
+			delayMax: *delayMax,
+			linkFail: *linkFail,
+			wait:     *waitFor,
+		}
+		name := fmt.Sprintf("%s(%d,%d)", c, *n, *k)
+		return runNet(out, name, g, *source, *failCount, *mode, *seed, rng, *asJSON, cfg)
+	}
 
 	if *trials > 1 {
 		rel, err := flood.Reliability(g, *source, *failCount, *trials, rng)

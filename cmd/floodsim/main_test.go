@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -50,6 +51,48 @@ func TestRunReliability(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "reliability (full coverage): 1.0000") {
 		t.Fatalf("3-connected graph must be fully reliable at f=2:\n%s", buf.String())
+	}
+}
+
+func TestRunNetChaosReliableUnderLoss(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-net", "-reliable", "-constraint", "kdiamond", "-n", "12", "-k", "3",
+		"-fail", "2", "-mode", "adversarial", "-loss", "0.25", "-dup", "0.1",
+		"-delay", "1ms", "-seed", "7", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON %q: %v", buf.String(), err)
+	}
+	if res["complete"] != true {
+		t.Fatalf("k-1 chaos run incomplete: %v", res)
+	}
+	if res["delivered"].(float64) != res["expected"].(float64) {
+		t.Fatalf("delivered %v of %v", res["delivered"], res["expected"])
+	}
+}
+
+func TestRunNetAdversarialLinkCut(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-net", "-constraint", "kdiamond", "-n", "12", "-k", "3",
+		"-fail", "3", "-mode", "adversarial", "-linkfail", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON %q: %v", buf.String(), err)
+	}
+	if res["unreachable"].(float64) == 0 {
+		t.Fatalf("lambda link failures must sever some nodes: %v", res)
+	}
+	if res["leaked"].(float64) != 0 {
+		t.Fatalf("broadcast leaked across the simulator's min edge cut: %v", res)
+	}
+	if res["complete"] != true {
+		t.Fatalf("source side of the cut must still deliver: %v", res)
 	}
 }
 

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"lhg/internal/faultnet"
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+	"lhg/internal/netflood"
+	"lhg/internal/obs"
+	"lhg/internal/sim"
+)
+
+// netConfig carries the -net chaos-harness flags.
+type netConfig struct {
+	reliable bool
+	loss     float64
+	dup      float64
+	delayMax time.Duration
+	linkFail bool
+	wait     time.Duration
+}
+
+// runNet floods over a real loopback TCP cluster instead of the simulator:
+// it computes the failure set (random or adversarial, nodes or links),
+// predicts the delivery gap with the simulator, injects the same failures
+// plus the configured link faults at the socket layer, and reports whether
+// the cluster matched the prediction — the CLI face of the chaos harness.
+func runNet(out io.Writer, name string, g *graph.Graph, source, failCount int,
+	mode string, seed uint64, rng *sim.RNG, asJSON bool, cfg netConfig) error {
+	var fails flood.Failures
+	var err error
+	switch {
+	case cfg.linkFail && mode == "random":
+		fails, err = flood.RandomLinkFailures(g, failCount, rng)
+	case cfg.linkFail:
+		fails, err = flood.AdversarialLinkFailures(g, source, failCount)
+	case mode == "random":
+		fails, err = flood.RandomNodeFailures(g, source, failCount, rng)
+	default:
+		fails, err = flood.AdversarialNodeFailures(g, source, failCount)
+	}
+	if err != nil {
+		return err
+	}
+	unreached, err := flood.Unreached(g, source, fails)
+	if err != nil {
+		return err
+	}
+
+	plan := faultnet.Plan{Drop: cfg.loss, Dup: cfg.dup}
+	if cfg.delayMax > 0 {
+		plan.Delay = 1
+		plan.DelayMax = cfg.delayMax
+	}
+	opts := netflood.Options{
+		Reliable: cfg.reliable,
+		Seed:     seed,
+	}
+	if plan.Active() {
+		opts.Faults = func(int, int) faultnet.Plan { return plan }
+	}
+
+	// The chaos counters are the run's observable evidence; collect them
+	// regardless of the -metrics flag.
+	obs.Enable()
+	c, err := netflood.StartWithOptions(g, opts)
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown()
+	for _, v := range fails.Nodes {
+		c.CrashNode(v)
+	}
+	for _, e := range fails.Links {
+		if err := c.Disconnect(e.U, e.V); err != nil {
+			return err
+		}
+	}
+
+	severed := make(map[int]bool, len(unreached))
+	for _, v := range unreached {
+		severed[v] = true
+	}
+	crashed := make(map[int]bool, len(fails.Nodes))
+	for _, v := range fails.Nodes {
+		crashed[v] = true
+	}
+	var expect []int
+	for v := 0; v < g.Order(); v++ {
+		if !crashed[v] && !severed[v] {
+			expect = append(expect, v)
+		}
+	}
+
+	start := time.Now()
+	if _, err := c.Broadcast(source, "chaos"); err != nil {
+		return err
+	}
+	complete := c.WaitDelivered(expect, 1, cfg.wait)
+	elapsed := time.Since(start)
+	if cfg.reliable && plan.Active() {
+		// Delivery converges through flood redundancy faster than the
+		// first backoff fires; let the ack/retransmit exchange settle so
+		// the recovery counters reflect the loss the run actually took.
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	// The severed side must stay silent; any delivery there means the
+	// socket layer disagrees with the simulator's cut.
+	leaked := 0
+	for _, v := range unreached {
+		if len(c.Delivered(v)) != 0 {
+			leaked++
+		}
+	}
+	delivered := 0
+	for _, v := range expect {
+		if len(c.Delivered(v)) != 0 {
+			delivered++
+		}
+	}
+	ctr := obs.Counters()
+
+	if asJSON {
+		return json.NewEncoder(out).Encode(map[string]any{
+			"topology":      name,
+			"n":             g.Order(),
+			"k_edges":       g.Size(),
+			"mode":          mode,
+			"link_failures": cfg.linkFail,
+			"failed_nodes":  fails.Nodes,
+			"failed_links":  len(fails.Links),
+			"reliable":      cfg.reliable,
+			"loss":          cfg.loss,
+			"dup":           cfg.dup,
+			"delay_max_ms":  cfg.delayMax.Milliseconds(),
+			"expected":      len(expect),
+			"delivered":     delivered,
+			"unreachable":   len(unreached),
+			"leaked":        leaked,
+			"complete":      complete && leaked == 0,
+			"elapsed_ms":    elapsed.Milliseconds(),
+			"retransmits":   ctr["netflood.frames.retransmitted"],
+			"acks":          ctr["netflood.acks.received"],
+			"reconnects":    ctr["netflood.links.reconnected"],
+			"dead_peers":    ctr["netflood.peers.dead"],
+			"frames_lost":   ctr["faultnet.frames.dropped"],
+		})
+	}
+	fmt.Fprintf(out, "topology:    %s, %d nodes, %d edges (real TCP sockets)\n", name, g.Order(), g.Size())
+	if cfg.linkFail {
+		fmt.Fprintf(out, "failures:    %d links (%s)\n", len(fails.Links), mode)
+	} else {
+		fmt.Fprintf(out, "failures:    %v (%s)\n", fails.Nodes, mode)
+	}
+	fmt.Fprintf(out, "link faults: loss=%.2f dup=%.2f delay<=%s reliable=%t\n",
+		cfg.loss, cfg.dup, cfg.delayMax, cfg.reliable)
+	fmt.Fprintf(out, "delivered:   %d/%d expected nodes in %s\n", delivered, len(expect), elapsed.Round(time.Millisecond))
+	if len(unreached) > 0 {
+		fmt.Fprintf(out, "severed:     %d nodes beyond the cut, %d leaked\n", len(unreached), leaked)
+	}
+	fmt.Fprintf(out, "recovery:    %d retransmits, %d acks, %d reconnects, %d dead peers, %d frames lost\n",
+		ctr["netflood.frames.retransmitted"], ctr["netflood.acks.received"],
+		ctr["netflood.links.reconnected"], ctr["netflood.peers.dead"], ctr["faultnet.frames.dropped"])
+	fmt.Fprintf(out, "complete:    %t\n", complete && leaked == 0)
+	if !complete {
+		return fmt.Errorf("delivery incomplete: %d of %d expected nodes after %s", delivered, len(expect), cfg.wait)
+	}
+	return nil
+}

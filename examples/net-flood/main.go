@@ -45,7 +45,9 @@ func main() {
 		select {
 		case m := <-cluster.Deliveries():
 			delivered++
-			if m != msg {
+			// Hops varies with each node's distance from the source; the
+			// identity fields must match the broadcast exactly.
+			if m.Src != msg.Src || m.Seq != msg.Seq || m.Payload != msg.Payload {
 				log.Fatalf("unexpected delivery %+v", m)
 			}
 		case <-deadline:

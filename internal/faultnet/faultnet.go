@@ -1,0 +1,195 @@
+// Package faultnet injects deterministic, seeded transport faults under a
+// net.Conn: message loss, delay (and therefore reordering), duplication,
+// and periodic link flaps. It is the adversarial-link layer of the chaos
+// harness — the simulators (flood, proc) remove nodes and links cleanly,
+// while this package makes the *surviving* links misbehave the way real
+// networks do, so the socket layer can prove the paper's f <= k-1 delivery
+// guarantee under loss and partitions rather than only under clean crashes.
+//
+// The wrapper is frame-oriented: every Write call is treated as one atomic
+// frame and is either passed through, dropped whole, duplicated whole, or
+// delayed whole. Callers must therefore write one protocol frame per Write
+// call (netflood does). Reads are never touched — faults on the reverse
+// direction belong to the remote endpoint's own wrapper, which is also how
+// asymmetric partitions are expressed: a Plan with Drop=1 on one direction
+// only.
+//
+// All randomness comes from a caller-supplied sim.RNG, so a chaos run is
+// reproducible from its seed: the k-th frame on a link sees the k-th draw
+// of that link's stream.
+package faultnet
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"lhg/internal/obs"
+	"lhg/internal/sim"
+)
+
+// Fault-injection telemetry: every injected event is observable, so chaos
+// tests can assert that the fault path (not a quiet network) was exercised.
+var (
+	mDropped    = obs.NewCounter("faultnet.frames.dropped")
+	mFlapped    = obs.NewCounter("faultnet.frames.flap_dropped")
+	mDelayed    = obs.NewCounter("faultnet.frames.delayed")
+	mDuplicated = obs.NewCounter("faultnet.frames.duplicated")
+	mPassed     = obs.NewCounter("faultnet.frames.passed")
+)
+
+// Plan describes the fault behavior of one link direction. The zero value
+// injects nothing. Probabilities are in [0, 1] and evaluated independently
+// per frame, in the fixed order flap, drop, dup, delay — the order is part
+// of the determinism contract.
+type Plan struct {
+	Drop  float64 // P(frame silently dropped)
+	Dup   float64 // P(frame written twice back to back)
+	Delay float64 // P(frame held for a uniform draw from [DelayMin, DelayMax])
+
+	DelayMin time.Duration
+	DelayMax time.Duration
+
+	// FlapPeriod > 0 takes the link down for FlapDown at the start of every
+	// period — a flapping link. Frames written while down are lost.
+	FlapPeriod time.Duration
+	FlapDown   time.Duration
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p Plan) Active() bool {
+	return p.Drop > 0 || p.Dup > 0 || (p.Delay > 0 && p.DelayMax > 0) ||
+		(p.FlapPeriod > 0 && p.FlapDown > 0)
+}
+
+// Conn applies a Plan to every Write of the wrapped connection. Reads and
+// the rest of the net.Conn surface pass through.
+type Conn struct {
+	net.Conn
+	plan Plan
+
+	decide sync.Mutex // serializes fault decisions: the rng stream and budget
+	rng    *sim.RNG
+	budget time.Duration // per-frame write allowance from SetWriteDeadline
+
+	writeMu sync.Mutex // keeps frames atomic on the underlying conn
+
+	start time.Time
+	done  chan struct{}
+	once  sync.Once
+}
+
+// Wrap returns c with plan applied to its writes, drawing every decision
+// from rng. An inactive plan returns c unchanged.
+func Wrap(c net.Conn, plan Plan, rng *sim.RNG) net.Conn {
+	if !plan.Active() {
+		return c
+	}
+	return &Conn{
+		Conn:  c,
+		plan:  plan,
+		rng:   rng,
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+}
+
+// Write treats p as one frame and applies the plan. Dropped frames report
+// success — to the sender a lossy link is indistinguishable from a slow
+// receiver, exactly the failure the reliable protocol must survive.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.decide.Lock()
+	if c.flappedDown() {
+		c.decide.Unlock()
+		mFlapped.Inc()
+		return len(p), nil
+	}
+	if c.plan.Drop > 0 && c.rng.Float64() < c.plan.Drop {
+		c.decide.Unlock()
+		mDropped.Inc()
+		return len(p), nil
+	}
+	copies := 1
+	if c.plan.Dup > 0 && c.rng.Float64() < c.plan.Dup {
+		copies = 2
+		mDuplicated.Inc()
+	}
+	var delay time.Duration
+	if c.plan.Delay > 0 && c.plan.DelayMax > 0 && c.rng.Float64() < c.plan.Delay {
+		delay = c.rng.Duration(c.plan.DelayMin, c.plan.DelayMax)
+	}
+	budget := c.budget
+	c.decide.Unlock()
+
+	if delay > 0 {
+		mDelayed.Inc()
+		held := append([]byte(nil), p...)
+		go c.writeLate(held, copies, delay, budget)
+		return len(p), nil
+	}
+	if err := c.writeFrames(p, copies, budget); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// SetWriteDeadline records a per-frame write allowance instead of arming
+// the underlying socket: a delayed frame is written after the caller's
+// deadline has passed, so each physical write re-derives its own deadline
+// from the allowance that was in force when the frame was submitted.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.decide.Lock()
+	if t.IsZero() {
+		c.budget = 0
+	} else {
+		c.budget = time.Until(t)
+	}
+	c.decide.Unlock()
+	return nil
+}
+
+// Close stops pending delayed writes and closes the underlying conn.
+func (c *Conn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return c.Conn.Close()
+}
+
+// flappedDown reports whether the link is inside a down window. Called with
+// c.decide held.
+func (c *Conn) flappedDown() bool {
+	if c.plan.FlapPeriod <= 0 || c.plan.FlapDown <= 0 {
+		return false
+	}
+	return time.Since(c.start)%c.plan.FlapPeriod < c.plan.FlapDown
+}
+
+// writeFrames performs the physical writes, one whole frame per Write on
+// the underlying conn, re-arming the write deadline per frame.
+func (c *Conn) writeFrames(p []byte, copies int, budget time.Duration) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	for i := 0; i < copies; i++ {
+		if budget > 0 {
+			_ = c.Conn.SetWriteDeadline(time.Now().Add(budget))
+		}
+		if _, err := c.Conn.Write(p); err != nil {
+			return err
+		}
+		mPassed.Inc()
+	}
+	return nil
+}
+
+// writeLate delivers a held frame after its delay, unless the conn closed
+// first. Late frames overtake frames written after them — that is the
+// reordering fault.
+func (c *Conn) writeLate(p []byte, copies int, d, budget time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.done:
+		return
+	}
+	_ = c.writeFrames(p, copies, budget)
+}

@@ -1,0 +1,210 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"lhg/internal/sim"
+)
+
+// frameReader consumes fixed-size frames from one end of a pipe and sends
+// them on a channel until the conn closes.
+func frameReader(c net.Conn, size int) <-chan []byte {
+	out := make(chan []byte, 1024)
+	go func() {
+		defer close(out)
+		for {
+			buf := make([]byte, size)
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return
+			}
+			out <- buf
+		}
+	}()
+	return out
+}
+
+func drain(ch <-chan []byte, wait time.Duration) [][]byte {
+	var got [][]byte
+	deadline := time.After(wait)
+	for {
+		select {
+		case b, ok := <-ch:
+			if !ok {
+				return got
+			}
+			got = append(got, b)
+		case <-deadline:
+			return got
+		}
+	}
+}
+
+func TestWrapInactivePlanIsIdentity(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if Wrap(a, Plan{}, sim.NewRNG(1)) != a {
+		t.Fatal("inactive plan must return the conn unchanged")
+	}
+	if (Plan{Drop: 0.1}).Active() != true {
+		t.Fatal("Drop plan must be active")
+	}
+}
+
+func TestDropIsSeededAndDeterministic(t *testing.T) {
+	const frames = 200
+	run := func(seed uint64) int {
+		a, b := net.Pipe()
+		w := Wrap(a, Plan{Drop: 0.5}, sim.NewRNG(seed))
+		ch := frameReader(b, 4)
+		for i := 0; i < frames; i++ {
+			if _, err := w.Write([]byte{byte(i), 1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		got := len(drain(ch, time.Second))
+		b.Close()
+		return got
+	}
+	first := run(42)
+	if first == 0 || first == frames {
+		t.Fatalf("Drop=0.5 passed %d of %d frames, want a strict subset", first, frames)
+	}
+	if again := run(42); again != first {
+		t.Fatalf("same seed passed %d then %d frames", first, again)
+	}
+	if other := run(43); other == first {
+		t.Logf("different seed coincidentally passed the same count (%d); acceptable", other)
+	}
+}
+
+func TestDuplicationWritesFrameTwice(t *testing.T) {
+	a, b := net.Pipe()
+	w := Wrap(a, Plan{Dup: 1}, sim.NewRNG(7))
+	ch := frameReader(b, 2)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Write([]byte{byte(i), 0xee}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	got := drain(ch, time.Second)
+	b.Close()
+	if len(got) != 10 {
+		t.Fatalf("got %d frames, want 10 (every frame duplicated)", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		if got[2*i][0] != got[2*i+1][0] {
+			t.Fatalf("frame %d and its duplicate differ: %v vs %v", i, got[2*i], got[2*i+1])
+		}
+	}
+}
+
+func TestDelayHoldsFrameButReturnsImmediately(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	w := Wrap(a, Plan{Delay: 1, DelayMin: 30 * time.Millisecond, DelayMax: 30 * time.Millisecond}, sim.NewRNG(3))
+	defer w.Close()
+	ch := frameReader(b, 3)
+	start := time.Now()
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 20*time.Millisecond {
+		t.Fatalf("delayed Write blocked the sender for %v", took)
+	}
+	select {
+	case <-ch:
+		if early := time.Since(start); early < 20*time.Millisecond {
+			t.Fatalf("frame arrived after %v, want >= ~30ms", early)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed frame never arrived")
+	}
+}
+
+func TestDelayReordersFrames(t *testing.T) {
+	// Frame 0 is delayed 50ms; frame 1 is written right after with no delay
+	// path left in the stream budget. With Delay=0.5 and a fixed seed the
+	// decisions are deterministic, so instead force it structurally: one
+	// wrapped conn that delays everything, one write through it, then a
+	// direct write on the same pipe end serialized afterwards.
+	a, b := net.Pipe()
+	defer b.Close()
+	w := Wrap(a, Plan{Delay: 1, DelayMin: 50 * time.Millisecond, DelayMax: 50 * time.Millisecond}, sim.NewRNG(9))
+	defer w.Close()
+	ch := frameReader(b, 1)
+	if _, err := w.Write([]byte{0xAA}); err != nil { // held 50ms
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte{0xBB}); err != nil { // immediate, overtakes
+		t.Fatal(err)
+	}
+	got := drain(ch, time.Second)
+	if len(got) != 2 || got[0][0] != 0xBB || got[1][0] != 0xAA {
+		t.Fatalf("frames arrived %v, want late frame overtaken", got)
+	}
+}
+
+func TestFlapWindowDropsEverything(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	// Down window covers the whole period: the link is permanently down.
+	w := Wrap(a, Plan{FlapPeriod: 10 * time.Millisecond, FlapDown: 10 * time.Millisecond}, sim.NewRNG(5))
+	ch := frameReader(b, 1)
+	for i := 0; i < 20; i++ {
+		if _, err := w.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if got := drain(ch, 100*time.Millisecond); len(got) != 0 {
+		t.Fatalf("%d frames crossed a permanently down link", len(got))
+	}
+}
+
+func TestCloseCancelsDelayedWritesAndIsIdempotent(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	w := Wrap(a, Plan{Delay: 1, DelayMin: 50 * time.Millisecond, DelayMax: 50 * time.Millisecond}, sim.NewRNG(11))
+	ch := frameReader(b, 1)
+	if _, err := w.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close() // double close must not panic
+	if got := drain(ch, 120*time.Millisecond); len(got) != 0 {
+		t.Fatal("delayed frame escaped after Close")
+	}
+}
+
+func TestWriteDeadlineBudgetAppliesPerFrame(t *testing.T) {
+	// No reader on the far end: a net.Pipe write can only finish by
+	// deadline. The wrapper must translate SetWriteDeadline into a
+	// per-frame budget and surface the timeout.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	w := Wrap(a, Plan{Dup: 0.0000001}, sim.NewRNG(1)) // active but effectively clean
+	if err := w.SetWriteDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := w.Write([]byte{1, 2, 3})
+	if err == nil {
+		t.Fatal("write with no reader must time out")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("error %v, want a net timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far longer than the budget")
+	}
+}

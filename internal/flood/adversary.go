@@ -131,6 +131,25 @@ func Reliability(g *graph.Graph, source, f, trials int, rng *sim.RNG) (float64, 
 	return float64(ok) / float64(trials), nil
 }
 
+// Unreached runs the flood simulator under f and returns the alive nodes
+// the flood cannot reach — the exact delivery gap expected when the same
+// failures are injected at the socket layer, which is how the chaos
+// harness asserts that a simulator-computed cut really severs the TCP
+// cluster.
+func Unreached(g *graph.Graph, source int, f Failures) ([]int, error) {
+	res, err := Run(g, source, f)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for v, round := range res.FirstHeard {
+		if round == -1 && !contains(f.Nodes, v) {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
 func contains(s []int, v int) bool {
 	for _, x := range s {
 		if x == v {

@@ -1,0 +1,467 @@
+package netflood
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lhg/internal/core"
+	"lhg/internal/faultnet"
+	"lhg/internal/flood"
+	"lhg/internal/graph"
+	"lhg/internal/obs"
+)
+
+// chaosPlan is the standard hostile-link mix of the suite: a quarter of all
+// frames lost, a tenth duplicated, a quarter delayed up to 2ms (which
+// reorders them). Every decision is drawn from the cluster seed.
+func chaosPlan(int, int) faultnet.Plan {
+	return faultnet.Plan{
+		Drop:     0.25,
+		Dup:      0.10,
+		Delay:    0.25,
+		DelayMax: 2 * time.Millisecond,
+	}
+}
+
+// chaosOpts is tuned for test wall-clock: fast retransmission, generous
+// retries.
+func chaosOpts(faults func(int, int) faultnet.Plan) Options {
+	return Options{
+		Reliable:       true,
+		RetransmitBase: 10 * time.Millisecond,
+		RetransmitMax:  80 * time.Millisecond,
+		Faults:         faults,
+		Seed:           7,
+	}
+}
+
+// waitCounterAtLeast polls until the named counter reaches min — dropped
+// frames trigger retransmissions on backoff timers, so the observable lags
+// delivery convergence by a few ticks.
+func waitCounterAtLeast(t *testing.T, name string, min int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if obs.Counters()[name] >= min {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counter %s stuck at %d, want >= %d", name, obs.Counters()[name], min)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func aliveNodes(n int, crashed []int) []int {
+	down := make(map[int]bool, len(crashed))
+	for _, v := range crashed {
+		down[v] = true
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if !down[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestChaosReliableDeliveryUnderLossAndCrashes is the paper's guarantee
+// end-to-end: an LHG(16,4) cluster with k-1 = 3 adversarially chosen
+// crashed nodes AND loss/duplication/reordering on every surviving link
+// still delivers the broadcast to every correct node — and the retransmit
+// path, not a quiet network, is what got it there.
+func TestChaosReliableDeliveryUnderLossAndCrashes(t *testing.T) {
+	kd, err := core.BuildKDiamond(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kd.Real.Graph
+	fails, err := flood.AdversarialNodeFailures(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSink(t)
+	c, err := StartWithOptions(g, chaosOpts(chaosPlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	for _, v := range fails.Nodes {
+		if !c.CrashNode(v) {
+			t.Fatalf("crash of %d failed", v)
+		}
+	}
+	if _, err := c.Broadcast(0, "chaos"); err != nil {
+		t.Fatal(err)
+	}
+	survivors := aliveNodes(16, fails.Nodes)
+	if !c.WaitDelivered(survivors, 1, 30*time.Second) {
+		for _, v := range survivors {
+			if len(c.Delivered(v)) == 0 {
+				t.Errorf("correct node %d never delivered", v)
+			}
+		}
+		t.Fatal("delivery incomplete under f = k-1 chaos")
+	}
+	for _, v := range fails.Nodes {
+		if len(c.Delivered(v)) != 0 {
+			t.Fatalf("crashed node %d delivered", v)
+		}
+	}
+	if obs.Counters()["faultnet.frames.dropped"] == 0 {
+		t.Fatal("fault injection never dropped a frame — the chaos was not exercised")
+	}
+	waitCounterAtLeast(t, "netflood.frames.retransmitted", 1)
+	waitCounterAtLeast(t, "netflood.acks.received", 1)
+}
+
+// TestChaosKFaultCutPreventsDelivery is the matching negative: at f = k the
+// adversary owns a vertex cut, and the very nodes the simulator says are
+// severed must stay silent at the socket layer — even with retransmission
+// and reconnection trying their best.
+func TestChaosKFaultCutPreventsDelivery(t *testing.T) {
+	kd, err := core.BuildKDiamond(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kd.Real.Graph
+	fails, err := flood.AdversarialNodeFailures(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unreached, err := flood.Unreached(g, 0, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unreached) == 0 {
+		t.Fatal("adversary failed to cut a 4-connected graph with 4 crashes")
+	}
+	reached := make([]int, 0, 16)
+	severed := make(map[int]bool, len(unreached))
+	for _, v := range unreached {
+		severed[v] = true
+	}
+	for _, v := range aliveNodes(16, fails.Nodes) {
+		if !severed[v] {
+			reached = append(reached, v)
+		}
+	}
+
+	c, err := StartWithOptions(g, chaosOpts(chaosPlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	for _, v := range fails.Nodes {
+		if !c.CrashNode(v) {
+			t.Fatalf("crash of %d failed", v)
+		}
+	}
+	if _, err := c.Broadcast(0, "cut"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitDelivered(reached, 1, 30*time.Second) {
+		t.Fatal("nodes on the source side of the cut did not deliver")
+	}
+	// Give the severed side ample time to (wrongly) hear anything.
+	time.Sleep(300 * time.Millisecond)
+	for _, v := range unreached {
+		if len(c.Delivered(v)) != 0 {
+			t.Fatalf("node %d heard the broadcast across a k-node cut", v)
+		}
+	}
+}
+
+// TestChaosLinkFaultsOnlyReliableStillDelivers keeps every node up but
+// makes the links hostile: background loss everywhere, one flapping link,
+// and one fully asymmetric partition (every frame from 2 to 3 lost). On a
+// 3-connected topology this is at most one effective link failure plus
+// noise, so the reliable protocol must still reach everyone.
+func TestChaosLinkFaultsOnlyReliableStillDelivers(t *testing.T) {
+	kd, err := core.BuildKDiamond(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kd.Real.Graph
+	plan := func(from, to int) faultnet.Plan {
+		switch {
+		case from == 2 && to == 3:
+			return faultnet.Plan{Drop: 1} // asymmetric partition
+		case from == 0 && to == 1:
+			return faultnet.Plan{ // flapping link
+				Drop:       0.2,
+				FlapPeriod: 40 * time.Millisecond,
+				FlapDown:   8 * time.Millisecond,
+			}
+		default:
+			return faultnet.Plan{Drop: 0.2, Delay: 0.2, DelayMax: time.Millisecond}
+		}
+	}
+	withSink(t)
+	c, err := StartWithOptions(g, chaosOpts(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.Broadcast(0, "lossy"); err != nil {
+		t.Fatal(err)
+	}
+	all := aliveNodes(12, nil)
+	if !c.WaitDelivered(all, 1, 30*time.Second) {
+		for _, v := range all {
+			if len(c.Delivered(v)) == 0 {
+				t.Errorf("node %d never delivered", v)
+			}
+		}
+		t.Fatal("delivery incomplete under link faults alone")
+	}
+	waitCounterAtLeast(t, "netflood.frames.retransmitted", 1)
+}
+
+// TestChaosAdversarialLinkCutSeversCluster drives the simulator's minimum
+// edge cut into the socket layer: disconnecting exactly those links must
+// partition the TCP cluster precisely where the simulator says it does.
+func TestChaosAdversarialLinkCutSeversCluster(t *testing.T) {
+	kd, err := core.BuildKDiamond(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kd.Real.Graph
+	fails, err := flood.AdversarialLinkFailures(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails.Links) == 0 {
+		t.Fatal("adversary returned no link cut at f = lambda")
+	}
+	unreached, err := flood.Unreached(g, 0, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unreached) == 0 {
+		t.Fatal("simulator says the min edge cut does not disconnect — cannot happen at f = lambda")
+	}
+	severed := make(map[int]bool, len(unreached))
+	for _, v := range unreached {
+		severed[v] = true
+	}
+
+	c, err := Start(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	for _, e := range fails.Links {
+		if err := c.Disconnect(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Broadcast(0, "edge-cut"); err != nil {
+		t.Fatal(err)
+	}
+	var reachable []int
+	for v := 0; v < 12; v++ {
+		if !severed[v] {
+			reachable = append(reachable, v)
+		}
+	}
+	if !c.WaitDelivered(reachable, 1, 10*time.Second) {
+		t.Fatal("source side of the edge cut did not deliver")
+	}
+	time.Sleep(100 * time.Millisecond)
+	for _, v := range unreached {
+		if len(c.Delivered(v)) != 0 {
+			t.Fatalf("node %d heard the broadcast across the simulator's min edge cut", v)
+		}
+	}
+}
+
+// TestConcurrentCrashBroadcastReconfigure hammers the cluster with
+// broadcasts, crashes, link surgery and a final Shutdown all racing, in
+// reliable mode with lossy links. The assertions are liveness and the race
+// detector: no panic, no double-close, no deadlock.
+func TestConcurrentCrashBroadcastReconfigure(t *testing.T) {
+	kd, err := core.BuildKDiamond(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := StartWithOptions(kd.Real.Graph, chaosOpts(chaosPlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				_, _ = c.Broadcast((w*5+i)%16, "racing")
+			}
+		}(w)
+	}
+	for _, victim := range []int{3, 8} {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			c.CrashNode(v)
+			c.CrashNode(v) // concurrent double crash must be safe
+		}(victim)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = c.Connect(1, 9)
+			_ = c.Disconnect(1, 9)
+		}
+	}()
+	wg.Wait()
+	c.Shutdown()
+	c.Shutdown() // idempotent after concurrent crashes
+	if c.Alive(3) || c.Alive(8) {
+		t.Fatal("crashed nodes report alive")
+	}
+}
+
+// TestDeliveryOverflowCountsAndDrops pins the explicit overflow contract of
+// the delivery stream: with a 1-slot channel and no consumer, every
+// delivery past the first is counted and dropped, the flood never stalls,
+// and the per-node logs stay complete.
+func TestDeliveryOverflowCountsAndDrops(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	withSink(t)
+	c, err := StartWithOptions(g, Options{DeliveryBuffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		if _, err := c.Broadcast(0, "full"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := len(c.Delivered(i)); got != rounds {
+			// Deliveries propagate asynchronously; wait for convergence.
+			if !c.WaitDelivered([]int{0, 1, 2}, rounds, 10*time.Second) {
+				t.Fatalf("node %d logged %d deliveries, want %d", i, got, rounds)
+			}
+		}
+	}
+	// 15 deliveries total, 1 buffered, 14 dropped.
+	waitCounters(t, map[string]int64{
+		"netflood.msgs.delivered": 15,
+		"netflood.msgs.dropped":   14,
+	})
+}
+
+// TestWriteFrameDeadline pins the per-frame write deadline: a link whose
+// peer never reads must fail the write within the timeout (and count it)
+// instead of blocking the flood forever.
+func TestWriteFrameDeadline(t *testing.T) {
+	withSink(t)
+	// net.Pipe is fully synchronous: with nobody reading b, a write on a
+	// can only finish by deadline.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	p := &peerConn{remote: 1, conn: a}
+	start := time.Now()
+	err := writeFrame(p, frame{Kind: "msg", Msg: &Message{Payload: "stuck"}}, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("write to a never-reading peer must time out")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("write deadline took %v to fire", took)
+	}
+	waitCounters(t, map[string]int64{"netflood.write.timeouts": 1})
+
+	// The handshake-path variant shares the deadline behavior.
+	if err := writeFrameTo(a, frame{Kind: "hello", From: 0}, 50*time.Millisecond); err == nil {
+		t.Fatal("writeFrameTo must also time out")
+	}
+}
+
+// TestConnectUnderLoadDoesNotSpin is the regression test for the old 200µs
+// busy-poll handshake wait: many Connects racing with broadcast traffic
+// must all complete via the registration signal, including reverse and
+// duplicate dials.
+func TestConnectUnderLoadDoesNotSpin(t *testing.T) {
+	const n = 20
+	c := StartEmptyWithOptions(Options{HandshakeTimeout: 10 * time.Second})
+	defer c.Shutdown()
+	for i := 0; i < n; i++ {
+		if _, err := c.AddNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ring first so broadcasts have somewhere to go while the chords land.
+	for i := 0; i < n; i++ {
+		if err := c.Connect(i, (i+1)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.Connect(i, (i+5)%n); err != nil {
+				errs <- err
+			}
+			if err := c.Connect((i+5)%n, i); err != nil { // reverse is idempotent
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := c.Broadcast(i%n, "load"); err != nil {
+				errs <- err
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !c.WaitDelivered(aliveNodes(n, nil), 10, 20*time.Second) {
+		t.Fatal("broadcasts during reconfiguration were lost")
+	}
+	// Connecting to a crashed node fails fast instead of burning the
+	// handshake window.
+	if !c.CrashNode(7) {
+		t.Fatal("crash failed")
+	}
+	start := time.Now()
+	if err := c.Connect(2, 7); err == nil {
+		t.Fatal("connect to a crashed node must error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("connect to a crashed node burned the full handshake window")
+	}
+}
+
+// TestOptionsDefaults pins the configuration surface: zero values take the
+// documented defaults, explicit values are preserved.
+func TestOptionsDefaults(t *testing.T) {
+	d := Options{}.withDefaults()
+	if d.HandshakeTimeout != 5*time.Second || d.WriteTimeout != 2*time.Second {
+		t.Fatalf("default timeouts wrong: %+v", d)
+	}
+	if d.MaxRetries != 12 || d.MaxReconnects != 3 || d.Seed != 1 {
+		t.Fatalf("default thresholds wrong: %+v", d)
+	}
+	custom := Options{HandshakeTimeout: time.Second, MaxRetries: 2}.withDefaults()
+	if custom.HandshakeTimeout != time.Second || custom.MaxRetries != 2 {
+		t.Fatalf("explicit options overwritten: %+v", custom)
+	}
+}

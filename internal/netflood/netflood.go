@@ -6,6 +6,19 @@
 // Disconnect, Apply), so the incremental growers of package core can drive
 // a real socket overlay one admission at a time.
 //
+// Two fault models are supported, selected by Options:
+//
+//   - The default is fail-stop: best-effort forwarding, every frame written
+//     once, crashed nodes simply stop. This is the paper's crash model and
+//     keeps the message complexity exactly 2m frames per broadcast.
+//   - Options.Reliable layers an acked protocol over the same links:
+//     per-message acks, retransmission with exponential backoff and jitter,
+//     per-link write deadlines, peer health via a missed-ack threshold, and
+//     automatic reconnection with graceful degradation when a peer stays
+//     unreachable. Combined with Options.Faults (package faultnet), this is
+//     the chaos harness that proves delivery under lossy, delaying,
+//     duplicating, reordering and flapping links — not just clean crashes.
+//
 // The simulators (flood, proc) answer "what does the topology guarantee";
 // this package demonstrates the same protocol working over the standard
 // library's actual networking stack.
@@ -20,26 +33,41 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lhg/internal/core"
+	"lhg/internal/faultnet"
 	"lhg/internal/graph"
 	"lhg/internal/obs"
+	"lhg/internal/sim"
 )
 
 // Cluster telemetry. Frames are counted at the sender, deliveries and
 // duplicates at the receiver; hops is the socket-level analog of the
 // simulator's per-round delivery latency (each forward adds one hop).
+// The reliable protocol and the fault-injection transport add their own
+// events: retransmissions, acks (with an RTT histogram), write timeouts,
+// delivery-channel overflow drops, reconnections, and peers declared dead.
 var (
 	mNetBroadcasts  = obs.NewCounter("netflood.broadcasts")
 	mNetFramesSent  = obs.NewCounter("netflood.frames.sent")
 	mNetDelivered   = obs.NewCounter("netflood.msgs.delivered")
 	mNetDuplicates  = obs.NewCounter("netflood.msgs.duplicate")
+	mNetDropped     = obs.NewCounter("netflood.msgs.dropped")
 	mNetNodesAdded  = obs.NewCounter("netflood.nodes.added")
 	mNetCrashes     = obs.NewCounter("netflood.nodes.crashed")
 	mNetConnects    = obs.NewCounter("netflood.links.connected")
 	mNetDisconnects = obs.NewCounter("netflood.links.disconnected")
+	mNetRetransmits = obs.NewCounter("netflood.frames.retransmitted")
+	mNetAcksSent    = obs.NewCounter("netflood.acks.sent")
+	mNetAcksRecv    = obs.NewCounter("netflood.acks.received")
+	mNetWriteTOs    = obs.NewCounter("netflood.write.timeouts")
+	mNetReconnects  = obs.NewCounter("netflood.links.reconnected")
+	mNetPeersDead   = obs.NewCounter("netflood.peers.dead")
 	hNetHops        = obs.NewHistogram("netflood.delivery.hops", 1, 2, 4, 8, 16, 32)
+	hNetAckRTT      = obs.NewHistogram("netflood.ack.rtt_us",
+		100, 500, 1_000, 5_000, 20_000, 100_000, 1_000_000)
 )
 
 // Message is one flooded payload. Hops counts the links the copy crossed
@@ -52,10 +80,11 @@ type Message struct {
 	Hops    int    `json:"hops,omitempty"`
 }
 
-// frame is the wire envelope: either a hello (link handshake identifying
-// the dialing node) or a flooded message.
+// frame is the wire envelope: a hello (link handshake identifying the
+// dialing node), a flooded message, or — in reliable mode — an ack whose
+// Msg carries only the (src, seq) identity being acknowledged.
 type frame struct {
-	Kind string   `json:"kind"` // "hello" or "msg"
+	Kind string   `json:"kind"` // "hello", "msg" or "ack"
 	From int      `json:"from,omitempty"`
 	Msg  *Message `json:"msg,omitempty"`
 }
@@ -73,42 +102,70 @@ const maxFrame = 1 << 20
 // incident topology edge.
 type node struct {
 	idx      int
+	c        *Cluster
 	ln       net.Listener
 	mu       sync.Mutex
 	peers    map[int]*peerConn // remote node id -> connection
+	changed  chan struct{}     // closed and replaced whenever peers gains an entry
 	seen     map[id]Message
 	order    []Message
 	nextSeq  int
 	delivery chan<- Message
+	rng      *sim.RNG // backoff jitter; touched only by the retransmit loop
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
+// peerConn is one direction-owning endpoint of a link. conn may be swapped
+// by reconnection; pending (reliable mode) survives the swap so in-flight
+// messages ride over to the new socket.
 type peerConn struct {
-	mu   sync.Mutex // serializes frame writes
-	conn net.Conn
+	remote   int
+	mu       sync.Mutex // serializes frame writes and guards the fields below
+	conn     net.Conn
+	pending  map[id]*pendingEntry // reliable mode only; nil otherwise
+	dead     bool
+	rebuilds int // reconnection attempts consumed
+}
+
+// pendingEntry tracks one unacked message on one link.
+type pendingEntry struct {
+	msg       Message
+	attempts  int
+	nextDue   time.Time
+	firstSent time.Time
 }
 
 // Cluster is a set of nodes wired along a topology's edges.
 type Cluster struct {
+	opts       Options
 	mu         sync.Mutex
 	nodes      []*node
 	deliveries chan Message
+	wrapGen    atomic.Uint64
 }
 
 // Start launches one node per vertex of g on loopback TCP ports and dials
-// every edge. The returned cluster must be Shutdown.
+// every edge, with default options. The returned cluster must be Shutdown.
 func Start(g *graph.Graph) (*Cluster, error) {
+	return StartWithOptions(g, Options{})
+}
+
+// StartWithOptions is Start with explicit transport/protocol options.
+func StartWithOptions(g *graph.Graph, opts Options) (*Cluster, error) {
 	n := g.Order()
 	if n == 0 {
 		return nil, errors.New("netflood: empty topology")
 	}
-	c := &Cluster{
+	opts = opts.withDefaults()
+	if opts.DeliveryBuffer <= 0 {
 		// Deliveries across the whole cluster; sized generously so reader
-		// goroutines never block in tests.
-		deliveries: make(chan Message, 64*n),
+		// goroutines never fall behind in tests.
+		opts.DeliveryBuffer = 64 * n
 	}
+	c := &Cluster{opts: opts, deliveries: make(chan Message, opts.DeliveryBuffer)}
 	for i := 0; i < n; i++ {
 		if _, err := c.AddNode(); err != nil {
 			c.Shutdown()
@@ -127,7 +184,16 @@ func Start(g *graph.Graph) (*Cluster, error) {
 // StartEmpty creates a cluster with no nodes; grow it with AddNode,
 // Connect and Apply.
 func StartEmpty() *Cluster {
-	return &Cluster{deliveries: make(chan Message, 4096)}
+	return StartEmptyWithOptions(Options{})
+}
+
+// StartEmptyWithOptions is StartEmpty with explicit options.
+func StartEmptyWithOptions(opts Options) *Cluster {
+	opts = opts.withDefaults()
+	if opts.DeliveryBuffer <= 0 {
+		opts.DeliveryBuffer = 4096
+	}
+	return &Cluster{opts: opts, deliveries: make(chan Message, opts.DeliveryBuffer)}
 }
 
 // Size returns the number of nodes (alive or crashed).
@@ -147,10 +213,13 @@ func (c *Cluster) AddNode() (int, error) {
 	idx := len(c.nodes)
 	nd := &node{
 		idx:      idx,
+		c:        c,
 		ln:       ln,
 		peers:    make(map[int]*peerConn),
+		changed:  make(chan struct{}),
 		seen:     make(map[id]Message),
 		delivery: c.deliveries,
+		rng:      sim.NewRNG(c.opts.Seed ^ (uint64(idx+1) * 0x9e3779b97f4a7c15)),
 		closed:   make(chan struct{}),
 	}
 	c.nodes = append(c.nodes, nd)
@@ -158,15 +227,24 @@ func (c *Cluster) AddNode() (int, error) {
 	mNetNodesAdded.Inc()
 	nd.wg.Add(1)
 	go nd.acceptLoop()
+	if c.opts.Reliable {
+		nd.wg.Add(1)
+		go nd.retransmitLoop()
+	}
 	return idx, nil
 }
 
-// Connect dials a link between two nodes. It is idempotent for an
-// existing link.
+// Connect dials a link between two nodes. It is idempotent for an existing
+// link and returns once the link is usable in both directions, which keeps
+// reconfiguration deterministic. The wait is signalled, not polled, and is
+// bounded by Options.HandshakeTimeout.
 func (c *Cluster) Connect(u, v int) error {
 	nu, nv, err := c.pair(u, v)
 	if err != nil {
 		return err
+	}
+	if !nu.alive() || !nv.alive() {
+		return fmt.Errorf("netflood: link (%d,%d) touches a crashed node", u, v)
 	}
 	nu.mu.Lock()
 	_, exists := nu.peers[v]
@@ -174,33 +252,40 @@ func (c *Cluster) Connect(u, v int) error {
 	if exists {
 		return nil
 	}
-	conn, err := net.Dial("tcp", nv.ln.Addr().String())
+	conn, err := net.DialTimeout("tcp", nv.ln.Addr().String(), c.opts.HandshakeTimeout)
 	if err != nil {
 		return fmt.Errorf("netflood: dial (%d,%d): %w", u, v, err)
 	}
-	p := &peerConn{conn: conn}
-	// Handshake: tell the acceptor who is calling.
-	if err := writeFrame(p, frame{Kind: "hello", From: u}); err != nil {
+	// Handshake: tell the acceptor who is calling. The hello travels on the
+	// raw conn — fault plans apply only after the link is established, so a
+	// lossy plan cannot wedge link setup.
+	if err := writeFrameTo(conn, frame{Kind: "hello", From: u}, c.opts.WriteTimeout); err != nil {
 		conn.Close()
 		return fmt.Errorf("netflood: hello (%d,%d): %w", u, v, err)
 	}
-	nu.register(v, p)
+	if nu.attach(v, conn, bufio.NewReader(conn)) == nil {
+		conn.Close()
+		return fmt.Errorf("netflood: node %d shut down during connect", u)
+	}
 	mNetConnects.Inc()
-	// Wait until the acceptor has processed the hello: the link is then
-	// usable in both directions before Connect returns, which keeps
-	// reconfiguration deterministic.
-	deadline := time.Now().Add(5 * time.Second)
+	// Wait until the acceptor has registered the reverse direction.
+	timer := time.NewTimer(c.opts.HandshakeTimeout)
+	defer timer.Stop()
 	for {
 		nv.mu.Lock()
 		_, ready := nv.peers[u]
+		ch := nv.changed
 		nv.mu.Unlock()
 		if ready {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-ch:
+		case <-nv.closed:
+			return fmt.Errorf("netflood: node %d crashed during handshake (%d,%d)", v, u, v)
+		case <-timer.C:
 			return fmt.Errorf("netflood: handshake (%d,%d) timed out", u, v)
 		}
-		time.Sleep(200 * time.Microsecond)
 	}
 }
 
@@ -246,6 +331,33 @@ func (c *Cluster) pair(u, v int) (*node, *node, error) {
 	return c.nodes[u], c.nodes[v], nil
 }
 
+// nodeAddr returns the listener address of node idx, for reconnection.
+func (c *Cluster) nodeAddr(idx int) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx < 0 || idx >= len(c.nodes) {
+		return "", false
+	}
+	return c.nodes[idx].ln.Addr().String(), true
+}
+
+// wrapConn applies the cluster's fault plan to writes from node `from` on
+// its link to node `to`. Each wrap gets its own derived RNG stream so a
+// chaos run is reproducible from Options.Seed, while reconnections do not
+// replay the exact drop pattern of the socket they replaced.
+func (c *Cluster) wrapConn(from, to int, conn net.Conn) net.Conn {
+	if c.opts.Faults == nil {
+		return conn
+	}
+	plan := c.opts.Faults(from, to)
+	if !plan.Active() {
+		return conn
+	}
+	gen := c.wrapGen.Add(1)
+	rng := sim.NewRNG(c.opts.Seed ^ uint64(from+1)<<40 ^ uint64(to+1)<<20 ^ gen<<4)
+	return faultnet.Wrap(conn, plan, rng)
+}
+
 // Broadcast floods a payload from node src.
 func (c *Cluster) Broadcast(src int, payload string) (Message, error) {
 	c.mu.Lock()
@@ -265,7 +377,9 @@ func (c *Cluster) Broadcast(src int, payload string) (Message, error) {
 }
 
 // Deliveries exposes the cluster-wide delivery stream: one entry per
-// (node, message) first delivery.
+// (node, message) first delivery. If consumers fall behind and the channel
+// fills, further entries are counted (netflood.msgs.dropped) and dropped;
+// the per-node Delivered logs always remain complete.
 func (c *Cluster) Deliveries() <-chan Message { return c.deliveries }
 
 // Delivered returns the messages node idx has delivered so far, in order.
@@ -282,8 +396,33 @@ func (c *Cluster) Delivered(idx int) []Message {
 	return append([]Message(nil), nd.order...)
 }
 
+// WaitDelivered blocks until every listed node has delivered at least want
+// messages or the timeout passes, reporting whether the goal was met. It is
+// the chaos harness's convergence check: under retransmission, delivery is
+// eventual rather than immediate.
+func (c *Cluster) WaitDelivered(nodes []int, want int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for _, v := range nodes {
+			if len(c.Delivered(v)) < want {
+				done = false
+				break
+			}
+		}
+		if done {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // CrashNode closes node idx's listener and connections, simulating a
 // process crash. Returns false if idx is out of range or already down.
+// Safe to call concurrently with Broadcast, reconfiguration and Shutdown.
 func (c *Cluster) CrashNode(idx int) bool {
 	c.mu.Lock()
 	if idx < 0 || idx >= len(c.nodes) {
@@ -292,12 +431,9 @@ func (c *Cluster) CrashNode(idx int) bool {
 	}
 	nd := c.nodes[idx]
 	c.mu.Unlock()
-	select {
-	case <-nd.closed:
+	if !nd.shutdown() {
 		return false
-	default:
 	}
-	nd.shutdown()
 	mNetCrashes.Inc()
 	return true
 }
@@ -311,16 +447,11 @@ func (c *Cluster) Alive(idx int) bool {
 	}
 	nd := c.nodes[idx]
 	c.mu.Unlock()
-	select {
-	case <-nd.closed:
-		return false
-	default:
-		return true
-	}
+	return nd.alive()
 }
 
 // Shutdown closes every listener and connection and waits for all node
-// goroutines to exit.
+// goroutines to exit. Idempotent and safe under concurrent CrashNode.
 func (c *Cluster) Shutdown() {
 	c.mu.Lock()
 	nodes := append([]*node(nil), c.nodes...)
@@ -333,6 +464,15 @@ func (c *Cluster) Shutdown() {
 	}
 }
 
+func (n *node) alive() bool {
+	select {
+	case <-n.closed:
+		return false
+	default:
+		return true
+	}
+}
+
 func (n *node) acceptLoop() {
 	defer n.wg.Done()
 	for {
@@ -340,23 +480,82 @@ func (n *node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		p := &peerConn{conn: conn}
 		n.wg.Add(1)
-		go n.readLoop(p, true)
+		go func() {
+			defer n.wg.Done()
+			n.acceptHandshake(conn)
+		}()
 	}
 }
 
-// register records a peer connection under its remote id and starts its
-// reader (dialer side).
-func (n *node) register(remote int, p *peerConn) {
-	n.mu.Lock()
-	if old, ok := n.peers[remote]; ok {
-		old.conn.Close()
+// acceptHandshake learns the remote id from the hello, installs the link,
+// and reads frames until the connection dies.
+func (n *node) acceptHandshake(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	f, err := readFrame(r)
+	if err != nil || f.Kind != "hello" {
+		conn.Close()
+		return
 	}
-	n.peers[remote] = p
-	n.mu.Unlock()
+	p := n.attachLocked(f.From, conn)
+	if p == nil {
+		conn.Close()
+		return
+	}
+	n.readLoop(p, r)
+}
+
+// attach installs conn as the link to remote — reusing the existing
+// peerConn (and its pending retransmission state) on reconnection — and
+// starts a reader goroutine. Returns nil if the node is shut down.
+func (n *node) attach(remote int, conn net.Conn, r *bufio.Reader) *peerConn {
+	p := n.attachLocked(remote, conn)
+	if p == nil {
+		return nil
+	}
 	n.wg.Add(1)
-	go n.readLoop(p, false)
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(p, r)
+	}()
+	return p
+}
+
+// attachLocked performs the registration half of attach without starting a
+// reader: writes from this node to remote go through the (possibly fault-
+// wrapped) conn from now on. Signal Connect waiters on every registration.
+func (n *node) attachLocked(remote int, conn net.Conn) *peerConn {
+	if !n.alive() {
+		return nil
+	}
+	wrapped := n.c.wrapConn(n.idx, remote, conn)
+	n.mu.Lock()
+	p, ok := n.peers[remote]
+	if ok {
+		p.mu.Lock()
+		old := p.conn
+		p.conn = wrapped
+		p.dead = false
+		// In-flight messages ride over to the new socket immediately.
+		for _, e := range p.pending {
+			e.attempts = 0
+			e.nextDue = time.Time{}
+		}
+		p.mu.Unlock()
+		if old != nil && old != wrapped {
+			old.Close()
+		}
+	} else {
+		p = &peerConn{remote: remote, conn: wrapped}
+		if n.c.opts.Reliable {
+			p.pending = make(map[id]*pendingEntry)
+		}
+		n.peers[remote] = p
+	}
+	close(n.changed)
+	n.changed = make(chan struct{})
+	n.mu.Unlock()
+	return p
 }
 
 // unregister closes and forgets the link to remote, reporting whether it
@@ -369,46 +568,46 @@ func (n *node) unregister(remote int) bool {
 	}
 	n.mu.Unlock()
 	if ok {
-		p.conn.Close()
+		p.mu.Lock()
+		p.dead = true
+		p.pending = nil
+		conn := p.conn
+		p.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
 	}
 	return ok
 }
 
-// readLoop consumes frames from one connection. Acceptor-side loops expect
-// a hello first to learn the remote id and register the link.
-func (n *node) readLoop(p *peerConn, expectHello bool) {
-	defer n.wg.Done()
-	r := bufio.NewReader(p.conn)
-	if expectHello {
-		f, err := readFrame(r)
-		if err != nil || f.Kind != "hello" {
-			p.conn.Close()
-			return
-		}
-		n.mu.Lock()
-		if old, ok := n.peers[f.From]; ok {
-			old.conn.Close()
-		}
-		n.peers[f.From] = p
-		n.mu.Unlock()
-	}
+// readLoop consumes frames from one connection until it dies. Message
+// frames are acked (reliable mode) and handled; ack frames settle pending
+// retransmission state.
+func (n *node) readLoop(p *peerConn, r *bufio.Reader) {
 	for {
 		f, err := readFrame(r)
 		if err != nil {
 			return // peer closed, link removed, or shutdown
 		}
-		if f.Kind == "msg" && f.Msg != nil {
+		switch {
+		case f.Kind == "msg" && f.Msg != nil:
+			if n.c.opts.Reliable {
+				// Ack every copy, duplicates included: the first ack may
+				// have been lost, and the sender retransmits until one
+				// lands.
+				n.sendAck(p, *f.Msg)
+			}
 			n.handle(*f.Msg)
+		case f.Kind == "ack" && f.Msg != nil:
+			n.handleAck(p, *f.Msg)
 		}
 	}
 }
 
 // handle delivers msg if new and forwards it on every registered link.
 func (n *node) handle(msg Message) {
-	select {
-	case <-n.closed:
+	if !n.alive() {
 		return
-	default:
 	}
 	key := id{src: msg.Src, seq: msg.Seq}
 	n.mu.Lock()
@@ -431,51 +630,101 @@ func (n *node) handle(msg Message) {
 	case n.delivery <- msg:
 	case <-n.closed:
 		return
+	default:
+		// Stream consumers fell behind: count and drop rather than stall
+		// the flood. Per-node order logs above stay complete.
+		mNetDropped.Inc()
 	}
 	// Forwarded copies are one hop further from the source.
 	m := msg
 	m.Hops++
 	for _, p := range peers {
-		// Best effort: a closed peer just drops the frame — the crash
-		// model of the paper.
+		if n.c.opts.Reliable {
+			n.track(p, m)
+		}
+		// Best effort at the transport level: a closed peer just drops the
+		// frame (the crash model); in reliable mode the retransmit path
+		// owns recovery.
 		mNetFramesSent.Inc()
-		_ = writeFrame(p, frame{Kind: "msg", Msg: &m})
+		_ = writeFrame(p, frame{Kind: "msg", Msg: &m}, n.c.opts.WriteTimeout)
 	}
 }
 
-func (n *node) shutdown() {
-	select {
-	case <-n.closed:
-		return
-	default:
-	}
-	close(n.closed)
-	_ = n.ln.Close()
-	n.mu.Lock()
-	peers := make([]*peerConn, 0, len(n.peers))
-	for _, p := range n.peers {
-		peers = append(peers, p)
-	}
-	n.mu.Unlock()
-	for _, p := range peers {
-		_ = p.conn.Close()
-	}
+// shutdown closes the node exactly once, reporting whether this call did
+// the work. Safe under concurrent CrashNode/Shutdown/broadcast.
+func (n *node) shutdown() bool {
+	ran := false
+	n.closeOnce.Do(func() {
+		ran = true
+		close(n.closed)
+		_ = n.ln.Close()
+		n.mu.Lock()
+		peers := make([]*peerConn, 0, len(n.peers))
+		for _, p := range n.peers {
+			peers = append(peers, p)
+		}
+		n.mu.Unlock()
+		for _, p := range peers {
+			p.mu.Lock()
+			conn := p.conn
+			p.mu.Unlock()
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	})
+	return ran
 }
 
-func writeFrame(p *peerConn, f frame) error {
+// writeFrame writes one frame on the link, holding the peer's write lock so
+// frames never interleave, with a per-frame write deadline.
+func writeFrame(p *peerConn, f frame, timeout time.Duration) error {
 	data, err := json.Marshal(f)
 	if err != nil {
 		return err
 	}
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	buf := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(data)))
+	copy(buf[4:], data)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, err := p.conn.Write(lenBuf[:]); err != nil {
+	if p.conn == nil || p.dead {
+		return errors.New("netflood: link down")
+	}
+	if timeout > 0 {
+		_ = p.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	if _, err := p.conn.Write(buf); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			mNetWriteTOs.Inc()
+		}
 		return err
 	}
-	_, err = p.conn.Write(data)
-	return err
+	return nil
+}
+
+// writeFrameTo writes one frame directly on a conn (handshake path, before
+// a peerConn exists), with the same single-write framing and deadline.
+func writeFrameTo(conn net.Conn, f frame, timeout time.Duration) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(data)))
+	copy(buf[4:], data)
+	if timeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	if _, err := conn.Write(buf); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			mNetWriteTOs.Inc()
+		}
+		return err
+	}
+	return nil
 }
 
 func readFrame(r io.Reader) (frame, error) {

@@ -1,0 +1,86 @@
+package netflood
+
+import (
+	"time"
+
+	"lhg/internal/faultnet"
+)
+
+// Options configures a cluster's transport and protocol behavior. The zero
+// value is the original fail-stop cluster: best-effort forwarding, clean
+// TCP, no acks. Every duration has a safe default, so callers set only what
+// they need.
+type Options struct {
+	// HandshakeTimeout bounds Connect: the dial plus the wait for the
+	// acceptor to process the hello. Default 5s.
+	HandshakeTimeout time.Duration
+
+	// WriteTimeout is the per-frame write deadline on every link. A write
+	// that cannot complete in this window fails (and, in reliable mode, is
+	// retried by the retransmit path). Default 2s.
+	WriteTimeout time.Duration
+
+	// DeliveryBuffer sizes the cluster-wide delivery channel. When the
+	// channel is full, further deliveries are counted and dropped
+	// (netflood.msgs.dropped) rather than stalling the flood; per-node
+	// Delivered logs are unaffected. Default: 64 per starting node for
+	// Start, 4096 for StartEmpty.
+	DeliveryBuffer int
+
+	// Reliable switches every link to the acked protocol: per-message
+	// acks, retransmission with exponential backoff and jitter, peer
+	// health via a missed-ack threshold, and automatic reconnection with
+	// graceful degradation when a peer is declared dead.
+	Reliable bool
+
+	// RetransmitBase is the first retransmission delay; each further
+	// attempt doubles it up to RetransmitMax, with ±25% jitter. Defaults
+	// 15ms and 250ms.
+	RetransmitBase time.Duration
+	RetransmitMax  time.Duration
+
+	// MaxRetries is the missed-ack threshold: after this many unacked
+	// retransmissions of any message, the peer is suspected and the link
+	// is redialed. Default 12.
+	MaxRetries int
+
+	// MaxReconnects bounds redials per peer; past it the peer is declared
+	// dead, its link is torn down and its pending traffic abandoned — the
+	// cluster degrades gracefully to the crash model. Default 3.
+	MaxReconnects int
+
+	// Faults, when non-nil, supplies a faultnet.Plan per directed link
+	// (from, to): writes from node `from` on its link to node `to` pass
+	// through the plan. Asymmetric partitions are plans that differ per
+	// direction. Inactive plans leave the link clean.
+	Faults func(from, to int) faultnet.Plan
+
+	// Seed drives all fault injection and retransmission jitter. Default 1.
+	Seed uint64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.RetransmitBase <= 0 {
+		o.RetransmitBase = 15 * time.Millisecond
+	}
+	if o.RetransmitMax <= 0 {
+		o.RetransmitMax = 250 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 12
+	}
+	if o.MaxReconnects <= 0 {
+		o.MaxReconnects = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}

@@ -1,0 +1,154 @@
+package netflood
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// This file is the reliable half of the protocol (Options.Reliable): every
+// forwarded message is tracked per link until acked; a per-node loop
+// retransmits overdue messages with exponential backoff and jitter; a peer
+// that exhausts the missed-ack threshold is suspected and its link redialed
+// (the hello rides the raw socket, so a lossy fault plan cannot wedge
+// recovery); a peer that exhausts its reconnection budget is declared dead
+// and its link torn down — graceful degradation back to the crash model,
+// which the k-connected topology tolerates for up to k-1 peers.
+
+// track records m as pending on link p until the remote acks it.
+func (n *node) track(p *peerConn, m Message) {
+	key := id{src: m.Src, seq: m.Seq}
+	now := time.Now()
+	p.mu.Lock()
+	if p.pending != nil && !p.dead {
+		if _, ok := p.pending[key]; !ok {
+			p.pending[key] = &pendingEntry{
+				msg:       m,
+				firstSent: now,
+				nextDue:   now.Add(n.c.opts.RetransmitBase),
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// sendAck acknowledges one received message copy on the link it arrived on.
+func (n *node) sendAck(p *peerConn, m Message) {
+	mNetAcksSent.Inc()
+	ack := Message{Src: m.Src, Seq: m.Seq}
+	_ = writeFrame(p, frame{Kind: "ack", Msg: &ack}, n.c.opts.WriteTimeout)
+}
+
+// handleAck settles the pending entry the ack names and observes its RTT.
+// Acks for already-settled messages (duplicate acks, acks raced by a
+// reconnection reset) are ignored.
+func (n *node) handleAck(p *peerConn, m Message) {
+	key := id{src: m.Src, seq: m.Seq}
+	p.mu.Lock()
+	e, ok := p.pending[key]
+	if ok {
+		delete(p.pending, key)
+	}
+	p.rebuilds = 0 // an ack proves the link healthy: restore its budget
+	p.mu.Unlock()
+	if ok {
+		mNetAcksRecv.Inc()
+		hNetAckRTT.Observe(time.Since(e.firstSent).Microseconds())
+	}
+}
+
+// retransmitLoop drives retransmission and peer health for one node. It
+// ticks at a quarter of the base backoff so due times are honored with
+// little slack, and exits with the node.
+func (n *node) retransmitLoop() {
+	defer n.wg.Done()
+	tick := n.c.opts.RetransmitBase / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-t.C:
+			n.retransmitDue(time.Now())
+		}
+	}
+}
+
+// retransmitDue resends every overdue pending message and escalates peers
+// whose messages have exhausted the missed-ack threshold.
+func (n *node) retransmitDue(now time.Time) {
+	n.mu.Lock()
+	peers := make([]*peerConn, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		var resend []Message
+		suspect := false
+		p.mu.Lock()
+		for _, e := range p.pending {
+			if e.nextDue.After(now) {
+				continue
+			}
+			if e.attempts >= n.c.opts.MaxRetries {
+				suspect = true
+				continue
+			}
+			e.attempts++
+			backoff := n.c.opts.RetransmitBase << uint(e.attempts-1)
+			if backoff > n.c.opts.RetransmitMax || backoff <= 0 {
+				backoff = n.c.opts.RetransmitMax
+			}
+			e.nextDue = now.Add(n.rng.Jitter(backoff, 0.25))
+			resend = append(resend, e.msg)
+		}
+		p.mu.Unlock()
+		for i := range resend {
+			mNetRetransmits.Inc()
+			_ = writeFrame(p, frame{Kind: "msg", Msg: &resend[i]}, n.c.opts.WriteTimeout)
+		}
+		if suspect {
+			n.repairPeer(p)
+		}
+	}
+}
+
+// repairPeer redials a peer that stopped acking. A successful redial swaps
+// the socket under the existing peerConn, so pending messages retransmit
+// immediately on the fresh link. A failed dial — or an exhausted
+// reconnection budget — declares the peer dead: the link is torn down, its
+// pending traffic abandoned, and the flood continues on the surviving
+// links.
+func (n *node) repairPeer(p *peerConn) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.rebuilds++
+	exhausted := p.rebuilds > n.c.opts.MaxReconnects
+	p.mu.Unlock()
+
+	if !exhausted {
+		if addr, ok := n.c.nodeAddr(p.remote); ok {
+			if conn, err := net.DialTimeout("tcp", addr, n.c.opts.HandshakeTimeout); err == nil {
+				hello := frame{Kind: "hello", From: n.idx}
+				if err := writeFrameTo(conn, hello, n.c.opts.WriteTimeout); err == nil {
+					if n.attach(p.remote, conn, bufio.NewReader(conn)) != nil {
+						mNetReconnects.Inc()
+						return
+					}
+				}
+				conn.Close()
+			}
+		}
+	}
+	if n.unregister(p.remote) {
+		mNetPeersDead.Inc()
+	}
+}

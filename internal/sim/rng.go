@@ -7,6 +7,8 @@
 // reproducible bit for bit from its seed.
 package sim
 
+import "time"
+
 // RNG is a splitmix64 pseudo-random generator. It is tiny, fast, passes
 // BigCrush, and — unlike math/rand's global functions — is explicit about
 // its state, so two simulations with the same seed always agree.
@@ -74,6 +76,26 @@ func (r *RNG) Sample(n, m int) []int {
 // Split returns a new generator derived from this one, for independent
 // substreams (e.g. one per simulated node).
 func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64()} }
+
+// Duration returns a uniform duration in [min, max]. A degenerate range
+// (max <= min) returns min, so callers can pass an unset upper bound.
+func (r *RNG) Duration(min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(r.Intn(int(max-min)+1))
+}
+
+// Jitter scales d by a uniform factor in [1-frac, 1+frac] — the standard
+// decorrelation of retransmission backoffs so that peers sharing a seed do
+// not fire in lockstep. frac <= 0 or d <= 0 returns d unchanged.
+func (r *RNG) Jitter(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 - frac + 2*frac*r.Float64()
+	return time.Duration(float64(d) * f)
+}
 
 // mul64 returns the 128-bit product of a and b as (hi, lo).
 func mul64(a, b uint64) (hi, lo uint64) {
