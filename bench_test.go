@@ -11,6 +11,7 @@ package lhg_test
 // flooding is O(m) per run).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -37,7 +38,7 @@ var (
 
 func buildOrFatal(b *testing.B, c lhg.Constraint, n, k int) *lhg.Graph {
 	b.Helper()
-	g, err := lhg.Build(c, n, k)
+	g, err := lhg.Build(context.Background(), c, n, k)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func BenchmarkVerify(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := lhg.Verify(g, 4)
+				r, err := lhg.Verify(context.Background(), g, 4)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -120,7 +121,7 @@ func BenchmarkVerify(b *testing.B) {
 	b.Run("n=1024-k=8-irregular", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			r, err := lhg.Verify(g, 8)
+			r, err := lhg.Verify(context.Background(), g, 8)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -139,7 +140,7 @@ func BenchmarkVerifySweep(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := lhg.Verify(g, 4)
+				r, err := lhg.Verify(context.Background(), g, 4)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -176,7 +177,7 @@ func BenchmarkFlood(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := lhg.Flood(g, 0, lhg.Failures{})
+				res, err := lhg.Flood(context.Background(), g, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -257,7 +258,7 @@ func BenchmarkQuickVerify(b *testing.B) {
 		g := buildOrFatal(b, lhg.KTree, n, 4)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ok, err := lhg.IsLHG(g, 4)
+				ok, err := lhg.IsLHG(context.Background(), g, 4)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -274,7 +275,7 @@ func TestSteadyStateProbesAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation defeats sync.Pool reuse; alloc counts are meaningless")
 	}
-	g, err := lhg.Build(lhg.KDiamond, 256, 4)
+	g, err := lhg.Build(context.Background(), lhg.KDiamond, 256, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func BenchmarkFloodRounds(b *testing.B) {
 		g := buildOrFatal(b, tc.c, 512, 4)
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := lhg.Flood(g, 0, lhg.Failures{})
+				res, err := lhg.Flood(context.Background(), g, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -376,7 +377,7 @@ func BenchmarkFloodFailures(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := lhg.Flood(g, 0, fails)
+		res, err := lhg.Flood(context.Background(), g, 0, lhg.WithFailures(fails))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -410,7 +411,7 @@ func BenchmarkMessageCost(b *testing.B) {
 		g := buildOrFatal(b, tc.c, 1024, 3)
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := lhg.Flood(g, 0, lhg.Failures{})
+				res, err := lhg.Flood(context.Background(), g, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -428,7 +429,7 @@ func BenchmarkOverlayJoin(b *testing.B) {
 		c    lhg.Constraint
 	}{{"ktree", lhg.KTree}, {"kdiamond", lhg.KDiamond}} {
 		b.Run(tc.name, func(b *testing.B) {
-			topo := func(n, k int) (*graph.Graph, error) { return lhg.Build(tc.c, n, k) }
+			topo := func(n, k int) (*graph.Graph, error) { return lhg.Build(context.Background(), tc.c, n, k) }
 			o, err := overlay.New(4, 256, topo)
 			if err != nil {
 				b.Fatal(err)
@@ -561,7 +562,7 @@ func BenchmarkBetweenness(b *testing.B) {
 // BenchmarkMembershipCycle covers E21: one join + crash + repair cycle of
 // the self-healing membership service.
 func BenchmarkMembershipCycle(b *testing.B) {
-	topo := func(n, k int) (*graph.Graph, error) { return lhg.Build(lhg.KDiamond, n, k) }
+	topo := func(n, k int) (*graph.Graph, error) { return lhg.Build(context.Background(), lhg.KDiamond, n, k) }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := member.New(4, 24, topo)

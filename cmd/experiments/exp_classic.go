@@ -50,7 +50,7 @@ func runE22(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ok, err := lhg.IsLHG(q4, 4)
+	ok, err := lhg.IsLHG(expCtx, q4, 4)
 	if err != nil {
 		return err
 	}

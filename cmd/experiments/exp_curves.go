@@ -28,11 +28,11 @@ func runE23(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		g, err := lhg.Build(c, used, k)
+		g, err := lhg.Build(expCtx, c, used, k)
 		if err != nil {
 			return err
 		}
-		res, err := lhg.Flood(g, 0, lhg.Failures{})
+		res, err := lhg.Flood(expCtx, g, 0)
 		if err != nil {
 			return err
 		}
@@ -62,7 +62,7 @@ func runE24(w io.Writer) error {
 		events = 120
 		seed   = 4242
 	)
-	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(lhg.KDiamond, n, kk) }
+	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(expCtx, lhg.KDiamond, n, kk) }
 	o, err := overlay.New(k, start, topo)
 	if err != nil {
 		return err

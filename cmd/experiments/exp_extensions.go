@@ -100,7 +100,7 @@ func runE16(w io.Writer) error {
 		k      = 4
 		trials = 150
 	)
-	g, err := lhg.Build(lhg.KDiamond, n, k)
+	g, err := lhg.Build(expCtx, lhg.KDiamond, n, k)
 	if err != nil {
 		return err
 	}

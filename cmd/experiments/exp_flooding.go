@@ -37,7 +37,7 @@ func runE10(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			g, err := lhg.Build(c, used, k)
+			g, err := lhg.Build(expCtx, c, used, k)
 			if err != nil {
 				return err
 			}
@@ -68,11 +68,11 @@ func runE11(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			g, err := lhg.Build(c, used, k)
+			g, err := lhg.Build(expCtx, c, used, k)
 			if err != nil {
 				return err
 			}
-			res, err := lhg.Flood(g, 0, lhg.Failures{})
+			res, err := lhg.Flood(expCtx, g, 0)
 			if err != nil {
 				return err
 			}
@@ -101,7 +101,7 @@ func runE12(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		g, err := lhg.Build(c, used, k)
+		g, err := lhg.Build(expCtx, c, used, k)
 		if err != nil {
 			return err
 		}
@@ -145,11 +145,11 @@ func runE13(w io.Writer) error {
 	for _, n := range []int{20, 40, 60, 80, 120} {
 		fmt.Fprintf(w, "%-6d", n)
 		for _, c := range []lhg.Constraint{lhg.Harary, lhg.KTree, lhg.KDiamond} {
-			g, err := lhg.Build(c, n, k)
+			g, err := lhg.Build(expCtx, c, n, k)
 			if err != nil {
 				return err
 			}
-			res, err := lhg.Flood(g, 0, lhg.Failures{})
+			res, err := lhg.Flood(expCtx, g, 0)
 			if err != nil {
 				return err
 			}

@@ -20,7 +20,7 @@ func runE21(w io.Writer) error {
 		k     = 4
 		start = 24
 	)
-	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(lhg.KDiamond, n, kk) }
+	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(expCtx, lhg.KDiamond, n, kk) }
 	s, err := member.New(k, start, topo)
 	if err != nil {
 		return err

@@ -56,5 +56,5 @@ func runE14(w io.Writer) error {
 }
 
 func topo(c lhg.Constraint) overlay.TopologyFunc {
-	return func(n, k int) (*graph.Graph, error) { return lhg.Build(c, n, k) }
+	return func(n, k int) (*graph.Graph, error) { return lhg.Build(expCtx, c, n, k) }
 }

@@ -24,7 +24,7 @@ func runE17(w io.Writer) error {
 	fmt.Fprintf(w, "n=%d, k=%d, %d trials/cell; crashes strike at random instants mid-flood\n", n, k, trials)
 	fmt.Fprintf(w, "%-10s %-4s %-12s %-12s %-14s\n", "topology", "f", "validity", "agreement", "worst latency")
 	for _, c := range []lhg.Constraint{lhg.Harary, lhg.KTree, lhg.KDiamond} {
-		g, err := lhg.Build(c, n, k)
+		g, err := lhg.Build(expCtx, c, n, k)
 		if err != nil {
 			return err
 		}
@@ -85,7 +85,7 @@ func runE18(w io.Writer) error {
 		if !lhg.Regular(lhg.KDiamond, n, k) || !lhg.Regular(lhg.Harary, n, k) {
 			return fmt.Errorf("n=%d is not a regular size for both families", n)
 		}
-		h, err := lhg.Build(lhg.Harary, n, k)
+		h, err := lhg.Build(expCtx, lhg.Harary, n, k)
 		if err != nil {
 			return err
 		}
@@ -93,7 +93,7 @@ func runE18(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		g, err := lhg.Build(lhg.KDiamond, n, k)
+		g, err := lhg.Build(expCtx, lhg.KDiamond, n, k)
 		if err != nil {
 			return err
 		}

@@ -104,7 +104,7 @@ func runE20(w io.Writer) error {
 	fmt.Fprintf(w, "n=%d, k=%d, normalized betweenness centrality (shortest-path load)\n", n, k)
 	fmt.Fprintf(w, "%-10s %-10s %-10s %-10s %-14s\n", "topology", "mean", "max", "p95", "max/mean")
 	for _, c := range []lhg.Constraint{lhg.Harary, lhg.KTree, lhg.KDiamond} {
-		g, err := lhg.Build(c, n, k)
+		g, err := lhg.Build(expCtx, c, n, k)
 		if err != nil {
 			return err
 		}

@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"lhg/internal/obs"
 )
@@ -26,6 +29,11 @@ import (
 // verifyWorkers is the -workers flag: goroutine budget handed to the
 // parallel verifier by the experiments that prove LHG properties.
 var verifyWorkers int
+
+// expCtx is the run-scoped context every experiment builds, verifies and
+// floods under: run() arms it with the interrupt signals, so Ctrl-C
+// cancels an in-flight max-flow campaign instead of abandoning it.
+var expCtx = context.Background()
 
 // experiment is one reproducible table/figure.
 type experiment struct {
@@ -85,6 +93,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	verifyWorkers = *workers
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	expCtx = ctx
 	stopObs, err := obs.StartCLI(*metrics, *httpAddr, os.Stderr)
 	if err != nil {
 		return err

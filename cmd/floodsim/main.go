@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -78,7 +79,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	g, err := lhg.Build(c, *n, *k)
+	g, err := lhg.Build(context.Background(), c, *n, *k)
 	if err != nil {
 		return err
 	}

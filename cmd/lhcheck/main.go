@@ -19,12 +19,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"lhg"
 	"lhg/internal/core"
@@ -57,6 +60,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Interrupts cancel the verification campaign mid-probe instead of
+	// killing the process between phases.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *verbose {
 		// Verbose mode wants probe counts in the phase block, which come
 		// from the metrics registry.
@@ -97,13 +104,13 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if perr != nil {
 			return perr
 		}
-		g, err = lhg.Build(c, *n, *k)
+		g, err = lhg.Build(ctx, c, *n, *k)
 		if err != nil {
 			return err
 		}
 	}
 
-	r, err := lhg.VerifyParallel(g, *k, *workers)
+	r, err := lhg.Verify(ctx, g, *k, lhg.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}

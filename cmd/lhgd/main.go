@@ -1,0 +1,134 @@
+// Command lhgd serves the LHG toolkit over HTTP/JSON: build a topology,
+// verify its properties, or simulate a flood with one POST. Identical
+// requests are answered from an LRU cache, and identical in-flight requests
+// are coalesced into a single verification campaign, so the daemon can
+// front many clients asking the same (constraint, n, k) question.
+//
+// Endpoints:
+//
+//	POST /v1/build        {"constraint":"kdiamond","n":50,"k":4}
+//	POST /v1/verify       {"constraint":"ktree","n":21,"k":3,"properties":["P1","P4"]}
+//	POST /v1/flood        {"constraint":"kdiamond","n":50,"k":4,"source":0,
+//	                       "failures":{"Nodes":[2,5]}}
+//	GET  /v1/constraints
+//
+// Usage:
+//
+//	lhgd -addr 127.0.0.1:8080 -cache 256 -timeout 2m
+//	lhgd -addr :8080 -http 127.0.0.1:6060   # debug vars/metrics/pprof
+//
+// The metrics sink is always on: /debug/vars on the -http address exposes
+// the serve.* counters (cache hits, coalesced flights, per-endpoint latency
+// histograms) that the smoke tests and dashboards read. SIGINT/SIGTERM
+// drain in-flight requests, cancel orphaned campaigns and exit cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lhg/internal/obs"
+	"lhg/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lhgd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("lhgd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "address to serve the /v1 API on")
+		cache    = fs.Int("cache", 256, "LRU result cache capacity in entries (0 disables caching)")
+		workers  = fs.Int("workers", 0, "per-campaign goroutine budget (0 = all cores); requests may ask for less, never more")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "per-computation deadline; exceeding it returns 504 (0 = no limit)")
+		metrics  = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this extra address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The sink is the daemon's introspection surface (cache hit rates,
+	// coalescing counts), not an opt-in extra as in the batch CLIs.
+	obs.Enable()
+	stopObs, err := obs.StartCLI(*metrics, *httpAddr, logw)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+
+	d, err := startDaemon(ctx, serve.Options{
+		BaseContext: ctx,
+		CacheSize:   *cache,
+		Workers:     *workers,
+		Timeout:     *timeout,
+	}, *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "lhgd: listening on %s\n", d.Addr())
+
+	<-ctx.Done()
+	fmt.Fprintln(logw, "lhgd: shutting down")
+	return d.Shutdown()
+}
+
+// daemon is one running HTTP server; tests drive it directly to get the
+// bound address without scraping logs.
+type daemon struct {
+	ln     net.Listener
+	srv    *http.Server
+	served chan error
+}
+
+// startDaemon binds addr (use port 0 for an ephemeral port) and serves the
+// /v1 API until Shutdown. The serve options' BaseContext should be the
+// daemon context so shutdown also cancels orphaned campaigns.
+func startDaemon(ctx context.Context, opts serve.Options, addr string) (*daemon, error) {
+	if opts.BaseContext == nil {
+		opts.BaseContext = ctx
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{
+		ln: ln,
+		srv: &http.Server{
+			Handler:     serve.New(opts).Handler(),
+			BaseContext: func(net.Listener) context.Context { return ctx },
+		},
+		served: make(chan error, 1),
+	}
+	go func() { d.served <- d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (d *daemon) Addr() string { return d.ln.Addr().String() }
+
+// Shutdown drains in-flight requests for up to five seconds, then closes
+// the server hard.
+func (d *daemon) Shutdown() error {
+	grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := d.srv.Shutdown(grace)
+	if serveErr := <-d.served; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -57,7 +58,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *variant != 0 {
-		g, err = lhg.BuildVariant(c, *n, *k, *variant)
+		g, err = lhg.Build(context.Background(), c, *n, *k, lhg.WithSeed(*variant))
 		if err != nil {
 			return err
 		}

@@ -17,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"lhg"
 	"lhg/internal/check"
@@ -59,6 +62,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer stopObs()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *from < 2 || *to < *from {
 		return fmt.Errorf("invalid range [%d,%d]", *from, *to)
 	}
@@ -96,11 +101,11 @@ func run(args []string, out io.Writer) error {
 			if !lhg.Exists(c, n, *k) {
 				continue
 			}
-			g, err := lhg.Build(c, n, *k)
+			g, err := lhg.Build(ctx, c, n, *k)
 			if err != nil {
 				return err
 			}
-			res, err := lhg.Flood(g, 0, lhg.Failures{})
+			res, err := lhg.Flood(ctx, g, 0)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package lhg_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -9,7 +10,7 @@ import (
 
 // ExampleBuild constructs a K-DIAMOND LHG and prints its shape.
 func ExampleBuild() {
-	g, err := lhg.Build(lhg.KDiamond, 14, 3)
+	g, err := lhg.Build(context.Background(), lhg.KDiamond, 14, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -19,11 +20,11 @@ func ExampleBuild() {
 
 // ExampleVerify proves every LHG property of a built graph.
 func ExampleVerify() {
-	g, err := lhg.Build(lhg.KTree, 10, 3)
+	g, err := lhg.Build(context.Background(), lhg.KTree, 10, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := lhg.Verify(g, 3)
+	report, err := lhg.Verify(context.Background(), g, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,11 +34,11 @@ func ExampleVerify() {
 
 // ExampleFlood shows delivery despite k-1 crashed nodes.
 func ExampleFlood() {
-	g, err := lhg.Build(lhg.KDiamond, 20, 3)
+	g, err := lhg.Build(context.Background(), lhg.KDiamond, 20, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := lhg.Flood(g, 0, lhg.Failures{Nodes: []int{4, 9}})
+	res, err := lhg.Flood(context.Background(), g, 0, lhg.WithFailures(lhg.Failures{Nodes: []int{4, 9}}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 		n = 80
 		k = 5
 	)
-	g, err := lhg.Build(lhg.KTree, n, k)
+	g, err := lhg.Build(context.Background(), lhg.KTree, n, k)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	g := gr.Graph()
-	report, err := lhg.Verify(g, k)
+	report, err := lhg.Verify(context.Background(), g, k)
 	if err != nil {
 		log.Fatal(err)
 	}

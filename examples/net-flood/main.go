@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,7 +21,7 @@ func main() {
 		n = 30
 		k = 3
 	)
-	g, err := lhg.Build(lhg.KDiamond, n, k)
+	g, err := lhg.Build(context.Background(), lhg.KDiamond, n, k)
 	if err != nil {
 		log.Fatal(err)
 	}

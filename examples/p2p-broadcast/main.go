@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	const k = 3
 
 	o, err := overlay.New(k, 2*k, func(n, k int) (*graph.Graph, error) {
-		return lhg.Build(lhg.KDiamond, n, k)
+		return lhg.Build(context.Background(), lhg.KDiamond, n, k)
 	})
 	if err != nil {
 		log.Fatal(err)

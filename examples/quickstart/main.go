@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		n = 50 // processes in the system
 		k = 4  // tolerate up to k-1 = 3 arbitrary crashes
@@ -19,14 +21,14 @@ func main() {
 
 	// 1. Build the topology. K-DIAMOND exists for every n >= 2k and is
 	//    k-regular (minimum links) whenever n = 2k + α(k-1).
-	g, err := lhg.Build(lhg.KDiamond, n, k)
+	g, err := lhg.Build(ctx, lhg.KDiamond, n, k)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("built K-DIAMOND(%d,%d): %v\n", n, k, g)
 
 	// 2. Verify every LHG property exactly (max-flow based Menger checks).
-	report, err := lhg.Verify(g, k)
+	report, err := lhg.Verify(ctx, g, k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func main() {
 	}
 
 	// 3. Flood a message from node 0 while three nodes are crashed.
-	res, err := lhg.Flood(g, 0, lhg.Failures{Nodes: []int{7, 19, 33}})
+	res, err := lhg.Flood(ctx, g, 0, lhg.WithFailures(lhg.Failures{Nodes: []int{7, 19, 33}}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func main() {
 
 	// 4. Compare against the classic Harary baseline: same resilience and
 	//    edge count, but linear diameter.
-	h, err := lhg.Build(lhg.Harary, n, k)
+	h, err := lhg.Build(ctx, lhg.Harary, n, k)
 	if err != nil {
 		log.Fatal(err)
 	}

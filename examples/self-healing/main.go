@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 		k     = 4
 		start = 20
 	)
-	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(lhg.KDiamond, n, kk) }
+	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(context.Background(), lhg.KDiamond, n, kk) }
 	s, err := member.New(k, start, topo)
 	if err != nil {
 		log.Fatal(err)
@@ -62,7 +63,7 @@ func main() {
 	status(fmt.Sprintf("after repair (churn=%d)", rep.Churn.Total()))
 
 	// Prove the repaired overlay is a full LHG again.
-	report, err := lhg.Verify(s.Graph(), k)
+	report, err := lhg.Verify(context.Background(), s.Graph(), k)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const k = 4
 	sizes := []int{16, 25, 40, 63, 100, 158, 251}
 
@@ -27,11 +29,11 @@ func main() {
 					c, n, "-", "-", "-", "-", "NO")
 				continue
 			}
-			g, err := lhg.Build(c, n, k)
+			g, err := lhg.Build(ctx, c, n, k)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := lhg.Flood(g, 0, lhg.Failures{})
+			res, err := lhg.Flood(ctx, g, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -16,6 +16,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -73,6 +74,9 @@ type Report struct {
 
 	// Workers is the goroutine budget the run used (1 = serial).
 	Workers int `json:"workers"`
+	// Checked records which properties this run computed (PropAll for the
+	// full report). Fields of unchecked properties hold their zero values.
+	Checked Properties `json:"checked"`
 	// Phases records per-phase wall time in execution order. Probe counts
 	// are filled from the metrics registry when the obs sink is enabled.
 	Phases []PhaseTiming `json:"phases,omitempty"`
@@ -121,15 +125,31 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Verify computes the full report for g against target connectivity k.
-// It is exact and therefore O(n·maxflow) — intended for verification, not
-// for hot paths. k must be at least 1 and less than n.
-func Verify(g *graph.Graph, k int) (*Report, error) { return verify(g, k, 1) }
+// Verify computes the full report for g against target connectivity k,
+// serially and without cancellation. It is exact and therefore
+// O(n·maxflow) — intended for verification, not for hot paths. k must be
+// at least 1 and less than n. Service and interactive callers should use
+// VerifyCtx, which adds cancellation, a worker budget and property
+// selection.
+func Verify(g *graph.Graph, k int) (*Report, error) {
+	return VerifyCtx(context.Background(), g, k, Options{Workers: 1})
+}
 
-// verify is the shared serial/parallel driver; workers <= 1 runs serially,
-// larger values fan the connectivity cuts, the per-edge P3 probes and the
-// distance sweep across that many goroutines (see VerifyParallel).
-func verify(g *graph.Graph, k, workers int) (*Report, error) {
+// VerifyCtx is the context-first verification driver: it computes the
+// selected properties (Options.Props; zero means all) for g against
+// target connectivity k with the independent probes fanned across
+// Options.Workers goroutines (<= 0 means GOMAXPROCS, 1 runs serially).
+//
+// Cancellation is honored at three granularities: between phases, between
+// max-flow probes, and — inside each probe — between augmenting-path
+// iterations, so even a verification dominated by one huge max-flow
+// campaign stops within one augmentation of ctx firing. A canceled run
+// joins its workers, returns ctx.Err() and leaves the pooled flow
+// networks and BFS scratch reusable.
+//
+// The report is deterministic: identical values (and the same P3 witness
+// edge) as the serial path, regardless of the worker count.
+func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report, error) {
 	n := g.Order()
 	if k < 1 {
 		return nil, fmt.Errorf("check: connectivity target k=%d must be >= 1", k)
@@ -137,7 +157,9 @@ func verify(g *graph.Graph, k, workers int) (*Report, error) {
 	if n <= k {
 		return nil, fmt.Errorf("check: k=%d must be < n=%d", k, n)
 	}
-	r := &Report{N: n, M: g.Size(), K: k, Workers: workers}
+	workers := graph.ClampWorkers(opt.Workers, 0)
+	props := opt.Props.normalized()
+	r := &Report{N: n, M: g.Size(), K: k, Workers: workers, Checked: props}
 	r.MinDegree, _ = g.MinDegree()
 	r.MaxDegree, _ = g.MaxDegree()
 	r.Regular = g.IsRegular(k)
@@ -146,11 +168,15 @@ func verify(g *graph.Graph, k, workers int) (*Report, error) {
 
 	// runPhase wall-times one verification phase into Report.Phases
 	// (always) and the obs timers (when the sink is on), attributing the
-	// max-flow probes the phase issued via the shared flow counter.
-	runPhase := func(name string, t *obs.Timer, fn func()) {
+	// max-flow probes the phase issued via the shared flow counter. A
+	// phase error (cancellation) aborts the run.
+	runPhase := func(name string, t *obs.Timer, fn func() error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p0 := mFlowProbes.Value()
 		start := time.Now()
-		fn()
+		err := fn()
 		d := time.Since(start)
 		t.Observe(d)
 		r.Phases = append(r.Phases, PhaseTiming{
@@ -158,34 +184,47 @@ func verify(g *graph.Graph, k, workers int) (*Report, error) {
 			Ms:     float64(d) / 1e6,
 			Probes: mFlowProbes.Value() - p0,
 		})
+		return err
 	}
 
-	runPhase("kappa", tPhaseKappa, func() {
-		if workers > 1 {
-			r.NodeConnectivity = flow.VertexConnectivityParallel(g, workers)
-		} else {
-			r.NodeConnectivity = flow.VertexConnectivity(g)
+	if props.Has(PropNodeConnectivity) {
+		if err := runPhase("kappa", tPhaseKappa, func() (err error) {
+			r.NodeConnectivity, err = flow.VertexConnectivityCtx(ctx, g, workers)
+			return err
+		}); err != nil {
+			return nil, err
 		}
-	})
-	runPhase("lambda", tPhaseLambda, func() {
-		if workers > 1 {
-			r.EdgeConnectivity = flow.EdgeConnectivityParallel(g, workers)
-		} else {
-			r.EdgeConnectivity = flow.EdgeConnectivity(g)
+		r.KNodeConnected = r.NodeConnectivity >= k
+	}
+	if props.Has(PropLinkConnectivity) {
+		if err := runPhase("lambda", tPhaseLambda, func() (err error) {
+			r.EdgeConnectivity, err = flow.EdgeConnectivityCtx(ctx, g, workers)
+			return err
+		}); err != nil {
+			return nil, err
 		}
-	})
-	r.KNodeConnected = r.NodeConnectivity >= k
-	r.KLinkConnected = r.EdgeConnectivity >= k
+		r.KLinkConnected = r.EdgeConnectivity >= k
+	}
 
-	runPhase("minimality", tPhaseMinimality, func() {
-		r.LinkMinimal = verifyLinkMinimality(g, r, workers)
-	})
+	if props.Has(PropLinkMinimality) {
+		if err := runPhase("minimality", tPhaseMinimality, func() (err error) {
+			r.LinkMinimal, err = verifyLinkMinimality(ctx, g, r, workers)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
 
-	runPhase("distances", tPhaseDistances, func() {
-		r.Diameter, r.AvgPathLen = g.DistanceStats(workers)
-	})
-	r.DiameterBound = DiameterBound(n, k)
-	r.LogDiameter = r.Diameter >= 0 && r.Diameter <= r.DiameterBound
+	if props.Has(PropDiameter) {
+		if err := runPhase("distances", tPhaseDistances, func() (err error) {
+			r.Diameter, r.AvgPathLen, err = g.DistanceStatsCtx(ctx, workers)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		r.DiameterBound = DiameterBound(n, k)
+		r.LogDiameter = r.Diameter >= 0 && r.Diameter <= r.DiameterBound
+	}
 	return r, nil
 }
 
@@ -211,29 +250,32 @@ func DiameterBound(n, k int) int {
 // through cuts separating that edge's endpoints, so no clone and no global
 // re-sweep is needed. With workers > 1 the probes fan out across a worker
 // pool.
-func verifyLinkMinimality(g *graph.Graph, r *Report, workers int) bool {
+func verifyLinkMinimality(ctx context.Context, g *graph.Graph, r *Report, workers int) (bool, error) {
 	kappa, lambda := r.NodeConnectivity, r.EdgeConnectivity
 	if kappa == 0 || lambda == 0 {
-		return false // already disconnected; nothing to preserve
+		return false, nil // already disconnected; nothing to preserve
 	}
 	if r.MaxDegree == lambda {
 		// λ <= δ <= Δ == λ, so the graph is λ-regular: removing any edge
 		// lowers a degree below λ and with it the link connectivity.
-		return true
+		return true, nil
 	}
 	edges := g.Edges()
 	mP3EdgesProbed.Add(int64(len(edges)))
-	removable := flow.EdgesRemovable(g, edges, kappa, lambda, workers)
+	removable, err := flow.EdgesRemovableCtx(ctx, g, edges, kappa, lambda, workers)
+	if err != nil {
+		return false, err
+	}
 	// Report the first removable edge in canonical order, so the parallel
 	// and serial drivers return identical witnesses.
 	for i, e := range edges {
 		if removable[i] {
 			r.ViolatingEdge = e
 			r.hasViolation = true
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // Violation returns the edge witnessing a P3 failure, if any.
@@ -245,6 +287,13 @@ func (r *Report) Violation() (graph.Edge, bool) {
 // (no exact connectivity values, no P3 edge sweep for regular graphs, no
 // average path length). It is the fast path used by large sweeps.
 func QuickVerify(g *graph.Graph, k int) (bool, error) {
+	return QuickVerifyCtx(context.Background(), g, k)
+}
+
+// QuickVerifyCtx is QuickVerify under a context: cancellation is polled
+// between probes and between augmenting-path iterations, and surfaces as
+// ctx.Err().
+func QuickVerifyCtx(ctx context.Context, g *graph.Graph, k int) (bool, error) {
 	n := g.Order()
 	if k < 1 || n <= k {
 		return false, fmt.Errorf("check: invalid pair n=%d k=%d", n, k)
@@ -257,10 +306,16 @@ func QuickVerify(g *graph.Graph, k int) (bool, error) {
 			return false, nil
 		}
 	}
-	if !flow.IsKNodeConnected(g, k) || !flow.IsKEdgeConnected(g, k) {
-		return false, nil
+	if ok, err := flow.IsKNodeConnectedCtx(ctx, g, k); err != nil || !ok {
+		return false, err
 	}
-	diam := g.Diameter()
+	if ok, err := flow.IsKEdgeConnectedCtx(ctx, g, k); err != nil || !ok {
+		return false, err
+	}
+	diam, _, err := g.DistanceStatsCtx(ctx, 1)
+	if err != nil {
+		return false, err
+	}
 	if diam < 0 || diam > DiameterBound(n, k) {
 		return false, nil
 	}
@@ -269,7 +324,11 @@ func QuickVerify(g *graph.Graph, k int) (bool, error) {
 	}
 	for _, e := range g.Edges() {
 		mP3EdgesProbed.Inc()
-		if flow.EdgeIsRemovable(g, e, k, k) {
+		removable, err := flow.EdgeIsRemovableCtx(ctx, g, e, k, k)
+		if err != nil {
+			return false, err
+		}
+		if removable {
 			return false, nil
 		}
 	}

@@ -1,6 +1,8 @@
 package check
 
 import (
+	"context"
+
 	"lhg/internal/graph"
 )
 
@@ -14,6 +16,9 @@ import (
 // each worker draws its flow network and BFS scratch from the package
 // pools. The report is deterministic: the same values (and the same P3
 // witness edge) as the serial path, regardless of worker count.
+//
+// New callers should prefer VerifyCtx, which adds cancellation and
+// property selection on top of the same driver.
 func VerifyParallel(g *graph.Graph, k, workers int) (*Report, error) {
-	return verify(g, k, graph.ClampWorkers(workers, 0))
+	return VerifyCtx(context.Background(), g, k, Options{Workers: graph.ClampWorkers(workers, 0)})
 }

@@ -1,0 +1,32 @@
+package flood
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"lhg/internal/graph"
+)
+
+// TestRunCtxPreCanceled: cancellation is polled once per round, so an
+// already-canceled context aborts before the first forwarding round.
+func TestRunCtxPreCanceled(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for v := 0; v < 6; v++ {
+		b.MustAddEdge(v, (v+1)%6)
+	}
+	g := b.Freeze()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, g, 0, Failures{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The Background wrapper is unaffected.
+	res, err := Run(g, 0, Failures{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Reached != 6 {
+		t.Fatalf("flood on C_6: %v", res)
+	}
+}

@@ -13,6 +13,7 @@
 package flood
 
 import (
+	"context"
 	"fmt"
 
 	"lhg/internal/graph"
@@ -62,6 +63,13 @@ func (r *Result) String() string {
 // Run floods the message from source over g under the given failures.
 // The source must be alive.
 func Run(g *graph.Graph, source int, f Failures) (*Result, error) {
+	return RunCtx(context.Background(), g, source, f)
+}
+
+// RunCtx is Run under a context: cancellation is polled once per flood
+// round (each round is O(frontier·degree) work, so a canceled simulation
+// stops within one round) and surfaces as ctx.Err().
+func RunCtx(ctx context.Context, g *graph.Graph, source int, f Failures) (*Result, error) {
 	n := g.Order()
 	if source < 0 || source >= n {
 		return nil, fmt.Errorf("flood: source %d out of range [0,%d)", source, n)
@@ -95,6 +103,9 @@ func Run(g *graph.Graph, source int, f Failures) (*Result, error) {
 	res.Reached = 1
 	frontier := []int{source}
 	for round := 1; len(frontier) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next []int
 		for _, u := range frontier {
 			for _, v := range g.Neighbors(u) {

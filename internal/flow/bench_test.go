@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,7 +31,7 @@ func naiveVertexConnectivity(g *graph.Graph) int {
 				continue
 			}
 			found = true
-			if f := stVertexFlow(g, s, t, best); f < best {
+			if f := stVertexFlow(context.Background(), g, s, t, best); f < best {
 				best = f
 			}
 		}

@@ -1,0 +1,170 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// cancelLatency runs campaign, cancels its context after delay, and returns
+// the error plus how long the campaign overstayed the cancellation signal.
+func cancelLatency(t *testing.T, delay time.Duration, campaign func(context.Context) error) (error, time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	canceledAt := make(chan time.Time, 1)
+	go func() {
+		time.Sleep(delay)
+		canceledAt <- time.Now()
+		cancel()
+	}()
+	err := campaign(ctx)
+	returned := time.Now()
+	return err, returned.Sub(<-canceledAt)
+}
+
+// TestVertexConnectivityCtxCancelsPromptly is the 100ms regression bound:
+// cancellation is polled between augmenting-path iterations, so even on a
+// dense graph whose campaign runs for seconds the call must return within
+// 100ms of the signal, for both the serial and the parallel driver.
+func TestVertexConnectivityCtxCancelsPromptly(t *testing.T) {
+	// Complete graphs have no non-adjacent probe pairs, so κ needs a dense
+	// graph that still leaves the Esfahanian–Hakimi sweep real work.
+	g := completeBipartite(130, 130) // serial campaign runs for several seconds
+	for _, workers := range []int{1, 4} {
+		err, overstay := cancelLatency(t, 30*time.Millisecond, func(ctx context.Context) error {
+			_, err := VertexConnectivityCtx(ctx, g, workers)
+			return err
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: campaign finished before the cancel signal; grow the fixture", workers)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if overstay > 100*time.Millisecond {
+			t.Fatalf("workers=%d: campaign returned %v after cancellation, want <= 100ms", workers, overstay)
+		}
+	}
+}
+
+func TestEdgeConnectivityCtxCancelsPromptly(t *testing.T) {
+	g := complete(250)
+	for _, workers := range []int{1, 4} {
+		err, overstay := cancelLatency(t, 30*time.Millisecond, func(ctx context.Context) error {
+			_, err := EdgeConnectivityCtx(ctx, g, workers)
+			return err
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: campaign finished before the cancel signal; grow the fixture", workers)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if overstay > 100*time.Millisecond {
+			t.Fatalf("workers=%d: campaign returned %v after cancellation, want <= 100ms", workers, overstay)
+		}
+	}
+}
+
+// TestCtxAPIPreCanceled: an already-canceled context must short-circuit
+// before any probe runs.
+func TestCtxAPIPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := complete(40)
+	if _, err := VertexConnectivityCtx(ctx, g, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("VertexConnectivityCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := EdgeConnectivityCtx(ctx, g, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EdgeConnectivityCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := IsKNodeConnectedCtx(ctx, g, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IsKNodeConnectedCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := EdgesRemovableCtx(ctx, g, g.Edges(), 39, 39, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EdgesRemovableCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelDoesNotLeakWorkers: a canceled parallel campaign must wind down
+// its worker pool completely.
+func TestCancelDoesNotLeakWorkers(t *testing.T) {
+	g := completeBipartite(130, 130)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		if _, err := VertexConnectivityCtx(ctx, g, 8); err == nil {
+			t.Fatal("campaign finished before the cancel signal; grow the fixture")
+		}
+		cancel()
+	}
+	// Workers exit after wg.Wait in the driver, so any surplus here is a
+	// real leak, modulo runtime background noise.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after canceled campaigns", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPooledNetworksSurviveCancellation: a canceled campaign returns its
+// Dinic networks to the pool mid-flight; later campaigns drawing the same
+// networks must still compute exact values.
+func TestPooledNetworksSurviveCancellation(t *testing.T) {
+	big := complete(120)
+	for round := 0; round < 4; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		_, _ = VertexConnectivityCtx(ctx, big, 4) // poisoned run: canceled mid-sweep
+		cancel()
+
+		// Correctness after reuse, across several shapes and both drivers.
+		if got, err := VertexConnectivityCtx(context.Background(), completeBipartite(5, 7), 1+round%2*3); err != nil || got != 5 {
+			t.Fatalf("round %d: κ(K_{5,7}) = %d, %v; want 5", round, got, err)
+		}
+		if got, err := EdgeConnectivityCtx(context.Background(), cycle(9), 1); err != nil || got != 2 {
+			t.Fatalf("round %d: λ(C_9) = %d, %v; want 2", round, got, err)
+		}
+		if got, err := VertexConnectivityCtx(context.Background(), twoTriangles(), 2); err != nil || got != 1 {
+			t.Fatalf("round %d: κ(two triangles) = %d, %v; want 1", round, got, err)
+		}
+	}
+}
+
+// TestCtxWrappersMatchLegacyAPI pins the deprecated-path equivalence: the
+// Background-context wrappers must agree with the ctx drivers exactly.
+func TestCtxWrappersMatchLegacyAPI(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := randomGraph(12, seed)
+		kCtx, err := VertexConnectivityCtx(context.Background(), g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy := VertexConnectivity(g); legacy != kCtx {
+			t.Fatalf("seed %d: VertexConnectivity = %d, Ctx = %d", seed, legacy, kCtx)
+		}
+		lCtx, err := EdgeConnectivityCtx(context.Background(), g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy := EdgeConnectivity(g); legacy != lCtx {
+			t.Fatalf("seed %d: EdgeConnectivity = %d, Ctx = %d", seed, legacy, lCtx)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 
 	"lhg/internal/graph"
@@ -8,8 +9,12 @@ import (
 
 // stVertexFlow returns the maximum number of internally vertex-disjoint
 // s-t paths for a non-adjacent pair, early-exiting at limit if limit >= 0.
-func stVertexFlow(g *graph.Graph, s, t, limit int) int {
+// The probe is armed with ctx: cancellation stops it between augmenting
+// paths, and the caller is responsible for checking ctx afterwards (a
+// canceled probe returns a lower bound, not the exact value).
+func stVertexFlow(ctx context.Context, g *graph.Graph, s, t, limit int) int {
 	nw := getNetwork(2 * g.Order())
+	nw.watch(ctx)
 	nw.buildVertex(g, s, t, g.Order()+1, noEdge)
 	f := nw.maxflow(2*s+1, 2*t, limit)
 	putNetwork(nw)
@@ -18,8 +23,9 @@ func stVertexFlow(g *graph.Graph, s, t, limit int) int {
 
 // stVertexFlowExcluding is stVertexFlow on G−skip: the masked edge never
 // enters the network, so removal probes cost one flow, not one clone.
-func stVertexFlowExcluding(g *graph.Graph, s, t, limit int, skip graph.Edge) int {
+func stVertexFlowExcluding(ctx context.Context, g *graph.Graph, s, t, limit int, skip graph.Edge) int {
 	nw := getNetwork(2 * g.Order())
+	nw.watch(ctx)
 	nw.buildVertex(g, s, t, g.Order()+1, skip)
 	f := nw.maxflow(2*s+1, 2*t, limit)
 	putNetwork(nw)
@@ -28,8 +34,9 @@ func stVertexFlowExcluding(g *graph.Graph, s, t, limit int, skip graph.Edge) int
 
 // stEdgeFlowExcluding returns the maximum s-t flow in the edge network of
 // G−skip, early-exiting at limit.
-func stEdgeFlowExcluding(g *graph.Graph, s, t, limit int, skip graph.Edge) int {
+func stEdgeFlowExcluding(ctx context.Context, g *graph.Graph, s, t, limit int, skip graph.Edge) int {
 	nw := getNetwork(g.Order())
+	nw.watch(ctx)
 	nw.buildEdge(g, skip)
 	f := nw.maxflow(s, t, limit)
 	putNetwork(nw)
@@ -42,7 +49,7 @@ func EdgeCut(g *graph.Graph, s, t int) (int, error) {
 	if err := validatePair(g, s, t); err != nil {
 		return 0, err
 	}
-	return stEdgeFlowExcluding(g, s, t, -1, noEdge), nil
+	return stEdgeFlowExcluding(context.Background(), g, s, t, -1, noEdge), nil
 }
 
 // VertexCut returns the size of a minimum s-t vertex cut. s and t must be
@@ -54,7 +61,7 @@ func VertexCut(g *graph.Graph, s, t int) (int, error) {
 	if g.HasEdge(s, t) {
 		return 0, fmt.Errorf("flow: no vertex cut separates adjacent nodes %d and %d", s, t)
 	}
-	return stVertexFlow(g, s, t, -1), nil
+	return stVertexFlow(context.Background(), g, s, t, -1), nil
 }
 
 // MinVertexCutSet returns an actual minimum vertex cut separating
@@ -80,150 +87,209 @@ func MinVertexCutSet(g *graph.Graph, s, t int) ([]int, error) {
 	return cut, nil
 }
 
-// EdgeConnectivity returns the global edge connectivity λ(G): the minimum
-// number of edges whose removal disconnects G. It returns 0 for graphs that
-// are already disconnected or have fewer than two nodes.
-func EdgeConnectivity(g *graph.Graph) int {
+// EdgeConnectivityCtx returns the global edge connectivity λ(G) — the
+// minimum number of edges whose removal disconnects G — computing the
+// per-target min-cut probes under ctx across `workers` goroutines
+// (workers <= 0 means GOMAXPROCS, 1 runs serially). Cancellation is
+// polled between probes and between augmenting-path iterations inside
+// each probe; a canceled sweep returns ctx.Err() and no value.
+//
+// λ(G) = min over t != s of the s-t min cut, for any fixed s: the global
+// minimum cut separates node 0 from some other node. Disconnected graphs
+// and graphs with fewer than two nodes have λ = 0.
+func EdgeConnectivityCtx(ctx context.Context, g *graph.Graph, workers int) (int, error) {
 	n := g.Order()
 	if n < 2 {
-		return 0
+		return 0, ctx.Err()
 	}
-	// λ(G) = min over t != s of the s-t min cut, for any fixed s: the
-	// global minimum cut separates node 0 from some other node.
+	workers = graph.ClampWorkers(workers, n-1)
+	if workers > 1 {
+		return edgeConnectivityParallel(ctx, g, workers)
+	}
 	best := inf
 	nw := getNetwork(n)
 	defer putNetwork(nw)
+	nw.watch(ctx)
 	for t := 1; t < n; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		nw.buildEdge(g, noEdge)
 		if f := nw.maxflow(0, t, best); f < best {
 			best = f
 			if best == 0 {
-				return 0
+				break
 			}
 		}
 	}
-	return best
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return best, nil
 }
 
-// VertexConnectivity returns the global vertex connectivity κ(G) using the
-// Esfahanian–Hakimi reduction: pick a minimum-degree node v; every minimum
-// vertex cut either avoids v (then it separates v from some non-neighbor) or
-// contains v (then, by minimality, v has neighbors in two different
-// components, and those neighbors form a non-adjacent pair). The complete
-// graph K_n has connectivity n-1 by convention.
-func VertexConnectivity(g *graph.Graph) int {
+// EdgeConnectivity returns the global edge connectivity λ(G) serially
+// without cancellation. See EdgeConnectivityCtx.
+func EdgeConnectivity(g *graph.Graph) int {
+	lambda, _ := EdgeConnectivityCtx(context.Background(), g, 1)
+	return lambda
+}
+
+// VertexConnectivityCtx returns the global vertex connectivity κ(G) using
+// the Esfahanian–Hakimi reduction, probing under ctx across `workers`
+// goroutines (workers <= 0 means GOMAXPROCS, 1 runs serially): pick a
+// minimum-degree node v; every minimum vertex cut either avoids v (then it
+// separates v from some non-neighbor) or contains v (then, by minimality,
+// v has neighbors in two different components, and those neighbors form a
+// non-adjacent pair). The complete graph K_n has connectivity n-1 by
+// convention. A canceled sweep returns ctx.Err() and no value.
+func VertexConnectivityCtx(ctx context.Context, g *graph.Graph, workers int) (int, error) {
 	n := g.Order()
 	if n < 2 {
-		return 0
+		return 0, ctx.Err()
 	}
 	if !g.Connected() {
-		return 0
+		return 0, ctx.Err()
 	}
 	minDeg, v := g.MinDegree()
 	if minDeg == n-1 { // complete graph
-		return n - 1
+		return n - 1, ctx.Err()
+	}
+	pairs := vertexProbePairs(g, v)
+	workers = graph.ClampWorkers(workers, len(pairs))
+	if workers > 1 && len(pairs) > 0 {
+		return vertexConnectivityParallel(ctx, g, minDeg, pairs, workers)
 	}
 	best := minDeg // κ(G) <= δ(G)
-	// Part 1: v against every non-neighbor.
-	isNbr := make([]bool, n)
-	for _, w := range g.Neighbors(v) {
-		isNbr[w] = true
-	}
-	for t := 0; t < n; t++ {
-		if t == v || isNbr[t] {
-			continue
+	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
 		}
-		if f := stVertexFlow(g, v, t, best); f < best {
+		if f := stVertexFlow(ctx, g, p.s, p.t, best); f < best {
 			best = f
 		}
 	}
-	// Part 2: every non-adjacent pair of v's neighbors.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// VertexConnectivity returns the global vertex connectivity κ(G) serially
+// without cancellation. See VertexConnectivityCtx.
+func VertexConnectivity(g *graph.Graph) int {
+	kappa, _ := VertexConnectivityCtx(context.Background(), g, 1)
+	return kappa
+}
+
+// probePair is one s-t vertex-cut probe of the Esfahanian–Hakimi sweep.
+type probePair struct{ s, t int }
+
+// vertexProbePairs collects the probe pairs of both reduction parts for
+// minimum-degree node v: v against every non-neighbor, then every
+// non-adjacent pair of v's neighbors.
+func vertexProbePairs(g *graph.Graph, v int) []probePair {
+	n := g.Order()
+	isNbr := make([]bool, n)
 	nbrs := g.Neighbors(v)
+	for _, w := range nbrs {
+		isNbr[w] = true
+	}
+	var pairs []probePair
+	for t := 0; t < n; t++ {
+		if t != v && !isNbr[t] {
+			pairs = append(pairs, probePair{v, t})
+		}
+	}
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
-			u, w := nbrs[i], nbrs[j]
-			if g.HasEdge(u, w) {
-				continue
-			}
-			if f := stVertexFlow(g, u, w, best); f < best {
-				best = f
+			if !g.HasEdge(nbrs[i], nbrs[j]) {
+				pairs = append(pairs, probePair{nbrs[i], nbrs[j]})
 			}
 		}
 	}
-	return best
+	return pairs
 }
 
-// IsKNodeConnected reports whether κ(G) >= k without always computing the
-// exact connectivity (max flows early-exit at k).
-func IsKNodeConnected(g *graph.Graph, k int) bool {
+// IsKNodeConnectedCtx reports whether κ(G) >= k without always computing
+// the exact connectivity (max flows early-exit at k), polling ctx between
+// probes.
+func IsKNodeConnectedCtx(ctx context.Context, g *graph.Graph, k int) (bool, error) {
 	n := g.Order()
 	if k <= 0 {
-		return true
+		return true, ctx.Err()
 	}
 	if n < k+1 {
-		return false // κ(G) <= n-1
+		return false, ctx.Err() // κ(G) <= n-1
 	}
 	if !g.Connected() {
-		return false
+		return false, ctx.Err()
 	}
 	minDeg, v := g.MinDegree()
 	if minDeg < k {
-		return false
+		return false, ctx.Err()
 	}
 	if minDeg == n-1 {
-		return true
+		return true, ctx.Err()
 	}
-	isNbr := make([]bool, n)
-	for _, w := range g.Neighbors(v) {
-		isNbr[w] = true
-	}
-	for t := 0; t < n; t++ {
-		if t == v || isNbr[t] {
-			continue
+	for _, p := range vertexProbePairs(g, v) {
+		if err := ctx.Err(); err != nil {
+			return false, err
 		}
-		if stVertexFlow(g, v, t, k) < k {
-			return false
-		}
-	}
-	nbrs := g.Neighbors(v)
-	for i := 0; i < len(nbrs); i++ {
-		for j := i + 1; j < len(nbrs); j++ {
-			u, w := nbrs[i], nbrs[j]
-			if g.HasEdge(u, w) {
-				continue
+		if stVertexFlow(ctx, g, p.s, p.t, k) < k {
+			if err := ctx.Err(); err != nil {
+				return false, err
 			}
-			if stVertexFlow(g, u, w, k) < k {
-				return false
-			}
+			return false, nil
 		}
 	}
-	return true
+	return true, ctx.Err()
 }
 
-// IsKEdgeConnected reports whether λ(G) >= k using early-exit max flows.
-func IsKEdgeConnected(g *graph.Graph, k int) bool {
+// IsKNodeConnected reports whether κ(G) >= k. See IsKNodeConnectedCtx.
+func IsKNodeConnected(g *graph.Graph, k int) bool {
+	ok, _ := IsKNodeConnectedCtx(context.Background(), g, k)
+	return ok
+}
+
+// IsKEdgeConnectedCtx reports whether λ(G) >= k using early-exit max
+// flows, polling ctx between probes.
+func IsKEdgeConnectedCtx(ctx context.Context, g *graph.Graph, k int) (bool, error) {
 	n := g.Order()
 	if k <= 0 {
-		return true
+		return true, ctx.Err()
 	}
 	if n < 2 {
-		return false
+		return false, ctx.Err()
 	}
 	if minDeg, _ := g.MinDegree(); minDeg < k {
-		return false
+		return false, ctx.Err()
 	}
 	nw := getNetwork(n)
 	defer putNetwork(nw)
+	nw.watch(ctx)
 	for t := 1; t < n; t++ {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		nw.buildEdge(g, noEdge)
 		if nw.maxflow(0, t, k) < k {
-			return false
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			return false, nil
 		}
 	}
-	return true
+	return true, ctx.Err()
 }
 
-// EdgeIsRemovable reports whether removing e=(u,v) keeps both the node
+// IsKEdgeConnected reports whether λ(G) >= k. See IsKEdgeConnectedCtx.
+func IsKEdgeConnected(g *graph.Graph, k int) bool {
+	ok, _ := IsKEdgeConnectedCtx(context.Background(), g, k)
+	return ok
+}
+
+// EdgeIsRemovableCtx reports whether removing e=(u,v) keeps both the node
 // connectivity at kappa and the link connectivity at lambda — i.e. whether
 // e witnesses a P3 (link-minimality) violation. It costs two single-pair
 // max flows on the masked view instead of 2n flows on a clone, by the
@@ -236,14 +302,25 @@ func IsKEdgeConnected(g *graph.Graph, k int) bool {
 // to separate u from v would already be a small cut of G: only cuts that
 // e itself bridged can shrink. (u and v are non-adjacent in G−e, so the
 // vertex-cut query is well defined.)
-func EdgeIsRemovable(g *graph.Graph, e graph.Edge, kappa, lambda int) bool {
+func EdgeIsRemovableCtx(ctx context.Context, g *graph.Graph, e graph.Edge, kappa, lambda int) (bool, error) {
 	if e.U > e.V {
 		e.U, e.V = e.V, e.U
 	}
-	if stEdgeFlowExcluding(g, e.U, e.V, lambda, e) < lambda {
-		return false
+	if stEdgeFlowExcluding(ctx, g, e.U, e.V, lambda, e) < lambda {
+		return false, ctx.Err()
 	}
-	return stVertexFlowExcluding(g, e.U, e.V, kappa, e) >= kappa
+	ok := stVertexFlowExcluding(ctx, g, e.U, e.V, kappa, e) >= kappa
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// EdgeIsRemovable reports whether removing e preserves (kappa, lambda).
+// See EdgeIsRemovableCtx.
+func EdgeIsRemovable(g *graph.Graph, e graph.Edge, kappa, lambda int) bool {
+	ok, _ := EdgeIsRemovableCtx(context.Background(), g, e, kappa, lambda)
+	return ok
 }
 
 // VertexDisjointPaths returns a maximum set of pairwise internally

@@ -14,6 +14,7 @@
 package flow
 
 import (
+	"context"
 	"sync"
 
 	"lhg/internal/graph"
@@ -39,10 +40,41 @@ type network struct {
 	cap   []int32
 	first [][]int32 // first[v] lists edge indices leaving v
 
+	// done, when non-nil, is the cancellation signal of the context the
+	// probe runs under. maxflow polls it between augmenting-path
+	// iterations — never mid-path — so a canceled probe stops within one
+	// augmentation and leaves the network in a consistent, reusable state.
+	done <-chan struct{}
+
 	// scratch buffers reused across maxflow runs
 	level []int32
 	iter  []int32
 	queue []int32
+}
+
+// watch arms the network's cancellation signal from ctx. A background (or
+// nil-Done) context disarms it; the signal is cleared again by reset, so a
+// pooled network never carries a stale context across probes.
+func (nw *network) watch(ctx context.Context) {
+	if ctx == nil {
+		nw.done = nil
+		return
+	}
+	nw.done = ctx.Done()
+}
+
+// canceled is the poll point of the cancellation signal: one non-blocking
+// channel receive when armed, a nil check when not.
+func (nw *network) canceled() bool {
+	if nw.done == nil {
+		return false
+	}
+	select {
+	case <-nw.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // netPool recycles networks across probes. A recycled network keeps the
@@ -60,9 +92,14 @@ func getNetwork(n int) *network {
 	return nw
 }
 
-func putNetwork(nw *network) { netPool.Put(nw) }
+func putNetwork(nw *network) {
+	nw.done = nil // never pool an armed cancellation signal
+	netPool.Put(nw)
+}
 
-// reset prepares the network for n nodes, reusing all prior storage.
+// reset prepares the network for n nodes, reusing all prior storage. The
+// cancellation signal is left alone: sweeps rebuild the network per probe
+// under one armed context (putNetwork disarms it before pooling).
 func (nw *network) reset(n int) {
 	nw.n = n
 	nw.to = nw.to[:0]
@@ -204,11 +241,18 @@ func (nw *network) maxflow(s, t, limit int) int {
 // maxflowCounted is maxflow returning the number of augmenting paths found
 // alongside the flow value. The path count is tallied in a local so the
 // hot loop stays free of atomics; the caller publishes it once.
+//
+// When the network is armed with a context (watch), cancellation is polled
+// between augmenting-path iterations and before each level-graph rebuild —
+// never inside a path search — so a canceled probe returns promptly with a
+// partial (lower-bound) flow value. Callers that armed a context must check
+// it after the probe and discard the value; the network itself stays
+// consistent and reusable.
 func (nw *network) maxflowCounted(s, t, limit int) (flow int, paths int64) {
 	if s == t {
 		return inf, 0
 	}
-	for nw.bfs(s, t) {
+	for !nw.canceled() && nw.bfs(s, t) {
 		for i := range nw.iter {
 			nw.iter[i] = 0
 		}
@@ -220,6 +264,9 @@ func (nw *network) maxflowCounted(s, t, limit int) (flow int, paths int64) {
 			paths++
 			flow += f
 			if limit >= 0 && flow >= limit {
+				return flow, paths
+			}
+			if nw.canceled() {
 				return flow, paths
 			}
 		}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -22,6 +23,11 @@ var (
 // early-exit limit for every in-flight max flow: a stale (too high) limit
 // only costs extra augmentation, never correctness, because any flow value
 // below the limit is exact.
+//
+// Cancellation: every worker polls ctx between probes and arms its pooled
+// network so in-flight probes stop between augmenting-path iterations. The
+// drivers join all workers before returning — cancellation never leaks a
+// goroutine — and report ctx.Err() once the pool has drained.
 
 // atomicMin lowers a to v if v is smaller, returning the post-update value.
 func atomicMin(a *atomic.Int64, v int) int {
@@ -36,18 +42,10 @@ func atomicMin(a *atomic.Int64, v int) int {
 	}
 }
 
-// EdgeConnectivityParallel is EdgeConnectivity with the per-target min-cut
-// probes fanned across `workers` goroutines (<= 1 falls back to the serial
-// sweep; <= 0 means GOMAXPROCS).
-func EdgeConnectivityParallel(g *graph.Graph, workers int) int {
+// edgeConnectivityParallel fans the per-target min-cut probes of λ(G)
+// across workers goroutines under ctx.
+func edgeConnectivityParallel(ctx context.Context, g *graph.Graph, workers int) (int, error) {
 	n := g.Order()
-	if n < 2 {
-		return 0
-	}
-	workers = graph.ClampWorkers(workers, n-1)
-	if workers == 1 {
-		return EdgeConnectivity(g)
-	}
 	var (
 		best atomic.Int64
 		next atomic.Int64
@@ -63,7 +61,8 @@ func EdgeConnectivityParallel(g *graph.Graph, workers int) int {
 			defer tWorkerBusy.Start().End()
 			nw := getNetwork(n)
 			defer putNetwork(nw)
-			for {
+			nw.watch(ctx)
+			for ctx.Err() == nil {
 				t := int(next.Add(1)) - 1
 				if t >= n {
 					return
@@ -73,55 +72,31 @@ func EdgeConnectivityParallel(g *graph.Graph, workers int) int {
 					return
 				}
 				nw.buildEdge(g, noEdge)
-				if f := nw.maxflow(0, t, limit); f < limit {
+				if f := nw.maxflow(0, t, limit); f < limit && ctx.Err() == nil {
 					atomicMin(&best, f)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return int(best.Load())
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return int(best.Load()), nil
 }
 
-// VertexConnectivityParallel is VertexConnectivity (Esfahanian–Hakimi) with
-// the per-pair vertex-cut probes fanned across `workers` goroutines.
-func VertexConnectivityParallel(g *graph.Graph, workers int) int {
+// EdgeConnectivityParallel is EdgeConnectivity with the per-target min-cut
+// probes fanned across `workers` goroutines (<= 1 falls back to the serial
+// sweep; <= 0 means GOMAXPROCS).
+func EdgeConnectivityParallel(g *graph.Graph, workers int) int {
+	lambda, _ := EdgeConnectivityCtx(context.Background(), g, workers)
+	return lambda
+}
+
+// vertexConnectivityParallel sweeps the Esfahanian–Hakimi probe pairs with
+// a shared running minimum across workers goroutines under ctx.
+func vertexConnectivityParallel(ctx context.Context, g *graph.Graph, minDeg int, pairs []probePair, workers int) (int, error) {
 	n := g.Order()
-	if n < 2 {
-		return 0
-	}
-	if !g.Connected() {
-		return 0
-	}
-	minDeg, v := g.MinDegree()
-	if minDeg == n-1 { // complete graph
-		return n - 1
-	}
-	// Collect the probe pairs of both reduction parts up front, then sweep
-	// them with a shared running minimum.
-	isNbr := make([]bool, n)
-	nbrs := g.Neighbors(v)
-	for _, w := range nbrs {
-		isNbr[w] = true
-	}
-	type pair struct{ s, t int }
-	var pairs []pair
-	for t := 0; t < n; t++ {
-		if t != v && !isNbr[t] {
-			pairs = append(pairs, pair{v, t})
-		}
-	}
-	for i := 0; i < len(nbrs); i++ {
-		for j := i + 1; j < len(nbrs); j++ {
-			if !g.HasEdge(nbrs[i], nbrs[j]) {
-				pairs = append(pairs, pair{nbrs[i], nbrs[j]})
-			}
-		}
-	}
-	workers = graph.ClampWorkers(workers, len(pairs))
-	if workers == 1 || len(pairs) == 0 {
-		return VertexConnectivity(g)
-	}
 	var (
 		best atomic.Int64
 		next atomic.Int64
@@ -136,7 +111,8 @@ func VertexConnectivityParallel(g *graph.Graph, workers int) int {
 			defer tWorkerBusy.Start().End()
 			nw := getNetwork(2 * n)
 			defer putNetwork(nw)
-			for {
+			nw.watch(ctx)
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(pairs) {
 					return
@@ -147,29 +123,47 @@ func VertexConnectivityParallel(g *graph.Graph, workers int) int {
 				}
 				p := pairs[i]
 				nw.buildVertex(g, p.s, p.t, n+1, noEdge)
-				if f := nw.maxflow(2*p.s+1, 2*p.t, limit); f < limit {
+				if f := nw.maxflow(2*p.s+1, 2*p.t, limit); f < limit && ctx.Err() == nil {
 					atomicMin(&best, f)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return int(best.Load())
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return int(best.Load()), nil
 }
 
-// EdgesRemovable runs EdgeIsRemovable over a batch of edges across
-// `workers` goroutines and returns a parallel bool slice: out[i] reports
-// whether edges[i] can be removed without lowering κ below kappa or λ
-// below lambda. It is the fan-out primitive of the P3 link-minimality
-// sweep in internal/check.
-func EdgesRemovable(g *graph.Graph, edges []graph.Edge, kappa, lambda, workers int) []bool {
+// VertexConnectivityParallel is VertexConnectivity (Esfahanian–Hakimi) with
+// the per-pair vertex-cut probes fanned across `workers` goroutines.
+func VertexConnectivityParallel(g *graph.Graph, workers int) int {
+	kappa, _ := VertexConnectivityCtx(context.Background(), g, workers)
+	return kappa
+}
+
+// EdgesRemovableCtx runs EdgeIsRemovable over a batch of edges across
+// `workers` goroutines under ctx and returns a parallel bool slice: out[i]
+// reports whether edges[i] can be removed without lowering κ below kappa
+// or λ below lambda. It is the fan-out primitive of the P3 link-minimality
+// sweep in internal/check. A canceled sweep drains its workers, then
+// returns ctx.Err() and no slice.
+func EdgesRemovableCtx(ctx context.Context, g *graph.Graph, edges []graph.Edge, kappa, lambda, workers int) ([]bool, error) {
 	out := make([]bool, len(edges))
 	workers = graph.ClampWorkers(workers, len(edges))
 	if workers == 1 {
 		for i, e := range edges {
-			out[i] = EdgeIsRemovable(g, e, kappa, lambda)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			ok, err := EdgeIsRemovableCtx(ctx, g, e, kappa, lambda)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ok
 		}
-		return out
+		return out, nil
 	}
 	var (
 		next atomic.Int64
@@ -181,15 +175,29 @@ func EdgesRemovable(g *graph.Graph, edges []graph.Edge, kappa, lambda, workers i
 		go func() {
 			defer wg.Done()
 			defer tWorkerBusy.Start().End()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(edges) {
 					return
 				}
-				out[i] = EdgeIsRemovable(g, edges[i], kappa, lambda)
+				ok, err := EdgeIsRemovableCtx(ctx, g, edges[i], kappa, lambda)
+				if err != nil {
+					return
+				}
+				out[i] = ok
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EdgesRemovable runs EdgeIsRemovable over a batch of edges across
+// `workers` goroutines without cancellation. See EdgesRemovableCtx.
+func EdgesRemovable(g *graph.Graph, edges []graph.Edge, kappa, lambda, workers int) []bool {
+	out, _ := EdgesRemovableCtx(context.Background(), g, edges, kappa, lambda, workers)
 	return out
 }

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func denseFixture(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if (u+v)%2 == 0 {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.Freeze()
+}
+
+func TestDistanceStatsCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, _, err := denseFixture(40).DistanceStatsCtx(ctx, workers); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestDistanceStatsCtxCancelMidSweep: cancellation lands between per-source
+// BFS sweeps; a big sweep must stop early and report the context error, not
+// a bogus diameter.
+func TestDistanceStatsCtxCancelMidSweep(t *testing.T) {
+	g := denseFixture(1500) // ~1500 BFS sweeps over ~560k edges
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		canceledAt := make(chan time.Time, 1)
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			canceledAt <- time.Now()
+			cancel()
+		}()
+		_, _, err := g.DistanceStatsCtx(ctx, workers)
+		overstay := time.Since(<-canceledAt)
+		cancel()
+		if err == nil {
+			t.Fatalf("workers=%d: sweep finished before the cancel signal; grow the fixture", workers)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if overstay > 100*time.Millisecond {
+			t.Fatalf("workers=%d: sweep returned %v after cancellation, want <= 100ms", workers, overstay)
+		}
+	}
+
+	// The sweep state is pooled; the next computation must be exact.
+	diam, _, err := denseFixture(20).DistanceStatsCtx(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDiam, _ := denseFixture(20).DistanceStats(1)
+	if diam != wantDiam {
+		t.Fatalf("post-cancellation diameter = %d, want %d", diam, wantDiam)
+	}
+}

@@ -16,8 +16,10 @@ type sweepResult struct {
 // parallelSweep fans BFS-from-every-source across workers goroutines. Each
 // worker owns its scratch; the frozen graph is shared read-only. Sources
 // are handed out via an atomic counter so stragglers do not imbalance the
-// sweep; a disconnection found by any worker stops the others early.
-func parallelSweep(g *Graph, workers int) []sweepResult {
+// sweep; a disconnection found by any worker — or a signal on the optional
+// done channel — stops the others early (a canceled sweep reports
+// disconnected; the caller's context disambiguates).
+func parallelSweep(g *Graph, done <-chan struct{}, workers int) []sweepResult {
 	n := g.Order()
 	workers = ClampWorkers(workers, n)
 	var (
@@ -34,6 +36,11 @@ func parallelSweep(g *Graph, workers int) []sweepResult {
 			defer putScratch(s)
 			r := sweepResult{connected: true}
 			for !stop.Load() {
+				if signaled(done) {
+					r.connected = false
+					stop.Store(true)
+					break
+				}
 				v := int(next.Add(1)) - 1
 				if v >= n {
 					break

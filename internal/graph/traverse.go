@@ -1,5 +1,7 @@
 package graph
 
+import "context"
+
 // BFSFrom runs a breadth-first search from src and returns the distance (in
 // hops) to every node; unreachable nodes get -1. If src is out of range the
 // result is all -1. The returned slice is freshly allocated; internal
@@ -219,16 +221,49 @@ func (g *Graph) DistanceStats(workers int) (diam int, avg float64) {
 	return diam, float64(total) / float64(int64(n)*int64(n-1))
 }
 
+// DistanceStatsCtx is DistanceStats polling ctx between per-source BFS
+// sweeps (each source costs one O(n+m) BFS, so cancellation lands within
+// one BFS of the signal). A canceled sweep returns ctx.Err() and no
+// values.
+func (g *Graph) DistanceStatsCtx(ctx context.Context, workers int) (diam int, avg float64, err error) {
+	n := g.Order()
+	if n == 0 {
+		return -1, -1, ctx.Err()
+	}
+	diam, total, connected := g.sweepAllSourcesDone(ctx.Done(), workers)
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	if !connected {
+		return -1, -1, nil
+	}
+	if n < 2 {
+		return diam, -1, nil
+	}
+	return diam, float64(total) / float64(int64(n)*int64(n-1)), nil
+}
+
 // sweepAllSources BFSes from every node, accumulating the maximum distance
 // and the sum of all distances, and reports whether every BFS reached the
 // whole graph. Workers < 2 run serially on pooled scratch.
 func (g *Graph) sweepAllSources(workers int) (maxDist int, total int64, connected bool) {
+	return g.sweepAllSourcesDone(nil, workers)
+}
+
+// sweepAllSourcesDone is sweepAllSources with an optional cancellation
+// signal polled between sources. A canceled sweep returns early with
+// whatever it accumulated; the caller distinguishes cancellation from a
+// disconnection by checking its context.
+func (g *Graph) sweepAllSourcesDone(done <-chan struct{}, workers int) (maxDist int, total int64, connected bool) {
 	n := g.Order()
 	if workers < 2 {
 		s := getScratch(n)
 		defer putScratch(s)
 		connected = true
 		for v := 0; v < n; v++ {
+			if signaled(done) {
+				return 0, 0, false
+			}
 			for i := range s.dist {
 				s.dist[i] = -1
 			}
@@ -244,7 +279,7 @@ func (g *Graph) sweepAllSources(workers int) (maxDist int, total int64, connecte
 		}
 		return maxDist, total, connected
 	}
-	results := parallelSweep(g, workers)
+	results := parallelSweep(g, done, workers)
 	connected = true
 	for _, r := range results {
 		if !r.connected {
@@ -256,6 +291,19 @@ func (g *Graph) sweepAllSources(workers int) (maxDist int, total int64, connecte
 		total += r.total
 	}
 	return maxDist, total, connected
+}
+
+// signaled polls an optional done channel without blocking.
+func signaled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 func sortedCopy(s []int) []int {

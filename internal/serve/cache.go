@@ -1,0 +1,83 @@
+// Package serve implements the HTTP/JSON service layer behind cmd/lhgd:
+// request decoding and validation, an LRU result cache keyed on the build
+// parameters, and a refcounted singleflight group that coalesces identical
+// in-flight computations so a burst of equal requests costs one max-flow
+// campaign. Handlers thread the request context down into the verification
+// kernels, which poll it between augmenting-path iterations — a disconnected
+// client cancels its campaign unless other requests are still waiting on it.
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used map from string keys to
+// immutable results (*lhg.Graph, *check.Report, *flood.Result). Values are
+// never copied: everything the daemon caches is frozen after construction
+// and safe to share across requests. A capacity <= 0 disables the cache —
+// every Get misses and Put is a no-op — which keeps the singleflight layer
+// as the only deduplication.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *lruEntry
+	index map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		index: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key and promotes it to most recently
+// used.
+func (c *lruCache) Get(key string) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when the
+// cache is full. Storing an existing key refreshes its value and recency.
+func (c *lruCache) Put(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.index[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

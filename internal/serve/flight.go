@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent computations that share a key: the first
+// request becomes the leader and runs the function once; every identical
+// request that arrives while it is in flight joins as a waiter and receives
+// the same result. Unlike a plain singleflight, waiters are refcounted
+// against the computation's own context — the work is cancelled only when
+// EVERY joined request has gone away, so one impatient client cannot kill a
+// campaign that 63 others are still waiting on.
+type flightGroup struct {
+	// base is the parent of every computation context: daemon shutdown
+	// cancels in-flight work even when requests are still attached.
+	base    context.Context
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	cancel  context.CancelFunc
+	waiters int           // requests currently attached (leader included)
+	done    chan struct{} // closed when the computation finishes
+	val     any
+	err     error
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	if base == nil {
+		base = context.Background()
+	}
+	return &flightGroup{base: base, flights: make(map[string]*flight)}
+}
+
+// Do runs fn under key, coalescing with any identical in-flight call. The
+// context handed to fn descends from the group's base context, NOT from ctx:
+// it is cancelled when the daemon shuts down or when the last attached
+// request abandons the flight, whichever comes first. ctx only governs how
+// long this caller waits.
+//
+// The returned shared flag reports whether this call joined a flight started
+// by an earlier request (the coalesced case).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		v, e := g.wait(ctx, key, f)
+		return v, e, true
+	}
+	runCtx, cancel := context.WithCancel(g.base)
+	f := &flight{cancel: cancel, waiters: 1, done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		v, e := fn(runCtx)
+		g.mu.Lock()
+		f.val, f.err = v, e
+		close(f.done)
+		// Guarded delete: the key may already point at a newer flight if
+		// every waiter abandoned this one before it finished.
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		cancel()
+	}()
+	v, e := g.wait(ctx, key, f)
+	return v, e, false
+}
+
+// wait blocks until the flight completes or ctx is done. An abandoning
+// caller detaches itself; the last one to leave an unfinished flight cancels
+// the computation and unmaps the key so a later request starts fresh.
+func (g *flightGroup) wait(ctx context.Context, key string, f *flight) (any, error) {
+	select {
+	case <-f.done:
+		g.mu.Lock()
+		f.waiters--
+		g.mu.Unlock()
+		return f.val, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			select {
+			case <-f.done:
+				// Finished in the meantime; the completion goroutine owns
+				// the map cleanup.
+			default:
+				f.cancel()
+				if g.flights[key] == f {
+					delete(g.flights, key)
+				}
+			}
+		}
+		g.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}

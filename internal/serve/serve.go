@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"lhg"
+	"lhg/internal/obs"
+)
+
+// Service telemetry, one family per endpoint plus the shared cache and
+// singleflight counters. Latency histograms are bucketed in microseconds so
+// the sub-millisecond cache-hit path is visible; timers accumulate totals
+// for the JSON report.
+var (
+	mReqBuild  = obs.NewCounter("serve.build.requests")
+	mReqVerify = obs.NewCounter("serve.verify.requests")
+	mReqFlood  = obs.NewCounter("serve.flood.requests")
+	mReqConstr = obs.NewCounter("serve.constraints.requests")
+
+	mErrBuild  = obs.NewCounter("serve.build.errors")
+	mErrVerify = obs.NewCounter("serve.verify.errors")
+	mErrFlood  = obs.NewCounter("serve.flood.errors")
+
+	mHitBuild   = obs.NewCounter("serve.build.cache.hits")
+	mMissBuild  = obs.NewCounter("serve.build.cache.misses")
+	mHitVerify  = obs.NewCounter("serve.verify.cache.hits")
+	mMissVerify = obs.NewCounter("serve.verify.cache.misses")
+	mHitFlood   = obs.NewCounter("serve.flood.cache.hits")
+	mMissFlood  = obs.NewCounter("serve.flood.cache.misses")
+
+	mCoalesced = obs.NewCounter("serve.flight.coalesced")
+	gInflight  = obs.NewGauge("serve.inflight")
+
+	latencyBounds = []int64{100, 250, 500, 1000, 2500, 5000, 10000, 50000, 250000, 1000000}
+	hLatBuild     = obs.NewHistogram("serve.build.latency_us", latencyBounds...)
+	hLatVerify    = obs.NewHistogram("serve.verify.latency_us", latencyBounds...)
+	hLatFlood     = obs.NewHistogram("serve.flood.latency_us", latencyBounds...)
+	tBuild        = obs.NewTimer("serve.build.time")
+	tVerify       = obs.NewTimer("serve.verify.time")
+	tFlood        = obs.NewTimer("serve.flood.time")
+)
+
+// endpoint bundles the per-endpoint metric handles.
+type endpoint struct {
+	requests, errors *obs.Counter
+	hits, misses     *obs.Counter
+	latency          *obs.Histogram
+	timer            *obs.Timer
+}
+
+var (
+	epBuild  = endpoint{mReqBuild, mErrBuild, mHitBuild, mMissBuild, hLatBuild, tBuild}
+	epVerify = endpoint{mReqVerify, mErrVerify, mHitVerify, mMissVerify, hLatVerify, tVerify}
+	epFlood  = endpoint{mReqFlood, mErrFlood, mHitFlood, mMissFlood, hLatFlood, tFlood}
+)
+
+// Options configures a Server. The zero value is usable: background base
+// context, a 256-entry cache, no timeout, all cores per campaign.
+type Options struct {
+	// BaseContext outlives any single request; its cancellation (daemon
+	// shutdown) aborts every in-flight computation. nil means Background.
+	BaseContext context.Context
+	// CacheSize is the LRU capacity in entries (graphs, reports and flood
+	// results share one cache). 0 disables caching; negative means the
+	// 256-entry default.
+	CacheSize int
+	// Workers is the per-campaign goroutine budget (0 = all cores). A
+	// request may lower it but never raise it above this ceiling.
+	Workers int
+	// Timeout bounds each computation; exceeding it maps to HTTP 504.
+	// Zero means no limit beyond the request's own context.
+	Timeout time.Duration
+}
+
+// Server is the HTTP service: four endpoints, one LRU cache, one
+// singleflight group. It is safe for concurrent use.
+type Server struct {
+	base     context.Context
+	workers  int
+	timeout  time.Duration
+	cache    *lruCache
+	flights  *flightGroup
+	mux      *http.ServeMux
+	inflight atomic.Int64
+}
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	base := opts.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	size := opts.CacheSize
+	if size < 0 {
+		size = 256
+	}
+	s := &Server{
+		base:    base,
+		workers: opts.Workers,
+		timeout: opts.Timeout,
+		cache:   newLRU(size),
+		flights: newFlightGroup(base),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/build", s.handleBuild)
+	s.mux.HandleFunc("/v1/verify", s.handleVerify)
+	s.mux.HandleFunc("/v1/flood", s.handleFlood)
+	s.mux.HandleFunc("/v1/constraints", s.handleConstraints)
+	return s
+}
+
+// Handler returns the root handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BuildRequest selects one graph: the cache key fields. Seed, when present,
+// asks for the deterministic variant drawn from that seed (K-TREE and
+// K-DIAMOND only).
+type BuildRequest struct {
+	Constraint string  `json:"constraint"`
+	N          int     `json:"n"`
+	K          int     `json:"k"`
+	Seed       *uint64 `json:"seed,omitempty"`
+}
+
+// VerifyRequest narrows a verification: optional worker override (capped at
+// the server budget) and an optional property subset ("P1".."P4"; empty
+// means all).
+type VerifyRequest struct {
+	BuildRequest
+	Workers    int      `json:"workers,omitempty"`
+	Properties []string `json:"properties,omitempty"`
+}
+
+// FloodRequest runs one flood simulation over the selected graph.
+type FloodRequest struct {
+	BuildRequest
+	Source   int          `json:"source"`
+	Failures lhg.Failures `json:"failures"`
+}
+
+// BuildResponse returns the graph in the lhgen JSON encoding.
+type BuildResponse struct {
+	Constraint string     `json:"constraint"`
+	N          int        `json:"n"`
+	K          int        `json:"k"`
+	Seed       *uint64    `json:"seed,omitempty"`
+	Edges      int        `json:"edges"`
+	Cached     bool       `json:"cached"`
+	Graph      *lhg.Graph `json:"graph"`
+}
+
+// VerifyResponse wraps the full property report.
+type VerifyResponse struct {
+	Constraint string      `json:"constraint"`
+	N          int         `json:"n"`
+	K          int         `json:"k"`
+	Seed       *uint64     `json:"seed,omitempty"`
+	Cached     bool        `json:"cached"`
+	IsLHG      bool        `json:"is_lhg"`
+	Report     *lhg.Report `json:"report"`
+}
+
+// FloodResponse wraps one flood result.
+type FloodResponse struct {
+	Constraint string           `json:"constraint"`
+	N          int              `json:"n"`
+	K          int              `json:"k"`
+	Seed       *uint64          `json:"seed,omitempty"`
+	Source     int              `json:"source"`
+	Cached     bool             `json:"cached"`
+	Result     *lhg.FloodResult `json:"result"`
+}
+
+// ConstraintInfo describes one supported constraint for GET /v1/constraints.
+type ConstraintInfo struct {
+	Name string `json:"name"`
+	// Variants reports whether the constraint accepts a build seed.
+	Variants bool `json:"variants"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parse/validation ----------------------------------------------------------
+
+func (br *BuildRequest) validate() (lhg.Constraint, error) {
+	c, err := lhg.ParseConstraint(br.Constraint)
+	if err != nil {
+		return 0, err
+	}
+	if br.N <= 0 || br.K <= 0 {
+		return 0, fmt.Errorf("serve: need n > 0 and k > 0, got n=%d k=%d", br.N, br.K)
+	}
+	if br.Seed != nil && c != lhg.KTree && c != lhg.KDiamond {
+		return 0, fmt.Errorf("serve: constraint %s has no seeded variants (use ktree or kdiamond)", c)
+	}
+	return c, nil
+}
+
+// parseProperties maps ["P1","P4"] onto the check bitmask; empty means all.
+func parseProperties(names []string) (lhg.Properties, error) {
+	var p lhg.Properties
+	for _, name := range names {
+		switch strings.ToUpper(strings.TrimSpace(name)) {
+		case "P1":
+			p |= lhg.PropNodeConnectivity
+		case "P2":
+			p |= lhg.PropLinkConnectivity
+		case "P3":
+			p |= lhg.PropLinkMinimality
+		case "P4":
+			p |= lhg.PropDiameter
+		default:
+			return 0, fmt.Errorf("serve: unknown property %q (want P1..P4)", name)
+		}
+	}
+	return p, nil
+}
+
+// cache keys ----------------------------------------------------------------
+
+func seedKey(seed *uint64) string {
+	if seed == nil {
+		return "canonical"
+	}
+	return fmt.Sprintf("seed=%d", *seed)
+}
+
+// graphKey is shared by every endpoint so a verify warms the build cache and
+// vice versa. Worker counts are deliberately absent from every key: reports
+// are deterministic regardless of parallelism.
+func (br *BuildRequest) graphKey(c lhg.Constraint) string {
+	return fmt.Sprintf("graph|%s|n=%d|k=%d|%s", c, br.N, br.K, seedKey(br.Seed))
+}
+
+func verifyKey(graphKey string, props lhg.Properties) string {
+	return fmt.Sprintf("verify|%s|props=%d", graphKey, props)
+}
+
+func floodKey(graphKey string, source int, f lhg.Failures) string {
+	nodes := append([]int(nil), f.Nodes...)
+	sort.Ints(nodes)
+	links := append([]lhg.Edge(nil), f.Links...)
+	for i, e := range links {
+		if e.U > e.V {
+			links[i] = lhg.Edge{U: e.V, V: e.U}
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].U != links[j].U {
+			return links[i].U < links[j].U
+		}
+		return links[i].V < links[j].V
+	})
+	return fmt.Sprintf("flood|%s|src=%d|nodes=%v|links=%v", graphKey, source, nodes, links)
+}
+
+// shared plumbing -----------------------------------------------------------
+
+// compute answers one request: cache lookup, then singleflight into fn,
+// then cache fill. fn runs under the group's detached context bounded by
+// the server timeout.
+func (s *Server) compute(ctx context.Context, ep endpoint, key string, fn func(context.Context) (any, error)) (val any, cached bool, err error) {
+	if v, ok := s.cache.Get(key); ok {
+		ep.hits.Inc()
+		return v, true, nil
+	}
+	ep.misses.Inc()
+	v, err, shared := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		// Double-check the cache as the flight leader: a request that
+		// missed the cache just before a concurrent flight completed and
+		// unmapped itself would otherwise re-run the whole campaign. The
+		// completing flight fills the cache before it unmaps, so this
+		// lookup closes that window.
+		if v, ok := s.cache.Get(key); ok {
+			return v, nil
+		}
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(runCtx, s.timeout)
+			defer cancel()
+		}
+		v, err := fn(runCtx)
+		if err == nil {
+			s.cache.Put(key, v)
+		}
+		return v, err
+	})
+	if shared {
+		mCoalesced.Inc()
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	// A coalesced request reports cached=true: it did not pay for the
+	// computation, which is what clients use the flag for.
+	return v, shared, nil
+}
+
+// getGraph resolves the graph for br through the shared cache/flight path.
+func (s *Server) getGraph(ctx context.Context, c lhg.Constraint, br *BuildRequest) (*lhg.Graph, bool, error) {
+	v, cached, err := s.compute(ctx, epBuild, br.graphKey(c), func(runCtx context.Context) (any, error) {
+		if br.Seed != nil {
+			return lhg.Build(runCtx, c, br.N, br.K, lhg.WithSeed(*br.Seed))
+		}
+		return lhg.Build(runCtx, c, br.N, br.K)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*lhg.Graph), cached, nil
+}
+
+// track opens the per-request instrumentation; the returned func closes it.
+func (s *Server) track(ep endpoint) func(failed bool, start time.Time) {
+	ep.requests.Inc()
+	gInflight.Set(s.inflight.Add(1))
+	return func(failed bool, start time.Time) {
+		gInflight.Set(s.inflight.Add(-1))
+		if failed {
+			ep.errors.Inc()
+			return
+		}
+		d := time.Since(start)
+		ep.latency.Observe(d.Microseconds())
+		ep.timer.Observe(d)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError maps computation errors onto HTTP statuses: impossible (n,k)
+// pairs are the client's fault (422), timeouts are the gateway's (504), a
+// vanished client gets the nginx-convention 499 nobody will read.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, lhg.ErrNotConstructible):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{
+		Error: fmt.Sprintf("serve: %s requires %s", r.URL.Path, method),
+	})
+	return false
+}
+
+// handlers ------------------------------------------------------------------
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	start := time.Now()
+	done := s.track(epBuild)
+	var req BuildRequest
+	if !decodeJSON(w, r, &req) {
+		done(true, start)
+		return
+	}
+	c, err := req.validate()
+	if err != nil {
+		done(true, start)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	g, cached, err := s.getGraph(r.Context(), c, &req)
+	if err != nil {
+		done(true, start)
+		writeError(w, err)
+		return
+	}
+	done(false, start)
+	writeJSON(w, http.StatusOK, BuildResponse{
+		Constraint: c.String(), N: req.N, K: req.K, Seed: req.Seed,
+		Edges: g.Size(), Cached: cached, Graph: g,
+	})
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	start := time.Now()
+	done := s.track(epVerify)
+	var req VerifyRequest
+	if !decodeJSON(w, r, &req) {
+		done(true, start)
+		return
+	}
+	c, err := req.validate()
+	if err != nil {
+		done(true, start)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	props, err := parseProperties(req.Properties)
+	if err != nil {
+		done(true, start)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	g, _, err := s.getGraph(r.Context(), c, &req.BuildRequest)
+	if err != nil {
+		done(true, start)
+		writeError(w, err)
+		return
+	}
+	workers := clampRequestWorkers(req.Workers, s.workers)
+	key := verifyKey(req.graphKey(c), props)
+	v, cached, err := s.compute(r.Context(), epVerify, key, func(runCtx context.Context) (any, error) {
+		return lhg.Verify(runCtx, g, req.K,
+			lhg.WithWorkers(workers), lhg.WithProperties(props))
+	})
+	if err != nil {
+		done(true, start)
+		writeError(w, err)
+		return
+	}
+	report := v.(*lhg.Report)
+	done(false, start)
+	writeJSON(w, http.StatusOK, VerifyResponse{
+		Constraint: c.String(), N: req.N, K: req.K, Seed: req.Seed,
+		Cached: cached, IsLHG: report.IsLHG(), Report: report,
+	})
+}
+
+func (s *Server) handleFlood(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	start := time.Now()
+	done := s.track(epFlood)
+	var req FloodRequest
+	if !decodeJSON(w, r, &req) {
+		done(true, start)
+		return
+	}
+	c, err := req.validate()
+	if err != nil {
+		done(true, start)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	g, _, err := s.getGraph(r.Context(), c, &req.BuildRequest)
+	if err != nil {
+		done(true, start)
+		writeError(w, err)
+		return
+	}
+	key := floodKey(req.graphKey(c), req.Source, req.Failures)
+	v, cached, err := s.compute(r.Context(), epFlood, key, func(runCtx context.Context) (any, error) {
+		return lhg.Flood(runCtx, g, req.Source, lhg.WithFailures(req.Failures))
+	})
+	if err != nil {
+		done(true, start)
+		// A bad source or crashed-source request is a client error, not a
+		// server fault; the flood kernel reports both as plain errors.
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	res := v.(*lhg.FloodResult)
+	done(false, start)
+	writeJSON(w, http.StatusOK, FloodResponse{
+		Constraint: c.String(), N: req.N, K: req.K, Seed: req.Seed,
+		Source: req.Source, Cached: cached, Result: res,
+	})
+}
+
+func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	mReqConstr.Inc()
+	infos := make([]ConstraintInfo, 0, 4)
+	for _, c := range lhg.Constraints() {
+		infos = append(infos, ConstraintInfo{
+			Name:     c.String(),
+			Variants: c == lhg.KTree || c == lhg.KDiamond,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Constraints []ConstraintInfo `json:"constraints"`
+	}{infos})
+}
+
+// clampRequestWorkers lowers the request's worker ask to the server budget.
+// Zero on either side means "all cores", which any explicit ask undercuts.
+func clampRequestWorkers(asked, budget int) int {
+	if asked <= 0 {
+		return budget
+	}
+	if budget > 0 && asked > budget {
+		return budget
+	}
+	return asked
+}

@@ -18,15 +18,25 @@
 //
 // Quick start:
 //
-//	g, err := lhg.Build(lhg.KDiamond, 50, 4)
-//	report, err := lhg.Verify(g, 4)          // proves P1..P4 via max-flow
-//	res, err := lhg.Flood(g, 0, lhg.Failures{Nodes: []int{3, 7, 9}})
+//	ctx := context.Background()
+//	g, err := lhg.Build(ctx, lhg.KDiamond, 50, 4)
+//	report, err := lhg.Verify(ctx, g, 4)     // proves P1..P4 via max-flow
+//	res, err := lhg.Flood(ctx, g, 0, lhg.WithFailures(lhg.Failures{Nodes: []int{3, 7, 9}}))
+//
+// Every long-running entrypoint is context-first and options-based:
+// cancel the context (or let its deadline fire) and the verification
+// max-flow campaign, the flood simulation or the build stops promptly;
+// pass functional options (WithWorkers, WithSeed, WithFailures,
+// WithProperties) instead of reaching for signature variants. For serving
+// topologies over HTTP with caching and request coalescing, see
+// cmd/lhgd.
 //
 // See the examples directory for complete programs and cmd/experiments for
 // the reproduction of every result in the paper.
 package lhg
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -83,42 +93,133 @@ const (
 	KDiamond
 )
 
-var constraintNames = map[Constraint]string{
-	Harary:   "harary",
-	JD:       "jd",
-	KTree:    "ktree",
-	KDiamond: "kdiamond",
-}
-
 func (c Constraint) String() string {
-	if s, ok := constraintNames[c]; ok {
-		return s
+	switch c {
+	case Harary:
+		return "harary"
+	case JD:
+		return "jd"
+	case KTree:
+		return "ktree"
+	case KDiamond:
+		return "kdiamond"
 	}
 	return fmt.Sprintf("constraint(%d)", int(c))
 }
 
+// allConstraints is the canonical presentation order, shared by
+// Constraints and ParseConstraint so iteration order is deterministic.
+var allConstraints = [...]Constraint{Harary, JD, KTree, KDiamond}
+
 // ParseConstraint maps a name ("harary", "jd", "ktree", "kdiamond") to its
-// Constraint.
+// Constraint. It scans the constraints in presentation order, so behavior
+// is deterministic and the parse allocates nothing.
 func ParseConstraint(s string) (Constraint, error) {
-	for c, name := range constraintNames {
-		if name == s {
+	for _, c := range allConstraints {
+		if c.String() == s {
 			return c, nil
 		}
 	}
 	return 0, fmt.Errorf("lhg: unknown constraint %q (want harary, jd, ktree or kdiamond)", s)
 }
 
-// Constraints lists every supported constraint in presentation order.
-func Constraints() []Constraint { return []Constraint{Harary, JD, KTree, KDiamond} }
+// Constraints lists every supported constraint in presentation order. The
+// returned slice is the caller's to keep.
+func Constraints() []Constraint { return append([]Constraint(nil), allConstraints[:]...) }
 
 // ErrNotConstructible is returned (wrapped) by Build when no graph
 // satisfying the constraint exists for the pair (n,k). Match it with
 // errors.Is.
 var ErrNotConstructible = core.ErrNotConstructible
 
-// Build constructs the canonical graph of the given constraint for the
-// pair (n,k).
-func Build(c Constraint, n, k int) (*Graph, error) {
+// Properties selects which LHG properties Verify computes; combine the
+// Prop* constants with |. The zero value means all of them.
+type Properties = check.Properties
+
+// Property selectors for Verify's WithProperties option.
+const (
+	// PropNodeConnectivity computes the exact κ(G) and P1 (κ >= k).
+	PropNodeConnectivity = check.PropNodeConnectivity
+	// PropLinkConnectivity computes the exact λ(G) and P2 (λ >= k).
+	PropLinkConnectivity = check.PropLinkConnectivity
+	// PropLinkMinimality sweeps every edge for P3 (implies P1 and P2).
+	PropLinkMinimality = check.PropLinkMinimality
+	// PropDiameter runs the distance sweep for P4 and the avg path length.
+	PropDiameter = check.PropDiameter
+	// PropAll selects every property — the full report.
+	PropAll = check.PropAll
+)
+
+// options collects the knobs of the context-first entrypoints. Each
+// entrypoint reads the subset that applies to it and ignores the rest, so
+// a caller can build one option list and reuse it across Build, Verify
+// and Flood.
+type options struct {
+	workers  int
+	seed     uint64
+	hasSeed  bool
+	failures Failures
+	props    Properties
+}
+
+// Option configures Build, Verify or Flood. Options are applied in order;
+// later options win.
+type Option func(*options)
+
+// WithWorkers sets the goroutine budget for the probe fan-out of Verify
+// (and IsLHG). n <= 0 means GOMAXPROCS — the default — and 1 forces the
+// serial path. The result is deterministic regardless of the budget.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithSeed makes Build sample a random (seeded, reproducible) witness of
+// the constraint instead of the canonical graph. Only the K-TREE and
+// K-DIAMOND constraints admit variants; Build returns an error for the
+// others. The same seed always yields the same graph.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed, o.hasSeed = seed, true }
+}
+
+// WithFailures sets the fault environment — crashed nodes and failed
+// links — of a Flood run. The default is the failure-free environment.
+func WithFailures(f Failures) Option { return func(o *options) { o.failures = f } }
+
+// WithProperties restricts Verify to a subset of the LHG properties. The
+// default (PropAll) computes the full report; a restricted run skips the
+// phases the selection does not need — e.g. WithProperties(PropDiameter)
+// never issues a max-flow probe.
+func WithProperties(p Properties) Option { return func(o *options) { o.props = p } }
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Build constructs a graph of the given constraint for the pair (n,k):
+// the canonical graph by default, or a seeded random witness under
+// WithSeed (K-TREE and K-DIAMOND only). ctx cancellation is honored
+// between construction stages; Build never returns a partial graph.
+func Build(ctx context.Context, c Constraint, n, k int, opts ...Option) (*Graph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	o := applyOptions(opts)
+	if o.hasSeed {
+		return buildVariant(c, n, k, o.seed)
+	}
+	g, err := buildCanonical(c, n, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func buildCanonical(c Constraint, n, k int) (*Graph, error) {
 	switch c {
 	case Harary:
 		return harary.Build(n, k)
@@ -142,6 +243,26 @@ func Build(c Constraint, n, k int) (*Graph, error) {
 		return kd.Real.Graph, nil
 	default:
 		return nil, fmt.Errorf("lhg: unknown constraint %v", c)
+	}
+}
+
+func buildVariant(c Constraint, n, k int, seed uint64) (*Graph, error) {
+	rng := sim.NewRNG(seed)
+	switch c {
+	case KTree:
+		kt, err := core.BuildKTreeVariant(n, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		return kt.Real.Graph, nil
+	case KDiamond:
+		kd, err := core.BuildKDiamondVariant(n, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		return kd.Real.Graph, nil
+	default:
+		return nil, fmt.Errorf("lhg: constraint %v has no variant builder (use ktree or kdiamond)", c)
 	}
 }
 
@@ -214,24 +335,48 @@ func Regular(c Constraint, n, k int) bool {
 	}
 }
 
-// Verify proves or refutes every LHG property of g for target k, exactly
-// (max-flow based). See check.Report for the fields.
-func Verify(g *Graph, k int) (*Report, error) { return check.Verify(g, k) }
-
-// VerifyParallel computes the same exact Report as Verify with the
-// independent probes fanned across a pool of `workers` goroutines
-// (workers <= 0 means GOMAXPROCS). The report is deterministic — identical
-// to the serial one regardless of worker count.
-func VerifyParallel(g *Graph, k, workers int) (*Report, error) {
-	return check.VerifyParallel(g, k, workers)
+// Verify proves or refutes the LHG properties of g for target k, exactly
+// (max-flow based). By default it computes the full report with the
+// independent probes fanned across GOMAXPROCS goroutines; WithWorkers
+// adjusts the budget and WithProperties restricts the run to a subset of
+// the properties. The report is deterministic — identical values and the
+// same P3 witness edge regardless of the worker count.
+//
+// Cancellation is honored between phases, between max-flow probes and —
+// inside each probe — between augmenting-path iterations, so canceling
+// ctx (or letting its deadline fire) stops even a verification dominated
+// by one long max-flow campaign promptly, with every worker goroutine
+// joined and the internal pools left reusable. A canceled run returns
+// ctx.Err().
+func Verify(ctx context.Context, g *Graph, k int, opts ...Option) (*Report, error) {
+	o := applyOptions(opts)
+	return check.VerifyCtx(ctx, g, k, check.Options{Workers: o.workers, Props: o.props})
 }
 
-// IsLHG is the fast boolean check of the four mandatory properties.
-func IsLHG(g *Graph, k int) (bool, error) { return check.QuickVerify(g, k) }
+// VerifyParallel computes the same exact Report as Verify with the probes
+// fanned across a pool of `workers` goroutines (workers <= 0 means
+// GOMAXPROCS).
+//
+// Deprecated: Use Verify with a context and WithWorkers:
+// lhg.Verify(ctx, g, k, lhg.WithWorkers(workers)).
+func VerifyParallel(g *Graph, k, workers int) (*Report, error) {
+	return Verify(context.Background(), g, k, WithWorkers(workers))
+}
 
-// Flood runs a round-synchronous flood from source under failures.
-func Flood(g *Graph, source int, f Failures) (*FloodResult, error) {
-	return flood.Run(g, source, f)
+// IsLHG is the fast boolean check of the four mandatory properties
+// (early-exit max flows, no exact connectivity values). Cancellation is
+// honored as in Verify and surfaces as ctx.Err().
+func IsLHG(ctx context.Context, g *Graph, k int) (bool, error) {
+	return check.QuickVerifyCtx(ctx, g, k)
+}
+
+// Flood runs a round-synchronous flood from source, by default in the
+// failure-free environment; inject crashed nodes and failed links with
+// WithFailures. Cancellation is polled once per round and surfaces as
+// ctx.Err().
+func Flood(ctx context.Context, g *Graph, source int, opts ...Option) (*FloodResult, error) {
+	o := applyOptions(opts)
+	return flood.RunCtx(ctx, g, source, o.failures)
 }
 
 // Incremental maintenance: the constructive procedures inside the proofs
@@ -313,7 +458,7 @@ func NewMembership(c Constraint, k, initial int) (*Membership, error) {
 }
 
 func topologyFunc(c Constraint) func(n, k int) (*Graph, error) {
-	return func(n, k int) (*Graph, error) { return Build(c, n, k) }
+	return func(n, k int) (*Graph, error) { return buildCanonical(c, n, k) }
 }
 
 // Observability. The library carries an always-compiled metrics layer
@@ -354,26 +499,10 @@ func WriteMetricsPrometheus(w io.Writer) error { return obs.WritePrometheus(w) }
 func MetricsHandler() http.Handler { return obs.DebugHandler() }
 
 // BuildVariant constructs a randomly sampled (seeded, reproducible)
-// witness of the K-TREE or K-DIAMOND constraint for (n,k) — the
-// constraints admit many graphs per pair; the canonical Build picks one,
-// BuildVariant explores the rest. Useful for topology diversity across
-// deployments and for testing downstream code against more than one shape.
+// witness of the K-TREE or K-DIAMOND constraint for (n,k).
+//
+// Deprecated: Use Build with a context and WithSeed:
+// lhg.Build(ctx, c, n, k, lhg.WithSeed(seed)).
 func BuildVariant(c Constraint, n, k int, seed uint64) (*Graph, error) {
-	rng := sim.NewRNG(seed)
-	switch c {
-	case KTree:
-		kt, err := core.BuildKTreeVariant(n, k, rng)
-		if err != nil {
-			return nil, err
-		}
-		return kt.Real.Graph, nil
-	case KDiamond:
-		kd, err := core.BuildKDiamondVariant(n, k, rng)
-		if err != nil {
-			return nil, err
-		}
-		return kd.Real.Graph, nil
-	default:
-		return nil, fmt.Errorf("lhg: constraint %v has no variant builder (use ktree or kdiamond)", c)
-	}
+	return Build(context.Background(), c, n, k, WithSeed(seed))
 }

@@ -1,6 +1,7 @@
 package lhg_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -19,14 +20,14 @@ func TestBuildAllConstraints(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.c.String(), func(t *testing.T) {
-			g, err := lhg.Build(tt.c, tt.n, tt.k)
+			g, err := lhg.Build(context.Background(), tt.c, tt.n, tt.k)
 			if err != nil {
 				t.Fatalf("Build: %v", err)
 			}
 			if g.Order() != tt.n {
 				t.Fatalf("Order = %d, want %d", g.Order(), tt.n)
 			}
-			r, err := lhg.Verify(g, tt.k)
+			r, err := lhg.Verify(context.Background(), g, tt.k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -38,7 +39,7 @@ func TestBuildAllConstraints(t *testing.T) {
 }
 
 func TestBuildUnknownConstraint(t *testing.T) {
-	if _, err := lhg.Build(lhg.Constraint(99), 10, 3); err == nil {
+	if _, err := lhg.Build(context.Background(), lhg.Constraint(99), 10, 3); err == nil {
 		t.Fatal("unknown constraint must error")
 	}
 	if _, _, err := lhg.Labeled(lhg.Constraint(99), 10, 3); err == nil {
@@ -47,11 +48,11 @@ func TestBuildUnknownConstraint(t *testing.T) {
 }
 
 func TestBuildNotConstructible(t *testing.T) {
-	_, err := lhg.Build(lhg.KTree, 5, 3)
+	_, err := lhg.Build(context.Background(), lhg.KTree, 5, 3)
 	if !errors.Is(err, lhg.ErrNotConstructible) {
 		t.Fatalf("err = %v, want ErrNotConstructible", err)
 	}
-	_, err = lhg.Build(lhg.JD, 9, 3)
+	_, err = lhg.Build(context.Background(), lhg.JD, 9, 3)
 	if !errors.Is(err, lhg.ErrNotConstructible) {
 		t.Fatalf("err = %v, want ErrNotConstructible", err)
 	}
@@ -90,6 +91,24 @@ func TestParseConstraint(t *testing.T) {
 	}
 	if s := lhg.Constraint(99).String(); s != "constraint(99)" {
 		t.Fatalf("String of invalid = %q", s)
+	}
+}
+
+func TestConstraintsDeterministicAndCopied(t *testing.T) {
+	want := []lhg.Constraint{lhg.Harary, lhg.JD, lhg.KTree, lhg.KDiamond}
+	got := lhg.Constraints()
+	if len(got) != len(want) {
+		t.Fatalf("Constraints() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Constraints()[%d] = %v, want %v (presentation order)", i, got[i], want[i])
+		}
+	}
+	// The slice is the caller's to mutate; the package must hand out a copy.
+	got[0] = lhg.KDiamond
+	if again := lhg.Constraints(); again[0] != lhg.Harary {
+		t.Fatal("Constraints() must return a fresh copy each call")
 	}
 }
 
@@ -138,11 +157,11 @@ func TestRegularMatrix(t *testing.T) {
 }
 
 func TestIsLHGFacade(t *testing.T) {
-	g, err := lhg.Build(lhg.KTree, 12, 3)
+	g, err := lhg.Build(context.Background(), lhg.KTree, 12, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := lhg.IsLHG(g, 3)
+	ok, err := lhg.IsLHG(context.Background(), g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +171,11 @@ func TestIsLHGFacade(t *testing.T) {
 }
 
 func TestFloodFacadeSurvivesFailures(t *testing.T) {
-	g, err := lhg.Build(lhg.KDiamond, 20, 4)
+	g, err := lhg.Build(context.Background(), lhg.KDiamond, 20, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := lhg.Flood(g, 0, lhg.Failures{Nodes: []int{2, 5, 9}})
+	res, err := lhg.Flood(context.Background(), g, 0, lhg.WithFailures(lhg.Failures{Nodes: []int{2, 5, 9}}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,18 +194,18 @@ func TestEndToEndAllConstraintsAgree(t *testing.T) {
 			if !lhg.Exists(c, n, k) {
 				continue
 			}
-			g, err := lhg.Build(c, n, k)
+			g, err := lhg.Build(context.Background(), c, n, k)
 			if err != nil {
 				t.Fatalf("Build(%v,%d,%d): %v", c, n, k, err)
 			}
-			ok, err := lhg.IsLHG(g, k)
+			ok, err := lhg.IsLHG(context.Background(), g, k)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !ok {
 				t.Fatalf("%v(%d,%d) is not an LHG", c, n, k)
 			}
-			res, err := lhg.Flood(g, n-1, lhg.Failures{Nodes: []int{0, 1}})
+			res, err := lhg.Flood(context.Background(), g, n-1, lhg.WithFailures(lhg.Failures{Nodes: []int{0, 1}}))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -259,7 +278,7 @@ func TestBuildVariantFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := lhg.IsLHG(g, 3)
+	ok, err := lhg.IsLHG(context.Background(), g, 3)
 	if err != nil || !ok {
 		t.Fatalf("variant not an LHG: %v", err)
 	}

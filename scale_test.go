@@ -4,6 +4,7 @@ package lhg_test
 // under `go test -short`.
 
 import (
+	"context"
 	"testing"
 
 	"lhg"
@@ -22,7 +23,7 @@ func TestScaleBuildAndFlood(t *testing.T) {
 		k = 5
 	)
 	for _, c := range []lhg.Constraint{lhg.Harary, lhg.KTree, lhg.KDiamond} {
-		g, err := lhg.Build(c, n, k)
+		g, err := lhg.Build(context.Background(), c, n, k)
 		if err != nil {
 			t.Fatalf("%v: %v", c, err)
 		}
@@ -38,7 +39,7 @@ func TestScaleBuildAndFlood(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := lhg.Flood(g, 0, fails)
+		res, err := lhg.Flood(context.Background(), g, 0, lhg.WithFailures(fails))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func TestScaleConnectivityExact(t *testing.T) {
 	}
 	// Exact k-connectivity via early-exit max flow at a size where the
 	// naive approach would be prohibitive.
-	g, err := lhg.Build(lhg.KDiamond, 1000, 4)
+	g, err := lhg.Build(context.Background(), lhg.KDiamond, 1000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestScaleGrowerToThousands(t *testing.T) {
 		// verifier is O(n·maxflow); every-step checks live in the core
 		// suite at small n).
 		if gr.N() == 600 {
-			ok, err := lhg.IsLHG(gr.Snapshot(), 4)
+			ok, err := lhg.IsLHG(context.Background(), gr.Snapshot(), 4)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -121,11 +122,11 @@ func TestScaleProtocolBroadcast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test")
 	}
-	g, err := lhg.Build(lhg.KTree, 2000, 4)
+	g, err := lhg.Build(context.Background(), lhg.KTree, 2000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := lhg.Flood(g, 0, lhg.Failures{})
+	res, err := lhg.Flood(context.Background(), g, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
