@@ -19,16 +19,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the perf-trajectory series (exact verification and flooding at
-# n in {256, 1024, 4096}, the steady-state 0-alloc probes, and their
-# metrics-enabled twins) and emits BENCH_verify.json with run metadata plus
-# ns/op and allocs/op per benchmark, so successive PRs can diff
-# verification throughput across machines and toolchains.
-bench:
-	$(GO) test -run '^$$' \
-		-bench '^(BenchmarkVerifySweep|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState|BenchmarkBFSSteadyStateMetricsOn|BenchmarkEdgeProbeSteadyStateMetricsOn)$$' \
-		-benchmem -benchtime=1x . | tee bench.out
-	@awk \
+# bench2json turns `go test -bench` output into the BENCH_*.json shape:
+# run metadata plus ns/op and allocs/op per benchmark, so successive PRs
+# can diff throughput across machines and toolchains.
+define bench2json
+	awk \
 		-v commit="$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 		-v gover="$$($(GO) env GOVERSION)" \
 		-v maxprocs="$$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
@@ -48,9 +43,26 @@ bench:
 				sep=","; \
 			} \
 		} \
-		END { printf "\n  ]\n}\n" }' bench.out > BENCH_verify.json
+		END { printf "\n  ]\n}\n" }'
+endef
+
+# bench runs the perf-trajectory series (exact verification and flooding at
+# n in {256, 1024, 4096}, the steady-state 0-alloc probes, and their
+# metrics-enabled twins) into BENCH_verify.json, then the dense-fixture
+# full-vs-sparsified verification pair into BENCH_sparsify.json — the
+# artifact that tracks the sparse-certificate fast-path speedup.
+bench:
+	$(GO) test -run '^$$' \
+		-bench '^(BenchmarkVerifySweep|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState|BenchmarkBFSSteadyStateMetricsOn|BenchmarkEdgeProbeSteadyStateMetricsOn)$$' \
+		-benchmem -benchtime=1x . | tee bench.out
+	@$(bench2json) bench.out > BENCH_verify.json
 	@rm -f bench.out
 	@echo "wrote BENCH_verify.json"
+	$(GO) test -run '^$$' -bench '^BenchmarkVerifyDense$$' \
+		-benchmem -benchtime=3x . | tee bench_sparsify.out
+	@$(bench2json) bench_sparsify.out > BENCH_sparsify.json
+	@rm -f bench_sparsify.out
+	@echo "wrote BENCH_sparsify.json"
 
 clean:
-	rm -f bench.out BENCH_verify.json
+	rm -f bench.out bench_sparsify.out BENCH_verify.json BENCH_sparsify.json

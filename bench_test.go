@@ -150,6 +150,49 @@ func BenchmarkVerifySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyDense is the sparse-certificate headline series emitted
+// into BENCH_sparsify.json by `make bench`: P1/P2/P4 verification of a
+// dense core–periphery graph — Harary H(4,512) for δ = κ = λ = 4, plus a
+// clique on the first 192 nodes for m ≈ 19k ≫ k·n — with the fast path
+// off ("full") and on ("sparsified"). Reports are bit-identical; only the
+// κ/λ probe substrate differs (~19k edges vs the ≤ (δ+1)(n−1) ≈ 2.5k of
+// the Nagamochi–Ibaraki certificate).
+func BenchmarkVerifyDense(b *testing.B) {
+	const n, k, core = 512, 4, 192
+	bb := buildOrFatal(b, lhg.Harary, n, k).Thaw()
+	for u := 0; u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			if !bb.HasEdge(u, v) {
+				bb.MustAddEdge(u, v)
+			}
+		}
+	}
+	g := bb.Freeze()
+	props := lhg.PropNodeConnectivity | lhg.PropLinkConnectivity | lhg.PropDiameter
+	for _, tc := range []struct {
+		name     string
+		sparsify bool
+	}{
+		{"full", false},
+		{"sparsified", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := lhg.Verify(context.Background(), g, k,
+					lhg.WithProperties(props), lhg.WithSparsify(tc.sparsify))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.NodeConnectivity != k || r.EdgeConnectivity != k {
+					b.Fatalf("κ=%d λ=%d, want %d", r.NodeConnectivity, r.EdgeConnectivity, k)
+				}
+				sinkBool = r.IsLHG()
+			}
+		})
+	}
+}
+
 // BenchmarkVerifyParallel is BenchmarkVerifySweep driven through the
 // worker-pool verifier with one worker per core.
 func BenchmarkVerifyParallel(b *testing.B) {

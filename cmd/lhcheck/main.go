@@ -56,6 +56,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		verbose    = fs.Bool("v", false, "print the per-phase timing breakdown of the verification run")
 		metrics    = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
 		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
+		jsonOut    = fs.Bool("json", false, "emit the report as one JSON object on stdout (byte-stable: same graph, same bytes, regardless of -workers or -sparsify)")
+		sparsify   = fs.Bool("sparsify", true, "probe κ/λ on a sparse certificate when the graph is dense enough (results are identical; off = escape hatch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,17 +78,20 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	defer stopObs()
 
 	var g *lhg.Graph
+	usedConstraint := ""
 	switch {
 	case *blueprint:
 		var blue core.Blueprint
 		if err := json.NewDecoder(in).Decode(&blue); err != nil {
 			return fmt.Errorf("decode blueprint: %w", err)
 		}
-		fmt.Fprintf(out, "blueprint:            k=%d, %d positions, height %d\n",
-			blue.K, blue.Positions(), blue.Height())
-		fmt.Fprintf(out, "satisfies K-TREE:     %s\n", constraintVerdict(core.ValidateKTree(&blue)))
-		fmt.Fprintf(out, "satisfies K-DIAMOND:  %s\n", constraintVerdict(core.ValidateKDiamond(&blue)))
-		fmt.Fprintf(out, "satisfies JD:         %s\n", constraintVerdict(core.ValidateJD(&blue)))
+		if !*jsonOut {
+			fmt.Fprintf(out, "blueprint:            k=%d, %d positions, height %d\n",
+				blue.K, blue.Positions(), blue.Height())
+			fmt.Fprintf(out, "satisfies K-TREE:     %s\n", constraintVerdict(core.ValidateKTree(&blue)))
+			fmt.Fprintf(out, "satisfies K-DIAMOND:  %s\n", constraintVerdict(core.ValidateKDiamond(&blue)))
+			fmt.Fprintf(out, "satisfies JD:         %s\n", constraintVerdict(core.ValidateJD(&blue)))
+		}
 		real, err := blue.Compile()
 		if err != nil {
 			return err
@@ -108,11 +113,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		usedConstraint = c.String()
 	}
 
-	r, err := lhg.Verify(ctx, g, *k, lhg.WithWorkers(*workers))
+	r, err := lhg.Verify(ctx, g, *k,
+		lhg.WithWorkers(*workers), lhg.WithSparsify(*sparsify))
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		if err := writeStableJSON(out, usedConstraint, r); err != nil {
+			return err
+		}
+		if !r.IsLHG() {
+			return errNotLHG
+		}
+		return nil
 	}
 	fmt.Fprintf(out, "nodes:                %d\n", r.N)
 	fmt.Fprintf(out, "edges:                %d\n", r.M)
@@ -134,6 +150,54 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "verdict:              LHG ✓")
 	return nil
+}
+
+// stableReport is the -json output shape. It deliberately excludes every
+// run-dependent field of lhg.Report — worker count, phase wall times,
+// probe counts — so the bytes depend only on the graph and k: the same
+// input yields the same output across -workers values and -sparsify
+// on/off, which the golden tests enforce.
+type stableReport struct {
+	Constraint    string  `json:"constraint,omitempty"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	K             int     `json:"k"`
+	Kappa         int     `json:"kappa"`
+	Lambda        int     `json:"lambda"`
+	P1            bool    `json:"p1"`
+	P2            bool    `json:"p2"`
+	P3            bool    `json:"p3"`
+	P4            bool    `json:"p4"`
+	P5            bool    `json:"p5"`
+	MinDegree     int     `json:"min_degree"`
+	MaxDegree     int     `json:"max_degree"`
+	Diameter      int     `json:"diameter"`
+	DiameterBound int     `json:"diameter_bound"`
+	AvgPathLen    float64 `json:"avg_path_len"`
+	RemovableEdge *[2]int `json:"removable_edge,omitempty"`
+	IsLHG         bool    `json:"is_lhg"`
+}
+
+// writeStableJSON emits the byte-stable report (one indented JSON object,
+// trailing newline).
+func writeStableJSON(out io.Writer, constraint string, r *lhg.Report) error {
+	s := stableReport{
+		Constraint: constraint,
+		N:          r.N, M: r.M, K: r.K,
+		Kappa: r.NodeConnectivity, Lambda: r.EdgeConnectivity,
+		P1: r.KNodeConnected, P2: r.KLinkConnected, P3: r.LinkMinimal,
+		P4: r.LogDiameter, P5: r.Regular,
+		MinDegree: r.MinDegree, MaxDegree: r.MaxDegree,
+		Diameter: r.Diameter, DiameterBound: r.DiameterBound,
+		AvgPathLen: r.AvgPathLen,
+		IsLHG:      r.IsLHG(),
+	}
+	if e, bad := r.Violation(); bad {
+		s.RemovableEdge = &[2]int{e.U, e.V}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&s)
 }
 
 // constraintVerdict renders a validator outcome.

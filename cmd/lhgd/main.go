@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		timeout  = fs.Duration("timeout", 2*time.Minute, "per-computation deadline; exceeding it returns 504 (0 = no limit)")
 		metrics  = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
 		httpAddr = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this extra address")
+		sparsify = fs.Bool("sparsify", true, "probe κ/λ on a sparse certificate when the graph is dense enough (results are identical; off = escape hatch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,10 +73,11 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	defer stopObs()
 
 	d, err := startDaemon(ctx, serve.Options{
-		BaseContext: ctx,
-		CacheSize:   *cache,
-		Workers:     *workers,
-		Timeout:     *timeout,
+		BaseContext:     ctx,
+		CacheSize:       *cache,
+		Workers:         *workers,
+		Timeout:         *timeout,
+		DisableSparsify: !*sparsify,
 	}, *addr)
 	if err != nil {
 		return err

@@ -9,7 +9,9 @@
 //	lhsweep -k 3 -from 10 -to 100 -step 10 -spectral
 //	lhsweep -k 4 -from 16 -to 4096 -step x2 -progress -metrics > sweep.csv
 //
-// Columns: family,n,k,edges,diameter,rounds,messages,moore[,gap]
+// Columns: family,n,k,edges,diameter,rounds,messages,moore[,kappa,lambda][,gap]
+// (-verify adds the exact connectivity columns; -sparsify selects the
+// certificate fast path for them, with identical values either way)
 //
 // Only the CSV goes to stdout; progress lines, the -metrics JSON dump and
 // the -http endpoint announcement all go to stderr, so redirecting stdout
@@ -48,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		to       = fs.Int("to", 256, "largest n")
 		step     = fs.String("step", "x2", "sweep step: a number (additive) or xN (multiplicative)")
 		doGap    = fs.Bool("spectral", false, "include the spectral gap column (k-regular sizes only, slower)")
+		verify   = fs.Bool("verify", false, "include exact kappa and lambda columns (max-flow verification per size, slower)")
+		sparsify = fs.Bool("sparsify", true, "with -verify: probe κ/λ on a sparse certificate when the graph is dense enough (results are identical)")
 		families = fs.String("families", "harary,jd,ktree,kdiamond", "comma-separated constraint list")
 		workers  = fs.Int("workers", 0, "goroutines for the diameter sweep (0 = all cores)")
 		progress = fs.Bool("progress", false, "report sweep progress on stderr")
@@ -78,6 +82,9 @@ func run(args []string, out io.Writer) error {
 
 	w := csv.NewWriter(out)
 	header := []string{"family", "n", "k", "edges", "diameter", "rounds", "messages", "moore"}
+	if *verify {
+		header = append(header, "kappa", "lambda")
+	}
 	if *doGap {
 		header = append(header, "gap")
 	}
@@ -118,6 +125,18 @@ func run(args []string, out io.Writer) error {
 				strconv.Itoa(res.Rounds),
 				strconv.Itoa(res.Messages),
 				strconv.Itoa(check.MooreDiameterLowerBound(n, *k)),
+			}
+			if *verify {
+				r, err := lhg.Verify(ctx, g, *k,
+					lhg.WithWorkers(*workers),
+					lhg.WithProperties(lhg.PropNodeConnectivity|lhg.PropLinkConnectivity),
+					lhg.WithSparsify(*sparsify))
+				if err != nil {
+					return err
+				}
+				row = append(row,
+					strconv.Itoa(r.NodeConnectivity),
+					strconv.Itoa(r.EdgeConnectivity))
 			}
 			if *doGap {
 				cell := ""

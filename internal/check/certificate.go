@@ -31,23 +31,46 @@ type Certificate struct {
 // Certify produces a connectivity certificate for g. It is more expensive
 // than VertexConnectivity (it extracts paths, not just values).
 func Certify(g *graph.Graph) (*Certificate, error) {
-	n := g.Order()
-	if n < 2 {
+	if n := g.Order(); n < 2 {
 		return nil, fmt.Errorf("check: cannot certify a graph with %d nodes", n)
 	}
-	kappa := flow.VertexConnectivity(g)
+	return certify(g, g)
+}
+
+// CertifySparse produces the same kind of certificate as Certify, but
+// extracts κ and the disjoint path families from the Nagamochi–Ibaraki
+// (δ+1)-certificate of g instead of g itself. κ(cert) = κ(G) exactly for
+// that parameter (see graph.SparseCertificate), and every path of a
+// spanning subgraph is a path of g, so the resulting Certificate
+// validates against the ORIGINAL graph. Only the minimum cut is computed
+// on the full graph: a vertex cut of the sparse view need not disconnect
+// g, so the upper-bound half cannot be sparsified.
+func CertifySparse(g *graph.Graph) (*Certificate, error) {
+	if n := g.Order(); n < 2 {
+		return nil, fmt.Errorf("check: cannot certify a graph with %d nodes", n)
+	}
+	minDeg, _ := g.MinDegree()
+	return certify(g, graph.SparseCertificate(g, minDeg+1))
+}
+
+// certify extracts the lower-bound half (κ and the disjoint path
+// families) from view — either g itself or a connectivity-preserving
+// spanning subgraph of it — and the cut from g.
+func certify(g, view *graph.Graph) (*Certificate, error) {
+	n := g.Order()
+	kappa := flow.VertexConnectivity(view)
 	cert := &Certificate{K: kappa}
 	if kappa == 0 {
 		return cert, nil // disconnected: empty cut, no paths needed
 	}
-	minDeg, v := g.MinDegree()
+	minDeg, v := view.MinDegree()
 	if minDeg == n-1 {
 		// Complete graph: certify with the direct path families only.
 		for t := 0; t < n && len(cert.PathFamilies) < 3; t++ {
 			if t == v {
 				continue
 			}
-			paths, err := flow.VertexDisjointPaths(g, v, t)
+			paths, err := flow.VertexDisjointPaths(view, v, t)
 			if err != nil {
 				return nil, err
 			}
@@ -56,9 +79,10 @@ func Certify(g *graph.Graph) (*Certificate, error) {
 		return cert, nil
 	}
 
-	// Lower bound: κ disjoint paths for every Esfahanian–Hakimi pair.
+	// Lower bound: κ disjoint paths for every Esfahanian–Hakimi pair of
+	// the view. By Menger each pair admits >= κ(view) = κ(g) of them.
 	addPair := func(s, t int) error {
-		paths, err := flow.VertexDisjointPaths(g, s, t)
+		paths, err := flow.VertexDisjointPaths(view, s, t)
 		if err != nil {
 			return err
 		}
@@ -69,7 +93,7 @@ func Certify(g *graph.Graph) (*Certificate, error) {
 		return nil
 	}
 	isNbr := make([]bool, n)
-	for _, w := range g.Neighbors(v) {
+	for _, w := range view.Neighbors(v) {
 		isNbr[w] = true
 	}
 	for t := 0; t < n; t++ {
@@ -80,10 +104,10 @@ func Certify(g *graph.Graph) (*Certificate, error) {
 			return nil, err
 		}
 	}
-	nbrs := g.Neighbors(v)
+	nbrs := view.Neighbors(v)
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
-			if g.HasEdge(nbrs[i], nbrs[j]) {
+			if view.HasEdge(nbrs[i], nbrs[j]) {
 				continue
 			}
 			if err := addPair(nbrs[i], nbrs[j]); err != nil {
@@ -92,7 +116,7 @@ func Certify(g *graph.Graph) (*Certificate, error) {
 		}
 	}
 
-	// Upper bound: a concrete minimum cut.
+	// Upper bound: a concrete minimum cut — always of the full graph.
 	cut, err := minimumCut(g, kappa)
 	if err != nil {
 		return nil, err

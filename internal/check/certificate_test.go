@@ -133,6 +133,73 @@ func TestValidateCatchesTampering(t *testing.T) {
 	}
 }
 
+// TestCertifySparseValidatesAgainstOriginal is the regression test for
+// the sparsified certificate path: certificates whose κ and path families
+// come from the Nagamochi–Ibaraki view must still validate against the
+// ORIGINAL graph (paths of a spanning subgraph are paths of g; the cut is
+// computed on g), and must certify the same κ as the full path. Covers a
+// dense random graph, the LHG constructions, the disconnected case and
+// the complete-graph empty-cut edge case.
+func TestCertifySparseValidatesAgainstOriginal(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"petersen", petersen()},
+		{"complete", complete(6)}, // empty-cut edge case
+		{"disconnected", graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}})},
+		{"dense-random", randomGraph(14, 99)},
+		{"harary", mustHarary(t, 14, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			full, err := Certify(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := CertifySparse(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sparse.K != full.K {
+				t.Fatalf("sparse certified κ=%d, full %d", sparse.K, full.K)
+			}
+			if err := sparse.Validate(tc.g); err != nil {
+				t.Fatalf("sparse certificate fails against the original graph: %v", err)
+			}
+			if tc.name == "complete" && len(sparse.Cut) != 0 {
+				t.Fatalf("complete graph must certify with an empty cut, got %v", sparse.Cut)
+			}
+		})
+	}
+}
+
+// TestCertifySparsePropertyRoundTrips is the randomized version: every
+// sparse certificate validates against the graph it was derived from.
+func TestCertifySparsePropertyRoundTrips(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%8) + 3
+		g := randomGraph(n, uint64(seed))
+		cert, err := CertifySparse(g)
+		if err != nil {
+			return false
+		}
+		return cert.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustHarary(t *testing.T, n, k int) *graph.Graph {
+	t.Helper()
+	h, err := harary.Build(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func TestPropertyCertifyRoundTrips(t *testing.T) {
 	f := func(seed uint32, nRaw uint8) bool {
 		n := int(nRaw%8) + 3

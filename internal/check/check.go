@@ -40,8 +40,68 @@ var (
 	tPhaseLambda     = obs.NewTimer("check.phase.lambda")
 	tPhaseMinimality = obs.NewTimer("check.phase.minimality")
 	tPhaseDistances  = obs.NewTimer("check.phase.distances")
+	tPhaseSparsify   = obs.NewTimer("check.phase.sparsify")
 	mFlowProbes      = obs.NewCounter("flow.maxflow.probes")
+
+	mSparsifyPasses  = obs.NewCounter("check.sparsify.passes")
+	mSparsifyKept    = obs.NewCounter("check.sparsify.edges_kept")
+	mSparsifyDropped = obs.NewCounter("check.sparsify.edges_dropped")
 )
+
+// SparsifyCutoff is the density threshold of the automatic sparsify fast
+// path: the κ/λ probe phases switch from the full edge set to the
+// Nagamochi–Ibaraki certificate when m > SparsifyCutoff·k·n. Below the
+// cutoff the certificate cannot drop enough edges to pay for its own
+// construction, so sparse graphs — every well-formed LHG — keep the
+// historical probe-everything path.
+const SparsifyCutoff = 2
+
+// SparseProbeView resolves the graph the κ/λ connectivity probes should
+// run on under the given policy. The second return reports whether a
+// certificate is in use.
+//
+// The certificate is built for q = δ(G)+1, one past the minimum degree.
+// Since κ(G) <= λ(G) <= δ(G) < q (Whitney), the Nagamochi–Ibaraki bounds
+// pin both connectivity values of the certificate to the exact values of
+// G — not just the "≥ k" verdicts — so every field of the Report is
+// bit-identical with and without sparsification. P3 minimality and P4
+// distance probes must NOT use the view: removing edges changes distances
+// and per-edge removability, so those phases always run on g itself.
+func SparseProbeView(g *graph.Graph, k int, policy Sparsify) (*graph.Graph, bool) {
+	minDeg, _ := g.MinDegree()
+	return sparseView(g, k, minDeg+1, policy)
+}
+
+// sparsifyEligible is the cheap pre-gate shared by the exact and quick
+// drivers: it decides from the policy and the edge count alone whether
+// building a certificate is worth attempting.
+func sparsifyEligible(g *graph.Graph, k int, policy Sparsify) bool {
+	if policy == SparsifyOff {
+		return false
+	}
+	n, m := g.Order(), g.Size()
+	if n < 2 || m == 0 {
+		return false
+	}
+	return policy == SparsifyAlways || m > SparsifyCutoff*k*n
+}
+
+// sparseView builds the q-certificate probe view, falling back to g when
+// the certificate would not actually shed edges (dense-regular graphs,
+// where δ ≈ 2m/n keeps every edge in the first δ forests).
+func sparseView(g *graph.Graph, k, q int, policy Sparsify) (*graph.Graph, bool) {
+	if !sparsifyEligible(g, k, policy) {
+		return g, false
+	}
+	cert := graph.SparseCertificate(g, q)
+	if cert.Size() >= g.Size() && policy != SparsifyAlways {
+		return g, false
+	}
+	mSparsifyPasses.Inc()
+	mSparsifyKept.Add(int64(cert.Size()))
+	mSparsifyDropped.Add(int64(g.Size() - cert.Size()))
+	return cert, true
+}
 
 // DiameterSlack is the additive slack allowed on top of 2*log_{k-1}(n) when
 // evaluating P4. The constructions in this repository satisfy the bound with
@@ -187,9 +247,23 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 		return err
 	}
 
+	// The κ/λ probes may run on a sparse certificate instead of g (see
+	// SparseProbeView — the q = δ+1 choice keeps the exact values, not
+	// just the verdicts, identical). P3 and P4 below always use g itself.
+	probeView := g
+	if props&(PropNodeConnectivity|PropLinkConnectivity) != 0 &&
+		sparsifyEligible(g, k, opt.Sparsify) {
+		if err := runPhase("sparsify", tPhaseSparsify, func() error {
+			probeView, _ = SparseProbeView(g, k, opt.Sparsify)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	if props.Has(PropNodeConnectivity) {
 		if err := runPhase("kappa", tPhaseKappa, func() (err error) {
-			r.NodeConnectivity, err = flow.VertexConnectivityCtx(ctx, g, workers)
+			r.NodeConnectivity, err = flow.VertexConnectivityCtx(ctx, probeView, workers)
 			return err
 		}); err != nil {
 			return nil, err
@@ -198,7 +272,7 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 	}
 	if props.Has(PropLinkConnectivity) {
 		if err := runPhase("lambda", tPhaseLambda, func() (err error) {
-			r.EdgeConnectivity, err = flow.EdgeConnectivityCtx(ctx, g, workers)
+			r.EdgeConnectivity, err = flow.EdgeConnectivityCtx(ctx, probeView, workers)
 			return err
 		}); err != nil {
 			return nil, err
@@ -294,6 +368,16 @@ func QuickVerify(g *graph.Graph, k int) (bool, error) {
 // between probes and between augmenting-path iterations, and surfaces as
 // ctx.Err().
 func QuickVerifyCtx(ctx context.Context, g *graph.Graph, k int) (bool, error) {
+	return QuickVerifyOpts(ctx, g, k, Options{})
+}
+
+// QuickVerifyOpts is QuickVerifyCtx with explicit Options. Only the
+// Sparsify policy is consulted — the quick path is inherently serial and
+// always checks every property. Because it only needs the boolean "≥ k"
+// verdicts, its certificate uses q = k (not δ+1): κ(G) >= k iff
+// κ(cert_k) >= k, and likewise for λ, so the verdict is unchanged while
+// the view is as small as the NI bound allows.
+func QuickVerifyOpts(ctx context.Context, g *graph.Graph, k int, opt Options) (bool, error) {
 	n := g.Order()
 	if k < 1 || n <= k {
 		return false, fmt.Errorf("check: invalid pair n=%d k=%d", n, k)
@@ -306,10 +390,11 @@ func QuickVerifyCtx(ctx context.Context, g *graph.Graph, k int) (bool, error) {
 			return false, nil
 		}
 	}
-	if ok, err := flow.IsKNodeConnectedCtx(ctx, g, k); err != nil || !ok {
+	view, _ := sparseView(g, k, k, opt.Sparsify)
+	if ok, err := flow.IsKNodeConnectedCtx(ctx, view, k); err != nil || !ok {
 		return false, err
 	}
-	if ok, err := flow.IsKEdgeConnectedCtx(ctx, g, k); err != nil || !ok {
+	if ok, err := flow.IsKEdgeConnectedCtx(ctx, view, k); err != nil || !ok {
 		return false, err
 	}
 	diam, _, err := g.DistanceStatsCtx(ctx, 1)

@@ -1,0 +1,132 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"lhg/internal/graph"
+)
+
+// Differential fuzzing of the sparsify fast path: for every generated
+// (n, k, seed, mutations) input the Report must be bit-identical with
+// sparsification forced on and forced off, serial and parallel. This is
+// the enforcement of the contract stated on Options.Sparsify — the fast
+// path changes no value and no verdict — over a randomized graph space
+// that includes disconnected, multi-component, irregular and complete
+// graphs.
+
+// fuzzGraph decodes a graph from the fuzz input: a seeded G(n, p) draw
+// (the density in per-mille comes from seed%1201, so seeds >= 1000 mod
+// 1201 yield complete graphs and seed 0 the empty one), followed by edge
+// toggles taken pairwise from mut. Everything is deterministic in the
+// inputs.
+func fuzzGraph(n int, seed uint64, mut []byte) *graph.Graph {
+	density := seed % 1201
+	state := seed
+	next := func() uint64 { // splitmix64
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if next()%1000 < density {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	for i := 0; i+1 < len(mut); i += 2 {
+		u, v := int(mut[i])%n, int(mut[i+1])%n
+		if u == v {
+			continue
+		}
+		if b.HasEdge(u, v) {
+			b.RemoveEdge(u, v)
+		} else {
+			b.MustAddEdge(u, v)
+		}
+	}
+	return b.Freeze()
+}
+
+// coreReport is the comparable projection of a Report: every reported
+// value and verdict, excluding only the run descriptors that legitimately
+// differ between configurations (worker count, phase timings).
+type coreReport struct {
+	N, M, K        int
+	Kappa, Lambda  int
+	P1, P2, P3, P4 bool
+	Regular        bool
+	Viol           graph.Edge
+	HasViol        bool
+	Diam, Bound    int
+	MinDeg, MaxDeg int
+	AvgPathLen     float64
+}
+
+func reportCore(r *Report) coreReport {
+	viol, hasViol := r.Violation()
+	return coreReport{
+		N: r.N, M: r.M, K: r.K,
+		Kappa: r.NodeConnectivity, Lambda: r.EdgeConnectivity,
+		P1: r.KNodeConnected, P2: r.KLinkConnected,
+		P3: r.LinkMinimal, P4: r.LogDiameter, Regular: r.Regular,
+		Viol: viol, HasViol: hasViol,
+		Diam: r.Diameter, Bound: r.DiameterBound,
+		MinDeg: r.MinDegree, MaxDeg: r.MaxDegree,
+		AvgPathLen: r.AvgPathLen,
+	}
+}
+
+func FuzzVerifySparseEquivFull(f *testing.F) {
+	f.Add(8, 1, uint64(600), []byte(""))                          // k=1, mid density
+	f.Add(6, 5, uint64(1200), []byte(""))                         // complete K6, k=n-1
+	f.Add(10, 2, uint64(0), []byte(""))                           // empty: disconnected
+	f.Add(4, 1, uint64(1200), []byte("\x00\x01\x00\x02\x00\x03")) // K4 minus node 0's edges: two components
+	f.Add(12, 3, uint64(400), []byte("\x01\x05\x02\x09"))         // irregular with toggles
+	f.Fuzz(func(t *testing.T, n, k int, seed uint64, mut []byte) {
+		if n < 3 || n > 16 {
+			n = 3 + ((n%14)+14)%14
+		}
+		if k < 1 || k >= n {
+			k = 1 + ((k%(n-1))+(n-1))%(n-1)
+		}
+		g := fuzzGraph(n, seed, mut)
+		ctx := context.Background()
+		ref, err := VerifyCtx(ctx, g, k, Options{Workers: 1, Sparsify: SparsifyOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reportCore(ref)
+		for _, opt := range []Options{
+			{Workers: 1, Sparsify: SparsifyAlways},
+			{Workers: 4, Sparsify: SparsifyAlways},
+			{Workers: 4, Sparsify: SparsifyOff},
+			{Workers: 1, Sparsify: SparsifyAuto},
+		} {
+			r, err := VerifyCtx(ctx, g, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := reportCore(r); got != want {
+				t.Fatalf("n=%d k=%d seed=%d mut=%x: report diverged under %+v:\n got %+v\nwant %+v",
+					n, k, seed, mut, opt, got, want)
+			}
+		}
+		qOff, err := QuickVerifyOpts(ctx, g, k, Options{Sparsify: SparsifyOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qOn, err := QuickVerifyOpts(ctx, g, k, Options{Sparsify: SparsifyAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qOff != qOn {
+			t.Fatalf("n=%d k=%d seed=%d mut=%x: QuickVerify verdict diverged: off=%t always=%t",
+				n, k, seed, mut, qOff, qOn)
+		}
+	})
+}

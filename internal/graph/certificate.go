@@ -1,0 +1,140 @@
+package graph
+
+import "sort"
+
+// Sparse connectivity certificates (Nagamochi–Ibaraki 1992).
+//
+// A single scan-first-search pass partitions the edge set into maximal
+// spanning forests F_1, F_2, …: F_i is a spanning forest of
+// G − (F_1 ∪ … ∪ F_{i−1}). The union of the first k forests is the sparse
+// k-certificate of G. It has at most k·(n−1) edges and preserves
+// connectivity up to k in both the node and the link sense:
+//
+//	κ(G) >= i  ⟹  κ(F_1 ∪ … ∪ F_i) >= i   for every i <= k, and
+//	λ(G) >= i  ⟹  λ(F_1 ∪ … ∪ F_i) >= i   for every i <= k,
+//
+// while the certificate, being a spanning subgraph, can never exceed the
+// connectivity of G. Two consequences the verification pipeline in
+// internal/check builds on:
+//
+//   - Verdicts: κ(G) >= k iff κ(cert_k) >= k (and the same for λ), so the
+//     boolean P1/P2 checks may probe the certificate instead of G.
+//   - Exact values: whenever κ(G) < k the two bounds pin κ(cert_k) = κ(G)
+//     exactly (same for λ). Since κ <= λ <= δ(G) always (Whitney), the
+//     certificate for k = δ(G)+1 reproduces both exact connectivity values
+//     of G unconditionally.
+//
+// The scan itself is linear in the graph size; the only superlinear costs
+// are the binary-searched partner-arc lookups and the freeze sort of the
+// resulting subgraph, O(m log n) in total — negligible next to one
+// max-flow probe of the verification it accelerates.
+
+// SparseCertificate returns the Nagamochi–Ibaraki sparse k-certificate of
+// g: the union F_1 ∪ … ∪ F_k of the maximal spanning forest decomposition,
+// computed by one maximum-adjacency (scan-first-search) pass without any
+// flow computation. The result is a frozen spanning subgraph of g with at
+// most k·(n−1) edges, the same components as g, and connectivity related
+// to g as documented above. k < 1 yields the edgeless graph; when every
+// edge is kept (k >= the largest forest index) g itself is returned —
+// frozen graphs are immutable, so sharing is safe.
+func SparseCertificate(g *Graph, k int) *Graph {
+	n := g.Order()
+	if n == 0 {
+		return New(0)
+	}
+	if k < 1 {
+		return New(n)
+	}
+	if maxDeg, _ := g.MaxDegree(); k >= maxDeg {
+		// Every edge (x,y) enters forest r(y)+1 <= deg(y) <= Δ <= k: the
+		// certificate is g itself.
+		return g
+	}
+	forest := forestIndices(g)
+	m := g.Size()
+	kept := make([]Edge, 0, m)
+	id := 0
+	g.EachEdge(func(u, v int) {
+		if int(forest[id]) <= k {
+			kept = append(kept, Edge{U: u, V: v})
+		}
+		id++
+	})
+	if len(kept) == m {
+		return g
+	}
+	return MustFromEdges(n, kept)
+}
+
+// forestIndices runs the scan-first-search pass and returns the forest
+// index (1-based) of every edge, indexed in EachEdge order. The scan
+// repeatedly picks an unscanned node x maximizing r(x) — the number of
+// already-labeled edges at x — and labels each edge to an unscanned
+// neighbor y with forest index r(y)+1. Ties are broken deterministically,
+// so the decomposition is reproducible run to run.
+func forestIndices(g *Graph) []int32 {
+	n := g.Order()
+	m := g.Size()
+	forest := make([]int32, m)
+
+	// Per-arc edge ids: the two arcs of each undirected edge share the id
+	// assigned in EachEdge order. The partner arc of (u,v) with u < v is
+	// located by binary search in v's sorted row.
+	eidOf := make([]int32, len(g.nbr))
+	id := int32(0)
+	for u := 0; u < n; u++ {
+		row := g.row(u)
+		for i, w := range row {
+			v := int(w)
+			if u >= v {
+				continue
+			}
+			eidOf[int(g.off[u])+i] = id
+			rv := g.row(v)
+			j := sort.Search(len(rv), func(j int) bool { return int(rv[j]) >= u })
+			eidOf[int(g.off[v])+j] = id
+			id++
+		}
+	}
+
+	// Bucket queue over r values with lazy deletion: a node is re-pushed
+	// whenever its r grows, and stale entries are skipped on pop.
+	r := make([]int32, n)
+	scanned := make([]bool, n)
+	buckets := make([][]int32, 1, 8)
+	buckets[0] = make([]int32, n)
+	for v := 0; v < n; v++ {
+		buckets[0][v] = int32(n - 1 - v) // pop order: 0, 1, 2, …
+	}
+	maxr := 0
+	for remaining := n; remaining > 0; {
+		for maxr > 0 && len(buckets[maxr]) == 0 {
+			maxr--
+		}
+		b := buckets[maxr]
+		x := int(b[len(b)-1])
+		buckets[maxr] = b[:len(b)-1]
+		if scanned[x] || int(r[x]) != maxr {
+			continue // stale entry
+		}
+		scanned[x] = true
+		remaining--
+		row := g.row(x)
+		for i, w := range row {
+			y := int(w)
+			if scanned[y] {
+				continue
+			}
+			forest[eidOf[int(g.off[x])+i]] = r[y] + 1
+			r[y]++
+			if int(r[y]) >= len(buckets) {
+				buckets = append(buckets, nil)
+			}
+			buckets[r[y]] = append(buckets[r[y]], int32(y))
+			if int(r[y]) > maxr {
+				maxr = int(r[y])
+			}
+		}
+	}
+	return forest
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCertGraph draws a deterministic G(n, p‰) instance from seed.
+func randomCertGraph(t *testing.T, n int, perMille int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(1000) < perMille {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Freeze()
+}
+
+// componentCount returns the number of connected components of g.
+func componentCount(g *Graph) int {
+	n := g.Order()
+	seen := make([]bool, n)
+	count := 0
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		count++
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			g.EachNeighbor(u, func(w int) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			})
+		}
+	}
+	return count
+}
+
+func isSubgraph(t *testing.T, sub, g *Graph) {
+	t.Helper()
+	if sub.Order() != g.Order() {
+		t.Fatalf("certificate has %d nodes, graph %d", sub.Order(), g.Order())
+	}
+	for _, e := range sub.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("certificate edge (%d,%d) not in the graph", e.U, e.V)
+		}
+	}
+}
+
+// TestSparseCertificateStructure pins the structural guarantees on random
+// graphs: the certificate is a spanning subgraph, has at most k(n-1)
+// edges, nests monotonically in k, and its first forest is a maximal
+// spanning forest (same components as g, forest-sized edge count).
+func TestSparseCertificateStructure(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, perMille := range []int{50, 200, 600, 1000} {
+			g := randomCertGraph(t, 24, perMille, seed)
+			n := g.Order()
+			comps := componentCount(g)
+			prev := New(n)
+			for k := 1; k <= 6; k++ {
+				cert := SparseCertificate(g, k)
+				isSubgraph(t, cert, g)
+				if cert.Size() > k*(n-1) {
+					t.Fatalf("seed=%d p=%d k=%d: %d edges > k(n-1)=%d",
+						seed, perMille, k, cert.Size(), k*(n-1))
+				}
+				if componentCount(cert) != comps {
+					t.Fatalf("seed=%d p=%d k=%d: certificate has %d components, graph %d",
+						seed, perMille, k, componentCount(cert), comps)
+				}
+				isSubgraph(t, prev, cert) // cert_k ⊆ cert_{k+1}
+				prev = cert
+			}
+			f1 := SparseCertificate(g, 1)
+			if f1.Size() != n-comps {
+				t.Fatalf("seed=%d p=%d: F1 has %d edges, want spanning-forest %d",
+					seed, perMille, f1.Size(), n-comps)
+			}
+		}
+	}
+}
+
+// TestSparseCertificateDegenerate covers the edge cases: empty graphs,
+// k < 1, complete graphs (certificate is g itself) and k past the largest
+// forest index.
+func TestSparseCertificateDegenerate(t *testing.T) {
+	if got := SparseCertificate(New(0), 3); got.Order() != 0 {
+		t.Fatalf("empty graph: %v", got)
+	}
+	g := randomCertGraph(t, 10, 500, 1)
+	if got := SparseCertificate(g, 0); got.Size() != 0 || got.Order() != 10 {
+		t.Fatalf("k=0 must be edgeless on the same nodes: %v", got)
+	}
+	complete := randomCertGraph(t, 8, 1000, 1)
+	if got := SparseCertificate(complete, 7); got != complete {
+		t.Fatal("k >= Δ must return the graph itself")
+	}
+	if got := SparseCertificate(g, 100); got != g {
+		t.Fatal("huge k must return the graph itself")
+	}
+}
+
+// TestSparseCertificateDeterministic: two runs over the same graph yield
+// the identical edge set.
+func TestSparseCertificateDeterministic(t *testing.T) {
+	g := randomCertGraph(t, 32, 400, 7)
+	a := SparseCertificate(g, 3)
+	b := SparseCertificate(g, 3)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("sizes differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestForestIndicesPartition: the forest decomposition labels every edge
+// exactly once with an index in [1, Δ], and the edges of index <= i form
+// exactly SparseCertificate(g, i).
+func TestForestIndicesPartition(t *testing.T) {
+	g := randomCertGraph(t, 20, 500, 3)
+	forest := forestIndices(g)
+	if len(forest) != g.Size() {
+		t.Fatalf("%d labels for %d edges", len(forest), g.Size())
+	}
+	maxDeg, _ := g.MaxDegree()
+	for i, f := range forest {
+		if f < 1 || int(f) > maxDeg {
+			t.Fatalf("edge %d has forest index %d outside [1,%d]", i, f, maxDeg)
+		}
+	}
+	for k := 1; k <= 4; k++ {
+		want := 0
+		for _, f := range forest {
+			if int(f) <= k {
+				want++
+			}
+		}
+		if got := SparseCertificate(g, k).Size(); got != want {
+			t.Fatalf("k=%d: certificate %d edges, forest labels say %d", k, got, want)
+		}
+	}
+}

@@ -78,6 +78,10 @@ type Options struct {
 	// Timeout bounds each computation; exceeding it maps to HTTP 504.
 	// Zero means no limit beyond the request's own context.
 	Timeout time.Duration
+	// DisableSparsify turns off the sparse-certificate verify fast path
+	// (lhg.WithSparsify). Reports are bit-identical either way, so cache
+	// keys do not depend on it — it is an operational escape hatch only.
+	DisableSparsify bool
 }
 
 // Server is the HTTP service: four endpoints, one LRU cache, one
@@ -86,6 +90,7 @@ type Server struct {
 	base     context.Context
 	workers  int
 	timeout  time.Duration
+	sparsify bool
 	cache    *lruCache
 	flights  *flightGroup
 	mux      *http.ServeMux
@@ -103,12 +108,13 @@ func New(opts Options) *Server {
 		size = 256
 	}
 	s := &Server{
-		base:    base,
-		workers: opts.Workers,
-		timeout: opts.Timeout,
-		cache:   newLRU(size),
-		flights: newFlightGroup(base),
-		mux:     http.NewServeMux(),
+		base:     base,
+		workers:  opts.Workers,
+		timeout:  opts.Timeout,
+		sparsify: !opts.DisableSparsify,
+		cache:    newLRU(size),
+		flights:  newFlightGroup(base),
+		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/build", s.handleBuild)
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
@@ -445,8 +451,8 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	workers := clampRequestWorkers(req.Workers, s.workers)
 	key := verifyKey(req.graphKey(c), props)
 	v, cached, err := s.compute(r.Context(), epVerify, key, func(runCtx context.Context) (any, error) {
-		return lhg.Verify(runCtx, g, req.K,
-			lhg.WithWorkers(workers), lhg.WithProperties(props))
+		return lhg.Verify(runCtx, g, req.K, lhg.WithWorkers(workers),
+			lhg.WithProperties(props), lhg.WithSparsify(s.sparsify))
 	})
 	if err != nil {
 		done(true, start)

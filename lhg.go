@@ -160,6 +160,7 @@ type options struct {
 	hasSeed  bool
 	failures Failures
 	props    Properties
+	sparsify check.Sparsify
 }
 
 // Option configures Build, Verify or Flood. Options are applied in order;
@@ -188,6 +189,23 @@ func WithFailures(f Failures) Option { return func(o *options) { o.failures = f 
 // phases the selection does not need — e.g. WithProperties(PropDiameter)
 // never issues a max-flow probe.
 func WithProperties(p Properties) Option { return func(o *options) { o.props = p } }
+
+// WithSparsify toggles the sparse-certificate fast path of Verify and
+// IsLHG. It is on by default: on graphs dense enough that the certificate
+// pays for itself (m > check.SparsifyCutoff·k·n) the κ/λ max-flow probes
+// run on a Nagamochi–Ibaraki certificate of at most (δ+1)(n−1) edges
+// instead of the full edge set. The report is bit-identical either way —
+// the fast path changes no value and no verdict — so WithSparsify(false)
+// is purely an escape hatch (debugging, benchmarking the full pipeline).
+func WithSparsify(enabled bool) Option {
+	return func(o *options) {
+		if enabled {
+			o.sparsify = check.SparsifyAuto
+		} else {
+			o.sparsify = check.SparsifyOff
+		}
+	}
+}
 
 func applyOptions(opts []Option) options {
 	var o options
@@ -350,7 +368,11 @@ func Regular(c Constraint, n, k int) bool {
 // ctx.Err().
 func Verify(ctx context.Context, g *Graph, k int, opts ...Option) (*Report, error) {
 	o := applyOptions(opts)
-	return check.VerifyCtx(ctx, g, k, check.Options{Workers: o.workers, Props: o.props})
+	return check.VerifyCtx(ctx, g, k, check.Options{
+		Workers:  o.workers,
+		Props:    o.props,
+		Sparsify: o.sparsify,
+	})
 }
 
 // VerifyParallel computes the same exact Report as Verify with the probes
@@ -365,9 +387,12 @@ func VerifyParallel(g *Graph, k, workers int) (*Report, error) {
 
 // IsLHG is the fast boolean check of the four mandatory properties
 // (early-exit max flows, no exact connectivity values). Cancellation is
-// honored as in Verify and surfaces as ctx.Err().
-func IsLHG(ctx context.Context, g *Graph, k int) (bool, error) {
-	return check.QuickVerifyCtx(ctx, g, k)
+// honored as in Verify and surfaces as ctx.Err(). Of the options only
+// WithSparsify applies — the quick path is serial and always checks every
+// property.
+func IsLHG(ctx context.Context, g *Graph, k int, opts ...Option) (bool, error) {
+	o := applyOptions(opts)
+	return check.QuickVerifyOpts(ctx, g, k, check.Options{Sparsify: o.sparsify})
 }
 
 // Flood runs a round-synchronous flood from source, by default in the
