@@ -49,8 +49,11 @@ endef
 # bench runs the perf-trajectory series (exact verification and flooding at
 # n in {256, 1024, 4096}, the steady-state 0-alloc probes, and their
 # metrics-enabled twins) into BENCH_verify.json, then the dense-fixture
-# full-vs-sparsified verification pair into BENCH_sparsify.json — the
-# artifact that tracks the sparse-certificate fast-path speedup.
+# full-vs-sparsified verification pair into BENCH_sparsify.json (the
+# artifact that tracks the sparse-certificate fast-path speedup), and
+# finally the churn-oscillation delta-vs-full re-verification pair into
+# BENCH_reconfigure.json, which tracks the incremental re-verification
+# speedup under ~1% membership churn.
 bench:
 	$(GO) test -run '^$$' \
 		-bench '^(BenchmarkVerifySweep|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState|BenchmarkBFSSteadyStateMetricsOn|BenchmarkEdgeProbeSteadyStateMetricsOn)$$' \
@@ -63,6 +66,12 @@ bench:
 	@$(bench2json) bench_sparsify.out > BENCH_sparsify.json
 	@rm -f bench_sparsify.out
 	@echo "wrote BENCH_sparsify.json"
+	$(GO) test -run '^$$' -bench '^BenchmarkReconfigureVerify(Delta|Full)$$' \
+		-benchmem -benchtime=2x . | tee bench_reconfigure.out
+	@$(bench2json) bench_reconfigure.out > BENCH_reconfigure.json
+	@rm -f bench_reconfigure.out
+	@echo "wrote BENCH_reconfigure.json"
 
 clean:
-	rm -f bench.out bench_sparsify.out BENCH_verify.json BENCH_sparsify.json
+	rm -f bench.out bench_sparsify.out bench_reconfigure.out \
+		BENCH_verify.json BENCH_sparsify.json BENCH_reconfigure.json

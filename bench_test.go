@@ -21,7 +21,6 @@ import (
 	"lhg/internal/flood"
 	"lhg/internal/flow"
 	"lhg/internal/graph"
-	"lhg/internal/member"
 	"lhg/internal/overlay"
 	"lhg/internal/proc"
 	"lhg/internal/sim"
@@ -605,10 +604,9 @@ func BenchmarkBetweenness(b *testing.B) {
 // BenchmarkMembershipCycle covers E21: one join + crash + repair cycle of
 // the self-healing membership service.
 func BenchmarkMembershipCycle(b *testing.B) {
-	topo := func(n, k int) (*graph.Graph, error) { return lhg.Build(context.Background(), lhg.KDiamond, n, k) }
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := member.New(4, 24, topo)
+		s, err := lhg.NewMembership(lhg.KDiamond, 4, 24)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -655,4 +653,86 @@ func BenchmarkBuildClassic(b *testing.B) {
 			sinkInt = g.Size()
 		}
 	})
+}
+
+// BenchmarkReconfigureVerifyDelta is the PR-6 headline series emitted into
+// BENCH_reconfigure.json by `make bench`: 1% churn batches on K-TREE(k=3)
+// near n=1024 and n=4096 (1026/4098 are the nearest sizes on the k=3
+// construction grid), re-verified incrementally by DeltaVerifier.Advance.
+// Batches alternate pure-leave and pure-join so each iteration issues real
+// surgery (a mixed batch of equal halves nets to the identity). Compare
+// against BenchmarkReconfigureVerifyFull, which re-verifies the same churn
+// from scratch as a rebuild-era deployment would.
+func BenchmarkReconfigureVerifyDelta(b *testing.B) {
+	for _, bc := range []struct{ label, n int }{{1024, 1026}, {4096, 4098}} {
+		b.Run(fmt.Sprintf("n=%d", bc.label), func(b *testing.B) {
+			eng, err := lhg.NewKTreeGrowerAt(3, bc.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dv, err := lhg.NewDeltaVerifier(context.Background(), eng.Graph(), 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := churnBatch(bc.n / 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := eng.Apply(batch[i%2])
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := dv.Advance(context.Background(), d, eng.N())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkBool = r.IsLHG()
+			}
+		})
+	}
+}
+
+// BenchmarkReconfigureVerifyFull is the rebuild-era baseline for the same
+// churn schedule: apply the batch, then run the full verification campaign
+// on the result.
+func BenchmarkReconfigureVerifyFull(b *testing.B) {
+	for _, bc := range []struct{ label, n int }{{1024, 1026}, {4096, 4098}} {
+		b.Run(fmt.Sprintf("n=%d", bc.label), func(b *testing.B) {
+			eng, err := lhg.NewKTreeGrowerAt(3, bc.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := churnBatch(bc.n / 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Apply(batch[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				r, err := lhg.Verify(context.Background(), eng.Graph(), 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkBool = r.IsLHG()
+			}
+		})
+	}
+}
+
+// churnBatch returns the alternating 1%-churn schedule: batch[0] is size
+// pure leaves, batch[1] the matching pure joins, so applying them in turn
+// oscillates the overlay without drifting. size is rounded up to the k=3
+// construction grid stride (4) so both endpoints of the oscillation are
+// regular: P3's Δ = λ shortcut then applies identically to the delta path
+// and the full baseline, keeping the series a pure κ/λ comparison instead
+// of a measurement of the (shared, size-parity-driven) minimality sweep.
+func churnBatch(size int) [2][]lhg.Change {
+	size = (size + 3) / 4 * 4
+	leaves := make([]lhg.Change, size)
+	joins := make([]lhg.Change, size)
+	for i := range leaves {
+		leaves[i] = lhg.ChangeLeave
+		joins[i] = lhg.ChangeJoin
+	}
+	return [2][]lhg.Change{leaves, joins}
 }

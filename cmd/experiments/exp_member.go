@@ -6,8 +6,6 @@ import (
 
 	"lhg"
 	"lhg/internal/check"
-	"lhg/internal/graph"
-	"lhg/internal/member"
 )
 
 // runE21 drives the self-healing membership service through a crash-and-
@@ -20,8 +18,7 @@ func runE21(w io.Writer) error {
 		k     = 4
 		start = 24
 	)
-	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(expCtx, lhg.KDiamond, n, kk) }
-	s, err := member.New(k, start, topo)
+	s, err := lhg.NewMembership(lhg.KDiamond, k, start)
 	if err != nil {
 		return err
 	}

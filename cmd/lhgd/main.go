@@ -1,8 +1,9 @@
 // Command lhgd serves the LHG toolkit over HTTP/JSON: build a topology,
-// verify its properties, or simulate a flood with one POST. Identical
-// requests are answered from an LRU cache, and identical in-flight requests
-// are coalesced into a single verification campaign, so the daemon can
-// front many clients asking the same (constraint, n, k) question.
+// verify its properties, simulate a flood, or drive a live topology through
+// joins and leaves with one POST. Identical requests are answered from an
+// LRU cache, and identical in-flight requests are coalesced into a single
+// verification campaign, so the daemon can front many clients asking the
+// same (constraint, n, k) question.
 //
 // Endpoints:
 //
@@ -10,7 +11,16 @@
 //	POST /v1/verify       {"constraint":"ktree","n":21,"k":3,"properties":["P1","P4"]}
 //	POST /v1/flood        {"constraint":"kdiamond","n":50,"k":4,"source":0,
 //	                       "failures":{"Nodes":[2,5]}}
+//	POST /v1/reconfigure  {"session":"prod","constraint":"ktree","n":18,"k":3}
+//	                      then {"session":"prod","joins":3,"leaves":1}, ...
 //	GET  /v1/constraints
+//
+// /v1/reconfigure is stateful: each session is a live topology maintained by
+// delta surgery (O(k²) edge edits per membership event, never a rebuild) and
+// re-verified incrementally after every batch. The response carries the net
+// edge delta, the new epoch and the fresh report; a burst of identical
+// batches at one epoch coalesces into a single campaign, and a stale epoch
+// answers 409 so no batch is ever applied twice.
 //
 // Usage:
 //
@@ -59,6 +69,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		metrics  = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
 		httpAddr = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this extra address")
 		sparsify = fs.Bool("sparsify", true, "probe κ/λ on a sparse certificate when the graph is dense enough (results are identical; off = escape hatch)")
+		sessions = fs.Int("sessions", 0, "max live /v1/reconfigure topology sessions (0 = default 1024, negative disables the endpoint)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +89,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		Workers:         *workers,
 		Timeout:         *timeout,
 		DisableSparsify: !*sparsify,
+		MaxSessions:     *sessions,
 	}, *addr)
 	if err != nil {
 		return err

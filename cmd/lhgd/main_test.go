@@ -97,6 +97,45 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonReconfigureSession drives a stateful topology session over live
+// TCP: create, churn both ways, read back, and confirm the epoch ratchet.
+func TestDaemonReconfigureSession(t *testing.T) {
+	base, _ := startTestDaemon(t, serve.Options{CacheSize: 64})
+
+	var created serve.ReconfigureResponse
+	if status := post(t, base+"/v1/reconfigure",
+		`{"session":"prod","constraint":"ktree","n":18,"k":3}`, &created); status != http.StatusOK {
+		t.Fatalf("create: status %d", status)
+	}
+	if created.Epoch != 0 || created.N != 18 || !created.IsLHG {
+		t.Fatalf("create: epoch=%d n=%d is_lhg=%t, want 0/18/true", created.Epoch, created.N, created.IsLHG)
+	}
+
+	var churn serve.ReconfigureResponse
+	if status := post(t, base+"/v1/reconfigure",
+		`{"session":"prod","joins":3,"leaves":1}`, &churn); status != http.StatusOK {
+		t.Fatalf("churn: status %d", status)
+	}
+	if churn.Epoch != 1 || churn.N != 20 || !churn.IsLHG {
+		t.Fatalf("churn: epoch=%d n=%d is_lhg=%t, want 1/20/true", churn.Epoch, churn.N, churn.IsLHG)
+	}
+	if len(churn.Added) == 0 {
+		t.Fatal("net growth of 2 members must add edges")
+	}
+	if churn.Report.NodeConnectivity < 3 || churn.Report.EdgeConnectivity < 3 {
+		t.Fatalf("connectivity after churn = (%d,%d), want >= (3,3)",
+			churn.Report.NodeConnectivity, churn.Report.EdgeConnectivity)
+	}
+
+	var read serve.ReconfigureResponse
+	if status := post(t, base+"/v1/reconfigure", `{"session":"prod"}`, &read); status != http.StatusOK {
+		t.Fatalf("read: status %d", status)
+	}
+	if read.Epoch != 1 || read.N != 20 {
+		t.Fatalf("read: epoch=%d n=%d, want 1/20", read.Epoch, read.N)
+	}
+}
+
 // TestLoadGeneratorCoalesces is the daemon-level acceptance check: a burst
 // of 64 concurrent identical verify requests against a live TCP daemon
 // executes exactly one verification campaign (singleflight + cache), and

@@ -4,6 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 )
@@ -17,7 +20,7 @@ func TestRunEmitsJSONLines(t *testing.T) {
 	lines := 0
 	lastN := 0
 	for sc.Scan() {
-		var rec joinRecord
+		var rec opRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			t.Fatalf("line %d is not JSON: %v", lines, err)
 		}
@@ -45,7 +48,7 @@ func TestRunRegularFlagMatchesTheorem(t *testing.T) {
 	}
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
-		var rec joinRecord
+		var rec opRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			t.Fatal(err)
 		}
@@ -81,6 +84,150 @@ func TestRunErrors(t *testing.T) {
 		{name: "bad k", args: []string{"-constraint", "ktree", "-k", "2"}},
 		{name: "negative joins", args: []string{"-joins", "-1"}},
 		{name: "bad flag", args: []string{"-zap"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err == nil {
+				t.Fatal("run succeeded, want error")
+			}
+		})
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestGolden pins the exact CLI output — JSON trace lines and the summary
+// block — against checked-in golden files. The engines are deterministic,
+// so any drift is a real output-format or surgery change. Regenerate with
+// `go test ./cmd/lhgrow -run TestGolden -update`.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"mixed trace", []string{"-constraint", "ktree", "-k", "3", "-trace", "jjjlljl"},
+			"testdata/trace_ktree_k3.golden"},
+		{"summary", []string{"-constraint", "kdiamond", "-k", "3", "-joins", "8", "-leaves", "4", "-summary"},
+			"testdata/summary_kdiamond_k3.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				if err := os.WriteFile(tc.golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", tc.golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestLeaveIsInverseSurgery replays a grown overlay backwards and checks
+// each leave's delta is the join's with added and removed swapped.
+func TestLeaveIsInverseSurgery(t *testing.T) {
+	var grow, shrink bytes.Buffer
+	if err := run([]string{"-constraint", "kdiamond", "-k", "4", "-joins", "6"}, &grow); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-constraint", "kdiamond", "-k", "4", "-joins", "6", "-leaves", "6"}, &shrink); err != nil {
+		t.Fatal(err)
+	}
+	var joins, all []opRecord
+	for sc := bufio.NewScanner(&grow); sc.Scan(); {
+		var rec opRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		joins = append(joins, rec)
+	}
+	for sc := bufio.NewScanner(&shrink); sc.Scan(); {
+		var rec opRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rec)
+	}
+	leaves := all[6:]
+	if len(leaves) != 6 {
+		t.Fatalf("got %d leave records, want 6", len(leaves))
+	}
+	for i, l := range leaves {
+		j := joins[len(joins)-1-i] // leave i undoes join count-1-i
+		if l.Op != "leave" || l.N != j.N-1 {
+			t.Fatalf("leave %d: op=%s n=%d, want leave at n=%d", i, l.Op, l.N, j.N-1)
+		}
+		if !pairSetEqual(l.Added, j.Removed) || !pairSetEqual(l.Removed, j.Added) {
+			t.Fatalf("leave %d is not the inverse of join at n=%d:\nleave %+v\njoin  %+v", i, j.N, l, j)
+		}
+	}
+}
+
+func pairSetEqual(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[[2]int]int, len(a))
+	for _, p := range a {
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		set[p]++
+	}
+	for _, p := range b {
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		set[p]--
+		if set[p] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSummarySeparatesSetupAndTeardown is the regression test for the old
+// -summary bug that folded added and removed links into one number.
+func TestSummarySeparatesSetupAndTeardown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-constraint", "ktree", "-k", "3", "-joins", "4", "-leaves", "4", "-summary"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var added, removed int
+	for _, line := range strings.Split(out, "\n") {
+		fmt.Sscanf(line, "links added: %d", &added)
+		fmt.Sscanf(line, "links removed: %d", &removed)
+	}
+	if added == 0 || removed == 0 {
+		t.Fatalf("summary must report setup and teardown separately:\n%s", out)
+	}
+	// The run returns to its start size, so teardown mirrors setup exactly.
+	if added != removed {
+		t.Fatalf("round-trip churn asymmetric: added %d, removed %d:\n%s", added, removed, out)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad trace char", args: []string{"-trace", "jjx"}},
+		{name: "trace with joins", args: []string{"-trace", "jj", "-joins", "2"}},
+		{name: "negative leaves", args: []string{"-leaves", "-1"}},
+		{name: "leave below floor", args: []string{"-constraint", "ktree", "-k", "3", "-trace", "l"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

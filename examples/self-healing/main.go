@@ -13,8 +13,6 @@ import (
 	"log"
 
 	"lhg"
-	"lhg/internal/graph"
-	"lhg/internal/member"
 )
 
 func main() {
@@ -22,8 +20,7 @@ func main() {
 		k     = 4
 		start = 20
 	)
-	topo := func(n, kk int) (*graph.Graph, error) { return lhg.Build(context.Background(), lhg.KDiamond, n, kk) }
-	s, err := member.New(k, start, topo)
+	s, err := lhg.NewMembership(lhg.KDiamond, k, start)
 	if err != nil {
 		log.Fatal(err)
 	}

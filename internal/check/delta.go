@@ -1,0 +1,425 @@
+package check
+
+// Incremental re-verification under churn.
+//
+// A full verification is O(n) max-flow probes; under sustained churn the
+// topology changes by O(k²) edges per event, so re-running the campaign
+// from scratch throws away almost everything the previous report already
+// established. VerifyDelta re-derives the full report from (previous
+// report, edge delta) with a handful of LOCALIZED probes, falling back to
+// the full campaign whenever the fast path cannot certify exactness.
+//
+// Soundness. Let G be the previous graph with κ(G) >= c and λ(G) >= c
+// (from the previous report), and G′ the graph after the delta. Write
+// survivors for the labels present in both. The fast path certifies
+// κ(G′) >= c by a localization argument with every probe running in G′
+// itself. Suppose X, |X| < c, disconnects G′; consider the components of
+// G′−X:
+//
+//   - A component with no survivor consists of newly admitted labels; the
+//     expansion check below (every subset S of admissions sees >= c
+//     distinct outside vertices) rules it out, since its neighborhood
+//     lies inside X.
+//   - Otherwise take survivors x,y in different components. |X| < κ(G)
+//     gives an x-y path in G−X; walking it, some deleted element must
+//     bridge the components — an edge of G absent from G′ is either a
+//     removed survivor-survivor edge (u,v), or lies in a maximal run of
+//     departed labels whose survivor boundary now spans two components.
+//     The probe set is exactly: endpoints of removed survivor edges, plus
+//     all boundary pairs of each connected component of the departed
+//     subgraph. Such a bridging pair sits in different components of
+//     G′−X, so its vertex-cut probe in G′ would report < c. If every
+//     probe passes, no small cut exists. (Probing G′ rather than a
+//     survivor-only view matters: after a batched admission the new
+//     labels may carry the very connectivity the removed edges used to.)
+//
+// The same argument with edge cuts certifies λ(G′) >= c (a subset of
+// admissions also needs >= c outgoing edges, checked alongside). Choosing
+// c = δ(G′) then PINS both values exactly — κ <= λ <= δ (Whitney) forces
+// κ(G′) = λ(G′) = δ(G′) — which is the only case the fast path reports;
+// anything weaker falls back to VerifyCtx so the report stays bit-identical
+// to a fresh full verification (timing phases aside, which are wall-clock).
+// P3 runs through the SAME verifyLinkMinimality as the full campaign (free
+// for regular graphs via the Δ = λ shortcut, the identical edge sweep
+// otherwise), and P4 distances are always recomputed exactly — diameter
+// does not localize. What the fast path elides is precisely the κ and λ
+// phases: two O(n)-probe campaigns become O(|frontier|) localized probes.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lhg/internal/flow"
+	"lhg/internal/graph"
+	"lhg/internal/obs"
+)
+
+var (
+	mDeltaRuns      = obs.NewCounter("check.delta.runs")
+	mDeltaFastPaths = obs.NewCounter("check.delta.fastpath")
+	mDeltaFallbacks = obs.NewCounter("check.delta.fallbacks")
+	mDeltaPairs     = obs.NewCounter("check.delta.pair_probes")
+	tPhaseDelta     = obs.NewTimer("check.phase.delta_probes")
+)
+
+// deltaProbeGate bounds the localized campaign: if the planned pair count
+// exceeds n/deltaProbeGateDiv (min deltaProbeGateFloor), the touched
+// frontier is so large that the full campaign is competitive — fall back.
+const (
+	deltaProbeGateDiv   = 4
+	deltaProbeGateFloor = 16
+)
+
+// expansionCompCap bounds the exhaustive subset check over one connected
+// component of the admitted-label subgraph (2^cap masks). The engines admit
+// in O(k)-sized clusters, so real components are far smaller.
+const expansionCompCap = 12
+
+// DeltaVerifier carries verification state across a churn stream: the
+// current graph, its full report, and the incrementally maintained sparse
+// certificate whose membership diff sizes the re-probe frontier. It is the
+// engine behind the daemon's stateful reconfigure sessions. Not safe for
+// concurrent use; callers serialize Advance.
+type DeltaVerifier struct {
+	k       int
+	opt     Options
+	g       *graph.Graph
+	tracker *graph.CertTracker
+	report  *Report
+}
+
+// NewDeltaVerifier runs one full verification of g and arms the
+// incremental state.
+func NewDeltaVerifier(ctx context.Context, g *graph.Graph, k int, opt Options) (*DeltaVerifier, error) {
+	r, err := VerifyCtx(ctx, g, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaVerifier{
+		k:       k,
+		opt:     opt,
+		g:       g,
+		tracker: graph.NewCertTracker(g, k+1),
+		report:  r,
+	}, nil
+}
+
+// Graph returns the current epoch's graph.
+func (dv *DeltaVerifier) Graph() *graph.Graph { return dv.g }
+
+// Report returns the current epoch's report.
+func (dv *DeltaVerifier) Report() *Report { return dv.report }
+
+// K returns the connectivity target.
+func (dv *DeltaVerifier) K() int { return dv.k }
+
+// Advance applies d (resizing to n nodes), re-verifies incrementally and
+// returns the new report — bit-identical to a fresh full verification of
+// the new graph. On error the verifier keeps its previous epoch.
+func (dv *DeltaVerifier) Advance(ctx context.Context, d graph.EdgeDelta, n int) (*Report, error) {
+	next, err := dv.g.ApplyDelta(d, n)
+	if err != nil {
+		return nil, err
+	}
+	changed := dv.tracker.Advance(next, d)
+	r, err := verifyDelta(ctx, dv.g, dv.report, d, next, len(changed), dv.k, dv.opt)
+	if err != nil {
+		// The tracker already moved; rewind it so the verifier's epochs
+		// stay coherent (cheap: the certificate scan is flow-free).
+		dv.tracker = graph.NewCertTracker(dv.g, dv.k+1)
+		return nil, err
+	}
+	dv.g, dv.report = next, r
+	return r, nil
+}
+
+// VerifyDelta re-verifies prevGraph after the edge delta d (resizing to n
+// nodes): given prev — the report of a verification of prevGraph — it
+// returns the report of the resulting graph, bit-identical to a fresh
+// VerifyCtx, probing only the delta's frontier when the localization
+// conditions hold. One-shot form of DeltaVerifier for callers that do not
+// hold a session.
+func VerifyDelta(ctx context.Context, prevGraph *graph.Graph, prev *Report, d graph.EdgeDelta, n int, opt Options) (*Report, error) {
+	next, err := prevGraph.ApplyDelta(d, n)
+	if err != nil {
+		return nil, err
+	}
+	tracker := graph.NewCertTracker(prevGraph, prev.K+1)
+	changed := tracker.Advance(next, d)
+	return verifyDelta(ctx, prevGraph, prev, d, next, len(changed), prev.K, opt)
+}
+
+func verifyDelta(ctx context.Context, prevG *graph.Graph, prev *Report, d graph.EdgeDelta, next *graph.Graph, frontier, k int, opt Options) (*Report, error) {
+	n := next.Order()
+	if k < 1 {
+		return nil, fmt.Errorf("check: connectivity target k=%d must be >= 1", k)
+	}
+	if n <= k {
+		return nil, fmt.Errorf("check: k=%d must be < n=%d", k, n)
+	}
+	mDeltaRuns.Inc()
+	r, ok, err := deltaFastPath(ctx, prevG, prev, d, next, frontier, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		mDeltaFastPaths.Inc()
+		return r, nil
+	}
+	mDeltaFallbacks.Inc()
+	return VerifyCtx(ctx, next, k, opt)
+}
+
+// deltaFastPath attempts the localized re-verification. ok=false means
+// "cannot certify, run the full campaign" — never an incorrect report.
+func deltaFastPath(ctx context.Context, prevG *graph.Graph, prev *Report, d graph.EdgeDelta, next *graph.Graph, frontier, k int, opt Options) (*Report, bool, error) {
+	props := opt.Props.normalized()
+	if props != PropAll {
+		return nil, false, nil // partial reports: no previous values to lean on
+	}
+	if prev == nil || !prev.Checked.Has(PropNodeConnectivity|PropLinkConnectivity) {
+		return nil, false, nil
+	}
+	workers := graph.ClampWorkers(opt.Workers, 0)
+	n, oldN := next.Order(), prevG.Order()
+	r := &Report{N: n, M: next.Size(), K: k, Workers: workers, Checked: props}
+	r.MinDegree, _ = next.MinDegree()
+	r.MaxDegree, _ = next.MaxDegree()
+	r.Regular = next.IsRegular(k)
+
+	// The pin target: both connectivities will be certified equal to δ(G′).
+	c := r.MinDegree
+	if c < 1 || prev.NodeConnectivity < c || prev.EdgeConnectivity < c {
+		return nil, false, nil
+	}
+	if frontier > n/2 {
+		return nil, false, nil // certificate membership moved wholesale
+	}
+
+	// Plan the localized pair probes.
+	nSurv := oldN
+	if n < nSurv {
+		nSurv = n
+	}
+	gate := n / deltaProbeGateDiv
+	if gate < deltaProbeGateFloor {
+		gate = deltaProbeGateFloor
+	}
+	pairs, ok := planDeltaPairs(prevG, d, nSurv, gate)
+	if !ok {
+		return nil, false, nil
+	}
+	// Every subset of the new admissions must expand into >= c outside
+	// vertices and >= c outgoing edges (the all-admitted-side cut case).
+	if n > oldN && !newSideExpansion(next, oldN, c) {
+		return nil, false, nil
+	}
+
+	// Probe phase: every planned pair must keep vertex- and edge-cut >= c
+	// in next. Early-exit flows; any miss aborts to the full campaign.
+	healthy := true
+	start := time.Now()
+	p0 := mFlowProbes.Value()
+	for _, p := range pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		mDeltaPairs.Inc()
+		if !next.HasEdge(p[0], p[1]) {
+			ok, err := flow.VertexCutAtLeastCtx(ctx, next, p[0], p[1], c)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				healthy = false
+				break
+			}
+		}
+		ok, err := flow.EdgeCutAtLeastCtx(ctx, next, p[0], p[1], c)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			healthy = false
+			break
+		}
+	}
+	dur := time.Since(start)
+	tPhaseDelta.Observe(dur)
+	r.Phases = append(r.Phases, PhaseTiming{
+		Phase:  "delta-probes",
+		Ms:     float64(dur) / 1e6,
+		Probes: mFlowProbes.Value() - p0,
+	})
+	if !healthy {
+		return nil, false, nil
+	}
+
+	// Pin: c <= κ(G′) (localization + expansion) and κ(G′) <= δ(G′) = c
+	// (Whitney), so both connectivities are exactly c — no regularity
+	// assumption needed.
+	r.NodeConnectivity = c
+	r.EdgeConnectivity = c
+	r.KNodeConnected = c >= k
+	r.KLinkConnected = c >= k
+
+	// P3 and P4 use the exact same code as the full campaign, so the
+	// values (and the P3 witness edge, if any) are identical by
+	// construction.
+	start = time.Now()
+	p0 = mFlowProbes.Value()
+	lm, err := verifyLinkMinimality(ctx, next, r, workers)
+	if err != nil {
+		return nil, false, err
+	}
+	r.LinkMinimal = lm
+	dur = time.Since(start)
+	tPhaseMinimality.Observe(dur)
+	r.Phases = append(r.Phases, PhaseTiming{
+		Phase:  "minimality",
+		Ms:     float64(dur) / 1e6,
+		Probes: mFlowProbes.Value() - p0,
+	})
+
+	start = time.Now()
+	r.Diameter, r.AvgPathLen, err = next.DistanceStatsCtx(ctx, workers)
+	if err != nil {
+		return nil, false, err
+	}
+	dur = time.Since(start)
+	tPhaseDistances.Observe(dur)
+	r.Phases = append(r.Phases, PhaseTiming{Phase: "distances", Ms: float64(dur) / 1e6})
+	r.DiameterBound = DiameterBound(n, k)
+	r.LogDiameter = r.Diameter >= 0 && r.Diameter <= r.DiameterBound
+	return r, true, nil
+}
+
+// planDeltaPairs derives the probe pairs of the localization lemma:
+// endpoints of removed survivor-survivor edges, plus — for every connected
+// component of the subgraph induced on departed labels — every pair of its
+// survivor boundary. Returns ok=false when the plan exceeds the gate.
+func planDeltaPairs(prevG *graph.Graph, d graph.EdgeDelta, nSurv, gate int) ([][2]int, bool) {
+	seen := make(map[[2]int]bool)
+	var pairs [][2]int
+	addPair := func(u, v int) bool {
+		if u == v || u >= nSurv || v >= nSurv {
+			return true
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		pairs = append(pairs, key)
+		return len(pairs) <= gate
+	}
+	for _, e := range d.Removed {
+		if e.U < nSurv && e.V < nSurv {
+			if !addPair(e.U, e.V) {
+				return nil, false
+			}
+		}
+	}
+	oldN := prevG.Order()
+	if oldN > nSurv {
+		// Departed components and their survivor boundaries, via BFS over
+		// the induced subgraph on labels [nSurv, oldN).
+		visited := make([]bool, oldN-nSurv)
+		for s := nSurv; s < oldN; s++ {
+			if visited[s-nSurv] {
+				continue
+			}
+			var stack []int
+			boundary := make(map[int]bool)
+			visited[s-nSurv] = true
+			stack = append(stack, s)
+			for len(stack) > 0 {
+				z := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, nb := range prevG.Neighbors(z) {
+					if nb >= nSurv {
+						if !visited[nb-nSurv] {
+							visited[nb-nSurv] = true
+							stack = append(stack, nb)
+						}
+					} else {
+						boundary[nb] = true
+					}
+				}
+			}
+			bs := make([]int, 0, len(boundary))
+			for b := range boundary {
+				bs = append(bs, b)
+			}
+			for i := 0; i < len(bs); i++ {
+				for j := i + 1; j < len(bs); j++ {
+					if !addPair(bs[i], bs[j]) {
+						return nil, false
+					}
+				}
+			}
+		}
+	}
+	return pairs, true
+}
+
+// newSideExpansion certifies the all-admitted-side case of both cut
+// lemmas: every nonempty set S of newly admitted labels [oldN, n) must see
+// >= c distinct vertices outside S (else S's neighborhood is a < c vertex
+// cut) and >= c edges leaving S (else its coboundary is a < c edge cut).
+// A set that splits into non-adjacent pieces inherits both bounds from its
+// pieces — N(S₁)\S₁ ⊆ N(S)\S and the coboundaries add up — so
+// enumerating the subsets of each connected component of the
+// admitted-label subgraph is exhaustive. Declines (false) when a component
+// exceeds expansionCompCap; batched admissions wire into O(k)-sized
+// clusters, so that only trips on adversarial deltas.
+func newSideExpansion(next *graph.Graph, oldN, c int) bool {
+	n := next.Order()
+	visited := make([]bool, n-oldN)
+	for s := oldN; s < n; s++ {
+		if visited[s-oldN] {
+			continue
+		}
+		comp := []int{s}
+		visited[s-oldN] = true
+		for i := 0; i < len(comp); i++ {
+			next.EachNeighbor(comp[i], func(nb int) {
+				if nb >= oldN && !visited[nb-oldN] {
+					visited[nb-oldN] = true
+					comp = append(comp, nb)
+				}
+			})
+		}
+		if len(comp) > expansionCompCap {
+			return false
+		}
+		idx := make(map[int]int, len(comp))
+		for i, v := range comp {
+			idx[v] = i
+		}
+		for mask := 1; mask < 1<<len(comp); mask++ {
+			outEdges := 0
+			outVerts := make(map[int]bool)
+			for i, v := range comp {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				next.EachNeighbor(v, func(nb int) {
+					if j, in := idx[nb]; in && mask&(1<<j) != 0 {
+						return
+					}
+					outEdges++
+					outVerts[nb] = true
+				})
+			}
+			if outEdges < c || len(outVerts) < c {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package check
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"lhg/internal/graph"
@@ -127,6 +128,96 @@ func FuzzVerifySparseEquivFull(f *testing.F) {
 		if qOff != qOn {
 			t.Fatalf("n=%d k=%d seed=%d mut=%x: QuickVerify verdict diverged: off=%t always=%t",
 				n, k, seed, mut, qOff, qOn)
+		}
+	})
+}
+
+// FuzzVerifyDeltaEquivFull is the differential guard on the incremental
+// path: for every generated (base graph, churn script) pair, the report
+// VerifyDelta produces from (prev graph, prev report, delta) must be
+// bit-identical to a fresh full verification of the patched graph —
+// whichever of the fast path or the fallback fires. The churn script is
+// decoded into a valid EdgeDelta: the first byte picks the new order
+// (growth, shrink or in-place), departures are torn down completely, and
+// the remaining byte pairs toggle survivor/new-node edges.
+func FuzzVerifyDeltaEquivFull(f *testing.F) {
+	f.Add(10, 3, uint64(700), []byte(""))                     // no churn: identity delta
+	f.Add(10, 3, uint64(700), []byte("\x0d\x0a\x0b\x0a\x0c")) // growth with leaf wiring
+	f.Add(14, 3, uint64(900), []byte("\x02"))                 // deep shrink, heavy teardown
+	f.Add(12, 2, uint64(400), []byte("\x09\x00\x01\x02\x03")) // in-place rewiring (damage)
+	f.Add(8, 4, uint64(1200), []byte("\x05\x00\x01\x00\x02")) // dense base, shrink + cuts
+	f.Fuzz(func(t *testing.T, n, k int, seed uint64, churn []byte) {
+		if n < 3 || n > 16 {
+			n = 3 + ((n%14)+14)%14
+		}
+		g := fuzzGraph(n, seed, nil)
+		n2 := n
+		if len(churn) > 0 {
+			n2 = 3 + int(churn[0])%14
+			churn = churn[1:]
+		}
+		if k < 1 || k >= n || k >= n2 {
+			m := n
+			if n2 < m {
+				m = n2
+			}
+			k = 1 + ((k%(m-1))+(m-1))%(m-1)
+		}
+		ctx := context.Background()
+		prev, err := VerifyCtx(ctx, g, k, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d graph.EdgeDelta
+		seen := make(map[graph.Edge]bool)
+		mark := func(u, v int) bool {
+			if u > v {
+				u, v = v, u
+			}
+			e := graph.Edge{U: u, V: v}
+			if seen[e] {
+				return false
+			}
+			seen[e] = true
+			return true
+		}
+		// Departures must end isolated: tear down every live link first.
+		for v := n2; v < n; v++ {
+			g.EachNeighbor(v, func(nb int) {
+				if mark(v, nb) {
+					d.Removed = append(d.Removed, graph.Edge{U: v, V: nb})
+				}
+			})
+		}
+		for i := 0; i+1 < len(churn); i += 2 {
+			u, v := int(churn[i])%n2, int(churn[i+1])%n2
+			if u == v || !mark(u, v) {
+				continue
+			}
+			if u < n && v < n && g.HasEdge(u, v) {
+				d.Removed = append(d.Removed, graph.Edge{U: u, V: v})
+			} else {
+				d.Added = append(d.Added, graph.Edge{U: u, V: v})
+			}
+		}
+		d.Normalize()
+		got, err := VerifyDelta(ctx, g, prev, d, n2, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := g.ApplyDelta(d, n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := VerifyCtx(ctx, next, k, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, w2 := *got, *want
+		g2.Phases, w2.Phases = nil, nil
+		if !reflect.DeepEqual(&g2, &w2) {
+			t.Fatalf("n=%d->%d k=%d seed=%d churn=%x: delta report %s differs from full verify %s",
+				n, n2, k, seed, churn, got, want)
 		}
 	})
 }

@@ -35,14 +35,12 @@ import (
 //	already holds exactly one tree link, which becomes its parent link)
 //	and the batch becomes its k-1 shared leaf children (Part 3).
 
-// EdgeDelta records the edge surgery of one growth step.
-type EdgeDelta struct {
-	Added   []graph.Edge
-	Removed []graph.Edge
-}
-
-// Total returns the number of link operations in the delta.
-func (d EdgeDelta) Total() int { return len(d.Added) + len(d.Removed) }
+// EdgeDelta records the edge surgery of one reconfiguration step. The type
+// lives in internal/graph (Graph.ApplyDelta consumes it); the alias keeps
+// the historical core.EdgeDelta name working for every existing caller.
+// Deltas returned by the growers are canonical: Added and Removed sorted by
+// (U,V), so every serialization of a step is byte-deterministic.
+type EdgeDelta = graph.EdgeDelta
 
 // pendingLeaf is a base shared leaf awaiting conversion, with its parent
 // nodes ordered by tree copy.
@@ -95,12 +93,18 @@ func (gr *KTreeGrower) Graph() *graph.Graph { return gr.g.Freeze() }
 // copy-vs-live distinction anymore.
 func (gr *KTreeGrower) Snapshot() *graph.Graph { return gr.g.Freeze() }
 
-// Grow admits one node and returns the edge surgery performed.
+// Grow admits one node and returns the edge surgery performed, in
+// canonical (sorted) form.
 func (gr *KTreeGrower) Grow() (EdgeDelta, error) {
+	var d EdgeDelta
+	var err error
 	if len(gr.added) < 2*gr.k-3 {
-		return gr.growAddedLeaf()
+		d, err = gr.growAddedLeaf()
+	} else {
+		d, err = gr.restructure()
 	}
-	return gr.restructure()
+	d.Normalize()
+	return d, err
 }
 
 // growAddedLeaf is Part 1 of the Theorem 2 proof: the joiner hangs off the

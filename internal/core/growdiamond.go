@@ -58,15 +58,21 @@ func (gr *KDiamondGrower) Graph() *graph.Graph { return gr.g.Freeze() }
 // copy-vs-live distinction anymore.
 func (gr *KDiamondGrower) Snapshot() *graph.Graph { return gr.g.Freeze() }
 
-// Grow admits one node and returns the edge surgery performed.
+// Grow admits one node and returns the edge surgery performed, in
+// canonical (sorted) form.
 func (gr *KDiamondGrower) Grow() (EdgeDelta, error) {
-	if len(gr.added) < gr.k-2 {
-		return gr.growAddedLeaf()
+	var d EdgeDelta
+	var err error
+	switch {
+	case len(gr.added) < gr.k-2:
+		d, err = gr.growAddedLeaf()
+	case len(gr.group) == 0:
+		d, err = gr.formGroup()
+	default:
+		d, err = gr.dissolveGroup()
 	}
-	if len(gr.group) == 0 {
-		return gr.formGroup()
-	}
-	return gr.dissolveGroup()
+	d.Normalize()
+	return d, err
 }
 
 // growAddedLeaf is Part 1: the joiner hangs off the node just above the

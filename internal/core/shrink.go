@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"lhg/internal/graph"
+)
+
+// Shrink — departures via the proofs' inverse surgery.
+//
+// Both constructions are deterministic: the graph and the grower state at
+// size n are unique functions of (constraint, k, n). The inverse of the
+// most recent Grow is therefore recomputable from the current state alone —
+// no undo log. Every Grow admits node n−1, so one Shrink always retires
+// label n−1; an arbitrary departure is handled above this layer by the
+// membership service, which relabels the departed slot with the youngest
+// process (a metadata swap, no extra edges) and then retires the top label
+// here. In proof terms: a departed added-leaf is simply dropped, while a
+// departed internal or base node is backfilled by the youngest waiting
+// nodes unwinding the batch that promoted it.
+//
+// Which inverse applies is read off the state machine:
+//
+//	K-TREE:    added non-empty  → the last step was an added-leaf join
+//	           added empty      → the last step was the Part 2 restructure
+//	K-DIAMOND: added non-empty  → added-leaf join
+//	           group non-empty  → Part 2 formGroup (clique formation)
+//	           otherwise        → Part 3 dissolveGroup
+//
+// (after each batch step the added list is cleared, so the added counter j
+// doubles as "steps since the last batch boundary").
+
+// Shrink retires the youngest node (label n−1) and returns the edge surgery
+// performed, in canonical form. It is the exact inverse of the previous
+// Grow: a Grow followed by a Shrink restores both the graph and the grower
+// state bit-for-bit.
+func (gr *KTreeGrower) Shrink() (EdgeDelta, error) {
+	if gr.N() <= 2*gr.k {
+		return EdgeDelta{}, notConstructible("K-TREE", gr.N()-1, gr.k,
+			fmt.Sprintf("cannot shrink below the minimal graph n = 2k = %d", 2*gr.k))
+	}
+	var d EdgeDelta
+	var err error
+	if len(gr.added) > 0 {
+		d, err = gr.shrinkAddedLeaf()
+	} else {
+		d, err = gr.unrestructure()
+	}
+	d.Normalize()
+	return d, err
+}
+
+// shrinkAddedLeaf undoes growAddedLeaf: the youngest added leaf detaches
+// from the hosts it joined on and its label is retired.
+func (gr *KTreeGrower) shrinkAddedLeaf() (EdgeDelta, error) {
+	return shrinkLeaf(gr.g, &gr.added, gr.queue)
+}
+
+// unrestructure undoes the Part 2 restructure: the newest level of k−1
+// shared leaves and the k−1 internal copies revert to 2k−3 added leaves,
+// and the oldest base leaf s returns to the queue front with its original
+// parents — recovered as each copy's unique neighbor outside the new level.
+func (gr *KTreeGrower) unrestructure() (EdgeDelta, error) {
+	k := gr.k
+	if len(gr.queue) < k-1 {
+		return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: %d pending leaves after a restructure", len(gr.queue))
+	}
+	var d EdgeDelta
+
+	// The last k−1 queue entries are the level the restructure created; all
+	// share the same parent set — the k internal copies, internals[0] = s.
+	level := gr.queue[len(gr.queue)-(k-1):]
+	internals := level[0].parents
+	children := make([]int, k-1)
+	inLevel := make(map[int]bool, k-1)
+	for i, pl := range level {
+		children[i] = pl.node
+		inLevel[pl.node] = true
+	}
+	if children[k-2] != gr.N()-1 {
+		return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: youngest node %d is not the newest leaf %d", gr.N()-1, children[k-2])
+	}
+
+	// Recover the parents of the former base leaf s: copy i kept exactly
+	// one upward link, to oldParents[i].
+	oldParents := make([]int, k)
+	for i, in := range internals {
+		up := -1
+		for _, nb := range gr.g.Neighbors(in) {
+			if !inLevel[nb] {
+				if up >= 0 {
+					return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: copy %d has two upward links", in)
+				}
+				up = nb
+			}
+		}
+		if up < 0 {
+			return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: copy %d has no upward link", in)
+		}
+		oldParents[i] = up
+	}
+
+	// Tear the level down.
+	for _, child := range children {
+		for _, in := range internals {
+			removeEdgeInto(&d, gr.g, in, child)
+		}
+	}
+	gr.queue = gr.queue[:len(gr.queue)-(k-1)]
+	if err := gr.g.RemoveLastNode(); err != nil {
+		return EdgeDelta{}, err
+	}
+
+	// Rewind the promotions: s (= internals[0]) already holds its link to
+	// oldParents[0]; the copies and the surviving children become added
+	// leaves again, each attached to ALL k old parents.
+	s := internals[0]
+	for j := 1; j < k; j++ {
+		addEdgeInto(&d, gr.g, s, oldParents[j])
+	}
+	restored := make([]int, 0, 2*k-3)
+	for i := 1; i < k; i++ {
+		c := internals[i]
+		restored = append(restored, c)
+		for j := 0; j < k; j++ {
+			if j != i {
+				addEdgeInto(&d, gr.g, c, oldParents[j])
+			}
+		}
+	}
+	for _, c := range children[:k-2] {
+		restored = append(restored, c)
+		for j := 0; j < k; j++ {
+			addEdgeInto(&d, gr.g, c, oldParents[j])
+		}
+	}
+	gr.added = restored
+	gr.queue = append([]pendingLeaf{{node: s, parents: oldParents}}, gr.queue...)
+	return d, nil
+}
+
+// shrinkLeaf is the shared added-leaf inverse: every waiting added leaf is
+// attached to the current front's parents, and the youngest of them is by
+// construction the youngest node overall.
+func shrinkLeaf(g *graph.Builder, added *[]int, queue []pendingLeaf) (EdgeDelta, error) {
+	a := *added
+	id := a[len(a)-1]
+	if id != g.Order()-1 {
+		return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: youngest node %d is not the newest added leaf %d", g.Order()-1, id)
+	}
+	if len(queue) == 0 {
+		return EdgeDelta{}, fmt.Errorf("core: grower has no pending leaves")
+	}
+	var d EdgeDelta
+	for _, p := range queue[0].parents {
+		removeEdgeInto(&d, g, p, id)
+	}
+	if err := g.RemoveLastNode(); err != nil {
+		return EdgeDelta{}, err
+	}
+	*added = a[:len(a)-1]
+	return d, nil
+}
+
+func removeEdgeInto(d *EdgeDelta, g *graph.Builder, u, v int) {
+	if g.RemoveEdge(u, v) {
+		d.Removed = append(d.Removed, edge(u, v))
+	}
+}
+
+func addEdgeInto(d *EdgeDelta, g *graph.Builder, u, v int) {
+	if !g.HasEdge(u, v) {
+		g.MustAddEdge(u, v)
+		d.Added = append(d.Added, edge(u, v))
+	}
+}

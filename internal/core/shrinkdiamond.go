@@ -1,0 +1,132 @@
+package core
+
+import "fmt"
+
+// Shrink retires the youngest node (label n−1) and returns the edge surgery
+// performed, in canonical form — the exact inverse of the previous Grow.
+// See shrink.go for the state-machine dispatch rationale.
+func (gr *KDiamondGrower) Shrink() (EdgeDelta, error) {
+	if gr.N() <= 2*gr.k {
+		return EdgeDelta{}, notConstructible("K-DIAMOND", gr.N()-1, gr.k,
+			fmt.Sprintf("cannot shrink below the minimal graph n = 2k = %d", 2*gr.k))
+	}
+	var d EdgeDelta
+	var err error
+	switch {
+	case len(gr.added) > 0:
+		d, err = shrinkLeaf(gr.g, &gr.added, gr.queue)
+	case len(gr.group) > 0:
+		d, err = gr.unformGroup()
+	default:
+		d, err = gr.undissolveGroup()
+	}
+	d.Normalize()
+	return d, err
+}
+
+// unformGroup undoes Part 2 (α odd → even): the pending clique dissolves
+// back into the oldest base leaf, the k−2 waiting added leaves and the
+// departing joiner. Member i currently holds exactly one tree link — to
+// parents[i], its unique neighbor outside the clique — which pins down the
+// parent set of the base leaf being restored.
+func (gr *KDiamondGrower) unformGroup() (EdgeDelta, error) {
+	k := gr.k
+	members := gr.group
+	joiner := members[k-1]
+	if joiner != gr.N()-1 {
+		return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: youngest node %d is not the clique joiner %d", gr.N()-1, joiner)
+	}
+	inGroup := make(map[int]bool, k)
+	for _, m := range members {
+		inGroup[m] = true
+	}
+	parents := make([]int, k)
+	for i, m := range members {
+		up := -1
+		for _, nb := range gr.g.Neighbors(m) {
+			if !inGroup[nb] {
+				if up >= 0 {
+					return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: clique member %d has two tree links", m)
+				}
+				up = nb
+			}
+		}
+		if up < 0 {
+			return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: clique member %d has no tree link", m)
+		}
+		parents[i] = up
+	}
+	var d EdgeDelta
+	// Drop the clique and the joiner's single tree link, retire the joiner.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			removeEdgeInto(&d, gr.g, members[i], members[j])
+		}
+	}
+	removeEdgeInto(&d, gr.g, joiner, parents[k-1])
+	if err := gr.g.RemoveLastNode(); err != nil {
+		return EdgeDelta{}, err
+	}
+	// Restore the base leaf s = members[0] and the added leaves
+	// members[1..k−2]: each reattaches to every parent it had dropped.
+	for i := 0; i < k-1; i++ {
+		for j := 0; j < k; j++ {
+			if j != i {
+				addEdgeInto(&d, gr.g, members[i], parents[j])
+			}
+		}
+	}
+	gr.added = append([]int(nil), members[1:k-1]...)
+	gr.queue = append([]pendingLeaf{{node: members[0], parents: parents}}, gr.queue...)
+	gr.group = nil
+	return d, nil
+}
+
+// undissolveGroup undoes Part 3 (α even → odd): the newest shared-leaf
+// level reverts to waiting added leaves on the current front, the departing
+// joiner is retired, and the internal copies become a pending clique again.
+func (gr *KDiamondGrower) undissolveGroup() (EdgeDelta, error) {
+	k := gr.k
+	if len(gr.queue) < k-1 {
+		return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: %d pending leaves after a dissolve", len(gr.queue))
+	}
+	level := gr.queue[len(gr.queue)-(k-1):]
+	members := level[0].parents
+	children := make([]int, k-1)
+	for i, pl := range level {
+		children[i] = pl.node
+	}
+	if children[k-2] != gr.N()-1 {
+		return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: youngest node %d is not the newest leaf %d", gr.N()-1, children[k-2])
+	}
+	var d EdgeDelta
+	// Tear the level down and retire the joiner.
+	for _, child := range children {
+		for _, m := range members {
+			removeEdgeInto(&d, gr.g, m, child)
+		}
+	}
+	gr.queue = gr.queue[:len(gr.queue)-(k-1)]
+	if err := gr.g.RemoveLastNode(); err != nil {
+		return EdgeDelta{}, err
+	}
+	if len(gr.queue) == 0 {
+		return EdgeDelta{}, fmt.Errorf("core: inconsistent grower state: no front leaf to host restored added leaves")
+	}
+	// The surviving children become waiting added leaves on the current
+	// front again, and the members reform their clique.
+	host := gr.queue[0].parents
+	for _, c := range children[:k-2] {
+		for _, p := range host {
+			addEdgeInto(&d, gr.g, c, p)
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			addEdgeInto(&d, gr.g, members[i], members[j])
+		}
+	}
+	gr.added = append([]int(nil), children[:k-2]...)
+	gr.group = members
+	return d, nil
+}

@@ -64,6 +64,44 @@ func VertexCut(g *graph.Graph, s, t int) (int, error) {
 	return stVertexFlow(context.Background(), g, s, t, -1), nil
 }
 
+// VertexCutAtLeastCtx reports whether every s-t vertex cut has at least c
+// nodes, using one early-exit max flow (the probe stops as soon as c
+// disjoint paths are found). s and t must be valid and non-adjacent. It is
+// the primitive of the incremental re-verification in internal/check: a
+// localized frontier probe that never pays for the exact cut value.
+func VertexCutAtLeastCtx(ctx context.Context, g *graph.Graph, s, t, c int) (bool, error) {
+	if err := validatePair(g, s, t); err != nil {
+		return false, err
+	}
+	if c <= 0 {
+		return true, ctx.Err()
+	}
+	if g.HasEdge(s, t) {
+		return false, fmt.Errorf("flow: no vertex cut separates adjacent nodes %d and %d", s, t)
+	}
+	ok := stVertexFlow(ctx, g, s, t, c) >= c
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// EdgeCutAtLeastCtx reports whether every s-t edge cut has at least c
+// edges, using one early-exit max flow; see VertexCutAtLeastCtx.
+func EdgeCutAtLeastCtx(ctx context.Context, g *graph.Graph, s, t, c int) (bool, error) {
+	if err := validatePair(g, s, t); err != nil {
+		return false, err
+	}
+	if c <= 0 {
+		return true, ctx.Err()
+	}
+	ok := stEdgeFlowExcluding(ctx, g, s, t, c, noEdge) >= c
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
 // MinVertexCutSet returns an actual minimum vertex cut separating
 // non-adjacent s and t: a smallest node set whose removal disconnects them.
 func MinVertexCutSet(g *graph.Graph, s, t int) ([]int, error) {

@@ -108,6 +108,22 @@ func (b *Builder) removeHalf(u, w int) bool {
 	return false
 }
 
+// RemoveLastNode drops the highest-numbered node, which must already be
+// isolated — the inverse of AddNode for the shrink surgeries, which tear
+// down every link of a departing label before retiring it.
+func (b *Builder) RemoveLastNode() error {
+	n := len(b.adj)
+	if n == 0 {
+		return fmt.Errorf("graph: no node to remove")
+	}
+	if len(b.adj[n-1]) != 0 {
+		return fmt.Errorf("graph: node %d still has %d links", n-1, len(b.adj[n-1]))
+	}
+	b.frozen = nil
+	b.adj = b.adj[:n-1]
+	return nil
+}
+
 // HasEdge reports whether the edge (u,v) exists.
 func (b *Builder) HasEdge(u, v int) bool {
 	if u < 0 || u >= len(b.adj) || v < 0 || v >= len(b.adj) {

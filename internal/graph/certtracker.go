@@ -1,0 +1,160 @@
+package graph
+
+// CertTracker maintains a Nagamochi–Ibaraki sparse k-certificate across a
+// stream of edge deltas. Rather than rebuilding the certificate from
+// nothing, Advance re-runs only the flow-free scan-first-search labeling
+// (linear in the graph, negligible next to one max-flow probe) and then
+// re-materializes ONLY the certificate rows whose forest membership
+// actually changed, block-copying every untouched row from the previous
+// certificate. The returned changed-vertex set is exactly the frontier an
+// incremental re-verification has to re-probe: a vertex is reported iff
+// its certificate adjacency row differs between the two epochs.
+//
+// On the k-regular graphs this repository grows, the k+1-certificate is
+// the graph itself (the q >= Δ shortcut in SparseCertificate), so Advance
+// takes the O(changed) fast path: no scan at all, and the changed set is
+// just the delta's touched vertices.
+type CertTracker struct {
+	k    int
+	g    *Graph // graph at the current epoch
+	cert *Graph // its sparse k-certificate
+}
+
+// NewCertTracker builds the initial certificate of g for parameter k.
+func NewCertTracker(g *Graph, k int) *CertTracker {
+	return &CertTracker{k: k, g: g, cert: SparseCertificate(g, k)}
+}
+
+// Graph returns the tracked graph at the current epoch.
+func (t *CertTracker) Graph() *Graph { return t.g }
+
+// Cert returns the certificate at the current epoch. Frozen graphs are
+// immutable, so the caller may hold it across further Advance calls.
+func (t *CertTracker) Cert() *Graph { return t.cert }
+
+// K returns the certificate parameter.
+func (t *CertTracker) K() int { return t.k }
+
+// Advance moves the tracker to the next epoch: next must be the graph that
+// results from applying d to the current one (typically via ApplyDelta —
+// the tracker does not re-derive it, so callers reuse the view they already
+// built). It returns the sorted vertices whose certificate membership
+// changed; vertices present in only one of the two epochs are included.
+func (t *CertTracker) Advance(next *Graph, d EdgeDelta) []int {
+	prevCert := t.cert
+	prevSaturated := t.cert == t.g // certificate kept every edge
+	t.g = next
+	if maxDeg, _ := next.MaxDegree(); t.k >= maxDeg {
+		// Saturated epoch: the certificate is next itself. If the previous
+		// epoch was saturated too, certificate rows track graph rows, so
+		// membership changed exactly at the delta frontier (plus any node
+		// that appeared or departed, already endpoints of delta edges or
+		// isolated in both views).
+		t.cert = next
+		if prevSaturated {
+			return boundTouched(d, prevCert.Order(), next.Order())
+		}
+		return diffRows(prevCert, next)
+	}
+
+	// General epoch: one flow-free relabeling pass over next, then rebuild
+	// only the rows whose kept-edge membership moved.
+	forest := forestIndices(next)
+	n := next.Order()
+	kept := make([]Edge, 0, next.Size())
+	id := 0
+	next.EachEdge(func(u, v int) {
+		if int(forest[id]) <= t.k {
+			kept = append(kept, Edge{U: u, V: v})
+		}
+		id++
+	})
+	newCert := rebuildCert(n, kept)
+	t.cert = newCert
+	return diffRows(prevCert, newCert)
+}
+
+// boundTouched clamps the delta frontier to the union of the two node
+// ranges and adds nothing else — valid only when both epochs are saturated.
+func boundTouched(d EdgeDelta, oldN, newN int) []int {
+	lim := oldN
+	if newN > lim {
+		lim = newN
+	}
+	touched := d.Touched()
+	out := touched[:0]
+	for _, v := range touched {
+		if v >= 0 && v < lim {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// rebuildCert assembles the certificate over n nodes from its kept-edge
+// list. kept arrives in (U,V)-sorted EachEdge order, so most rows come out
+// already sorted and only the out-of-order ones (bounded by the forest
+// parameter, not the graph) pay a sort.
+func rebuildCert(n int, kept []Edge) *Graph {
+	off := make([]int32, n+1)
+	for _, e := range kept {
+		off[e.U+1]++
+		off[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	nbr := make([]int32, off[n])
+	fill := make([]int32, n)
+	for _, e := range kept {
+		nbr[off[e.U]+fill[e.U]] = int32(e.V)
+		fill[e.U]++
+		nbr[off[e.V]+fill[e.V]] = int32(e.U)
+		fill[e.V]++
+	}
+	g := &Graph{off: off, nbr: nbr, edges: len(kept)}
+	// Rows built from an edge stream sorted by (U,V) are sorted for the
+	// lower endpoint but interleaved for the higher one; sort only rows
+	// that are out of order (the common row is small: <= k entries).
+	for v := 0; v < n; v++ {
+		row := g.row(v)
+		for i := 1; i < len(row); i++ {
+			if row[i-1] > row[i] {
+				sortInt32(row)
+				break
+			}
+		}
+	}
+	return g
+}
+
+// diffRows returns the sorted vertices whose adjacency rows differ between
+// a and b, including vertices that exist in only one of them.
+func diffRows(a, b *Graph) []int {
+	na, nb := a.Order(), b.Order()
+	n := na
+	if nb > n {
+		n = nb
+	}
+	var out []int
+	for v := 0; v < n; v++ {
+		if v >= na || v >= nb {
+			if (v < na && a.Degree(v) > 0) || (v < nb && b.Degree(v) > 0) {
+				out = append(out, v)
+			}
+			continue
+		}
+		ra, rb := a.row(v), b.row(v)
+		if len(ra) != len(rb) {
+			out = append(out, v)
+			continue
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -2,7 +2,8 @@
 // service: a system of processes whose topology is the canonical LHG for
 // the current view, whose view changes are disseminated by flooding over
 // that same topology, and which repairs itself after crashes by proposing
-// leaves for the dead members and rebuilding.
+// leaves for the dead members and applying the constructions' delta
+// surgery.
 //
 // The service demonstrates the end-to-end guarantee chain:
 //
@@ -11,15 +12,28 @@
 //	                =>  all correct members apply the same view sequence
 //	                =>  the next topology is consistent, and flooding keeps
 //	                    working through the repair.
+//
+// Since PR 6 the topology is maintained by a core.Reconfigurer churn
+// engine instead of per-change canonical rebuilds: a join is one Grow, a
+// repair is a batch of Shrinks merged into one net edge delta. Churn in
+// the change reports is therefore the EXACT number of link operations a
+// deployment would issue — O(k²) per membership event, independent of n —
+// not the edge diff of two unrelated canonical builds.
 package member
 
 import (
 	"fmt"
 
+	"lhg/internal/core"
 	"lhg/internal/flood"
 	"lhg/internal/graph"
 	"lhg/internal/overlay"
 )
+
+// EngineFunc builds a churn engine positioned at n members with
+// connectivity target k. core.NewKTreeGrowerAt and core.NewKDiamondGrowerAt
+// satisfy it.
+type EngineFunc func(k, n int) (core.Reconfigurer, error)
 
 // View is a membership epoch: a version counter and the member count of
 // the epoch's topology.
@@ -34,7 +48,11 @@ type ChangeReport struct {
 	Rounds   int  // flood rounds to reach every alive member
 	Messages int  // flood messages
 	Applied  int  // alive members that applied the change
-	Churn    overlay.Churn
+	// Churn counts the actual link edits of the delta surgery (exact
+	// Added/Removed operation counts, Kept = surviving links).
+	Churn overlay.Churn
+	// Delta is the net edge surgery of the change, in canonical order.
+	Delta graph.EdgeDelta
 }
 
 // System is a simulated membership service. Member ids are dense in the
@@ -43,26 +61,24 @@ type ChangeReport struct {
 // the k-connectivity guarantee must cover.
 type System struct {
 	k       int
-	topo    overlay.TopologyFunc
-	g       *graph.Graph
+	engine  core.Reconfigurer
 	view    View
 	views   []View // per-member installed view
 	crashed []bool
 }
 
-// New creates a system of `initial` members on the canonical topology.
-func New(k, initial int, topo overlay.TopologyFunc) (*System, error) {
-	if topo == nil {
-		return nil, fmt.Errorf("member: nil topology func")
+// New creates a system of `initial` members on the engine's topology.
+func New(k, initial int, engine EngineFunc) (*System, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("member: nil engine func")
 	}
-	g, err := topo(initial, k)
+	eng, err := engine(k, initial)
 	if err != nil {
 		return nil, fmt.Errorf("member: initial topology: %w", err)
 	}
 	s := &System{
 		k:       k,
-		topo:    topo,
-		g:       g,
+		engine:  eng,
 		view:    View{Version: 0, Size: initial},
 		views:   make([]View, initial),
 		crashed: make([]bool, initial),
@@ -75,7 +91,7 @@ func New(k, initial int, topo overlay.TopologyFunc) (*System, error) {
 
 // Size returns the current topology size (including crashed members not
 // yet removed).
-func (s *System) Size() int { return s.g.Order() }
+func (s *System) Size() int { return s.engine.N() }
 
 // K returns the connectivity target.
 func (s *System) K() int { return s.k }
@@ -85,7 +101,7 @@ func (s *System) CurrentView() View { return s.view }
 
 // Graph returns the current topology. Frozen graphs are immutable, so the
 // caller shares the view without a defensive copy.
-func (s *System) Graph() *graph.Graph { return s.g }
+func (s *System) Graph() *graph.Graph { return s.engine.Graph() }
 
 // CrashedCount returns how many members are crashed but still wired in.
 func (s *System) CrashedCount() int {
@@ -102,7 +118,7 @@ func (s *System) CrashedCount() int {
 // remain in the topology until repaired away.
 func (s *System) Crash(ids ...int) error {
 	for _, id := range ids {
-		if id < 0 || id >= s.g.Order() {
+		if id < 0 || id >= s.engine.N() {
 			return fmt.Errorf("member: unknown member %d", id)
 		}
 		s.crashed[id] = true
@@ -133,16 +149,28 @@ func (s *System) disseminate() (*flood.Result, int, error) {
 			dead = append(dead, id)
 		}
 	}
-	res, err := flood.Run(s.g, src, flood.Failures{Nodes: dead})
+	res, err := flood.Run(s.engine.Graph(), src, flood.Failures{Nodes: dead})
 	if err != nil {
 		return nil, 0, err
 	}
 	return res, src, nil
 }
 
+// deltaChurn converts a net edge delta into the overlay churn accounting:
+// exact edit counts, with Kept the links of the new topology that required
+// no operation.
+func deltaChurn(d graph.EdgeDelta, newSize int) overlay.Churn {
+	return overlay.Churn{
+		Added:   len(d.Added),
+		Removed: len(d.Removed),
+		Kept:    newSize - len(d.Added),
+	}
+}
+
 // ProposeJoin admits one member: the view change floods over the current
-// topology, every alive member applies it, and the topology is rebuilt for
-// the grown view. The joiner starts with the new view installed.
+// topology, every alive member applies it, and the engine grows the
+// topology by one delta surgery. The joiner starts with the new view
+// installed.
 func (s *System) ProposeJoin() (*ChangeReport, error) {
 	res, _, err := s.disseminate()
 	if err != nil {
@@ -152,14 +180,11 @@ func (s *System) ProposeJoin() (*ChangeReport, error) {
 		return nil, fmt.Errorf("member: view change failed to reach %d members (connectivity exhausted)",
 			res.Alive-res.Reached)
 	}
-	newSize := s.g.Order() + 1
-	ng, err := s.topo(newSize, s.k)
+	d, err := s.engine.Grow()
 	if err != nil {
-		return nil, fmt.Errorf("member: topology at n=%d: %w", newSize, err)
+		return nil, fmt.Errorf("member: join surgery: %w", err)
 	}
-	churn := diffChurn(s.g, ng)
-	s.g = ng
-	s.view = View{Version: s.view.Version + 1, Size: newSize}
+	s.view = View{Version: s.view.Version + 1, Size: s.engine.N()}
 	for id := range s.views {
 		if !s.crashed[id] {
 			s.views[id] = s.view
@@ -169,18 +194,26 @@ func (s *System) ProposeJoin() (*ChangeReport, error) {
 	s.crashed = append(s.crashed, false)
 	return &ChangeReport{
 		View: s.view, Rounds: res.Rounds, Messages: res.Messages,
-		Applied: res.Reached, Churn: churn,
+		Applied: res.Reached, Churn: deltaChurn(d, s.engine.Graph().Size()),
+		Delta: d,
 	}, nil
 }
 
 // Repair removes every crashed member in one view change: the change
-// floods over the degraded topology (tolerable while crashed <= k-1),
-// survivors relabel densely, and the topology is rebuilt at the surviving
-// size.
+// floods over the degraded topology (tolerable while crashed <= k-1), the
+// engine shrinks by one batched delta surgery — the leaves merged into
+// their net O(changed-edges) edit set, no rebuild — and survivors relabel
+// densely (alive members holding a departing label take over the freed
+// low ids, re-pointing their surviving links without tearing them down).
 func (s *System) Repair() (*ChangeReport, error) {
 	deadCount := s.CrashedCount()
 	if deadCount == 0 {
 		return nil, fmt.Errorf("member: nothing to repair")
+	}
+	newSize := s.engine.N() - deadCount
+	if newSize < 2*s.k {
+		return nil, fmt.Errorf("member: repair would shrink to %d members, below the minimal 2k=%d",
+			newSize, 2*s.k)
 	}
 	res, _, err := s.disseminate()
 	if err != nil {
@@ -189,14 +222,14 @@ func (s *System) Repair() (*ChangeReport, error) {
 	if !res.Complete {
 		return nil, fmt.Errorf("member: repair flood failed to reach %d members", res.Alive-res.Reached)
 	}
-	newSize := s.g.Order() - deadCount
-	ng, err := s.topo(newSize, s.k)
-	if err != nil {
-		return nil, fmt.Errorf("member: topology at n=%d: %w", newSize, err)
+	leaves := make([]core.Change, deadCount)
+	for i := range leaves {
+		leaves[i] = core.ChangeLeave
 	}
-	// Survivors keep their relative order and take the dense ids.
-	churn := diffChurn(s.survivorSubgraph(newSize), ng)
-	s.g = ng
+	d, err := s.engine.Apply(leaves)
+	if err != nil {
+		return nil, fmt.Errorf("member: repair surgery: %w", err)
+	}
 	s.view = View{Version: s.view.Version + 1, Size: newSize}
 	views := make([]View, 0, newSize)
 	for id := range s.views {
@@ -208,34 +241,9 @@ func (s *System) Repair() (*ChangeReport, error) {
 	s.crashed = make([]bool, newSize)
 	return &ChangeReport{
 		View: s.view, Rounds: res.Rounds, Messages: res.Messages,
-		Applied: res.Reached, Churn: churn,
+		Applied: res.Reached, Churn: deltaChurn(d, s.engine.Graph().Size()),
+		Delta: d,
 	}, nil
-}
-
-// survivorSubgraph renders the current topology restricted to alive
-// members under their new dense ids.
-func (s *System) survivorSubgraph(newSize int) *graph.Graph {
-	relabel := make([]int, s.g.Order())
-	next := 0
-	for id := range relabel {
-		if s.crashed[id] {
-			relabel[id] = -1
-			continue
-		}
-		relabel[id] = next
-		next++
-	}
-	edges := make([]graph.Edge, 0, s.g.Size())
-	for _, e := range s.g.Edges() {
-		u, v := relabel[e.U], relabel[e.V]
-		if u >= 0 && v >= 0 {
-			if u > v {
-				u, v = v, u
-			}
-			edges = append(edges, graph.Edge{U: u, V: v})
-		}
-	}
-	return graph.MustFromEdges(newSize, edges)
 }
 
 // Views returns the per-member installed views (crashed members report the
@@ -261,17 +269,4 @@ func (s *System) ConsistentViews() bool {
 func (s *System) Broadcast() (*flood.Result, error) {
 	res, _, err := s.disseminate()
 	return res, err
-}
-
-func diffChurn(oldG, newG *graph.Graph) overlay.Churn {
-	var c overlay.Churn
-	for _, e := range oldG.Edges() {
-		if e.U < newG.Order() && e.V < newG.Order() && newG.HasEdge(e.U, e.V) {
-			c.Kept++
-		} else {
-			c.Removed++
-		}
-	}
-	c.Added = newG.Size() - c.Kept
-	return c
 }

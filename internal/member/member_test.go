@@ -5,20 +5,15 @@ import (
 
 	"lhg/internal/check"
 	"lhg/internal/core"
-	"lhg/internal/graph"
 )
 
-func kdiamondTopo(n, k int) (*graph.Graph, error) {
-	kd, err := core.BuildKDiamond(n, k)
-	if err != nil {
-		return nil, err
-	}
-	return kd.Real.Graph, nil
+func kdiamondEngine(k, n int) (core.Reconfigurer, error) {
+	return core.NewKDiamondGrowerAt(k, n)
 }
 
 func newSystem(t *testing.T, k, n int) *System {
 	t.Helper()
-	s, err := New(k, n, kdiamondTopo)
+	s, err := New(k, n, kdiamondEngine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,9 +22,9 @@ func newSystem(t *testing.T, k, n int) *System {
 
 func TestNewErrors(t *testing.T) {
 	if _, err := New(3, 10, nil); err == nil {
-		t.Fatal("nil topology must error")
+		t.Fatal("nil engine must error")
 	}
-	if _, err := New(3, 4, kdiamondTopo); err == nil {
+	if _, err := New(3, 4, kdiamondEngine); err == nil {
 		t.Fatal("n < 2k must error")
 	}
 }
@@ -170,5 +165,90 @@ func TestRepairChurnAccounting(t *testing.T) {
 	}
 	if rep.Churn.Kept+rep.Churn.Added != s.Graph().Size() {
 		t.Fatalf("churn accounting: %+v vs new m=%d", rep.Churn, s.Graph().Size())
+	}
+}
+
+// TestRepairIssuesDeltaSurgery is the O(changed-edges) guarantee: a crash
+// repair's churn must equal, edit for edit, the net delta of an independent
+// engine shrunk by the same batch — and stay bounded by O(k²) per departed
+// member, independent of n. A canonical rebuild would count ~m = nk/2
+// operations and fail both assertions.
+func TestRepairIssuesDeltaSurgery(t *testing.T) {
+	const (
+		k    = 3
+		n    = 60
+		dead = 3
+	)
+	s := newSystem(t, k, n)
+	if err := s.Crash(5, 17, 29); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the same surgery on a fresh engine at the same size.
+	ref, err := core.NewKDiamondGrowerAt(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Apply([]core.Change{core.ChangeLeave, core.ChangeLeave, core.ChangeLeave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Churn.Added != len(want.Added) || rep.Churn.Removed != len(want.Removed) {
+		t.Fatalf("repair churn %+v, want exactly added=%d removed=%d (net delta surgery)",
+			rep.Churn, len(want.Added), len(want.Removed))
+	}
+	if got, wantDelta := rep.Delta, want; len(got.Added) != len(wantDelta.Added) ||
+		len(got.Removed) != len(wantDelta.Removed) {
+		t.Fatalf("report delta %v, want %v", got, wantDelta)
+	}
+	if bound := dead * 4 * k * k; rep.Churn.Total() > bound {
+		t.Fatalf("repair issued %d edits for %d departures, exceeds O(k²) bound %d",
+			rep.Churn.Total(), dead, bound)
+	}
+	if rep.Churn.Kept+rep.Churn.Added != s.Graph().Size() {
+		t.Fatalf("churn accounting: %+v vs new m=%d", rep.Churn, s.Graph().Size())
+	}
+}
+
+// TestJoinChurnIsDeltaCounts: admissions report the exact surgery too.
+func TestJoinChurnIsDeltaCounts(t *testing.T) {
+	const k = 3
+	s := newSystem(t, k, 40)
+	ref, err := core.NewKDiamondGrowerAt(k, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		rep, err := s.ProposeJoin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Grow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Churn.Added != len(want.Added) || rep.Churn.Removed != len(want.Removed) {
+			t.Fatalf("join %d churn %+v, want added=%d removed=%d",
+				i, rep.Churn, len(want.Added), len(want.Removed))
+		}
+	}
+}
+
+// TestRepairBelowMinimumFails: shrinking past 2k is refused up front, with
+// no partial surgery applied.
+func TestRepairBelowMinimumFails(t *testing.T) {
+	s := newSystem(t, 3, 7) // 2k = 6: one leave is fine, two are not
+	if err := s.Crash(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Graph()
+	if _, err := s.Repair(); err == nil {
+		t.Fatal("repair below 2k must fail")
+	}
+	if s.Size() != 7 || s.Graph().Size() != before.Size() {
+		t.Fatal("failed repair must not mutate the topology")
 	}
 }

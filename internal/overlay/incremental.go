@@ -8,34 +8,29 @@ import (
 	"lhg/internal/graph"
 )
 
-// Grower is the incremental-maintenance interface implemented by
-// core.KTreeGrower and core.KDiamondGrower: one admission per Grow call,
-// O(k²) edge churn, stable node ids, LHG-valid after every step. Graph and
-// Snapshot both return the frozen (immutable) view of the current
-// topology; the names survive from the mutable era, when only Graph
-// copied.
-type Grower interface {
-	Grow() (core.EdgeDelta, error)
-	Graph() *graph.Graph
-	Snapshot() *graph.Graph
-	N() int
-	K() int
-}
+// Grower is the incremental-maintenance contract implemented by
+// core.KTreeGrower and core.KDiamondGrower — an alias of core.Reconfigurer
+// (the name survives from the join-only era): one admission per Grow,
+// one departure per Shrink, batched churn via Apply, all with O(k²) edge
+// surgery per event, stable node ids, and an LHG-valid topology after
+// every step.
+type Grower = core.Reconfigurer
 
 var (
 	_ Grower = (*core.KTreeGrower)(nil)
 	_ Grower = (*core.KDiamondGrower)(nil)
 )
 
-// Incremental is a join-only overlay maintained by graph surgery instead of
-// canonical rebuilds. Compared to Overlay it trades leave-support for
-// constant (in n) reconfiguration cost per join — see experiment E15.
+// Incremental is an overlay maintained by graph surgery instead of
+// canonical rebuilds: joins AND leaves cost a constant (in n) number of
+// link edits — see experiments E15 and E27. Compared to Overlay, churn
+// figures here are exact edit counts of the surgery actually issued.
 type Incremental struct {
 	gr   Grower
 	gens int
 }
 
-// NewIncremental wraps a grower as an overlay.
+// NewIncremental wraps a churn engine as an overlay.
 func NewIncremental(gr Grower) (*Incremental, error) {
 	if gr == nil {
 		return nil, fmt.Errorf("overlay: nil grower")
@@ -49,11 +44,22 @@ func (o *Incremental) Size() int { return o.gr.N() }
 // K returns the connectivity target.
 func (o *Incremental) K() int { return o.gr.K() }
 
-// Generation returns how many joins have been processed.
+// Generation returns how many membership events have been processed.
 func (o *Incremental) Generation() int { return o.gens }
 
-// Graph returns a copy of the current topology.
+// Graph returns the frozen (immutable) view of the current topology.
 func (o *Incremental) Graph() *graph.Graph { return o.gr.Graph() }
+
+// deltaChurn converts a surgery delta into the churn accounting shared
+// with the rebuild overlay: exact edit counts, Kept = links of the new
+// topology that required no operation.
+func (o *Incremental) deltaChurn(d graph.EdgeDelta) Churn {
+	return Churn{
+		Added:   len(d.Added),
+		Removed: len(d.Removed),
+		Kept:    o.gr.Graph().Size() - len(d.Added),
+	}
+}
 
 // Join admits one member and returns the link churn (setup + teardown
 // counts mirroring Overlay's accounting).
@@ -63,8 +69,32 @@ func (o *Incremental) Join() (Churn, error) {
 		return Churn{}, fmt.Errorf("overlay: incremental join: %w", err)
 	}
 	o.gens++
-	kept := o.gr.Snapshot().Size() - len(d.Added)
-	return Churn{Added: len(d.Added), Removed: len(d.Removed), Kept: kept}, nil
+	return o.deltaChurn(d), nil
+}
+
+// Leave removes the youngest member by inverse surgery and returns the
+// link churn. Departures below the minimal size 2k fail.
+func (o *Incremental) Leave() (Churn, error) {
+	d, err := o.gr.Shrink()
+	if err != nil {
+		return Churn{}, fmt.Errorf("overlay: incremental leave: %w", err)
+	}
+	o.gens++
+	return o.deltaChurn(d), nil
+}
+
+// Apply executes a batch of membership changes and returns the churn of
+// the NET delta — opposite edits inside the batch cancel, so the figure is
+// the cost of reconfiguring straight to the final topology. On error the
+// completed prefix stays applied and its churn is returned with the error.
+func (o *Incremental) Apply(changes []core.Change) (Churn, error) {
+	d, err := o.gr.Apply(changes)
+	c := o.deltaChurn(d)
+	if err != nil {
+		return c, fmt.Errorf("overlay: incremental batch: %w", err)
+	}
+	o.gens += len(changes)
+	return c, nil
 }
 
 // Broadcast floods from source over the current topology under failures.

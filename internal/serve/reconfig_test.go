@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lhg"
+	"lhg/internal/obs"
+)
+
+// newReconfigServer is newTestServer that also exposes the *Server for
+// whitebox session inspection.
+func newReconfigServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestReconfigureSessionLifecycle(t *testing.T) {
+	_, ts := newReconfigServer(t, Options{CacheSize: 16})
+
+	// Create + first batch in one request: 4 joins onto K-TREE(14,3).
+	var resp ReconfigureResponse
+	status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"life","constraint":"ktree","n":14,"k":3,"joins":4}`, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("create: status = %d, want 200", status)
+	}
+	if resp.Epoch != 1 || resp.N != 18 || resp.K != 3 {
+		t.Fatalf("create: epoch/n/k = %d/%d/%d, want 1/18/3", resp.Epoch, resp.N, resp.K)
+	}
+	if len(resp.Added) == 0 {
+		t.Fatal("admitting 4 members must add edges")
+	}
+	if !resp.IsLHG || resp.Report == nil {
+		t.Fatalf("K-TREE(18,3) must verify as an LHG: %+v", resp.Report)
+	}
+
+	// The incremental report must agree with a fresh full verification of
+	// the same topology (the engine is deterministic per size).
+	eng, err := lhg.NewKTreeGrowerAt(3, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lhg.Verify(context.Background(), eng.Graph(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.Report
+	if got.N != want.N || got.M != want.M ||
+		got.NodeConnectivity != want.NodeConnectivity ||
+		got.EdgeConnectivity != want.EdgeConnectivity ||
+		got.LinkMinimal != want.LinkMinimal ||
+		got.Diameter != want.Diameter ||
+		got.LogDiameter != want.LogDiameter {
+		t.Fatalf("delta report diverges from full verify:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Pure read: no surgery, no epoch bump; the second identical read must
+	// be served from the cache (the key pins the epoch).
+	var read ReconfigureResponse
+	postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"life"}`, &read)
+	if read.Epoch != 1 || read.N != 18 || len(read.Added) != 0 || len(read.Removed) != 0 {
+		t.Fatalf("pure read mutated the session: %+v", read)
+	}
+	var readAgain ReconfigureResponse
+	postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"life"}`, &readAgain)
+	if !readAgain.Cached {
+		t.Fatal("second identical read at the same epoch must hit the cache")
+	}
+
+	// A batch pinned to the current epoch applies (client-side CAS); the
+	// same batch retried with the now-stale pin answers 409 untouched.
+	var pinned ReconfigureResponse
+	status = postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"life","joins":4,"epoch":1}`, &pinned)
+	if status != http.StatusOK || pinned.Epoch != 2 || pinned.N != 22 {
+		t.Fatalf("pinned batch: status/epoch/n = %d/%d/%d, want 200/2/22", status, pinned.Epoch, pinned.N)
+	}
+	var stale errorResponse
+	if status = postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"life","joins":4,"epoch":1}`, &stale); status != http.StatusConflict {
+		t.Fatalf("stale pinned retry: status = %d, want 409", status)
+	}
+	var after ReconfigureResponse
+	postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"life"}`, &after)
+	if after.Epoch != 2 || after.N != 22 {
+		t.Fatalf("stale retry touched the session: epoch/n = %d/%d, want 2/22", after.Epoch, after.N)
+	}
+
+	// Departures by inverse surgery.
+	var down ReconfigureResponse
+	status = postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"life","leaves":8}`, &down)
+	if status != http.StatusOK {
+		t.Fatalf("leaves: status = %d, want 200", status)
+	}
+	if down.Epoch != 3 || down.N != 14 {
+		t.Fatalf("leaves: epoch/n = %d/%d, want 3/14", down.Epoch, down.N)
+	}
+	if len(down.Removed) == 0 {
+		t.Fatal("removing 4 members must remove edges")
+	}
+	if !down.IsLHG {
+		t.Fatalf("K-TREE(14,3) must still verify after departures: %+v", down.Report)
+	}
+}
+
+func TestReconfigureNetZeroBatchIsIdentity(t *testing.T) {
+	_, ts := newReconfigServer(t, Options{CacheSize: 16})
+	postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"zero","constraint":"kdiamond","n":20,"k":3}`, nil)
+
+	// The engine is deterministic per size, so 2 joins + 2 leaves nets to
+	// the identical topology: an epoch bump with an empty delta.
+	var resp ReconfigureResponse
+	status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"zero","joins":2,"leaves":2}`, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if resp.Epoch != 1 || resp.N != 20 {
+		t.Fatalf("epoch/n = %d/%d, want 1/20", resp.Epoch, resp.N)
+	}
+	if len(resp.Added) != 0 || len(resp.Removed) != 0 {
+		t.Fatalf("net-zero batch issued surgery: +%d/-%d edges", len(resp.Added), len(resp.Removed))
+	}
+}
+
+func TestReconfigureErrorMapping(t *testing.T) {
+	_, ts := newReconfigServer(t, Options{CacheSize: 16})
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"only","constraint":"ktree","n":14,"k":3}`, nil); status != http.StatusOK {
+		t.Fatalf("seed session: status = %d, want 200", status)
+	}
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"missing session", `{"joins":1}`, http.StatusBadRequest},
+		{"negative joins", `{"session":"only","joins":-1}`, http.StatusBadRequest},
+		{"unknown constraint", `{"session":"x","constraint":"petersen","n":10,"k":3}`, http.StatusBadRequest},
+		{"no churn engine", `{"session":"x","constraint":"harary","n":14,"k":3}`, http.StatusBadRequest},
+		{"unknown session", `{"session":"ghost","joins":1}`, http.StatusNotFound},
+		{"constraint mismatch", `{"session":"only","constraint":"kdiamond","joins":1}`, http.StatusConflict},
+		{"k mismatch", `{"session":"only","k":4,"joins":1}`, http.StatusConflict},
+		{"below floor", `{"session":"only","leaves":10}`, http.StatusUnprocessableEntity},
+		{"not constructible", `{"session":"bad","constraint":"ktree","n":5,"k":3}`, http.StatusUnprocessableEntity},
+		{"stale pinned epoch", `{"session":"only","joins":1,"epoch":7}`, http.StatusConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e errorResponse
+			if status := postJSON(t, ts.URL+"/v1/reconfigure", tc.body, &e); status != tc.want {
+				t.Fatalf("status = %d, want %d (error %q)", status, tc.want, e.Error)
+			}
+			if e.Error == "" {
+				t.Fatal("error responses must carry a message")
+			}
+		})
+	}
+
+	// A stillborn session (the failed n=5 create above) must not burn its
+	// name: once.Do would otherwise pin the old error forever, so the
+	// corrected retry proves the unmapping worked.
+	var retry ReconfigureResponse
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"bad","constraint":"ktree","n":14,"k":3}`, &retry); status != http.StatusOK || retry.N != 14 {
+		t.Fatalf("retry after stillborn create: status = %d n = %d, want 200 at n=14", status, retry.N)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/reconfigure"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET: status = %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+func TestReconfigureSessionLimit(t *testing.T) {
+	_, ts := newReconfigServer(t, Options{CacheSize: 16, MaxSessions: 1})
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"only","constraint":"ktree","n":14,"k":3}`, nil); status != http.StatusOK {
+		t.Fatalf("first session: status = %d, want 200", status)
+	}
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"second","constraint":"ktree","n":14,"k":3}`, nil); status != http.StatusTooManyRequests {
+		t.Fatalf("over-limit session: status = %d, want 429", status)
+	}
+	// The existing session is unaffected by the refusal.
+	var resp ReconfigureResponse
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"only","joins":4}`, &resp); status != http.StatusOK || resp.N != 18 {
+		t.Fatalf("existing session after refusal: status = %d n = %d, want 200 at n=18", status, resp.N)
+	}
+}
+
+func TestReconfigureSessionsDisabled(t *testing.T) {
+	_, ts := newReconfigServer(t, Options{CacheSize: 16, MaxSessions: -1})
+	status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"s","constraint":"ktree","n":14,"k":3}`, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 when sessions are disabled", status)
+	}
+}
+
+func TestReconfigureEpochConflictWhitebox(t *testing.T) {
+	srv, ts := newReconfigServer(t, Options{CacheSize: 16})
+	postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"race","constraint":"ktree","n":14,"k":3}`, nil)
+
+	srv.sessMu.Lock()
+	sess := srv.sessions["race"]
+	srv.sessMu.Unlock()
+	if sess == nil {
+		t.Fatal("session was not registered")
+	}
+	// A campaign pinned to a stale epoch must refuse to double-apply.
+	_, err := sess.reconfigure(context.Background(),
+		&ReconfigureRequest{Session: "race", Joins: 1}, 99)
+	if !errors.Is(err, errEpochConflict) {
+		t.Fatalf("stale-epoch campaign: err = %v, want errEpochConflict", err)
+	}
+	// The session is untouched and keeps working.
+	var resp ReconfigureResponse
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"race","joins":4}`, &resp); status != http.StatusOK {
+		t.Fatalf("post-conflict batch: status = %d, want 200", status)
+	}
+	if resp.Epoch != 1 || resp.N != 18 {
+		t.Fatalf("epoch/n = %d/%d, want 1/18", resp.Epoch, resp.N)
+	}
+}
+
+func TestSessionsDiagnostics(t *testing.T) {
+	srv, ts := newReconfigServer(t, Options{CacheSize: 16})
+	postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"bb","constraint":"ktree","n":14,"k":3}`, nil)
+	postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"aa","constraint":"kdiamond","n":20,"k":3}`, nil)
+	got := srv.Sessions()
+	if len(got) != 2 || got[0] != "aa" || got[1] != "bb" {
+		t.Fatalf("Sessions() = %v, want [aa bb]", got)
+	}
+}
+
+// TestReconfigureBurstRunsOneCampaign is the PR-6 acceptance check: 64
+// concurrent identical reconfigure requests racing at the same epoch run
+// exactly ONE campaign — one batch of surgery, one incremental
+// re-verification, one epoch bump — and everyone shares its response.
+//
+// The flight key pins the epoch, so the race is only deterministic if all
+// 64 requests read the epoch before the campaign commits. The test holds
+// the campaign open by pre-claiming the flight as leader (whitebox) with a
+// gated fn, attaching all HTTP clients as waiters, then releasing.
+func TestReconfigureBurstRunsOneCampaign(t *testing.T) {
+	srv, ts := newReconfigServer(t, Options{CacheSize: 16})
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"burst","constraint":"ktree","n":18,"k":3}`, nil); status != http.StatusOK {
+		t.Fatalf("create session: status = %d", status)
+	}
+	srv.sessMu.Lock()
+	sess := srv.sessions["burst"]
+	srv.sessMu.Unlock()
+
+	before := obs.Counters()
+
+	const clients = 64
+	key := fmt.Sprintf("reconfig|%s|epoch=%d|j=%d|l=%d", "burst", 0, 1, 0)
+	release := make(chan struct{})
+	var leaderErr error
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, leaderErr, _ = srv.flights.Do(context.Background(), key,
+			func(runCtx context.Context) (any, error) {
+				<-release
+				return sess.reconfigure(runCtx, &ReconfigureRequest{Session: "burst", Joins: 1}, 0)
+			})
+	}()
+	waitForWaiters(t, srv.flights, key, 1) // leader claimed the flight
+
+	var wg sync.WaitGroup
+	var okCount, cachedCount, epochSum atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp ReconfigureResponse
+			if status := postJSON(t, ts.URL+"/v1/reconfigure",
+				`{"session":"burst","joins":1}`, &resp); status == http.StatusOK {
+				okCount.Add(1)
+				epochSum.Add(int64(resp.Epoch))
+				if resp.Cached {
+					cachedCount.Add(1)
+				}
+			}
+		}()
+	}
+	// Every client has read epoch 0 and attached to the held flight.
+	waitForWaiters(t, srv.flights, key, clients+1)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if leaderErr != nil {
+		t.Fatalf("campaign failed: %v", leaderErr)
+	}
+	if ok := okCount.Load(); ok != clients {
+		t.Fatalf("%d/%d requests succeeded", ok, clients)
+	}
+	if got := cachedCount.Load(); got != clients {
+		t.Fatalf("%d requests coalesced, want all %d (the held flight is the leader)", got, clients)
+	}
+	if got := epochSum.Load(); got != clients {
+		t.Fatalf("epoch sum = %d, want %d (every response reports epoch 1)", got, clients)
+	}
+
+	after := obs.Counters()
+	if campaigns := after["check.delta.runs"] - before["check.delta.runs"]; campaigns != 1 {
+		t.Fatalf("burst of %d identical reconfigures ran %d verification campaigns, want exactly 1", clients, campaigns)
+	}
+	if coalesced := after["serve.flight.coalesced"] - before["serve.flight.coalesced"]; coalesced != clients {
+		t.Fatalf("coalesced = %d, want %d", coalesced, clients)
+	}
+
+	// Exactly one epoch bump, one admission.
+	var read ReconfigureResponse
+	postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"burst"}`, &read)
+	if read.Epoch != 1 || read.N != 19 {
+		t.Fatalf("final epoch/n = %d/%d, want 1/19", read.Epoch, read.N)
+	}
+}

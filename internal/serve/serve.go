@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +83,9 @@ type Options struct {
 	// (lhg.WithSparsify). Reports are bit-identical either way, so cache
 	// keys do not depend on it — it is an operational escape hatch only.
 	DisableSparsify bool
+	// MaxSessions caps the live /v1/reconfigure topology sessions.
+	// 0 means the 1024 default; negative disables the endpoint's sessions.
+	MaxSessions int
 }
 
 // Server is the HTTP service: four endpoints, one LRU cache, one
@@ -95,6 +99,11 @@ type Server struct {
 	flights  *flightGroup
 	mux      *http.ServeMux
 	inflight atomic.Int64
+
+	// Stateful topology sessions for POST /v1/reconfigure.
+	sessMu      sync.Mutex
+	sessions    map[string]*topoSession
+	maxSessions int
 }
 
 // New builds a Server from opts.
@@ -107,18 +116,25 @@ func New(opts Options) *Server {
 	if size < 0 {
 		size = 256
 	}
+	maxSessions := opts.MaxSessions
+	if maxSessions == 0 {
+		maxSessions = 1024
+	}
 	s := &Server{
-		base:     base,
-		workers:  opts.Workers,
-		timeout:  opts.Timeout,
-		sparsify: !opts.DisableSparsify,
-		cache:    newLRU(size),
-		flights:  newFlightGroup(base),
-		mux:      http.NewServeMux(),
+		base:        base,
+		workers:     opts.Workers,
+		timeout:     opts.Timeout,
+		sparsify:    !opts.DisableSparsify,
+		cache:       newLRU(size),
+		flights:     newFlightGroup(base),
+		mux:         http.NewServeMux(),
+		sessions:    make(map[string]*topoSession),
+		maxSessions: maxSessions,
 	}
 	s.mux.HandleFunc("/v1/build", s.handleBuild)
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/flood", s.handleFlood)
+	s.mux.HandleFunc("/v1/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("/v1/constraints", s.handleConstraints)
 	return s
 }

@@ -375,6 +375,41 @@ func Verify(ctx context.Context, g *Graph, k int, opts ...Option) (*Report, erro
 	})
 }
 
+// DeltaVerifier carries verification state across a churn stream: the
+// current graph, its full report, and an incrementally maintained sparse
+// certificate. Advance re-verifies after an edge delta with a handful of
+// localized max-flow probes when possible, falling back to the full
+// campaign otherwise — the report is bit-identical to a fresh Verify
+// either way. Not safe for concurrent use.
+type DeltaVerifier = check.DeltaVerifier
+
+// NewDeltaVerifier runs one full verification of g against target k and
+// arms the incremental re-verification state. Of the options, WithWorkers,
+// WithProperties and WithSparsify apply (as in Verify); note that
+// property-selected runs always take the full-campaign path on Advance.
+func NewDeltaVerifier(ctx context.Context, g *Graph, k int, opts ...Option) (*DeltaVerifier, error) {
+	o := applyOptions(opts)
+	return check.NewDeltaVerifier(ctx, g, k, check.Options{
+		Workers:  o.workers,
+		Props:    o.props,
+		Sparsify: o.sparsify,
+	})
+}
+
+// VerifyDelta is the one-shot form of DeltaVerifier.Advance: given a graph,
+// the report of its verification and an edge delta resizing it to n nodes,
+// it returns the report of the resulting graph — bit-identical to a fresh
+// Verify, at the cost of only the delta's localized probes when the
+// incremental conditions hold.
+func VerifyDelta(ctx context.Context, g *Graph, prev *Report, d EdgeDelta, n int, opts ...Option) (*Report, error) {
+	o := applyOptions(opts)
+	return check.VerifyDelta(ctx, g, prev, d, n, check.Options{
+		Workers:  o.workers,
+		Props:    o.props,
+		Sparsify: o.sparsify,
+	})
+}
+
 // VerifyParallel computes the same exact Report as Verify with the probes
 // fanned across a pool of `workers` goroutines (workers <= 0 means
 // GOMAXPROCS).
@@ -424,6 +459,28 @@ func NewKTreeGrower(k int) (*KTreeGrower, error) { return core.NewKTreeGrower(k)
 // NewKDiamondGrower starts an incremental K-DIAMOND overlay at its minimum
 // size 2k.
 func NewKDiamondGrower(k int) (*KDiamondGrower, error) { return core.NewKDiamondGrower(k) }
+
+// Delta reconfiguration: both growers implement the full churn-engine
+// contract — Grow (join), Shrink (leave, the proofs' inverse surgery) and
+// Apply (batched changes merged into one net edge delta).
+type (
+	// Reconfigurer is the churn-engine interface of the growers.
+	Reconfigurer = core.Reconfigurer
+	// Change is one membership event in a batch (ChangeJoin/ChangeLeave).
+	Change = core.Change
+)
+
+// Batch change kinds.
+const (
+	ChangeJoin  = core.ChangeJoin
+	ChangeLeave = core.ChangeLeave
+)
+
+// NewKTreeGrowerAt fast-forwards a K-TREE engine to n nodes (n >= 2k).
+func NewKTreeGrowerAt(k, n int) (*KTreeGrower, error) { return core.NewKTreeGrowerAt(k, n) }
+
+// NewKDiamondGrowerAt fast-forwards a K-DIAMOND engine to n nodes (n >= 2k).
+func NewKDiamondGrowerAt(k, n int) (*KDiamondGrower, error) { return core.NewKDiamondGrowerAt(k, n) }
 
 // Router answers point-to-point routing queries from blueprint metadata
 // alone (no search, no routing tables): tree paths within a copy, junction
@@ -477,9 +534,26 @@ func NewOverlay(c Constraint, k, initial int) (*Overlay, error) {
 }
 
 // NewMembership creates a self-healing membership service of `initial`
-// members on the given constraint's canonical construction.
+// members maintained by the given constraint's churn engine. Only the
+// engine-backed constraints (KTree, KDiamond) are supported: membership
+// repair is delta surgery, which Harary and JD cannot provide.
 func NewMembership(c Constraint, k, initial int) (*Membership, error) {
-	return member.New(k, initial, topologyFunc(c))
+	engine, err := engineFunc(c)
+	if err != nil {
+		return nil, err
+	}
+	return member.New(k, initial, engine)
+}
+
+func engineFunc(c Constraint) (member.EngineFunc, error) {
+	switch c {
+	case KTree:
+		return func(k, n int) (core.Reconfigurer, error) { return core.NewKTreeGrowerAt(k, n) }, nil
+	case KDiamond:
+		return func(k, n int) (core.Reconfigurer, error) { return core.NewKDiamondGrowerAt(k, n) }, nil
+	default:
+		return nil, fmt.Errorf("lhg: constraint %v has no churn engine (use ktree or kdiamond)", c)
+	}
 }
 
 func topologyFunc(c Constraint) func(n, k int) (*Graph, error) {
