@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		asJSON     = fs.Bool("json", false, "emit the result as a JSON object on stdout")
 		metrics    = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
 		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
+		tracePath  = fs.String("trace", "", "enable tracing and write the span flight recorder to this file (Chrome trace_event JSON) at exit")
 
 		netMode  = fs.Bool("net", false, "run over real loopback TCP sockets (chaos harness) instead of the simulator")
 		reliable = fs.Bool("reliable", false, "with -net: acked protocol with retransmission and reconnection")
@@ -75,6 +76,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer stopObs()
+	stopTrace := obs.StartTrace(*tracePath, os.Stderr)
+	defer stopTrace()
 	c, err := lhg.ParseConstraint(*constraint)
 	if err != nil {
 		return err

@@ -12,7 +12,9 @@
 //
 // -v prints the per-phase timing breakdown of the verification run;
 // -metrics dumps the JSON metrics report to stderr at exit; -http serves
-// /debug/vars, /metrics and /debug/pprof/ for the duration of the run.
+// /debug/vars, /metrics and /debug/pprof/ for the duration of the run;
+// -trace out.json records every span of the run and writes a Chrome
+// trace_event file at exit (load in chrome://tracing or Perfetto).
 // The report goes to stdout, diagnostics to stderr.
 //
 // Exit status 0 means every mandatory property holds.
@@ -58,6 +60,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 		jsonOut    = fs.Bool("json", false, "emit the report as one JSON object on stdout (byte-stable: same graph, same bytes, regardless of -workers or -sparsify)")
 		sparsify   = fs.Bool("sparsify", true, "probe κ/λ on a sparse certificate when the graph is dense enough (results are identical; off = escape hatch)")
+		tracePath  = fs.String("trace", "", "enable tracing and write the span flight recorder to this file (Chrome trace_event JSON) at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +79,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return err
 	}
 	defer stopObs()
+	stopTrace := obs.StartTrace(*tracePath, os.Stderr)
+	defer stopTrace()
 
 	var g *lhg.Graph
 	usedConstraint := ""

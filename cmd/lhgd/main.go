@@ -29,16 +29,22 @@
 //
 // The metrics sink is always on: /debug/vars on the -http address exposes
 // the serve.* counters (cache hits, coalesced flights, per-endpoint latency
-// histograms) that the smoke tests and dashboards read. SIGINT/SIGTERM
-// drain in-flight requests, cancel orphaned campaigns and exit cleanly.
+// histograms) that the smoke tests and dashboards read. Tracing is on by
+// default too (-notrace turns it off): every response carries X-Trace-Id,
+// an incoming W3C traceparent header joins the caller's trace, and
+// /debug/trace on the -http address exports the span flight recorder as
+// Chrome trace_event JSON. GET /v1/verify?stream and
+// GET /v1/reconfigure?stream&session=NAME serve live SSE progress.
+// SIGINT/SIGTERM drain in-flight requests, cancel orphaned campaigns and
+// exit cleanly.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,7 +52,10 @@ import (
 	"syscall"
 	"time"
 
+	"fmt"
+
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 	"lhg/internal/serve"
 )
 
@@ -62,26 +71,39 @@ func main() {
 func run(ctx context.Context, args []string, logw io.Writer) error {
 	fs := flag.NewFlagSet("lhgd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "address to serve the /v1 API on")
-		cache    = fs.Int("cache", 256, "LRU result cache capacity in entries (0 disables caching)")
-		workers  = fs.Int("workers", 0, "per-campaign goroutine budget (0 = all cores); requests may ask for less, never more")
-		timeout  = fs.Duration("timeout", 2*time.Minute, "per-computation deadline; exceeding it returns 504 (0 = no limit)")
-		metrics  = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
-		httpAddr = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this extra address")
-		sparsify = fs.Bool("sparsify", true, "probe κ/λ on a sparse certificate when the graph is dense enough (results are identical; off = escape hatch)")
-		sessions = fs.Int("sessions", 0, "max live /v1/reconfigure topology sessions (0 = default 1024, negative disables the endpoint)")
+		addr      = fs.String("addr", "127.0.0.1:8080", "address to serve the /v1 API on")
+		cache     = fs.Int("cache", 256, "LRU result cache capacity in entries (0 disables caching)")
+		workers   = fs.Int("workers", 0, "per-campaign goroutine budget (0 = all cores); requests may ask for less, never more")
+		timeout   = fs.Duration("timeout", 2*time.Minute, "per-computation deadline; exceeding it returns 504 (0 = no limit)")
+		metrics   = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr  = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this extra address")
+		sparsify  = fs.Bool("sparsify", true, "probe κ/λ on a sparse certificate when the graph is dense enough (results are identical; off = escape hatch)")
+		sessions  = fs.Int("sessions", 0, "max live /v1/reconfigure topology sessions (0 = default 1024, negative disables the endpoint)")
+		notrace   = fs.Bool("notrace", false, "disable request tracing (on by default: X-Trace-Id responses, traceparent joins, /debug/trace export)")
+		verbose   = fs.Bool("v", false, "debug-level logging (per-request access lines)")
+		heartbeat = fs.Duration("heartbeat", 15*time.Second, "SSE keep-alive comment period for ?stream watchers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	// The sink is the daemon's introspection surface (cache hit rates,
-	// coalescing counts), not an opt-in extra as in the batch CLIs.
+	// coalescing counts), not an opt-in extra as in the batch CLIs; same
+	// for tracing, which costs one atomic load per call site when idle.
 	obs.Enable()
+	if !*notrace {
+		trace.Enable()
+	}
 	stopObs, err := obs.StartCLI(*metrics, *httpAddr, logw)
 	if err != nil {
 		return err
 	}
 	defer stopObs()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(logw, level)
 
 	d, err := startDaemon(ctx, serve.Options{
 		BaseContext:     ctx,
@@ -90,14 +112,16 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		Timeout:         *timeout,
 		DisableSparsify: !*sparsify,
 		MaxSessions:     *sessions,
+		Logger:          logger,
+		StreamHeartbeat: *heartbeat,
 	}, *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "lhgd: listening on %s\n", d.Addr())
+	logger.Info("lhgd: listening", "addr", d.Addr(), "tracing", !*notrace)
 
 	<-ctx.Done()
-	fmt.Fprintln(logw, "lhgd: shutting down")
+	logger.Info("lhgd: shutting down")
 	return d.Shutdown()
 }
 

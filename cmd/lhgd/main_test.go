@@ -274,7 +274,7 @@ func TestRunServesUntilCanceled(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		mu.Lock()
-		up := bytes.Contains(buf.Bytes(), []byte("listening on"))
+		up := bytes.Contains(buf.Bytes(), []byte("lhgd: listening"))
 		mu.Unlock()
 		if up {
 			break

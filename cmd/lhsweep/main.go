@@ -45,18 +45,19 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lhsweep", flag.ContinueOnError)
 	var (
-		k        = fs.Int("k", 4, "connectivity target")
-		from     = fs.Int("from", 16, "smallest n")
-		to       = fs.Int("to", 256, "largest n")
-		step     = fs.String("step", "x2", "sweep step: a number (additive) or xN (multiplicative)")
-		doGap    = fs.Bool("spectral", false, "include the spectral gap column (k-regular sizes only, slower)")
-		verify   = fs.Bool("verify", false, "include exact kappa and lambda columns (max-flow verification per size, slower)")
-		sparsify = fs.Bool("sparsify", true, "with -verify: probe κ/λ on a sparse certificate when the graph is dense enough (results are identical)")
-		families = fs.String("families", "harary,jd,ktree,kdiamond", "comma-separated constraint list")
-		workers  = fs.Int("workers", 0, "goroutines for the diameter sweep (0 = all cores)")
-		progress = fs.Bool("progress", false, "report sweep progress on stderr")
-		metrics  = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
-		httpAddr = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
+		k         = fs.Int("k", 4, "connectivity target")
+		from      = fs.Int("from", 16, "smallest n")
+		to        = fs.Int("to", 256, "largest n")
+		step      = fs.String("step", "x2", "sweep step: a number (additive) or xN (multiplicative)")
+		doGap     = fs.Bool("spectral", false, "include the spectral gap column (k-regular sizes only, slower)")
+		verify    = fs.Bool("verify", false, "include exact kappa and lambda columns (max-flow verification per size, slower)")
+		sparsify  = fs.Bool("sparsify", true, "with -verify: probe κ/λ on a sparse certificate when the graph is dense enough (results are identical)")
+		families  = fs.String("families", "harary,jd,ktree,kdiamond", "comma-separated constraint list")
+		workers   = fs.Int("workers", 0, "goroutines for the diameter sweep (0 = all cores)")
+		progress  = fs.Bool("progress", false, "report sweep progress on stderr")
+		metrics   = fs.Bool("metrics", false, "dump the JSON metrics report to stderr at exit")
+		httpAddr  = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
+		tracePath = fs.String("trace", "", "enable tracing and write the span flight recorder to this file (Chrome trace_event JSON) at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +67,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer stopObs()
+	stopTrace := obs.StartTrace(*tracePath, os.Stderr)
+	defer stopTrace()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *from < 2 || *to < *from {

@@ -20,11 +20,11 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"time"
 
 	"lhg/internal/flow"
 	"lhg/internal/graph"
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 )
 
 // Verification telemetry. The phase timers mirror Report.Phases into the
@@ -226,23 +226,31 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 	mVerifyRuns.Inc()
 	gVerifyWorkers.Set(int64(workers))
 
-	// runPhase wall-times one verification phase into Report.Phases
-	// (always) and the obs timers (when the sink is on), attributing the
-	// max-flow probes the phase issued via the shared flow counter. A
-	// phase error (cancellation) aborts the run.
-	runPhase := func(name string, t *obs.Timer, fn func() error) error {
+	// runPhase opens a span around one verification phase and fills
+	// Report.Phases from the span's measured duration — the span is the
+	// single timing source, whether or not tracing is enabled (see
+	// trace.StartTimed). The phase context descends from the span so
+	// flow-layer worker spans nest under their phase, the obs timers
+	// observe the same duration, and max-flow probes are attributed via
+	// the shared flow counter. A phase error (cancellation) aborts the
+	// run.
+	runPhase := func(name string, t *obs.Timer, fn func(context.Context) error) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		p0 := mFlowProbes.Value()
-		start := time.Now()
-		err := fn()
-		d := time.Since(start)
+		pctx, span := trace.StartTimed(ctx, "check."+name)
+		err := fn(pctx)
+		probes := mFlowProbes.Value() - p0
+		if sp := span.Span(); sp.Live() {
+			sp.SetAttr(trace.Int("probes", probes))
+		}
+		d := span.End()
 		t.Observe(d)
 		r.Phases = append(r.Phases, PhaseTiming{
 			Phase:  name,
 			Ms:     float64(d) / 1e6,
-			Probes: mFlowProbes.Value() - p0,
+			Probes: probes,
 		})
 		return err
 	}
@@ -253,7 +261,7 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 	probeView := g
 	if props&(PropNodeConnectivity|PropLinkConnectivity) != 0 &&
 		sparsifyEligible(g, k, opt.Sparsify) {
-		if err := runPhase("sparsify", tPhaseSparsify, func() error {
+		if err := runPhase("sparsify", tPhaseSparsify, func(context.Context) error {
 			probeView, _ = SparseProbeView(g, k, opt.Sparsify)
 			return nil
 		}); err != nil {
@@ -262,8 +270,8 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 	}
 
 	if props.Has(PropNodeConnectivity) {
-		if err := runPhase("kappa", tPhaseKappa, func() (err error) {
-			r.NodeConnectivity, err = flow.VertexConnectivityCtx(ctx, probeView, workers)
+		if err := runPhase("kappa", tPhaseKappa, func(pctx context.Context) (err error) {
+			r.NodeConnectivity, err = flow.VertexConnectivityCtx(pctx, probeView, workers)
 			return err
 		}); err != nil {
 			return nil, err
@@ -271,8 +279,8 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 		r.KNodeConnected = r.NodeConnectivity >= k
 	}
 	if props.Has(PropLinkConnectivity) {
-		if err := runPhase("lambda", tPhaseLambda, func() (err error) {
-			r.EdgeConnectivity, err = flow.EdgeConnectivityCtx(ctx, probeView, workers)
+		if err := runPhase("lambda", tPhaseLambda, func(pctx context.Context) (err error) {
+			r.EdgeConnectivity, err = flow.EdgeConnectivityCtx(pctx, probeView, workers)
 			return err
 		}); err != nil {
 			return nil, err
@@ -281,8 +289,8 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 	}
 
 	if props.Has(PropLinkMinimality) {
-		if err := runPhase("minimality", tPhaseMinimality, func() (err error) {
-			r.LinkMinimal, err = verifyLinkMinimality(ctx, g, r, workers)
+		if err := runPhase("minimality", tPhaseMinimality, func(pctx context.Context) (err error) {
+			r.LinkMinimal, err = verifyLinkMinimality(pctx, g, r, workers)
 			return err
 		}); err != nil {
 			return nil, err
@@ -290,8 +298,8 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 	}
 
 	if props.Has(PropDiameter) {
-		if err := runPhase("distances", tPhaseDistances, func() (err error) {
-			r.Diameter, r.AvgPathLen, err = g.DistanceStatsCtx(ctx, workers)
+		if err := runPhase("distances", tPhaseDistances, func(pctx context.Context) (err error) {
+			r.Diameter, r.AvgPathLen, err = g.DistanceStatsCtx(pctx, workers)
 			return err
 		}); err != nil {
 			return nil, err

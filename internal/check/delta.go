@@ -53,6 +53,7 @@ import (
 	"lhg/internal/flow"
 	"lhg/internal/graph"
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 )
 
 var (
@@ -159,7 +160,17 @@ func verifyDelta(ctx context.Context, prevG *graph.Graph, prev *Report, d graph.
 		return nil, fmt.Errorf("check: k=%d must be < n=%d", k, n)
 	}
 	mDeltaRuns.Inc()
-	r, ok, err := deltaFastPath(ctx, prevG, prev, d, next, frontier, k, opt)
+	fctx, fsp := trace.StartSpan(ctx, "check.delta.fastpath")
+	r, ok, err := deltaFastPath(fctx, prevG, prev, d, next, frontier, k, opt)
+	if fsp.Live() {
+		fsp.SetAttr(trace.Int("frontier", int64(frontier)))
+		if ok {
+			fsp.SetAttr(trace.Str("outcome", "certified"))
+		} else {
+			fsp.SetAttr(trace.Str("outcome", "fallback"))
+		}
+	}
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +179,10 @@ func verifyDelta(ctx context.Context, prevG *graph.Graph, prev *Report, d graph.
 		return r, nil
 	}
 	mDeltaFallbacks.Inc()
-	return VerifyCtx(ctx, next, k, opt)
+	bctx, bsp := trace.StartSpan(ctx, "check.delta.fallback")
+	r, err = VerifyCtx(bctx, next, k, opt)
+	bsp.End()
+	return r, err
 }
 
 // deltaFastPath attempts the localized re-verification. ok=false means

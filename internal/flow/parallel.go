@@ -7,6 +7,7 @@ import (
 
 	"lhg/internal/graph"
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 )
 
 // Worker-pool telemetry: spawned counts pool members across all fan-out
@@ -16,6 +17,33 @@ var (
 	mWorkersSpawned = obs.NewCounter("flow.workers.spawned")
 	tWorkerBusy     = obs.NewTimer("flow.workers.busy")
 )
+
+// probeProgressEvery is the probe-batch granularity of the per-worker
+// "probe-progress" trace events: one point event per this many completed
+// probes keeps the flight recorder (and any live SSE watcher) informed
+// without per-probe noise.
+const probeProgressEvery = 32
+
+// workerSpan opens the per-worker child span of a fan-out phase,
+// attributing the worker id so the Chrome export renders each worker in
+// its own lane. Inert (and allocation-free) when tracing is disabled.
+func workerSpan(ctx context.Context, name string, w int) trace.Span {
+	_, sp := trace.StartSpan(ctx, name)
+	if sp.Live() {
+		sp.SetAttr(trace.Int("worker", int64(w)))
+	}
+	return sp
+}
+
+// probeProgress emits the batched progress point for a worker that has
+// finished its i-th probe (0-based) of total. Callers pass the phase's
+// span; the guard keeps the disabled path free of attr allocation.
+func probeProgress(sp trace.Span, i, total int) {
+	if !sp.Live() || (i+1)%probeProgressEvery != 0 {
+		return
+	}
+	sp.Event("probe-progress", trace.Int("done", int64(i+1)), trace.Int("total", int64(total)))
+}
 
 // Parallel global-connectivity sweeps. The frozen CSR graph is shared
 // read-only by every worker; each worker owns a pooled network it rebuilds
@@ -56,9 +84,11 @@ func edgeConnectivityParallel(ctx context.Context, g *graph.Graph, workers int) 
 	mWorkersSpawned.Add(int64(workers))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer tWorkerBusy.Start().End()
+			wsp := workerSpan(ctx, "flow.lambda.worker", w)
+			defer wsp.End()
 			nw := getNetwork(n)
 			defer putNetwork(nw)
 			nw.watch(ctx)
@@ -75,8 +105,9 @@ func edgeConnectivityParallel(ctx context.Context, g *graph.Graph, workers int) 
 				if f := nw.maxflow(0, t, limit); f < limit && ctx.Err() == nil {
 					atomicMin(&best, f)
 				}
+				probeProgress(wsp, t, n)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -106,9 +137,11 @@ func vertexConnectivityParallel(ctx context.Context, g *graph.Graph, minDeg int,
 	mWorkersSpawned.Add(int64(workers))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer tWorkerBusy.Start().End()
+			wsp := workerSpan(ctx, "flow.kappa.worker", w)
+			defer wsp.End()
 			nw := getNetwork(2 * n)
 			defer putNetwork(nw)
 			nw.watch(ctx)
@@ -126,8 +159,9 @@ func vertexConnectivityParallel(ctx context.Context, g *graph.Graph, minDeg int,
 				if f := nw.maxflow(2*p.s+1, 2*p.t, limit); f < limit && ctx.Err() == nil {
 					atomicMin(&best, f)
 				}
+				probeProgress(wsp, i, len(pairs))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -172,9 +206,11 @@ func EdgesRemovableCtx(ctx context.Context, g *graph.Graph, edges []graph.Edge, 
 	mWorkersSpawned.Add(int64(workers))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			defer tWorkerBusy.Start().End()
+			wsp := workerSpan(ctx, "flow.minimality.worker", w)
+			defer wsp.End()
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(edges) {
@@ -185,8 +221,9 @@ func EdgesRemovableCtx(ctx context.Context, g *graph.Graph, edges []graph.Edge, 
 					return
 				}
 				out[i] = ok
+				probeProgress(wsp, i, len(edges))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

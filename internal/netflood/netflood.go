@@ -26,6 +26,7 @@ package netflood
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -40,6 +41,7 @@ import (
 	"lhg/internal/faultnet"
 	"lhg/internal/graph"
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 	"lhg/internal/sim"
 )
 
@@ -372,7 +374,15 @@ func (c *Cluster) Broadcast(src int, payload string) (Message, error) {
 	nd.nextSeq++
 	nd.mu.Unlock()
 	mNetBroadcasts.Inc()
+	// Broadcast has no caller context; the round self-roots so a flood
+	// driven from a traced campaign still records per-round spans.
+	_, sp := trace.StartRoot(context.Background(), "netflood.broadcast")
+	if sp.Live() {
+		sp.SetAttr(trace.Int("src", int64(src)))
+		sp.SetAttr(trace.Int("seq", int64(msg.Seq)))
+	}
 	nd.handle(msg)
+	sp.End()
 	return msg, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"net"
 	"time"
+
+	"lhg/internal/obs/trace"
 )
 
 // This file is the reliable half of the protocol (Options.Reliable): every
@@ -111,6 +113,12 @@ func (n *node) retransmitDue(now time.Time) {
 		for i := range resend {
 			mNetRetransmits.Inc()
 			_ = writeFrame(p, frame{Kind: "msg", Msg: &resend[i]}, n.c.opts.WriteTimeout)
+		}
+		if len(resend) > 0 && trace.Enabled() {
+			trace.Instant("netflood.retransmit",
+				trace.Int("node", int64(n.idx)),
+				trace.Int("peer", int64(p.remote)),
+				trace.Int("resent", int64(len(resend))))
 		}
 		if suspect {
 			n.repairPeer(p)

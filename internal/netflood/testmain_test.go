@@ -1,0 +1,18 @@
+package netflood
+
+import (
+	"os"
+	"testing"
+
+	"lhg/internal/obs/trace"
+)
+
+func TestMain(m *testing.M) {
+	// LHG_TEST_TRACE=1 runs the whole suite with the span recorder live —
+	// CI uses it to race-test the broadcast root spans and retransmit
+	// instants under the chaos harness.
+	if os.Getenv("LHG_TEST_TRACE") == "1" {
+		trace.Enable()
+	}
+	os.Exit(m.Run())
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"fmt"
 	"io"
+
+	"lhg/internal/obs/trace"
 )
 
 // StartCLI is the shared wiring behind the -metrics and -http flags of
@@ -33,4 +35,22 @@ func StartCLI(metrics bool, httpAddr string, logw io.Writer) (stop func(), err e
 			_ = WriteJSON(logw)
 		}
 	}, nil
+}
+
+// StartTrace is the shared wiring behind the -trace CLI flag: an empty
+// path is a no-op; otherwise tracing is enabled process-wide and the
+// returned stop function dumps the flight recorder to path in the Chrome
+// trace_event format, reporting the outcome on logw.
+func StartTrace(path string, logw io.Writer) (stop func()) {
+	if path == "" {
+		return func() {}
+	}
+	trace.Enable()
+	return func() {
+		if err := trace.WriteChromeTraceFile(path, trace.Snapshot()); err != nil {
+			fmt.Fprintf(logw, "trace export failed: %v\n", err)
+			return
+		}
+		fmt.Fprintf(logw, "trace written to %s (load in chrome://tracing or Perfetto)\n", path)
+	}
 }

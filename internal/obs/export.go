@@ -32,10 +32,14 @@ type Report struct {
 	Timers     map[string]TimerSnapshot     `json:"timers"`
 }
 
+// timeNow is the clock Snapshot stamps reports with; tests override it to
+// pin the dump byte-for-byte.
+var timeNow = time.Now
+
 // Snapshot copies every metric of the registry into a Report.
 func (r *Registry) Snapshot() Report {
 	rep := Report{
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Timestamp:  timeNow().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Enabled:    Enabled(),
@@ -73,7 +77,10 @@ func Snapshot() Report { return Default.Snapshot() }
 // convenient shape for differential tests.
 func Counters() map[string]int64 { return Snapshot().Counters }
 
-// WriteJSON writes the registry snapshot as indented JSON.
+// WriteJSON writes the registry snapshot as indented JSON. The dump is
+// deterministic for a given metric state: encoding/json emits map keys in
+// sorted order, so two snapshots of identical registries differ only in
+// the timestamp — and not at all under a pinned clock (see timeNow).
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -123,8 +130,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // WritePrometheus renders the Default registry in Prometheus text format.
 func WritePrometheus(w io.Writer) error { return Default.WritePrometheus(w) }
 
+// promName maps a registry name to a valid Prometheus metric name under
+// the lhg_ prefix: the conventional separators (dots, dashes) become
+// underscores and any other character outside [a-zA-Z0-9_:] is replaced
+// by an underscore, so a hostile or typo'd registry name can never break
+// the exposition format.
 func promName(name string) string {
-	return "lhg_" + strings.NewReplacer(".", "_", "-", "_").Replace(name)
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("lhg_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 func sortedKeys[V any](m map[string]V) []string {

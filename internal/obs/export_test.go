@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteJSONDeterministic pins the -metrics contract: under a fixed
+// clock, two dumps of the same metric state are byte-identical, and the
+// metric names appear in sorted order (encoding/json sorts map keys).
+func TestWriteJSONDeterministic(t *testing.T) {
+	withSink(t)
+	prev := timeNow
+	timeNow = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	t.Cleanup(func() { timeNow = prev })
+
+	NewCounter("test.det.zebra").Add(1)
+	NewCounter("test.det.alpha").Add(2)
+	NewGauge("test.det.gauge").Set(3)
+
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two dumps of the same state differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	ia := strings.Index(a.String(), "test.det.alpha")
+	iz := strings.Index(a.String(), "test.det.zebra")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("counter names not in sorted order (alpha@%d zebra@%d):\n%s", ia, iz, a.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(a.Bytes(), &rep); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if rep.Timestamp != "2026-08-08T12:00:00Z" {
+		t.Fatalf("timestamp %q not from the pinned clock", rep.Timestamp)
+	}
+}
+
+// TestPrometheusSortedOutput asserts the text exposition lists families
+// in sorted name order within each metric kind.
+func TestPrometheusSortedOutput(t *testing.T) {
+	withSink(t)
+	NewCounter("test.sorted.c").Inc()
+	NewCounter("test.sorted.a").Inc()
+	NewCounter("test.sorted.b").Inc()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var pos []int
+	for _, n := range []string{"lhg_test_sorted_a ", "lhg_test_sorted_b ", "lhg_test_sorted_c "} {
+		i := strings.Index(buf.String(), n)
+		if i < 0 {
+			t.Fatalf("missing %q in output", n)
+		}
+		pos = append(pos, i)
+	}
+	if !sort.IntsAreSorted(pos) {
+		t.Fatalf("families out of order at offsets %v:\n%s", pos, buf.String())
+	}
+}
+
+// TestPromNameEscaping pins the name-mangling rules: separators map to
+// underscores and anything outside the Prometheus identifier alphabet is
+// replaced, never passed through.
+func TestPromNameEscaping(t *testing.T) {
+	cases := map[string]string{
+		"check.verify.runs":   "lhg_check_verify_runs",
+		"flow-probe.count":    "lhg_flow_probe_count",
+		"weird name{x=\"1\"}": "lhg_weird_name_x__1__",
+		"ünïcode.metric":      "lhg___n__code_metric",
+		"ok_name:colon":       "lhg_ok_name:colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-bucket math at the exact
+// edges: a value equal to a bound lands in that bound's bucket, one past
+// it in the next, and the +Inf bucket equals the total count.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	withSink(t)
+	h := NewHistogram("test.edges.hist", 10, 100)
+	h.Observe(10)  // == first bound: le="10"
+	h.Observe(11)  // just past: le="100"
+	h.Observe(100) // == second bound: le="100"
+	h.Observe(101) // past every bound: +Inf only
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lhg_test_edges_hist_bucket{le="10"} 1`,
+		`lhg_test_edges_hist_bucket{le="100"} 3`, // cumulative: 1 + 2
+		`lhg_test_edges_hist_bucket{le="+Inf"} 4`,
+		"lhg_test_edges_hist_sum 222",
+		"lhg_test_edges_hist_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramZeroObservations pins the empty-histogram exposition:
+// every bucket present, all zero, no division anywhere.
+func TestHistogramZeroObservations(t *testing.T) {
+	withSink(t)
+	NewHistogram("test.empty.hist", 5)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lhg_test_empty_hist_bucket{le="5"} 0`,
+		`lhg_test_empty_hist_bucket{le="+Inf"} 0`,
+		"lhg_test_empty_hist_sum 0",
+		"lhg_test_empty_hist_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProgressEdgeCases is the satellite regression test: negative
+// totals never divide, a zero interval prints every add, and done >
+// total stays finite.
+func TestProgressEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "neg", -5)
+	p.SetInterval(0)
+	p.Add(3)
+	p.Finish()
+	out := buf.String()
+	if strings.Contains(out, "%") {
+		t.Fatalf("negative total must report as unknown (no percent): %q", out)
+	}
+	if !strings.Contains(out, "neg: 3 done") {
+		t.Fatalf("missing final line: %q", out)
+	}
+
+	buf.Reset()
+	p = NewProgress(&buf, "over", 2)
+	p.SetInterval(0)
+	for i := 0; i < 4; i++ {
+		p.Add(1)
+	}
+	p.Finish()
+	out = buf.String()
+	if n := strings.Count(out, "\n"); n != 5 {
+		t.Fatalf("unthrottled progress printed %d lines for 4 adds + finish, want 5:\n%s", n, out)
+	}
+	if !strings.Contains(out, "over: 4/2 (200.0%)") {
+		t.Fatalf("overflow must stay plain arithmetic: %q", out)
+	}
+}
+
+// TestProgressFirstAddPrints guards the monotonic-throttle rewrite: the
+// very first Add must print immediately, not after the first interval.
+func TestProgressFirstAddPrints(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "first", 100)
+	p.Add(1)
+	if !strings.Contains(buf.String(), "first: 1/100") {
+		t.Fatalf("first Add did not print: %q", buf.String())
+	}
+	// And the throttle then holds.
+	for i := 0; i < 50; i++ {
+		p.Add(1)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("throttle broke: %d lines for 51 adds in one interval", n)
+	}
+}

@@ -6,12 +6,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"lhg/internal/obs/trace"
 )
 
 // DebugHandler returns the debug mux served by the -http CLI flag:
 //
 //	/debug/vars    expvar JSON (includes the lhg_metrics snapshot)
 //	/metrics       Prometheus text exposition
+//	/debug/trace   span flight recorder as Chrome trace_event JSON
 //	/debug/pprof/  the standard pprof index and profiles
 //
 // The pprof handlers are mounted explicitly rather than via the
@@ -25,6 +28,7 @@ func DebugHandler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w)
 	})
+	mux.Handle("/debug/trace", trace.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+
+	"lhg/internal/obs/trace"
+)
+
+// Structured logging. NewLogger is the one constructor the daemon and the
+// CLIs share: text-format slog to the given writer, with every record
+// logged under a traced context automatically carrying the trace_id and
+// span_id attributes — so a grep for the trace id returned in an HTTP
+// response finds the server-side log lines of that exact request.
+
+// NewLogger returns a text-format structured logger writing to w at the
+// given minimum level. A nil writer yields a logger that discards
+// everything (cheaper than leveling-out: no record is ever built).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	if w == nil {
+		return slog.New(discardHandler{})
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(traceHandler{inner: h})
+}
+
+// traceHandler decorates a slog.Handler with the identity of the span in
+// the log call's context, when there is one.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := trace.FromContext(ctx); sp.Live() {
+		rec.AddAttrs(
+			slog.String("trace_id", sp.TraceID().String()),
+			slog.String("span_id", sp.ID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: h.inner.WithGroup(name)}
+}
+
+// discardHandler drops every record. (slog.DiscardHandler arrived in a
+// later Go release than this module's floor, hence the local copy.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

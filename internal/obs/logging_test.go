@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"lhg/internal/obs/trace"
+)
+
+func TestNewLoggerInjectsTraceID(t *testing.T) {
+	trace.Enable()
+	t.Cleanup(func() {
+		trace.Disable()
+		trace.Reset()
+	})
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo)
+
+	ctx, sp := trace.StartRoot(context.Background(), "req")
+	log.InfoContext(ctx, "handling", "path", "/v1/verify")
+	sp.End()
+
+	out := buf.String()
+	if !strings.Contains(out, "trace_id="+sp.TraceID().String()) {
+		t.Fatalf("log line missing trace_id: %q", out)
+	}
+	if !strings.Contains(out, "span_id="+sp.ID().String()) {
+		t.Fatalf("log line missing span_id: %q", out)
+	}
+	if !strings.Contains(out, "path=/v1/verify") {
+		t.Fatalf("log line lost its own attrs: %q", out)
+	}
+}
+
+func TestNewLoggerWithoutSpanOmitsTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo)
+	log.Info("plain")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("untraced log line grew a trace_id: %q", buf.String())
+	}
+}
+
+func TestNewLoggerNilWriterDiscards(t *testing.T) {
+	log := NewLogger(nil, slog.LevelDebug)
+	log.Info("dropped") // must not panic
+	log.With("k", "v").WithGroup("g").Error("also dropped")
+}
+
+func TestNewLoggerRespectsLevel(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn)
+	log.Info("quiet")
+	if buf.Len() != 0 {
+		t.Fatalf("info leaked through warn level: %q", buf.String())
+	}
+	log.Warn("loud")
+	if !strings.Contains(buf.String(), "loud") {
+		t.Fatal("warn suppressed")
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,31 +26,55 @@ type Progress struct {
 	start    time.Time
 
 	done     atomic.Int64
-	lastNano atomic.Int64 // unix nanos of the last print
+	lastNano atomic.Int64 // monotonic nanos since start of the last print
 
 	mu sync.Mutex // serializes writes to w
 }
 
 // NewProgress starts a progress reporter labelled label over total items
-// (total <= 0 means "unknown total"), printing to w at most every 500ms.
-// Pass a nil writer to disable output.
+// (total <= 0 means "unknown total"; negative totals are treated as
+// unknown, never divided by), printing to w at most every 500ms. Pass a
+// nil writer to disable output.
 func NewProgress(w io.Writer, label string, total int64) *Progress {
-	return &Progress{
+	if total < 0 {
+		total = 0
+	}
+	p := &Progress{
 		w:        w,
 		label:    label,
 		total:    total,
 		interval: 500 * time.Millisecond,
 		start:    time.Now(),
 	}
+	// Arm the throttle so the very first Add prints (the monotonic
+	// elapsed time starts near zero, far past this sentinel).
+	p.lastNano.Store(math.MinInt64 / 4)
+	return p
+}
+
+// SetInterval adjusts the print throttle. A non-positive interval removes
+// the throttle entirely (every Add prints) — useful in tests. Call before
+// sharing the reporter across goroutines.
+func (p *Progress) SetInterval(d time.Duration) {
+	if p == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	p.interval = d
 }
 
 // Add records n completed items and prints a line if the throttle allows.
+// The throttle compares readings of the monotonic clock (time.Since on
+// the start instant), so wall-clock steps — NTP slew, suspend/resume,
+// manual clock changes — can neither burst-print nor silence it.
 func (p *Progress) Add(n int64) {
 	if p == nil || p.w == nil {
 		return
 	}
 	done := p.done.Add(n)
-	now := time.Now().UnixNano()
+	now := int64(time.Since(p.start)) // monotonic: start carries the reading
 	last := p.lastNano.Load()
 	if now-last < int64(p.interval) || !p.lastNano.CompareAndSwap(last, now) {
 		return

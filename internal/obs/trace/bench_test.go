@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkTraceDisabled pins the disabled-path cost of the full span
+// lifecycle: one atomic load and a branch, zero allocations. The hot
+// loops (flow probes, netflood rounds) call this on every iteration, so
+// any regression here is a regression everywhere.
+func BenchmarkTraceDisabled(b *testing.B) {
+	Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c2, sp := StartSpan(ctx, "hot")
+		sp.Event("tick")
+		sp.End()
+		_ = c2
+	}
+	if testing.AllocsPerRun(100, func() {
+		_, sp := StartSpan(ctx, "hot")
+		sp.Event("tick")
+		sp.End()
+	}) != 0 {
+		b.Fatal("disabled span lifecycle must not allocate")
+	}
+}
+
+// BenchmarkTraceEnabled measures the recording path: span start + end
+// into the lock-striped ring.
+func BenchmarkTraceEnabled(b *testing.B) {
+	Enable()
+	defer Disable()
+	rec := NewRecorder(4096)
+	ctx, root := StartRoot(context.Background(), "bench", WithRecorder(rec))
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "hot")
+		sp.End()
+	}
+}
+
+// BenchmarkTraceEnabledParallel exercises stripe contention.
+func BenchmarkTraceEnabledParallel(b *testing.B) {
+	Enable()
+	defer Disable()
+	rec := NewRecorder(4096)
+	ctx, root := StartRoot(context.Background(), "bench", WithRecorder(rec))
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_, sp := StartSpan(ctx, "hot")
+			sp.End()
+		}
+	})
+}
+
+// BenchmarkFromContextDisabled pins the lookup cost alone.
+func BenchmarkFromContextDisabled(b *testing.B) {
+	Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = FromContext(ctx)
+	}
+}

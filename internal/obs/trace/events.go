@@ -1,0 +1,36 @@
+package trace
+
+// Live span-event streaming: every span transition of a trace can be
+// fanned out to attached emitters the moment it happens. This is the feed
+// underneath the lhgd SSE progress streams — the same span tree that lands
+// in the flight recorder, observed live instead of post hoc.
+
+// Event types.
+const (
+	// EventSpanStart fires when a span opens.
+	EventSpanStart = "span-start"
+	// EventSpanEnd fires when a span closes (DurMs is set).
+	EventSpanEnd = "span-end"
+	// EventPoint fires for Span.Event point events (probe progress, cache
+	// decisions).
+	EventPoint = "point"
+)
+
+// Event is one live span transition, shaped for JSON serialization onto an
+// SSE stream. Times are millisecond offsets from the trace start, so a
+// client can build a waterfall without clock agreement.
+type Event struct {
+	Type   string         `json:"type"`
+	Name   string         `json:"name"`
+	Trace  string         `json:"trace"`
+	Span   string         `json:"span"`
+	Parent string         `json:"parent,omitempty"`
+	AtMs   float64        `json:"at_ms"`
+	DurMs  float64        `json:"dur_ms,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Emitter receives live events of a trace. Emitters run inline on the
+// instrumented goroutine: they must be fast and must not block (the serve
+// feed buffers and drops rather than stalls).
+type Emitter func(Event)

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Chrome trace_event export. The flight recorder's records serialize to
+// the JSON object format chrome://tracing and Perfetto load directly:
+// completed spans as "X" (complete) events with microsecond ts/dur, point
+// events as "i" (instant) events. Span lanes (tid) come from the span's
+// "worker" attribute when present, so the per-worker probe batches of a
+// parallel verification render as parallel tracks instead of one stacked
+// mess; everything else shares lane 0.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object format.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit asks the viewer for millisecond labels.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes recs in the Chrome trace_event JSON object
+// format. Timestamps are microseconds relative to the earliest record, so
+// the export is stable across process restarts and diffs cleanly.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(recs)), DisplayTimeUnit: "ms"}
+	var epoch int64
+	for i, rec := range recs {
+		if i == 0 || rec.Start.UnixNano() < epoch {
+			epoch = rec.Start.UnixNano()
+		}
+	}
+	for _, rec := range recs {
+		ev := chromeEvent{
+			Name: rec.Name,
+			Cat:  "lhg",
+			TsUs: float64(rec.Start.UnixNano()-epoch) / 1e3,
+			Pid:  1,
+			Tid:  recordLane(rec),
+			Args: exportArgs(rec),
+		}
+		switch rec.Kind {
+		case KindInstant:
+			ev.Phase = "i"
+			ev.Scope = "t"
+		default:
+			ev.Phase = "X"
+			ev.DurUs = float64(rec.Dur) / 1e3
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// recordLane picks the viewer track: the worker attribute when the record
+// has one, lane 0 otherwise.
+func recordLane(rec Record) int64 {
+	for _, a := range rec.Attrs {
+		if a.Key == "worker" && a.isInt {
+			return a.Int + 1
+		}
+	}
+	return 0
+}
+
+// exportArgs renders the record's identity and attributes as the event's
+// args block.
+func exportArgs(rec Record) map[string]any {
+	args := make(map[string]any, len(rec.Attrs)+2)
+	if !rec.Trace.IsZero() {
+		args["trace_id"] = rec.Trace.String()
+	}
+	if !rec.Parent.IsZero() {
+		args["parent"] = rec.Parent.String()
+	}
+	for _, a := range rec.Attrs {
+		args[a.Key] = a.Value()
+	}
+	return args
+}
+
+// WriteChromeTraceFile writes the records to path (creating or truncating
+// it) in the Chrome trace_event format.
+func WriteChromeTraceFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,33 @@
+package trace
+
+import "net/http"
+
+// Handler serves the default flight recorder as Chrome trace_event JSON:
+//
+//	GET /debug/trace              the full recorder snapshot
+//	GET /debug/trace?trace=<id>   one trace (32 hex digits, as returned in
+//	                              the X-Trace-Id response header)
+//
+// Load the download in chrome://tracing or https://ui.perfetto.dev.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		recs := DefaultRecorder.Snapshot()
+		if q := r.URL.Query().Get("trace"); q != "" {
+			tid, _, ok := ParseTraceparent("00-" + q + "-0000000000000001-01")
+			if !ok {
+				http.Error(w, "trace: want 32 hex digits", http.StatusBadRequest)
+				return
+			}
+			filtered := recs[:0]
+			for _, rec := range recs {
+				if rec.Trace == tid {
+					filtered = append(filtered, rec)
+				}
+			}
+			recs = filtered
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="lhg-trace.json"`)
+		_ = WriteChromeTrace(w, recs)
+	})
+}

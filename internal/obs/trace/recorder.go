@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record kinds.
+const (
+	// KindSpan is a completed span: Start..Start+Dur.
+	KindSpan = byte(iota)
+	// KindInstant is a point event (Dur is zero and meaningless).
+	KindInstant
+)
+
+// Record is one finished span or point event as the flight recorder keeps
+// it. Records are self-contained — name, ids, wall-clock interval,
+// attributes — so a snapshot can be exported long after the trace's
+// in-memory structures are gone.
+type Record struct {
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
+	Name   string
+	Kind   byte
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Recorder is the span flight recorder: a fixed-capacity ring buffer of
+// the most recent records, striped across independently locked segments so
+// concurrent workers finishing spans do not serialize on one mutex. When a
+// stripe is full the oldest record in that stripe is overwritten — a
+// flight recorder keeps the recent past, not the full history.
+type Recorder struct {
+	stripes [recorderStripes]stripe
+}
+
+const recorderStripes = 16
+
+type stripe struct {
+	mu   sync.Mutex
+	buf  []Record
+	next uint64 // total records ever appended to this stripe
+}
+
+// DefaultRecorder is the process-wide flight recorder: 32768 records
+// (2048 per stripe), the store behind /debug/trace and lhcheck -trace.
+var DefaultRecorder = NewRecorder(32768)
+
+// NewRecorder returns a flight recorder holding at most capacity records
+// (rounded up to a multiple of the stripe count; minimum one per stripe).
+func NewRecorder(capacity int) *Recorder {
+	per := (capacity + recorderStripes - 1) / recorderStripes
+	if per < 1 {
+		per = 1
+	}
+	r := &Recorder{}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]Record, 0, per)
+	}
+	return r
+}
+
+// add appends rec, evicting the oldest record of its stripe when full.
+// The stripe is chosen from the span id, which is uniformly distributed,
+// so load spreads without coordination.
+func (r *Recorder) add(rec Record) {
+	s := &r.stripes[rec.Span[7]&(recorderStripes-1)]
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, rec)
+	} else {
+		s.buf[s.next%uint64(cap(s.buf))] = rec
+	}
+	s.next++
+	s.mu.Unlock()
+}
+
+// Len returns the number of records currently held.
+func (r *Recorder) Len() int {
+	n := 0
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		n += len(s.buf)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Dropped returns how many records have been evicted by ring wrap-around
+// since the last Reset.
+func (r *Recorder) Dropped() int64 {
+	var dropped int64
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		if over := int64(s.next) - int64(cap(s.buf)); over > 0 && len(s.buf) == cap(s.buf) {
+			dropped += over
+		}
+		s.mu.Unlock()
+	}
+	return dropped
+}
+
+// Snapshot copies every held record, ordered by start time (ties by span
+// id so the order is total and stable).
+func (r *Recorder) Snapshot() []Record {
+	var out []Record
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		out = append(out, s.buf...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return string(out[i].Span[:]) < string(out[j].Span[:])
+	})
+	return out
+}
+
+// TraceRecords returns the held records of one trace, ordered as Snapshot.
+func (r *Recorder) TraceRecords(id TraceID) []Record {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, rec := range all {
+		if rec.Trace == id {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Reset discards every held record.
+func (r *Recorder) Reset() {
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		s.buf = s.buf[:0]
+		s.next = 0
+		s.mu.Unlock()
+	}
+}
+
+// Reset discards every record of the default flight recorder.
+func Reset() { DefaultRecorder.Reset() }
+
+// Snapshot copies every record of the default flight recorder.
+func Snapshot() []Record { return DefaultRecorder.Snapshot() }

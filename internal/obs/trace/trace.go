@@ -1,0 +1,511 @@
+// Package trace is the request-scoped half of the observability layer:
+// where package obs aggregates (counters, histograms, phase totals), this
+// package answers "where did THIS request's time go". A trace is a tree of
+// spans minted at the facade entrypoints (Build/Verify/Flood and the lhgd
+// request middleware) and propagated through context; finished spans land
+// in a lock-striped ring-buffer flight recorder (see recorder.go) that
+// exports the Chrome trace_event JSON format (/debug/trace, lhcheck
+// -trace), and every span transition can additionally be fanned out to
+// live listeners (the SSE progress streams of lhgd) through per-trace
+// emitters.
+//
+// The design constraint is the same as package obs: the hot path. When
+// tracing is disabled — the default — StartSpan, Span.End, Span.Event and
+// FromContext cost one atomic load and a branch, allocate nothing, and
+// return inert values that are safe to use. BenchmarkTraceDisabled and
+// TestTraceDisabledZeroAlloc pin this contract. Call sites that want to
+// attach attributes guard with Span.Live() so the attribute slice is never
+// built for an inert span:
+//
+//	ctx, sp := trace.StartSpan(ctx, "flow.worker")
+//	if sp.Live() {
+//		sp.SetAttr(trace.Int("worker", int64(w)))
+//	}
+//	defer sp.End()
+//
+// Identifiers are W3C Trace Context shaped — 16-byte trace ids, 8-byte
+// span ids — so lhgd can ingest and emit `traceparent` headers unchanged
+// (see traceparent.go).
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global gate. Every entrypoint checks it first; the
+// disabled path is one atomic load and a predictable branch.
+var enabled atomic.Bool
+
+// Enable turns tracing on: StartRoot mints traces, spans record into the
+// default recorder, and emitters fire.
+func Enable() { enabled.Store(true) }
+
+// Disable turns tracing off. Spans already in the recorder are retained
+// until Reset.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether tracing is collecting.
+func Enabled() bool { return enabled.Load() }
+
+// TraceID is the 16-byte W3C trace id.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C parent/span id.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// idState seeds the id sequence from the OS entropy pool once; ids are
+// then drawn lock-free by mixing an atomic counter through splitmix64, so
+// minting a span never blocks on a rand source.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	_, _ = crand.Read(b[:])
+	idState.Store(binary.LittleEndian.Uint64(b[:]) | 1)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijection on
+// uint64 with full avalanche, which makes counter-derived ids uniform.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func nextID() uint64 {
+	for {
+		if v := splitmix64(idState.Add(1)); v != 0 {
+			return v
+		}
+	}
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], nextID())
+	binary.BigEndian.PutUint64(id[8:], nextID())
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], nextID())
+	return id
+}
+
+// Attr is one key/value span attribute. Build them with Str and Int.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	isInt bool
+}
+
+// Str returns a string-valued attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Str: value} }
+
+// Int returns an integer-valued attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, Int: value, isInt: true} }
+
+// Value returns the attribute's value as the any shape exporters want.
+func (a Attr) Value() any {
+	if a.isInt {
+		return a.Int
+	}
+	return a.Str
+}
+
+// Trace is one request's span tree: the shared id, the start instant every
+// event offsets against, the recorder finished spans land in, and the
+// emitter fan-out for live listeners.
+type Trace struct {
+	id       TraceID
+	start    time.Time
+	rec      *Recorder
+	emitters atomic.Pointer[[]*emitterEntry]
+}
+
+// emitterEntry gives each attached emitter an identity (funcs are not
+// comparable), so AddEmitter's remove closure can delete exactly its own.
+type emitterEntry struct{ fn Emitter }
+
+// ID returns the trace id.
+func (t *Trace) ID() TraceID { return t.id }
+
+// AddEmitter attaches an additional live listener to the trace and returns
+// a function that detaches it. Emitters added mid-flight see only events
+// from the moment of attachment on — which is exactly what a progress
+// stream wants. Safe for concurrent use (copy-on-write).
+func (t *Trace) AddEmitter(e Emitter) (remove func()) {
+	ent := &emitterEntry{fn: e}
+	for {
+		old := t.emitters.Load()
+		var next []*emitterEntry
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, ent)
+		if t.emitters.CompareAndSwap(old, &next) {
+			break
+		}
+	}
+	return func() {
+		for {
+			old := t.emitters.Load()
+			if old == nil {
+				return
+			}
+			next := make([]*emitterEntry, 0, len(*old))
+			for _, x := range *old {
+				if x != ent {
+					next = append(next, x)
+				}
+			}
+			if t.emitters.CompareAndSwap(old, &next) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Trace) emit(ev Event) {
+	if t == nil {
+		return
+	}
+	es := t.emitters.Load()
+	if es == nil {
+		return
+	}
+	for _, ent := range *es {
+		ent.fn(ev)
+	}
+}
+
+// spanData is the heap half of a live span. Spans hand out the pointer by
+// value so the zero Span (inert) costs nothing.
+type spanData struct {
+	tr     *Trace
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+// Span is one in-flight operation of a trace. The zero Span is inert:
+// every method is a no-op, so instrumented code never branches on whether
+// tracing is on.
+type Span struct {
+	d *spanData
+}
+
+// Live reports whether the span records anywhere. Call sites use it to
+// skip building attribute slices for inert spans.
+func (s Span) Live() bool { return s.d != nil }
+
+// TraceID returns the owning trace's id (zero for an inert span).
+func (s Span) TraceID() TraceID {
+	if s.d == nil {
+		return TraceID{}
+	}
+	return s.d.tr.id
+}
+
+// ID returns the span id (zero for an inert span).
+func (s Span) ID() SpanID {
+	if s.d == nil {
+		return SpanID{}
+	}
+	return s.d.id
+}
+
+// Trace returns the owning trace (nil for an inert span).
+func (s Span) Trace() *Trace {
+	if s.d == nil {
+		return nil
+	}
+	return s.d.tr
+}
+
+// SetAttr appends one attribute to the span. Inert spans ignore it. Not
+// safe for concurrent use on the same span (spans are goroutine-local by
+// construction: each worker starts its own).
+func (s Span) SetAttr(a Attr) {
+	if s.d == nil {
+		return
+	}
+	s.d.attrs = append(s.d.attrs, a)
+}
+
+// End closes the span: its record lands in the recorder and a span-end
+// event reaches the trace's emitters. It returns the measured wall time
+// (0 for an inert span). End must be called at most once.
+func (s Span) End() time.Duration {
+	if s.d == nil {
+		return 0
+	}
+	d := time.Since(s.d.start)
+	s.d.tr.rec.add(Record{
+		Trace:  s.d.tr.id,
+		Span:   s.d.id,
+		Parent: s.d.parent,
+		Name:   s.d.name,
+		Kind:   KindSpan,
+		Start:  s.d.start,
+		Dur:    d,
+		Attrs:  s.d.attrs,
+	})
+	s.d.tr.emit(Event{
+		Type:   EventSpanEnd,
+		Name:   s.d.name,
+		Trace:  s.d.tr.id.String(),
+		Span:   s.d.id.String(),
+		Parent: parentString(s.d.parent),
+		AtMs:   ms(s.d.start.Sub(s.d.tr.start)),
+		DurMs:  ms(d),
+		Attrs:  attrMap(s.d.attrs),
+	})
+	return d
+}
+
+// Event records one instantaneous point event under the span (probe
+// progress, a cache decision): it lands in the recorder and reaches the
+// emitters immediately, without waiting for the span to end. Inert spans
+// ignore it; guard with Live() before building attributes.
+func (s Span) Event(name string, attrs ...Attr) {
+	if s.d == nil {
+		return
+	}
+	now := time.Now()
+	s.d.tr.rec.add(Record{
+		Trace:  s.d.tr.id,
+		Span:   s.d.id,
+		Parent: s.d.parent,
+		Name:   name,
+		Kind:   KindInstant,
+		Start:  now,
+		Attrs:  attrs,
+	})
+	s.d.tr.emit(Event{
+		Type:  EventPoint,
+		Name:  name,
+		Trace: s.d.tr.id.String(),
+		Span:  s.d.id.String(),
+		AtMs:  ms(now.Sub(s.d.tr.start)),
+		Attrs: attrMap(attrs),
+	})
+}
+
+// ctxKey keys the current span in a context.
+type ctxKey struct{}
+
+// FromContext returns the current span of ctx, or an inert span when
+// tracing is disabled or ctx carries none.
+func FromContext(ctx context.Context) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	s, _ := ctx.Value(ctxKey{}).(Span)
+	return s
+}
+
+// ContextWithSpan returns a context carrying s. Used by the serve layer to
+// graft a request's span onto the singleflight's detached computation
+// context, so the campaign's child spans keep their causal parent while
+// cancellation stays governed by the flight.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if s.d == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// Graft copies the current span of src (if any) onto dst and returns the
+// result. dst keeps its own cancellation and deadlines.
+func Graft(dst, src context.Context) context.Context {
+	if !enabled.Load() {
+		return dst
+	}
+	return ContextWithSpan(dst, FromContext(src))
+}
+
+// StartSpan opens a child span of the current span of ctx and returns the
+// descended context and the span. When tracing is disabled, or ctx carries
+// no trace (the request was never rooted), it returns ctx unchanged and an
+// inert span — one atomic load, zero allocations.
+func StartSpan(ctx context.Context, name string) (context.Context, Span) {
+	if !enabled.Load() {
+		return ctx, Span{}
+	}
+	parent, _ := ctx.Value(ctxKey{}).(Span)
+	if parent.d == nil {
+		return ctx, Span{}
+	}
+	s := startIn(parent.d.tr, parent.d.id, name)
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+func startIn(tr *Trace, parent SpanID, name string) Span {
+	d := &spanData{tr: tr, id: newSpanID(), parent: parent, name: name, start: time.Now()}
+	tr.emit(Event{
+		Type:   EventSpanStart,
+		Name:   name,
+		Trace:  tr.id.String(),
+		Span:   d.id.String(),
+		Parent: parentString(parent),
+		AtMs:   ms(d.start.Sub(tr.start)),
+	})
+	return Span{d: d}
+}
+
+// rootOptions configures StartRoot.
+type rootOptions struct {
+	parentTrace TraceID
+	parentSpan  SpanID
+	emitter     Emitter
+	rec         *Recorder
+}
+
+// RootOption configures StartRoot.
+type RootOption func(*rootOptions)
+
+// WithParent adopts an upstream trace id and parent span id (from a W3C
+// traceparent header): the new root joins that trace instead of minting a
+// fresh id.
+func WithParent(trace TraceID, span SpanID) RootOption {
+	return func(o *rootOptions) { o.parentTrace, o.parentSpan = trace, span }
+}
+
+// WithEmitter attaches a live event listener to the new trace.
+func WithEmitter(e Emitter) RootOption {
+	return func(o *rootOptions) { o.emitter = e }
+}
+
+// WithRecorder directs the trace's records to r instead of the default
+// flight recorder.
+func WithRecorder(r *Recorder) RootOption {
+	return func(o *rootOptions) { o.rec = r }
+}
+
+// StartRoot opens a span, minting a new trace when ctx carries none: the
+// facade entrypoints and the lhgd request middleware call it so every
+// operation belongs to exactly one trace. If ctx already carries a live
+// span, StartRoot behaves as StartSpan and the options are ignored — an
+// already-rooted request keeps its identity. Disabled tracing returns ctx
+// unchanged and an inert span.
+func StartRoot(ctx context.Context, name string, opts ...RootOption) (context.Context, Span) {
+	if !enabled.Load() {
+		return ctx, Span{}
+	}
+	if parent, _ := ctx.Value(ctxKey{}).(Span); parent.d != nil {
+		s := startIn(parent.d.tr, parent.d.id, name)
+		return context.WithValue(ctx, ctxKey{}, s), s
+	}
+	var o rootOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	tr := &Trace{id: o.parentTrace, start: time.Now(), rec: o.rec}
+	if tr.id.IsZero() {
+		tr.id = newTraceID()
+	}
+	if tr.rec == nil {
+		tr.rec = DefaultRecorder
+	}
+	if o.emitter != nil {
+		tr.AddEmitter(o.emitter)
+	}
+	s := startIn(tr, o.parentSpan, name)
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// TimedSpan is a span that is ALWAYS wall-timed, even when tracing is
+// disabled: End returns the real duration either way, with the trace
+// record only materializing when the span half is live. It exists so the
+// verification phase breakdown (Report.Phases, lhcheck -v) can read its
+// timings from the spans themselves — one clock, one source of truth —
+// instead of keeping parallel bookkeeping.
+type TimedSpan struct {
+	start time.Time
+	span  Span
+}
+
+// StartTimed opens an always-timed span. Intended for coarse phases (a
+// handful per request), not hot loops: it calls time.Now even when
+// tracing is off.
+func StartTimed(ctx context.Context, name string) (context.Context, TimedSpan) {
+	ctx, sp := StartSpan(ctx, name)
+	if sp.d != nil {
+		return ctx, TimedSpan{start: sp.d.start, span: sp}
+	}
+	return ctx, TimedSpan{start: time.Now()}
+}
+
+// Span returns the trace half (inert when tracing is disabled).
+func (t TimedSpan) Span() Span { return t.span }
+
+// End closes the span and returns its wall time, measured from the same
+// instant the trace record uses.
+func (t TimedSpan) End() time.Duration {
+	if t.span.d != nil {
+		return t.span.End()
+	}
+	return time.Since(t.start)
+}
+
+// Instant records a free-standing point event into the default recorder,
+// outside any trace (zero trace id): background work no request context
+// reaches, like the netflood retransmit loops. Guard attribute building
+// with Enabled() at the call site.
+func Instant(name string, attrs ...Attr) {
+	if !enabled.Load() {
+		return
+	}
+	DefaultRecorder.add(Record{
+		Span:  newSpanID(),
+		Name:  name,
+		Kind:  KindInstant,
+		Start: time.Now(),
+		Attrs: attrs,
+	})
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// parentString renders a parent id, with the zero id (a root) as empty so
+// serialized events omit it.
+func parentString(id SpanID) string {
+	if id.IsZero() {
+		return ""
+	}
+	return id.String()
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}

@@ -1,0 +1,384 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracing runs fn with tracing enabled against a clean default
+// recorder, restoring the disabled default afterwards.
+func withTracing(t *testing.T, fn func()) {
+	t.Helper()
+	Enable()
+	DefaultRecorder.Reset()
+	defer func() {
+		Disable()
+		DefaultRecorder.Reset()
+	}()
+	fn()
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	ctx := context.Background()
+	ctx2, sp := StartRoot(ctx, "root")
+	if ctx2 != ctx {
+		t.Fatal("disabled StartRoot must return the context unchanged")
+	}
+	if sp.Live() {
+		t.Fatal("disabled StartRoot must return an inert span")
+	}
+	if !sp.TraceID().IsZero() || !sp.ID().IsZero() {
+		t.Fatal("inert span must carry zero ids")
+	}
+	sp.SetAttr(Int("x", 1))
+	sp.Event("nothing")
+	if d := sp.End(); d != 0 {
+		t.Fatalf("inert End = %v, want 0", d)
+	}
+	if _, child := StartSpan(ctx, "child"); child.Live() {
+		t.Fatal("disabled StartSpan must be inert")
+	}
+	if FromContext(ctx).Live() {
+		t.Fatal("disabled FromContext must be inert")
+	}
+	if got := DefaultRecorder.Len(); got != 0 {
+		t.Fatalf("recorder holds %d records after disabled ops, want 0", got)
+	}
+}
+
+func TestTraceDisabledZeroAlloc(t *testing.T) {
+	Disable()
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := StartSpan(ctx, "hot")
+		sp.Event("probe-progress")
+		sp.End()
+		_ = c2
+		Instant("background")
+		_ = FromContext(ctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSpanTreeAndRecorder(t *testing.T) {
+	withTracing(t, func() {
+		ctx, root := StartRoot(context.Background(), "lhg.Verify")
+		if !root.Live() {
+			t.Fatal("enabled StartRoot must mint a live root")
+		}
+		ctx2, child := StartSpan(ctx, "check.kappa")
+		if child.TraceID() != root.TraceID() {
+			t.Fatal("child must share the root's trace id")
+		}
+		if FromContext(ctx2).ID() != child.ID() {
+			t.Fatal("context must carry the innermost span")
+		}
+		child.SetAttr(Int("probes", 42))
+		child.Event("probe-progress", Int("done", 10))
+		child.End()
+		root.End()
+
+		recs := DefaultRecorder.TraceRecords(root.TraceID())
+		var names []string
+		for _, r := range recs {
+			names = append(names, r.Name)
+		}
+		want := map[string]bool{"lhg.Verify": false, "check.kappa": false, "probe-progress": false}
+		for _, n := range names {
+			want[n] = true
+		}
+		for n, seen := range want {
+			if !seen {
+				t.Fatalf("recorder misses %q; got %v", n, names)
+			}
+		}
+		for _, r := range recs {
+			if r.Name == "check.kappa" {
+				if r.Parent != root.ID() {
+					t.Fatalf("check.kappa parent = %s, want root %s", r.Parent, root.ID())
+				}
+				if r.Kind != KindSpan || r.Dur < 0 {
+					t.Fatal("span record must be KindSpan with non-negative duration")
+				}
+			}
+			if r.Name == "probe-progress" && r.Kind != KindInstant {
+				t.Fatal("point events must record as KindInstant")
+			}
+		}
+	})
+}
+
+func TestStartSpanWithoutRootIsInert(t *testing.T) {
+	withTracing(t, func() {
+		_, sp := StartSpan(context.Background(), "orphan")
+		if sp.Live() {
+			t.Fatal("StartSpan without a rooted context must be inert (roots are minted at the facade)")
+		}
+	})
+}
+
+func TestStartRootAdoptsExistingSpan(t *testing.T) {
+	withTracing(t, func() {
+		ctx, outer := StartRoot(context.Background(), "http")
+		_, inner := StartRoot(ctx, "lhg.Verify")
+		if inner.TraceID() != outer.TraceID() {
+			t.Fatal("StartRoot under an existing span must join its trace")
+		}
+	})
+}
+
+func TestTimedSpanAlwaysTimes(t *testing.T) {
+	Disable()
+	_, ts := StartTimed(context.Background(), "check.kappa")
+	time.Sleep(2 * time.Millisecond)
+	if d := ts.End(); d < time.Millisecond {
+		t.Fatalf("disabled TimedSpan measured %v, want >= 1ms", d)
+	}
+	withTracing(t, func() {
+		ctx, _ := StartRoot(context.Background(), "root")
+		_, ts := StartTimed(ctx, "check.lambda")
+		time.Sleep(2 * time.Millisecond)
+		d := ts.End()
+		if d < time.Millisecond {
+			t.Fatalf("enabled TimedSpan measured %v, want >= 1ms", d)
+		}
+		recs := DefaultRecorder.Snapshot()
+		found := false
+		for _, r := range recs {
+			if r.Name == "check.lambda" {
+				found = true
+				if diff := r.Dur - d; diff != 0 {
+					t.Fatalf("record duration %v != End duration %v: two clocks", r.Dur, d)
+				}
+			}
+		}
+		if !found {
+			t.Fatal("enabled TimedSpan must land in the recorder")
+		}
+	})
+}
+
+func TestEmitterSeesLifecycle(t *testing.T) {
+	withTracing(t, func() {
+		var mu sync.Mutex
+		var events []Event
+		ctx, root := StartRoot(context.Background(), "campaign", WithEmitter(func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}))
+		_, child := StartSpan(ctx, "check.kappa")
+		child.Event("probe-progress", Int("done", 5))
+		child.End()
+		root.End()
+
+		mu.Lock()
+		defer mu.Unlock()
+		var kinds []string
+		for _, ev := range events {
+			kinds = append(kinds, ev.Type+":"+ev.Name)
+		}
+		want := []string{
+			"span-start:campaign",
+			"span-start:check.kappa",
+			"point:probe-progress",
+			"span-end:check.kappa",
+			"span-end:campaign",
+		}
+		if strings.Join(kinds, ",") != strings.Join(want, ",") {
+			t.Fatalf("event order %v, want %v", kinds, want)
+		}
+		for _, ev := range events {
+			if ev.Trace != root.TraceID().String() {
+				t.Fatalf("event trace %s, want %s", ev.Trace, root.TraceID())
+			}
+		}
+	})
+}
+
+func TestAddEmitterRemove(t *testing.T) {
+	withTracing(t, func() {
+		ctx, root := StartRoot(context.Background(), "r")
+		var n int
+		remove := root.Trace().AddEmitter(func(Event) { n++ })
+		_, sp := StartSpan(ctx, "a")
+		sp.End()
+		remove()
+		_, sp2 := StartSpan(ctx, "b")
+		sp2.End()
+		if n != 2 { // a's start+end only
+			t.Fatalf("late emitter saw %d events, want 2", n)
+		}
+	})
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	r := NewRecorder(recorderStripes) // one record per stripe
+	Enable()
+	defer Disable()
+	ctx, root := StartRoot(context.Background(), "r", WithRecorder(r))
+	for i := 0; i < 100; i++ {
+		_, sp := StartSpan(ctx, fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	root.End()
+	if got := r.Len(); got > recorderStripes {
+		t.Fatalf("ring holds %d records, capacity %d", got, recorderStripes)
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("expected wrap-around drops after overfilling the ring")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := newTraceID(), newSpanID()
+	h := Traceparent(tid, sid)
+	if len(h) != 55 {
+		t.Fatalf("traceparent %q has length %d, want 55", h, len(h))
+	}
+	gotT, gotS, ok := ParseTraceparent(h)
+	if !ok || gotT != tid || gotS != sid {
+		t.Fatalf("round trip failed: %q -> %v %v %v", h, gotT, gotS, ok)
+	}
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"ff-" + tid.String() + "-" + sid.String() + "-01",
+		"00-00000000000000000000000000000000-" + sid.String() + "-01",
+		"00-" + tid.String() + "-0000000000000000-01",
+		"00-" + strings.Repeat("g", 32) + "-" + sid.String() + "-01",
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted invalid input", h)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	withTracing(t, func() {
+		ctx, root := StartRoot(context.Background(), "lhg.Verify")
+		_, sp := StartSpan(ctx, "check.kappa")
+		if sp.Live() {
+			sp.SetAttr(Int("worker", 3))
+		}
+		sp.Event("probe-progress", Int("done", 7))
+		sp.End()
+		root.End()
+
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, DefaultRecorder.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+		}
+		var phases []string
+		workerLane := false
+		for _, ev := range out.TraceEvents {
+			phases = append(phases, ev["ph"].(string))
+			if ev["name"] == "check.kappa" && ev["tid"].(float64) == 4 {
+				workerLane = true
+			}
+			if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+				t.Fatalf("event %v has invalid ts", ev)
+			}
+		}
+		if !workerLane {
+			t.Fatalf("worker attribute must map to its own lane; events: %v", out.TraceEvents)
+		}
+		hasX, hasI := false, false
+		for _, p := range phases {
+			hasX = hasX || p == "X"
+			hasI = hasI || p == "i"
+		}
+		if !hasX || !hasI {
+			t.Fatalf("export needs both complete (X) and instant (i) events, got %v", phases)
+		}
+	})
+}
+
+func TestHTTPHandlerFiltersByTrace(t *testing.T) {
+	withTracing(t, func() {
+		_, a := StartRoot(context.Background(), "trace-a")
+		a.End()
+		_, b := StartRoot(context.Background(), "trace-b")
+		b.End()
+
+		rr := httptest.NewRecorder()
+		Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace?trace="+a.TraceID().String(), nil))
+		if rr.Code != 200 {
+			t.Fatalf("status %d", rr.Code)
+		}
+		body := rr.Body.String()
+		if !strings.Contains(body, "trace-a") || strings.Contains(body, "trace-b") {
+			t.Fatalf("filter failed: %s", body)
+		}
+
+		rr = httptest.NewRecorder()
+		Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/trace?trace=zz", nil))
+		if rr.Code != 400 {
+			t.Fatalf("invalid filter: status %d, want 400", rr.Code)
+		}
+	})
+}
+
+func TestInstantRecordsWithoutTrace(t *testing.T) {
+	withTracing(t, func() {
+		Instant("netflood.retransmit", Int("node", 3))
+		recs := DefaultRecorder.Snapshot()
+		if len(recs) != 1 || recs[0].Name != "netflood.retransmit" || !recs[0].Trace.IsZero() {
+			t.Fatalf("Instant record wrong: %+v", recs)
+		}
+	})
+}
+
+func TestConcurrentSpansRace(t *testing.T) {
+	withTracing(t, func() {
+		ctx, root := StartRoot(context.Background(), "root")
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					_, sp := StartSpan(ctx, "worker-span")
+					if sp.Live() {
+						sp.SetAttr(Int("worker", int64(w)))
+					}
+					sp.Event("tick")
+					sp.End()
+				}
+			}(w)
+		}
+		wg.Wait()
+		root.End()
+		if DefaultRecorder.Len() == 0 {
+			t.Fatal("no records after concurrent spans")
+		}
+	})
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[SpanID]bool)
+	for i := 0; i < 10000; i++ {
+		id := newSpanID()
+		if id.IsZero() || seen[id] {
+			t.Fatalf("duplicate or zero span id at %d", i)
+		}
+		seen[id] = true
+	}
+}

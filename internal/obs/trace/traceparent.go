@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// W3C Trace Context interchange (https://www.w3.org/TR/trace-context/):
+// the traceparent header carries "version-traceid-spanid-flags" with a
+// two-hex-digit version, 32 hex digits of trace id, 16 of parent span id
+// and two of flags. lhgd ingests the header to join an upstream trace and
+// emits one on every response so clients can correlate.
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version (per spec, unknown versions parse as version 00 if the prefix
+// matches) and rejects all-zero ids, which the spec defines as invalid.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	var tid TraceID
+	var sid SpanID
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return tid, sid, false
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) < 2 {
+		return tid, sid, false
+	}
+	if parts[0] == "ff" {
+		return tid, sid, false // forbidden version
+	}
+	if _, err := hex.Decode(tid[:], []byte(parts[1])); err != nil {
+		return TraceID{}, sid, false
+	}
+	if _, err := hex.Decode(sid[:], []byte(parts[2])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+// Traceparent renders a version-00 traceparent header value with the
+// sampled flag set — every trace this process records is, by definition,
+// sampled.
+func Traceparent(trace TraceID, span SpanID) string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(trace.String())
+	b.WriteByte('-')
+	b.WriteString(span.String())
+	b.WriteString("-01")
+	return b.String()
+}

@@ -12,6 +12,7 @@ import (
 
 	"lhg"
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 )
 
 // POST /v1/reconfigure — stateful topology sessions.
@@ -285,6 +286,10 @@ func (sess *topoSession) unwind(delta int) {
 }
 
 func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Query().Has("stream") {
+		s.handleReconfigureStream(w, r)
+		return
+	}
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
@@ -346,7 +351,30 @@ func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("reconfig|%s|epoch=%d|j=%d|l=%d", req.Session, atEpoch, req.Joins, req.Leaves)
 	v, cached, err := s.compute(r.Context(), epReconfig, key, func(runCtx context.Context) (any, error) {
-		return sess.reconfigure(runCtx, &req, atEpoch)
+		// A watched session streams its campaigns: epoch brackets always,
+		// plus — mid-flight — every span event of the campaign's trace.
+		// The emitter detaches before the flight returns, so a watcher
+		// arriving between campaigns costs nothing.
+		f := s.sessionFeed(req.Session, false)
+		if f != nil {
+			f.publish("epoch-start", map[string]any{
+				"session": req.Session, "epoch": atEpoch,
+				"joins": req.Joins, "leaves": req.Leaves,
+			})
+			if sp := trace.FromContext(runCtx); sp.Live() {
+				remove := sp.Trace().AddEmitter(f.traceEmitter())
+				defer remove()
+			}
+		}
+		resp, err := sess.reconfigure(runCtx, &req, atEpoch)
+		if f != nil {
+			if err != nil {
+				f.publish("epoch-error", errorResponse{Error: err.Error()})
+			} else {
+				f.publish("epoch-end", resp)
+			}
+		}
+		return resp, err
 	})
 	if err != nil {
 		done(true, start)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 
 	"lhg"
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 )
 
 // Service telemetry, one family per endpoint plus the shared cache and
@@ -86,6 +88,12 @@ type Options struct {
 	// MaxSessions caps the live /v1/reconfigure topology sessions.
 	// 0 means the 1024 default; negative disables the endpoint's sessions.
 	MaxSessions int
+	// Logger receives the structured access and campaign log. nil
+	// discards (the zero-config default); pass obs.NewLogger to wire it.
+	Logger *slog.Logger
+	// StreamHeartbeat is the idle keep-alive period of the SSE streams
+	// (GET /v1/verify?stream, GET /v1/reconfigure?stream). 0 means 15s.
+	StreamHeartbeat time.Duration
 }
 
 // Server is the HTTP service: four endpoints, one LRU cache, one
@@ -99,11 +107,20 @@ type Server struct {
 	flights  *flightGroup
 	mux      *http.ServeMux
 	inflight atomic.Int64
+	log      *slog.Logger
 
 	// Stateful topology sessions for POST /v1/reconfigure.
 	sessMu      sync.Mutex
 	sessions    map[string]*topoSession
 	maxSessions int
+
+	// Live SSE progress feeds: one per in-flight streamed verify campaign
+	// (keyed by verify key, removed on completion) and one per watched
+	// topology session (keyed by session name, live while watched).
+	heartbeat   time.Duration
+	feedMu      sync.Mutex
+	verifyFeeds map[string]*feed
+	sessFeeds   map[string]*feed
 }
 
 // New builds a Server from opts.
@@ -120,6 +137,14 @@ func New(opts Options) *Server {
 	if maxSessions == 0 {
 		maxSessions = 1024
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.NewLogger(nil, slog.LevelInfo)
+	}
+	heartbeat := opts.StreamHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
 	s := &Server{
 		base:        base,
 		workers:     opts.Workers,
@@ -128,8 +153,12 @@ func New(opts Options) *Server {
 		cache:       newLRU(size),
 		flights:     newFlightGroup(base),
 		mux:         http.NewServeMux(),
+		log:         logger,
 		sessions:    make(map[string]*topoSession),
 		maxSessions: maxSessions,
+		heartbeat:   heartbeat,
+		verifyFeeds: make(map[string]*feed),
+		sessFeeds:   make(map[string]*feed),
 	}
 	s.mux.HandleFunc("/v1/build", s.handleBuild)
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
@@ -139,8 +168,10 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the root handler serving the /v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler serving the /v1 API, wrapped in the
+// per-request tracing middleware (traceparent ingestion, X-Trace-Id on
+// every response).
+func (s *Server) Handler() http.Handler { return s.traced(s.mux) }
 
 // BuildRequest selects one graph: the cache key fields. Seed, when present,
 // asks for the deterministic variant drawn from that seed (K-TREE and
@@ -290,13 +321,22 @@ func floodKey(graphKey string, source int, f lhg.Failures) string {
 
 // compute answers one request: cache lookup, then singleflight into fn,
 // then cache fill. fn runs under the group's detached context bounded by
-// the server timeout.
+// the server timeout; the request's span identity is grafted onto that
+// detached context so the campaign's child spans attribute to the
+// request that led the flight, while cancellation stays flight-owned.
 func (s *Server) compute(ctx context.Context, ep endpoint, key string, fn func(context.Context) (any, error)) (val any, cached bool, err error) {
+	sp := trace.FromContext(ctx)
 	if v, ok := s.cache.Get(key); ok {
 		ep.hits.Inc()
+		if sp.Live() {
+			sp.Event("cache-hit", trace.Str("key", key))
+		}
 		return v, true, nil
 	}
 	ep.misses.Inc()
+	if sp.Live() {
+		sp.Event("cache-miss", trace.Str("key", key))
+	}
 	v, err, shared := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		// Double-check the cache as the flight leader: a request that
 		// missed the cache just before a concurrent flight completed and
@@ -311,6 +351,11 @@ func (s *Server) compute(ctx context.Context, ep endpoint, key string, fn func(c
 			runCtx, cancel = context.WithTimeout(runCtx, s.timeout)
 			defer cancel()
 		}
+		runCtx, csp := trace.StartSpan(trace.Graft(runCtx, ctx), "serve.campaign")
+		if csp.Live() {
+			csp.SetAttr(trace.Str("key", key))
+		}
+		defer csp.End()
 		v, err := fn(runCtx)
 		if err == nil {
 			s.cache.Put(key, v)
@@ -319,6 +364,9 @@ func (s *Server) compute(ctx context.Context, ep endpoint, key string, fn func(c
 	})
 	if shared {
 		mCoalesced.Inc()
+		if sp.Live() {
+			sp.Event("coalesced", trace.Str("key", key))
+		}
 	}
 	if err != nil {
 		return nil, false, err
@@ -436,6 +484,10 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Query().Has("stream") {
+		s.handleVerifyStream(w, r)
+		return
+	}
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}

@@ -15,12 +15,15 @@ import (
 	"time"
 
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 )
 
 func TestMain(m *testing.M) {
 	// Counter assertions need the sink on; individual tests measure deltas
-	// so they stay independent of ordering.
+	// so they stay independent of ordering. Tracing is on too, so every
+	// test exercises the request middleware and span plumbing under load.
 	obs.Enable()
+	trace.Enable()
 	m.Run()
 }
 
@@ -418,6 +421,12 @@ func TestVerifyTimeoutMapsTo504(t *testing.T) {
 // counter must move by exactly one.
 func TestVerifyBurstRunsOneCampaign(t *testing.T) {
 	ts := newTestServer(t, Options{CacheSize: 16})
+	// Warm the graph cache first: serve.flight.coalesced is shared across
+	// endpoints, so build-flight coalescing inside the burst would
+	// otherwise leak into the verify-side arithmetic below.
+	if status := postJSON(t, ts.URL+"/v1/build", `{"constraint":"kdiamond","n":100,"k":4}`, nil); status != http.StatusOK {
+		t.Fatalf("warm build: status %d", status)
+	}
 	before := obs.Counters()
 
 	const clients = 64

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lhg/internal/obs"
+)
+
+// sseEvent is one parsed text/event-stream frame.
+type sseEvent struct {
+	Name string
+	Data string
+}
+
+// readSSE consumes an event stream until the `done` event, an error
+// event, or EOF, returning the frames in arrival order.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case line == "" && cur.Name != "":
+			events = append(events, cur)
+			if cur.Name == "done" {
+				return events
+			}
+			cur = sseEvent{}
+		}
+	}
+	return events
+}
+
+func streamURL(base, query string) string {
+	return base + "/v1/verify?stream&" + query
+}
+
+func TestVerifyStreamOrderingAndResult(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 16})
+	resp, err := http.Get(streamURL(ts.URL, "constraint=kdiamond&n=61&k=4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	events := readSSE(t, resp)
+	if len(events) < 3 {
+		t.Fatalf("stream too short: %+v", events)
+	}
+	if events[0].Name != "start" {
+		t.Fatalf("first event %q, want start", events[0].Name)
+	}
+	last, prev := events[len(events)-1], events[len(events)-2]
+	if last.Name != "done" || prev.Name != "result" {
+		t.Fatalf("tail events %q,%q, want result,done", prev.Name, last.Name)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal([]byte(prev.Data), &vr); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if !vr.IsLHG || vr.Report == nil {
+		t.Fatalf("streamed verify result wrong: %+v", vr)
+	}
+	// Tracing is on (TestMain): the feed must carry span lifecycle events
+	// between start and result, opening before closing.
+	var sawPhaseStart, sawPhaseEnd bool
+	for _, ev := range events {
+		if !strings.Contains(ev.Data, "check.") {
+			continue
+		}
+		switch ev.Name {
+		case "span-start":
+			sawPhaseStart = true
+		case "span-end":
+			if !sawPhaseStart {
+				t.Fatal("a check phase ended before any started")
+			}
+			sawPhaseEnd = true
+		}
+	}
+	if !sawPhaseStart || !sawPhaseEnd {
+		t.Fatalf("stream missing check phase span events:\n%+v", events)
+	}
+	var startPayload struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal([]byte(events[0].Data), &startPayload); err != nil || startPayload.TraceID == "" {
+		t.Fatalf("start event carries no trace id: %q (%v)", events[0].Data, err)
+	}
+}
+
+// TestVerifyStreamSharedFeed is the tentpole invariant: a burst of
+// streaming watchers of one campaign shares a single span stream — the
+// campaign runs exactly once (asserted on check.verify.runs).
+func TestVerifyStreamSharedFeed(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 16})
+	before := obs.Counters()
+
+	const clients = 64
+	var wg sync.WaitGroup
+	var okCount, gotResult atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(streamURL(ts.URL, "constraint=kdiamond&n=120&k=4"))
+			if err != nil {
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				return
+			}
+			okCount.Add(1)
+			for _, ev := range readSSE(t, resp) {
+				if ev.Name == "result" {
+					gotResult.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	after := obs.Counters()
+	if ok := okCount.Load(); ok != clients {
+		t.Fatalf("%d/%d streams opened", ok, clients)
+	}
+	if got := gotResult.Load(); got != clients {
+		t.Fatalf("%d/%d streams observed the result", got, clients)
+	}
+	campaigns := after["check.verify.runs"] - before["check.verify.runs"]
+	if campaigns != 1 {
+		t.Fatalf("burst of %d streaming watchers ran %d campaigns, want exactly 1", clients, campaigns)
+	}
+}
+
+func TestVerifyStreamBadParams(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 16})
+	for _, query := range []string{
+		"constraint=kdiamond",                        // missing n,k
+		"constraint=nope&n=50&k=4",                   // unknown constraint
+		"constraint=kdiamond&n=x&k=4",                // non-numeric
+		"constraint=kdiamond&n=50&k=4&properties=P9", // unknown property
+	} {
+		resp, err := http.Get(streamURL(ts.URL, query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("query %q: status %d, want 400", query, resp.StatusCode)
+		}
+	}
+}
+
+// TestVerifyStreamDisconnectCancels: when the only watcher of an
+// unfinished streamed campaign disconnects, the feed-owned context is
+// cancelled and the feed unmaps — the campaign does not run on
+// abandoned.
+func TestVerifyStreamDisconnectCancels(t *testing.T) {
+	srv := New(Options{CacheSize: 16})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// n large enough that the P3 sweep outlives the disconnect.
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		streamURL(ts.URL, "constraint=kdiamond&n=1200&k=6"), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the stream to open, then vanish.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("stream never produced a byte: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.feedMu.Lock()
+		live := len(srv.verifyFeeds)
+		srv.feedMu.Unlock()
+		if live == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("feed still live %d after sole watcher disconnected", live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReconfigureStream watches a topology session across an epoch: the
+// watcher sees epoch-start, the campaign's span events, and epoch-end
+// with the applied surgery.
+func TestReconfigureStream(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 16})
+
+	// Create the session (epoch 0 baseline).
+	var created ReconfigureResponse
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"watched","constraint":"kdiamond","n":24,"k":3}`, &created); status != http.StatusOK {
+		t.Fatalf("session create: status %d", status)
+	}
+
+	// Streaming an unknown session is 404; a missing name is 400.
+	resp, err := http.Get(ts.URL + "/v1/reconfigure?stream&session=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost session: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/reconfigure?stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("nameless stream: status %d, want 400", resp.StatusCode)
+	}
+
+	// Watch, then drive one epoch.
+	resp, err = http.Get(ts.URL + "/v1/reconfigure?stream&session=watched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	type evRec struct {
+		Name string
+		Data string
+	}
+	events := make(chan evRec, 256)
+	go func() {
+		defer close(events)
+		var cur evRec
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur.Name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.Data = strings.TrimPrefix(line, "data: ")
+			case line == "" && cur.Name != "":
+				events <- cur
+				cur = evRec{}
+			}
+		}
+	}()
+
+	// Give the subscriber a moment to attach before the campaign runs.
+	time.Sleep(50 * time.Millisecond)
+	var epoch ReconfigureResponse
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"watched","joins":2,"leaves":1}`, &epoch); status != http.StatusOK {
+		t.Fatalf("epoch: status %d", status)
+	}
+	if epoch.Epoch != 1 {
+		t.Fatalf("epoch %d, want 1", epoch.Epoch)
+	}
+
+	var names []string
+	deadline := time.After(10 * time.Second)
+	for len(names) == 0 || names[len(names)-1] != "epoch-end" {
+		select {
+		case ev, open := <-events:
+			if !open {
+				t.Fatalf("stream ended early; events: %v", names)
+			}
+			names = append(names, ev.Name)
+			if ev.Name == "epoch-end" {
+				var got ReconfigureResponse
+				if err := json.Unmarshal([]byte(ev.Data), &got); err != nil {
+					t.Fatalf("decode epoch-end: %v", err)
+				}
+				if got.Epoch != 1 || got.N != created.N+1 {
+					t.Fatalf("epoch-end payload wrong: %+v", got)
+				}
+			}
+		case <-deadline:
+			t.Fatalf("no epoch-end within deadline; events: %v", names)
+		}
+	}
+	if names[0] != "epoch-start" {
+		t.Fatalf("first streamed event %q, want epoch-start; all: %v", names[0], names)
+	}
+	resp.Body.Close()
+}
+
+// TestStreamHeartbeat pins the keep-alive: an idle session stream gets
+// comment heartbeats at the configured period.
+func TestStreamHeartbeat(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 16, StreamHeartbeat: 20 * time.Millisecond})
+	var created ReconfigureResponse
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"idle","constraint":"kdiamond","n":24,"k":3}`, &created); status != http.StatusOK {
+		t.Fatalf("session create: status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/v1/reconfigure?stream&session=idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(5*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ": hb") {
+			return // heartbeat observed
+		}
+	}
+	t.Fatal("no heartbeat on an idle stream")
+}

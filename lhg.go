@@ -48,6 +48,7 @@ import (
 	"lhg/internal/harary"
 	"lhg/internal/member"
 	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
 	"lhg/internal/overlay"
 	"lhg/internal/sim"
 )
@@ -223,6 +224,13 @@ func Build(ctx context.Context, c Constraint, n, k int, opts ...Option) (*Graph,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := trace.StartRoot(ctx, "lhg.Build")
+	if sp.Live() {
+		sp.SetAttr(trace.Str("constraint", c.String()))
+		sp.SetAttr(trace.Int("n", int64(n)))
+		sp.SetAttr(trace.Int("k", int64(k)))
+	}
+	defer sp.End()
 	o := applyOptions(opts)
 	if o.hasSeed {
 		return buildVariant(c, n, k, o.seed)
@@ -367,6 +375,12 @@ func Regular(c Constraint, n, k int) bool {
 // joined and the internal pools left reusable. A canceled run returns
 // ctx.Err().
 func Verify(ctx context.Context, g *Graph, k int, opts ...Option) (*Report, error) {
+	ctx, sp := trace.StartRoot(ctx, "lhg.Verify")
+	if sp.Live() {
+		sp.SetAttr(trace.Int("n", int64(g.Order())))
+		sp.SetAttr(trace.Int("k", int64(k)))
+	}
+	defer sp.End()
 	o := applyOptions(opts)
 	return check.VerifyCtx(ctx, g, k, check.Options{
 		Workers:  o.workers,
@@ -388,6 +402,8 @@ type DeltaVerifier = check.DeltaVerifier
 // WithProperties and WithSparsify apply (as in Verify); note that
 // property-selected runs always take the full-campaign path on Advance.
 func NewDeltaVerifier(ctx context.Context, g *Graph, k int, opts ...Option) (*DeltaVerifier, error) {
+	ctx, sp := trace.StartRoot(ctx, "lhg.NewDeltaVerifier")
+	defer sp.End()
 	o := applyOptions(opts)
 	return check.NewDeltaVerifier(ctx, g, k, check.Options{
 		Workers:  o.workers,
@@ -402,6 +418,13 @@ func NewDeltaVerifier(ctx context.Context, g *Graph, k int, opts ...Option) (*De
 // Verify, at the cost of only the delta's localized probes when the
 // incremental conditions hold.
 func VerifyDelta(ctx context.Context, g *Graph, prev *Report, d EdgeDelta, n int, opts ...Option) (*Report, error) {
+	ctx, sp := trace.StartRoot(ctx, "lhg.VerifyDelta")
+	if sp.Live() {
+		sp.SetAttr(trace.Int("n", int64(n)))
+		sp.SetAttr(trace.Int("added", int64(len(d.Added))))
+		sp.SetAttr(trace.Int("removed", int64(len(d.Removed))))
+	}
+	defer sp.End()
 	o := applyOptions(opts)
 	return check.VerifyDelta(ctx, g, prev, d, n, check.Options{
 		Workers:  o.workers,
@@ -426,6 +449,8 @@ func VerifyParallel(g *Graph, k, workers int) (*Report, error) {
 // WithSparsify applies — the quick path is serial and always checks every
 // property.
 func IsLHG(ctx context.Context, g *Graph, k int, opts ...Option) (bool, error) {
+	ctx, sp := trace.StartRoot(ctx, "lhg.IsLHG")
+	defer sp.End()
 	o := applyOptions(opts)
 	return check.QuickVerifyOpts(ctx, g, k, check.Options{Sparsify: o.sparsify})
 }
@@ -435,6 +460,12 @@ func IsLHG(ctx context.Context, g *Graph, k int, opts ...Option) (bool, error) {
 // WithFailures. Cancellation is polled once per round and surfaces as
 // ctx.Err().
 func Flood(ctx context.Context, g *Graph, source int, opts ...Option) (*FloodResult, error) {
+	ctx, sp := trace.StartRoot(ctx, "lhg.Flood")
+	if sp.Live() {
+		sp.SetAttr(trace.Int("n", int64(g.Order())))
+		sp.SetAttr(trace.Int("source", int64(source)))
+	}
+	defer sp.End()
 	o := applyOptions(opts)
 	return flood.RunCtx(ctx, g, source, o.failures)
 }
@@ -594,8 +625,37 @@ func WriteMetricsJSON(w io.Writer) error { return obs.WriteJSON(w) }
 func WriteMetricsPrometheus(w io.Writer) error { return obs.WritePrometheus(w) }
 
 // MetricsHandler returns the debug HTTP mux the CLIs serve under -http:
-// /debug/vars (expvar), /metrics (Prometheus) and /debug/pprof/.
+// /debug/vars (expvar), /metrics (Prometheus), /debug/trace (Chrome
+// trace_event export) and /debug/pprof/.
 func MetricsHandler() http.Handler { return obs.DebugHandler() }
+
+// Tracing. Alongside the metrics layer, the library carries a
+// request-scoped tracing layer: Build, Verify, Flood and the delta
+// entrypoints mint a root span; verification phases, per-worker probe
+// batches, delta fast-path decisions and netflood rounds record child
+// spans and point events into a fixed-size lock-striped flight recorder.
+// Off by default at one atomic load and zero allocations per would-be
+// span; EnableTracing turns it on process-wide.
+
+// EnableTracing turns the span recorder on: the facade entrypoints start
+// minting trace ids and the instrumented layers record spans.
+func EnableTracing() { trace.Enable() }
+
+// DisableTracing turns the span recorder off. Recorded spans are kept
+// until ResetTrace.
+func DisableTracing() { trace.Disable() }
+
+// TracingEnabled reports whether spans are being recorded.
+func TracingEnabled() bool { return trace.Enabled() }
+
+// ResetTrace clears the flight recorder.
+func ResetTrace() { trace.Reset() }
+
+// WriteTraceJSON dumps the flight recorder in the Chrome trace_event JSON
+// format (load in chrome://tracing or Perfetto).
+func WriteTraceJSON(w io.Writer) error {
+	return trace.WriteChromeTrace(w, trace.Snapshot())
+}
 
 // BuildVariant constructs a randomly sampled (seeded, reproducible)
 // witness of the K-TREE or K-DIAMOND constraint for (n,k).
