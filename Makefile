@@ -33,13 +33,14 @@ define bench2json
 			printf "  \"benchmarks\": [" \
 		} \
 		/^Benchmark/ { \
-			name=$$1; sub(/-[0-9]+$$/, "", name); ns=""; allocs=""; \
+			name=$$1; sub(/-[0-9]+$$/, "", name); ns=""; allocs=""; frames=""; \
 			for (i=2; i<=NF; i++) { \
 				if ($$i == "ns/op") ns=$$(i-1); \
 				if ($$i == "allocs/op") allocs=$$(i-1); \
+				if ($$i == "frames/op") frames=$$(i-1); \
 			} \
 			if (ns != "") { \
-				printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, (allocs == "" ? "null" : allocs); \
+				printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"frames_per_op\": %s}", sep, name, ns, (allocs == "" ? "null" : allocs), (frames == "" ? "null" : frames); \
 				sep=","; \
 			} \
 		} \
@@ -50,10 +51,12 @@ endef
 # n in {256, 1024, 4096}, the steady-state 0-alloc probes, and their
 # metrics-enabled twins) into BENCH_verify.json, then the dense-fixture
 # full-vs-sparsified verification pair into BENCH_sparsify.json (the
-# artifact that tracks the sparse-certificate fast-path speedup), and
-# finally the churn-oscillation delta-vs-full re-verification pair into
+# artifact that tracks the sparse-certificate fast-path speedup), then the
+# churn-oscillation delta-vs-full re-verification pair into
 # BENCH_reconfigure.json, which tracks the incremental re-verification
-# speedup under ~1% membership churn.
+# speedup under ~1% membership churn, and finally the E29 guarded-vs-
+# unguarded lossy-broadcast pair into BENCH_flood.json, which tracks the
+# message cost of storm control (frames_per_op against the static ceiling).
 bench:
 	$(GO) test -run '^$$' \
 		-bench '^(BenchmarkVerifySweep|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState|BenchmarkBFSSteadyStateMetricsOn|BenchmarkEdgeProbeSteadyStateMetricsOn)$$' \
@@ -71,7 +74,12 @@ bench:
 	@$(bench2json) bench_reconfigure.out > BENCH_reconfigure.json
 	@rm -f bench_reconfigure.out
 	@echo "wrote BENCH_reconfigure.json"
+	$(GO) test -run '^$$' -bench '^BenchmarkFloodCost(Guarded|Unguarded)$$' \
+		-benchmem -benchtime=3x . | tee bench_flood.out
+	@$(bench2json) bench_flood.out > BENCH_flood.json
+	@rm -f bench_flood.out
+	@echo "wrote BENCH_flood.json"
 
 clean:
-	rm -f bench.out bench_sparsify.out bench_reconfigure.out \
-		BENCH_verify.json BENCH_sparsify.json BENCH_reconfigure.json
+	rm -f bench.out bench_sparsify.out bench_reconfigure.out bench_flood.out \
+		BENCH_verify.json BENCH_sparsify.json BENCH_reconfigure.json BENCH_flood.json

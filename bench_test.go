@@ -14,13 +14,16 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"lhg"
 	"lhg/internal/classic"
 	"lhg/internal/core"
+	"lhg/internal/faultnet"
 	"lhg/internal/flood"
 	"lhg/internal/flow"
 	"lhg/internal/graph"
+	"lhg/internal/netflood"
 	"lhg/internal/overlay"
 	"lhg/internal/proc"
 	"lhg/internal/sim"
@@ -736,3 +739,80 @@ func churnBatch(size int) [2][]lhg.Change {
 	}
 	return [2][]lhg.Change{leaves, joins}
 }
+
+// benchmarkFloodCost covers E29: one reliable broadcast over a lossy
+// KDIAMOND(16,4) loopback-TCP cluster, with and without the ampguard
+// enforcement plan. ns/op is dominated by recovery latency; the artifact
+// the pair exists for is frames/op (originals + retransmissions) against
+// the analyzer's static ceiling, reported as extra benchmark metrics.
+func benchmarkFloodCost(b *testing.B, guarded bool) {
+	g := buildOrFatal(b, lhg.KDiamond, 16, 4)
+	policy := lhg.RetryPolicy{
+		Timeout: 250 * time.Millisecond,
+		Base:    3 * time.Millisecond,
+		Max:     10 * time.Millisecond,
+		Retries: 4,
+		Jitter:  0.25,
+	}
+	report, err := lhg.FloodBudget(context.Background(), g, 0, 4, policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := netflood.Options{
+		Reliable:       true,
+		WriteTimeout:   policy.Timeout,
+		RetransmitBase: policy.Base,
+		RetransmitMax:  policy.Max,
+		MaxRetries:     policy.Retries,
+		Seed:           29,
+		Faults:         func(int, int) faultnet.Plan { return faultnet.Plan{Drop: 0.25} },
+	}
+	if guarded {
+		gu := report.Guard()
+		opts.HopBudget = gu.HopBudget
+		opts.RetryBudget = gu.RetryBudget
+		opts.RetransmitRate = gu.RetransmitRate
+		opts.RetransmitBurst = gu.RetransmitBurst
+		opts.PathDiversity = gu.PathDiversity
+	}
+	all := make([]int, g.Order())
+	for v := range all {
+		all[v] = v
+	}
+	lhg.EnableMetrics()
+	defer lhg.DisableMetrics()
+	lhg.ResetMetrics()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := netflood.StartWithOptions(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Broadcast(0, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		if !c.WaitDelivered(all, 1, 15*time.Second) {
+			b.Fatal("lossy broadcast did not deliver everywhere")
+		}
+		// Let the ack/retransmit exchange settle so frames/op prices the
+		// whole recovery, not just the time to first delivery.
+		time.Sleep(150 * time.Millisecond)
+		c.Shutdown()
+	}
+	b.StopTimer()
+	ctr := lhg.MetricsCounters()
+	frames := ctr["netflood.frames.sent"] + ctr["netflood.frames.retransmitted"]
+	if guarded && frames > int64(b.N)*report.FrameCeiling {
+		b.Fatalf("guarded runs spent %d frames over %d broadcasts, ceiling %d each",
+			frames, b.N, report.FrameCeiling)
+	}
+	b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+	b.ReportMetric(float64(report.FrameCeiling), "ceiling/op")
+	sinkInt = int(frames)
+}
+
+// BenchmarkFloodCostGuarded covers E29 guarded: the ampguard plan enforced.
+func BenchmarkFloodCostGuarded(b *testing.B) { benchmarkFloodCost(b, true) }
+
+// BenchmarkFloodCostUnguarded covers E29 unguarded: the same storm, no caps.
+func BenchmarkFloodCostUnguarded(b *testing.B) { benchmarkFloodCost(b, false) }

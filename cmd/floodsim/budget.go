@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lhg/internal/ampguard"
+	"lhg/internal/graph"
+)
+
+// budgetArtifact is the -budget -json artifact: the full analyzer report
+// plus the runtime enforcement plan derived from it, one object.
+type budgetArtifact struct {
+	*ampguard.Report
+	Guard ampguard.Guard `json:"guard"`
+}
+
+// runBudget is the -budget mode: price the topology's delivery guarantee
+// under the reliable protocol's retry policy without sending a frame. The
+// human report leads with the two numbers that matter — the unguarded
+// cascade hazard and the enforceable frame ceiling — and ends with the
+// guard plan that -guard applies at runtime.
+func runBudget(out io.Writer, name string, g *graph.Graph, source, k int, asJSON bool) error {
+	report, err := ampguard.Analyze(context.Background(), g, source, k, ampguard.DefaultPolicy())
+	if err != nil {
+		return err
+	}
+	guard := report.Guard()
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(budgetArtifact{Report: report, Guard: guard})
+	}
+	p := report.Policy
+	fmt.Fprintf(out, "topology:      %s, %d edges, source %d\n", name, report.Edges, report.Source)
+	fmt.Fprintf(out, "policy:        timeout %s, backoff %s..%s, %d retries, jitter %.0f%%\n",
+		p.Timeout, p.Base, p.Max, p.Retries, p.Jitter*100)
+	fmt.Fprintf(out, "frame ceiling: %d frames per broadcast (2m x %d attempts, enforced)\n",
+		report.FrameCeiling, p.EdgeAttempts())
+	fmt.Fprintf(out, "amplification: %.4gx worst-case retry cascade if unguarded (%d hops max)\n",
+		report.MaxAmplification, report.MaxHops)
+	fmt.Fprintf(out, "worst latency: %s on the costliest guaranteed path\n", report.MaxLatency)
+	fmt.Fprintf(out, "diversity:     >= %d disjoint paths to every target (design k = %d)\n",
+		report.MinDiversity, report.K)
+	fmt.Fprintf(out, "guard:         hop budget %d, retry budget %d, rate %.1f/s burst %d, diversity gate %d\n",
+		guard.HopBudget, guard.RetryBudget, guard.RetransmitRate, guard.RetransmitBurst, guard.PathDiversity)
+	return nil
+}

@@ -17,6 +17,16 @@
 //	    -mode adversarial -loss 0.25 -dup 0.1 -delay 2ms -seed 7
 //	floodsim -net -constraint kdiamond -n 20 -k 4 -fail 4 -mode adversarial -linkfail
 //
+// -budget prices the topology's delivery guarantee under the reliable
+// protocol's retry policy without sending a frame — worst-case retry
+// amplification, latency and the enforceable frame ceiling per broadcast
+// (with -json: the full per-pair report artifact). -guard applies the
+// derived enforcement plan to a -net run and reports actual frames against
+// the static ceiling:
+//
+//	floodsim -budget -constraint kdiamond -n 20 -k 4 -json
+//	floodsim -net -reliable -guard -constraint kdiamond -n 20 -k 4 -loss 0.25
+//
 // -json replaces the human-readable report with a single JSON object on
 // stdout; diagnostics, the -metrics dump and the -http announcement always
 // go to stderr.
@@ -60,8 +70,11 @@ func run(args []string, out io.Writer) error {
 		httpAddr   = fs.String("http", "", "serve /debug/vars, /metrics and /debug/pprof/ on this address for the run")
 		tracePath  = fs.String("trace", "", "enable tracing and write the span flight recorder to this file (Chrome trace_event JSON) at exit")
 
+		budget = fs.Bool("budget", false, "print the retry-amplification budget analysis for the topology and exit (with -json: the full report artifact)")
+
 		netMode  = fs.Bool("net", false, "run over real loopback TCP sockets (chaos harness) instead of the simulator")
 		reliable = fs.Bool("reliable", false, "with -net: acked protocol with retransmission and reconnection")
+		guard    = fs.Bool("guard", false, "with -net: enforce the analyzer's budgets (hop/retry budgets, retransmit token bucket, diversity gate)")
 		loss     = fs.Float64("loss", 0, "with -net: per-frame drop probability on every link")
 		dupProb  = fs.Float64("dup", 0, "with -net: per-frame duplication probability on every link")
 		delayMax = fs.Duration("delay", 0, "with -net: max per-frame delay (uniform; causes reordering)")
@@ -88,12 +101,18 @@ func run(args []string, out io.Writer) error {
 	}
 	rng := sim.NewRNG(*seed)
 
+	if *budget {
+		return runBudget(out, fmt.Sprintf("%s(%d,%d)", c, *n, *k), g, *source, *k, *asJSON)
+	}
+
 	if *netMode {
 		if *mode != "random" && *mode != "adversarial" {
 			return fmt.Errorf("unknown failure mode %q (want random or adversarial)", *mode)
 		}
 		cfg := netConfig{
 			reliable: *reliable,
+			guard:    *guard,
+			k:        *k,
 			loss:     *loss,
 			dup:      *dupProb,
 			delayMax: *delayMax,

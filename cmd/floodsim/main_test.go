@@ -115,3 +115,85 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestRunBudgetHuman pins the -budget mode's human report: the static
+// analysis runs without sending a frame and leads with the enforceable
+// ceiling and the derived guard plan.
+func TestRunBudgetHuman(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-budget", "-constraint", "kdiamond", "-n", "20", "-k", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"topology:      kdiamond(20,4)",
+		"frame ceiling: 1040 frames per broadcast",
+		"diversity:     >= 4 disjoint paths",
+		"guard:         hop budget",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("budget output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunBudgetJSON pins the -budget -json artifact: one object carrying
+// the full report (ceiling = 2m·(1+retries), per-pair budgets) plus the
+// guard plan netflood enforces.
+func TestRunBudgetJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-budget", "-json", "-constraint", "kdiamond", "-n", "16", "-k", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Edges        int64 `json:"edges"`
+		FrameCeiling int64 `json:"frame_ceiling"`
+		MinDiversity int   `json:"min_diversity"`
+		Pairs        []any `json:"pairs"`
+		Guard        struct {
+			HopBudget   int     `json:"hop_budget"`
+			RetryBudget int     `json:"retry_budget"`
+			Rate        float64 `json:"retransmit_rate"`
+		} `json:"guard"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &art); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if want := 2 * art.Edges * 13; art.FrameCeiling != want {
+		t.Fatalf("frame ceiling %d, want 2m(1+R) = %d", art.FrameCeiling, want)
+	}
+	if art.MinDiversity < 4 {
+		t.Fatalf("min diversity %d below design k", art.MinDiversity)
+	}
+	if len(art.Pairs) != 15 {
+		t.Fatalf("got %d pair budgets, want n-1 = 15", len(art.Pairs))
+	}
+	if art.Guard.HopBudget <= 0 || art.Guard.RetryBudget <= 0 || art.Guard.Rate <= 0 {
+		t.Fatalf("guard plan not derived: %+v", art.Guard)
+	}
+}
+
+// TestRunNetGuardedUnderLoss is the CLI face of storm control: a -guard run
+// at 25% loss with k-1 adversarial crashes must still deliver everywhere
+// while spending at most the analyzer's frame ceiling.
+func TestRunNetGuardedUnderLoss(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-net", "-reliable", "-guard", "-constraint", "kdiamond", "-n", "12", "-k", "3",
+		"-fail", "2", "-mode", "adversarial", "-loss", "0.25", "-seed", "7", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON %q: %v", buf.String(), err)
+	}
+	if res["complete"] != true || res["guarded"] != true {
+		t.Fatalf("guarded chaos run failed: %v", res)
+	}
+	total, ceiling := res["frames_total"].(float64), res["frame_ceiling"].(float64)
+	if ceiling <= 0 || total > ceiling {
+		t.Fatalf("frame budget violated: %v of %v", total, ceiling)
+	}
+}

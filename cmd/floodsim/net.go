@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"time"
 
+	"lhg/internal/ampguard"
 	"lhg/internal/faultnet"
 	"lhg/internal/flood"
 	"lhg/internal/graph"
@@ -17,6 +19,8 @@ import (
 // netConfig carries the -net chaos-harness flags.
 type netConfig struct {
 	reliable bool
+	guard    bool
+	k        int
 	loss     float64
 	dup      float64
 	delayMax time.Duration
@@ -64,9 +68,29 @@ func runNet(out io.Writer, name string, g *graph.Graph, source, failCount int,
 		opts.Faults = func(int, int) faultnet.Plan { return plan }
 	}
 
+	// -guard: run the static analyzer on the intact topology and apply the
+	// derived enforcement plan, so the run below cannot cost more than the
+	// report's frame ceiling no matter what the links do.
+	var report *ampguard.Report
+	if cfg.guard {
+		report, err = ampguard.Analyze(context.Background(), g, source, cfg.k, ampguard.DefaultPolicy())
+		if err != nil {
+			return err
+		}
+		gu := report.Guard()
+		opts.HopBudget = gu.HopBudget
+		opts.RetryBudget = gu.RetryBudget
+		opts.RetransmitRate = gu.RetransmitRate
+		opts.RetransmitBurst = gu.RetransmitBurst
+		opts.PathDiversity = gu.PathDiversity
+	}
+
 	// The chaos counters are the run's observable evidence; collect them
-	// regardless of the -metrics flag.
+	// regardless of the -metrics flag. Counters are process-global, so the
+	// report diffs against a baseline taken here — the budget verdict must
+	// price this run, not the process's lifetime.
 	obs.Enable()
+	base := obs.Counters()
 	c, err := netflood.StartWithOptions(g, opts)
 	if err != nil {
 		return err
@@ -124,9 +148,13 @@ func runNet(out io.Writer, name string, g *graph.Graph, source, failCount int,
 		}
 	}
 	ctr := obs.Counters()
+	for metric, v := range base {
+		ctr[metric] -= v
+	}
+	framesTotal := ctr["netflood.frames.sent"] + ctr["netflood.frames.retransmitted"]
 
 	if asJSON {
-		return json.NewEncoder(out).Encode(map[string]any{
+		res := map[string]any{
 			"topology":      name,
 			"n":             g.Order(),
 			"k_edges":       g.Size(),
@@ -149,7 +177,22 @@ func runNet(out io.Writer, name string, g *graph.Graph, source, failCount int,
 			"reconnects":    ctr["netflood.links.reconnected"],
 			"dead_peers":    ctr["netflood.peers.dead"],
 			"frames_lost":   ctr["faultnet.frames.dropped"],
-		})
+			"frames_total":  framesTotal,
+			"guarded":       cfg.guard,
+		}
+		if report != nil {
+			res["frame_ceiling"] = report.FrameCeiling
+			res["deferred"] = ctr["netflood.retransmit.deferred"]
+			res["budget_exhausted"] = ctr["netflood.retransmit.budget_exhausted"]
+			res["repair_deferred"] = ctr["netflood.repair.deferred"]
+		}
+		if err := json.NewEncoder(out).Encode(res); err != nil {
+			return err
+		}
+		if report != nil && framesTotal > report.FrameCeiling {
+			return fmt.Errorf("frame ceiling violated: %d frames sent, analyzer ceiling %d", framesTotal, report.FrameCeiling)
+		}
+		return nil
 	}
 	fmt.Fprintf(out, "topology:    %s, %d nodes, %d edges (real TCP sockets)\n", name, g.Order(), g.Size())
 	if cfg.linkFail {
@@ -166,9 +209,17 @@ func runNet(out io.Writer, name string, g *graph.Graph, source, failCount int,
 	fmt.Fprintf(out, "recovery:    %d retransmits, %d acks, %d reconnects, %d dead peers, %d frames lost\n",
 		ctr["netflood.frames.retransmitted"], ctr["netflood.acks.received"],
 		ctr["netflood.links.reconnected"], ctr["netflood.peers.dead"], ctr["faultnet.frames.dropped"])
+	if report != nil {
+		fmt.Fprintf(out, "budget:      %d/%d frames against the static ceiling (%d deferred, %d budget-exhausted, %d repairs deferred)\n",
+			framesTotal, report.FrameCeiling, ctr["netflood.retransmit.deferred"],
+			ctr["netflood.retransmit.budget_exhausted"], ctr["netflood.repair.deferred"])
+	}
 	fmt.Fprintf(out, "complete:    %t\n", complete && leaked == 0)
 	if !complete {
 		return fmt.Errorf("delivery incomplete: %d of %d expected nodes after %s", delivered, len(expect), cfg.wait)
+	}
+	if report != nil && framesTotal > report.FrameCeiling {
+		return fmt.Errorf("frame ceiling violated: %d frames sent, analyzer ceiling %d", framesTotal, report.FrameCeiling)
 	}
 	return nil
 }

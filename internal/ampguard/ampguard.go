@@ -1,0 +1,321 @@
+// Package ampguard is the static retry-amplification analyzer for the
+// reliable flood: it prices the paper's f ≤ k−1 delivery guarantee under the
+// netflood retry policy *before* a single frame is sent.
+//
+// The paper's construction guarantees k internally vertex-disjoint paths
+// between every vertex pair; the reliable protocol (package netflood) makes
+// delivery over those paths true under loss by retransmitting each hop with
+// exponential backoff. Nothing in the protocol alone makes that guarantee
+// affordable: per-edge (timeout, max-retries) budgets multiply along a path
+// into a compound worst case — a path of h hops whose every edge may retry R
+// times admits (1+R)^h message-equivalents if each retry cascades into fresh
+// downstream work, and Σ_h (timeout·(attempts) + backoff series) of latency
+// even when it does not. This package enumerates the path families the
+// topology guarantees and computes, per path and per (source, target) pair:
+//
+//   - the compound amplification factor ∏_e (1 + Retries_e), the cascade
+//     hazard metric (what an unguarded retry policy admits in the worst
+//     case);
+//   - the additive frame ceiling 2m·(1 + Retries), what the flood's
+//     duplicate suppression plus a per-(link,message) retry budget actually
+//     permit — the enforceable bound;
+//   - the worst-case delivery latency: the maximum over the family's paths
+//     of the per-edge worst cases, since an adversary killing f ≤ k−1 nodes
+//     chooses which single path survives.
+//
+// Report.Guard derives the runtime enforcement parameters (hop budget,
+// per-link retry budget, token-bucket rate) that package netflood applies so
+// a broadcast can never cost more than the statically computed ceiling.
+// The analyzer is deliberately independent of netflood — it prices any
+// (topology, policy) pair — and the floodsim CLI bridges the two.
+package ampguard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"lhg/internal/flow"
+	"lhg/internal/graph"
+	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
+)
+
+var (
+	mAnalyses = obs.NewCounter("ampguard.analyses")
+	mPairs    = obs.NewCounter("ampguard.pairs")
+	mPaths    = obs.NewCounter("ampguard.paths")
+)
+
+// Policy is the per-edge retry policy being priced: one attempt costs at
+// most Timeout of wall clock; each of the Retries retransmissions waits a
+// backoff of min(Base·2^(i−1), Max), widened by the Jitter fraction, before
+// costing another Timeout. The zero value is invalid; DefaultPolicy mirrors
+// the netflood defaults.
+type Policy struct {
+	Timeout time.Duration `json:"timeout"`     // per-attempt write deadline
+	Base    time.Duration `json:"base"`        // first backoff
+	Max     time.Duration `json:"max"`         // backoff cap
+	Retries int           `json:"max_retries"` // retransmissions per (link, message)
+	Jitter  float64       `json:"jitter"`      // backoff widening fraction (worst case = 1+Jitter)
+}
+
+// DefaultPolicy returns the netflood reliable-mode defaults.
+func DefaultPolicy() Policy {
+	return Policy{
+		Timeout: 2 * time.Second,
+		Base:    15 * time.Millisecond,
+		Max:     250 * time.Millisecond,
+		Retries: 12,
+		Jitter:  0.25,
+	}
+}
+
+func (p Policy) validate() error {
+	if p.Timeout <= 0 || p.Base <= 0 || p.Max < p.Base {
+		return fmt.Errorf("ampguard: bad policy timings (timeout %v, base %v, max %v)", p.Timeout, p.Base, p.Max)
+	}
+	if p.Retries < 0 || p.Jitter < 0 {
+		return fmt.Errorf("ampguard: negative retries (%d) or jitter (%g)", p.Retries, p.Jitter)
+	}
+	return nil
+}
+
+// EdgeAttempts is the transmission budget of one edge: the original send
+// plus every permitted retransmission.
+func (p Policy) EdgeAttempts() int { return 1 + p.Retries }
+
+// backoff returns the worst-case wait before retransmission attempt i
+// (1-based), jitter included.
+func (p Policy) backoff(i int) time.Duration {
+	b := p.Max
+	if shift := uint(i - 1); shift < 63 {
+		if d := p.Base << shift; d > 0 && d < p.Max {
+			b = d
+		}
+	}
+	return time.Duration(float64(b) * (1 + p.Jitter))
+}
+
+// RetryWindow is the worst-case span of the backoff series alone — the time
+// a fully exercised retry budget spreads its Retries retransmissions over,
+// excluding the write timeouts. The token-bucket admission rate derives from
+// it: a link refilling at Retries/RetryWindow tokens per second admits the
+// policy's own intended worst-case retry rate and nothing above it.
+func (p Policy) RetryWindow() time.Duration {
+	var w time.Duration
+	for i := 1; i <= p.Retries; i++ {
+		w += p.backoff(i)
+	}
+	return w
+}
+
+// EdgeWorstLatency is the worst-case time one edge may take to deliver under
+// its full retry budget: every attempt burns its write timeout and every
+// retransmission waits its (jittered) backoff first.
+func (p Policy) EdgeWorstLatency() time.Duration {
+	return time.Duration(p.EdgeAttempts())*p.Timeout + p.RetryWindow()
+}
+
+// PathBudget prices one path of a disjoint family.
+type PathBudget struct {
+	Path []int `json:"path"`
+	Hops int   `json:"hops"`
+
+	// Amplification is the compound cascade factor ∏_e (1+Retries_e) — the
+	// worst-case message multiplication if every hop's retries spawned
+	// fresh downstream traffic (the unguarded hazard, not the enforced
+	// bound). float64 because (1+R)^h overflows int64 fast.
+	Amplification float64 `json:"amplification"`
+
+	// WorstLatency is Σ_e EdgeWorstLatency: the path's delivery bound when
+	// every edge exhausts its retry budget.
+	WorstLatency time.Duration `json:"worst_latency_ns"`
+}
+
+// PairBudget prices one (source, target) pair through its disjoint family.
+type PairBudget struct {
+	Target    int          `json:"target"`
+	Diversity int          `json:"diversity"` // internally vertex-disjoint paths found
+	Paths     []PathBudget `json:"paths,omitempty"`
+
+	// Amplification and WorstLatency take the family maximum: an adversary
+	// spending f ≤ Diversity−1 failures chooses which path survives, so the
+	// guarantee must be priced at the costliest member.
+	Amplification float64       `json:"amplification"`
+	WorstLatency  time.Duration `json:"worst_latency_ns"`
+}
+
+// Report is the full budget analysis of one (topology, source, policy).
+type Report struct {
+	N      int    `json:"n"`
+	Edges  int    `json:"edges"`
+	K      int    `json:"k"`
+	Source int    `json:"source"`
+	Policy Policy `json:"policy"`
+
+	// FrameCeiling is the enforceable per-broadcast message bound: the
+	// flood's duplicate suppression sends at most one original per directed
+	// link (2m frames) and the runtime retry budget caps each (link,
+	// message) at Retries retransmissions, so originals + retransmissions
+	// ≤ 2m·(1+Retries) no matter how hostile the links are.
+	FrameCeiling int64 `json:"frame_ceiling"`
+
+	// MaxHops is the longest path across all enumerated families — the hop
+	// radius the delivery guarantee actually needs.
+	MaxHops int `json:"max_hops"`
+
+	// MinDiversity is the smallest family size over all targets; the paper
+	// guarantees ≥ k. It feeds the runtime escalation gate: a node with
+	// MinDiversity−1 healthy alternatives degrades instead of redialing.
+	MinDiversity int `json:"min_diversity"`
+
+	// MaxAmplification and MaxLatency are the worst pair budgets.
+	MaxAmplification float64       `json:"max_amplification"`
+	MaxLatency       time.Duration `json:"max_latency_ns"`
+
+	Pairs []PairBudget `json:"pairs"`
+}
+
+// Guard is the runtime enforcement plan derived from a Report, in
+// netflood-agnostic terms (the caller maps fields onto netflood.Options).
+type Guard struct {
+	// HopBudget bounds how far any frame may be forwarded. First-copy-wins
+	// forwarding can consume budget along non-family routes before the
+	// guaranteed path is walked, so the budget doubles the analyzer's
+	// family bound (clamped to n−1, the longest simple path) — still
+	// O(diameter), not O(n), on the log-diameter topologies analyzed here.
+	HopBudget int `json:"hop_budget"`
+
+	// RetryBudget is the hard per-(link, message) retransmission cap that
+	// survives reconnections — the term that makes FrameCeiling sound.
+	RetryBudget int `json:"retry_budget"`
+
+	// RetransmitRate and RetransmitBurst parameterize the per-link token
+	// bucket admitting retransmissions: the policy's own worst-case retry
+	// rate (Retries per RetryWindow), with one full budget of burst.
+	RetransmitRate  float64 `json:"retransmit_rate"`
+	RetransmitBurst int     `json:"retransmit_burst"`
+
+	// PathDiversity enables the escalation gate at the analyzer's measured
+	// diversity floor.
+	PathDiversity int `json:"path_diversity"`
+}
+
+// Guard derives the enforcement plan for the analyzed topology.
+func (r *Report) Guard() Guard {
+	hop := 2*r.MaxHops + 1
+	if max := r.N - 1; hop > max {
+		hop = max
+	}
+	rate := 0.0
+	if w := r.Policy.RetryWindow(); w > 0 {
+		rate = float64(r.Policy.Retries) / w.Seconds()
+	}
+	return Guard{
+		HopBudget:       hop,
+		RetryBudget:     r.Policy.Retries,
+		RetransmitRate:  rate,
+		RetransmitBurst: r.Policy.Retries,
+		PathDiversity:   r.MinDiversity,
+	}
+}
+
+// Analyze enumerates, for every target, a maximum family of internally
+// vertex-disjoint source→target paths (the structure the paper's
+// k-connectivity guarantees) and prices each against the retry policy. k is
+// the design connectivity and is recorded in the report; the measured
+// diversity may exceed it. The context is polled between pairs, so a
+// canceled analysis returns promptly.
+func Analyze(ctx context.Context, g *graph.Graph, source, k int, policy Policy) (*Report, error) {
+	if g == nil || g.Order() == 0 {
+		return nil, fmt.Errorf("ampguard: empty topology")
+	}
+	n := g.Order()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("ampguard: source %d out of range [0,%d)", source, n)
+	}
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	ctx, sp := trace.StartRoot(ctx, "ampguard.analyze")
+	defer sp.End()
+	if sp.Live() {
+		sp.SetAttr(trace.Int("n", int64(n)))
+		sp.SetAttr(trace.Int("source", int64(source)))
+	}
+	mAnalyses.Inc()
+
+	r := &Report{
+		N:            n,
+		Edges:        g.Size(),
+		K:            k,
+		Source:       source,
+		Policy:       policy,
+		FrameCeiling: 2 * int64(g.Size()) * int64(policy.EdgeAttempts()),
+		MinDiversity: math.MaxInt,
+	}
+	edgeAmp := float64(policy.EdgeAttempts())
+	edgeLat := policy.EdgeWorstLatency()
+	for t := 0; t < n; t++ {
+		if t == source {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		paths, err := flow.VertexDisjointPaths(g, source, t)
+		if err != nil {
+			return nil, fmt.Errorf("ampguard: pair (%d,%d): %w", source, t, err)
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("ampguard: target %d unreachable from %d", t, source)
+		}
+		pair := PairBudget{Target: t, Diversity: len(paths)}
+		for _, path := range paths {
+			hops := len(path) - 1
+			pb := PathBudget{
+				Path:          path,
+				Hops:          hops,
+				Amplification: math.Pow(edgeAmp, float64(hops)),
+				WorstLatency:  time.Duration(hops) * edgeLat,
+			}
+			pair.Paths = append(pair.Paths, pb)
+			if pb.Amplification > pair.Amplification {
+				pair.Amplification = pb.Amplification
+			}
+			if pb.WorstLatency > pair.WorstLatency {
+				pair.WorstLatency = pb.WorstLatency
+			}
+			if hops > r.MaxHops {
+				r.MaxHops = hops
+			}
+		}
+		mPairs.Inc()
+		mPaths.Add(int64(len(paths)))
+		if pair.Diversity < r.MinDiversity {
+			r.MinDiversity = pair.Diversity
+		}
+		if pair.Amplification > r.MaxAmplification {
+			r.MaxAmplification = pair.Amplification
+		}
+		if pair.WorstLatency > r.MaxLatency {
+			r.MaxLatency = pair.WorstLatency
+		}
+		r.Pairs = append(r.Pairs, pair)
+	}
+	if r.MinDiversity == math.MaxInt {
+		r.MinDiversity = 0 // single-node topology: no pairs
+	}
+	return r, nil
+}
+
+// WriteJSON emits the report as one indented JSON artifact.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,192 @@
+package ampguard
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"lhg/internal/core"
+	"lhg/internal/graph"
+)
+
+// linePolicy is a hand-checkable policy: 2 retries, 1s timeout, no jitter,
+// backoffs 100ms then 200ms (cap 300ms never reached).
+func linePolicy() Policy {
+	return Policy{
+		Timeout: time.Second,
+		Base:    100 * time.Millisecond,
+		Max:     300 * time.Millisecond,
+		Retries: 2,
+		Jitter:  0,
+	}
+}
+
+func TestPolicyEdgeArithmetic(t *testing.T) {
+	p := linePolicy()
+	if got := p.EdgeAttempts(); got != 3 {
+		t.Fatalf("EdgeAttempts = %d, want 3", got)
+	}
+	// Backoff series: 100ms + 200ms = 300ms.
+	if got := p.RetryWindow(); got != 300*time.Millisecond {
+		t.Fatalf("RetryWindow = %v, want 300ms", got)
+	}
+	// 3 attempts × 1s timeout + 300ms of backoff.
+	if got := p.EdgeWorstLatency(); got != 3300*time.Millisecond {
+		t.Fatalf("EdgeWorstLatency = %v, want 3.3s", got)
+	}
+	// Jitter widens the worst case: ±25% jitter prices at 1.25×.
+	p.Jitter = 0.25
+	if got := p.RetryWindow(); got != 375*time.Millisecond {
+		t.Fatalf("jittered RetryWindow = %v, want 375ms", got)
+	}
+	// The backoff cap binds once doubling passes Max.
+	p.Jitter = 0
+	p.Retries = 4 // 100, 200, 300(cap), 300(cap)
+	if got := p.RetryWindow(); got != 900*time.Millisecond {
+		t.Fatalf("capped RetryWindow = %v, want 900ms", got)
+	}
+	// A huge attempt index must not overflow the shift.
+	if got := p.backoff(200); got != p.Max {
+		t.Fatalf("backoff(200) = %v, want cap %v", got, p.Max)
+	}
+}
+
+// TestAnalyzeLinearChain prices the 0–1–2 path graph: one path of two hops,
+// amplification (1+2)^2 = 9, worst latency 2 × 3.3s.
+func TestAnalyzeLinearChain(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	r, err := Analyze(context.Background(), g, 0, 1, linePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(r.Pairs))
+	}
+	far := r.Pairs[1] // target 2
+	if far.Target != 2 || far.Diversity != 1 || len(far.Paths) != 1 {
+		t.Fatalf("pair to 2 malformed: %+v", far)
+	}
+	if got := far.Paths[0].Hops; got != 2 {
+		t.Fatalf("hops = %d, want 2", got)
+	}
+	if got := far.Amplification; got != 9 {
+		t.Fatalf("amplification = %g, want 9", got)
+	}
+	if got := far.WorstLatency; got != 6600*time.Millisecond {
+		t.Fatalf("worst latency = %v, want 6.6s", got)
+	}
+	// 2 edges → 4 directed frames, 3 attempts each.
+	if r.FrameCeiling != 12 {
+		t.Fatalf("frame ceiling = %d, want 12", r.FrameCeiling)
+	}
+	if r.MinDiversity != 1 || r.MaxHops != 2 {
+		t.Fatalf("diversity/hops = %d/%d, want 1/2", r.MinDiversity, r.MaxHops)
+	}
+}
+
+// TestAnalyzeDiamond prices the 4-cycle 0–1–3, 0–2–3: two disjoint paths to
+// the opposite corner, and the pair is priced at the family maximum.
+func TestAnalyzeDiamond(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 3}, {U: 0, V: 2}, {U: 2, V: 3},
+	})
+	r, err := Analyze(context.Background(), g, 0, 2, linePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opposite *PairBudget
+	for i := range r.Pairs {
+		if r.Pairs[i].Target == 3 {
+			opposite = &r.Pairs[i]
+		}
+	}
+	if opposite == nil || opposite.Diversity != 2 {
+		t.Fatalf("want 2 disjoint paths to the opposite corner, got %+v", opposite)
+	}
+	for _, pb := range opposite.Paths {
+		if pb.Hops != 2 || pb.Path[0] != 0 || pb.Path[len(pb.Path)-1] != 3 {
+			t.Fatalf("malformed family path %+v", pb)
+		}
+	}
+	if opposite.Amplification != 9 || opposite.WorstLatency != 6600*time.Millisecond {
+		t.Fatalf("family max mispriced: %+v", opposite)
+	}
+}
+
+// TestAnalyzeKDiamondDiversityMatchesK checks the paper's guarantee end to
+// end: on a k-connected LHG every pair's measured family has at least k
+// members, so MinDiversity ≥ k.
+func TestAnalyzeKDiamondDiversityMatchesK(t *testing.T) {
+	kd, err := core.BuildKDiamond(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(context.Background(), kd.Real.Graph, 0, 4, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinDiversity < 4 {
+		t.Fatalf("MinDiversity = %d on a 4-connected topology", r.MinDiversity)
+	}
+	if r.MaxHops <= 0 || r.MaxAmplification < math.Pow(13, float64(r.MaxHops)) {
+		t.Fatalf("amplification %g inconsistent with max hops %d", r.MaxAmplification, r.MaxHops)
+	}
+	g := r.Guard()
+	if g.RetryBudget != 12 || g.PathDiversity != r.MinDiversity || g.RetransmitBurst != 12 {
+		t.Fatalf("guard plan malformed: %+v", g)
+	}
+	if g.HopBudget > r.N-1 || g.HopBudget < r.MaxHops {
+		t.Fatalf("hop budget %d outside [%d, %d]", g.HopBudget, r.MaxHops, r.N-1)
+	}
+	if g.RetransmitRate <= 0 {
+		t.Fatalf("token rate %g must be positive", g.RetransmitRate)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	if _, err := Analyze(context.Background(), g, 5, 1, linePolicy()); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := Analyze(context.Background(), g, 0, 1, Policy{}); err == nil {
+		t.Fatal("zero policy accepted")
+	}
+	bad := linePolicy()
+	bad.Retries = -1
+	if _, err := Analyze(context.Background(), g, 0, 1, bad); err == nil {
+		t.Fatal("negative retries accepted")
+	}
+	// Disconnected targets are an analysis error, not a silent omission.
+	disc := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := Analyze(context.Background(), disc, 0, 1, linePolicy()); err == nil {
+		t.Fatal("unreachable target accepted")
+	}
+	// A canceled context aborts between pairs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Analyze(ctx, g, 0, 1, linePolicy()); err == nil {
+		t.Fatal("canceled analysis completed")
+	}
+}
+
+func TestReportWriteJSON(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	r, err := Analyze(context.Background(), g, 0, 2, linePolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.FrameCeiling != r.FrameCeiling || len(back.Pairs) != len(r.Pairs) {
+		t.Fatalf("round-trip lost data: %+v vs %+v", back, *r)
+	}
+}

@@ -1,0 +1,129 @@
+package ampguard_test
+
+// E29 — retry-storm control under correlated loss. The static analyzer
+// prices a KDIAMOND(16,4) flood under a fast retry policy; the guarded
+// cluster then runs that flood over links dropping 25% of frames with
+// periodic 90%-loss bursts, and the test pins the paper's two promises at
+// once: delivery still completes (f ≤ k−1 structure, here f = 0 with
+// hostile links), and the total frame spend stays under the statically
+// computed ceiling. The unguarded twin runs the same storm for the cost
+// comparison recorded in EXPERIMENTS.md.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lhg/internal/ampguard"
+	"lhg/internal/core"
+	"lhg/internal/faultnet"
+	"lhg/internal/graph"
+	"lhg/internal/netflood"
+	"lhg/internal/obs"
+)
+
+// stormPolicy is the test-speed retry policy E29 prices and runs: the same
+// shape as the reliable defaults, scaled down so a chaos run converges in
+// milliseconds. Backoffs (jittered ×1.25): 3.75ms, 7.5ms, 12.5ms, 12.5ms.
+func stormPolicy() ampguard.Policy {
+	return ampguard.Policy{
+		Timeout: 250 * time.Millisecond,
+		Base:    3 * time.Millisecond,
+		Max:     10 * time.Millisecond,
+		Retries: 4,
+		Jitter:  0.25,
+	}
+}
+
+// stormPlan is the E29 link environment: every link loses a quarter of its
+// frames, and the first 5ms of every 20ms is a 90%-loss burst — the
+// correlated-loss signature that turns naive retry policies into storms.
+func stormPlan(int, int) faultnet.Plan {
+	return faultnet.Plan{
+		Drop:        0.25,
+		BurstPeriod: 20 * time.Millisecond,
+		BurstLen:    5 * time.Millisecond,
+		BurstDrop:   0.9,
+	}
+}
+
+// runStorm floods once over g with the given options under the storm plan
+// and returns the settled counters of that run alone.
+func runStorm(t *testing.T, g *graph.Graph, opts netflood.Options) map[string]int64 {
+	t.Helper()
+	obs.Reset()
+	opts.Faults = stormPlan
+	c, err := netflood.StartWithOptions(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	all := make([]int, g.Order())
+	for v := range all {
+		all[v] = v
+	}
+	if _, err := c.Broadcast(0, "storm"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitDelivered(all, 1, 15*time.Second) {
+		t.Fatal("storm flood did not deliver everywhere")
+	}
+	// Let the ack/retransmit exchange settle so the counters price the
+	// whole recovery, not a snapshot mid-storm.
+	time.Sleep(400 * time.Millisecond)
+	return obs.Counters()
+}
+
+func TestStormControlBoundsFrameCost(t *testing.T) {
+	kd, err := core.BuildKDiamond(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kd.Real.Graph
+	policy := stormPolicy()
+	report, err := ampguard.Analyze(context.Background(), g, 0, 4, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := report.Guard()
+
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+	base := netflood.Options{
+		Reliable:       true,
+		WriteTimeout:   policy.Timeout,
+		RetransmitBase: policy.Base,
+		RetransmitMax:  policy.Max,
+		MaxRetries:     policy.Retries,
+		Seed:           29,
+	}
+
+	guarded := base
+	guarded.HopBudget = guard.HopBudget
+	guarded.RetryBudget = guard.RetryBudget
+	guarded.RetransmitRate = guard.RetransmitRate
+	guarded.RetransmitBurst = guard.RetransmitBurst
+	guarded.PathDiversity = guard.PathDiversity
+	gctr := runStorm(t, g, guarded)
+
+	gTotal := gctr["netflood.frames.sent"] + gctr["netflood.frames.retransmitted"]
+	if gTotal > report.FrameCeiling {
+		t.Fatalf("guarded storm spent %d frames, analyzer ceiling is %d", gTotal, report.FrameCeiling)
+	}
+	if gctr["faultnet.frames.dropped"]+gctr["faultnet.frames.burst_dropped"] == 0 {
+		t.Fatal("storm plan injected no loss — the run proved nothing")
+	}
+	if gctr["netflood.links.reconnected"] != 0 || gctr["netflood.peers.dead"] != 0 {
+		t.Fatalf("diversity gate did not hold escalation: %d reconnects, %d dead peers",
+			gctr["netflood.links.reconnected"], gctr["netflood.peers.dead"])
+	}
+
+	uctr := runStorm(t, g, base)
+	uTotal := uctr["netflood.frames.sent"] + uctr["netflood.frames.retransmitted"]
+	t.Logf("E29 frame cost: guarded %d (ceiling %d, %d deferred, %d budget-exhausted) vs unguarded %d",
+		gTotal, report.FrameCeiling, gctr["netflood.retransmit.deferred"],
+		gctr["netflood.retransmit.budget_exhausted"], uTotal)
+}

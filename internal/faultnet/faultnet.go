@@ -31,17 +31,18 @@ import (
 // Fault-injection telemetry: every injected event is observable, so chaos
 // tests can assert that the fault path (not a quiet network) was exercised.
 var (
-	mDropped    = obs.NewCounter("faultnet.frames.dropped")
-	mFlapped    = obs.NewCounter("faultnet.frames.flap_dropped")
-	mDelayed    = obs.NewCounter("faultnet.frames.delayed")
-	mDuplicated = obs.NewCounter("faultnet.frames.duplicated")
-	mPassed     = obs.NewCounter("faultnet.frames.passed")
+	mDropped      = obs.NewCounter("faultnet.frames.dropped")
+	mBurstDropped = obs.NewCounter("faultnet.frames.burst_dropped")
+	mFlapped      = obs.NewCounter("faultnet.frames.flap_dropped")
+	mDelayed      = obs.NewCounter("faultnet.frames.delayed")
+	mDuplicated   = obs.NewCounter("faultnet.frames.duplicated")
+	mPassed       = obs.NewCounter("faultnet.frames.passed")
 )
 
 // Plan describes the fault behavior of one link direction. The zero value
 // injects nothing. Probabilities are in [0, 1] and evaluated independently
-// per frame, in the fixed order flap, drop, dup, delay — the order is part
-// of the determinism contract.
+// per frame, in the fixed order flap, burst, drop, dup, delay — the order
+// is part of the determinism contract.
 type Plan struct {
 	Drop  float64 // P(frame silently dropped)
 	Dup   float64 // P(frame written twice back to back)
@@ -54,12 +55,23 @@ type Plan struct {
 	// period — a flapping link. Frames written while down are lost.
 	FlapPeriod time.Duration
 	FlapDown   time.Duration
+
+	// BurstPeriod > 0 with BurstLen > 0 raises the drop probability to
+	// BurstDrop for the first BurstLen of every period — correlated loss
+	// bursts, the signature of a congested or storming link. Unlike a flap
+	// (deterministic full outage), a burst window draws per frame, so the
+	// background Drop and the burst compose: inside the window the frame
+	// faces BurstDrop first, then the ordinary fault ladder.
+	BurstPeriod time.Duration
+	BurstLen    time.Duration
+	BurstDrop   float64
 }
 
 // Active reports whether the plan injects any fault at all.
 func (p Plan) Active() bool {
 	return p.Drop > 0 || p.Dup > 0 || (p.Delay > 0 && p.DelayMax > 0) ||
-		(p.FlapPeriod > 0 && p.FlapDown > 0)
+		(p.FlapPeriod > 0 && p.FlapDown > 0) ||
+		(p.BurstPeriod > 0 && p.BurstLen > 0 && p.BurstDrop > 0)
 }
 
 // Conn applies a Plan to every Write of the wrapped connection. Reads and
@@ -102,6 +114,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if c.flappedDown() {
 		c.decide.Unlock()
 		mFlapped.Inc()
+		return len(p), nil
+	}
+	if c.inBurst() && c.rng.Float64() < c.plan.BurstDrop {
+		c.decide.Unlock()
+		mBurstDropped.Inc()
 		return len(p), nil
 	}
 	if c.plan.Drop > 0 && c.rng.Float64() < c.plan.Drop {
@@ -161,6 +178,15 @@ func (c *Conn) flappedDown() bool {
 		return false
 	}
 	return time.Since(c.start)%c.plan.FlapPeriod < c.plan.FlapDown
+}
+
+// inBurst reports whether the link is inside a loss-burst window. Called
+// with c.decide held.
+func (c *Conn) inBurst() bool {
+	if c.plan.BurstPeriod <= 0 || c.plan.BurstLen <= 0 || c.plan.BurstDrop <= 0 {
+		return false
+	}
+	return time.Since(c.start)%c.plan.BurstPeriod < c.plan.BurstLen
 }
 
 // writeFrames performs the physical writes, one whole frame per Write on

@@ -208,3 +208,59 @@ func TestWriteDeadlineBudgetAppliesPerFrame(t *testing.T) {
 		t.Fatal("timeout took far longer than the budget")
 	}
 }
+
+// TestBurstWindowRaisesLoss pins the loss-burst plan: with the burst window
+// covering the whole period and BurstDrop = 1, every frame is lost to the
+// burst even though the background Drop probability is zero — and the loss
+// is attributed to the burst counter, not the steady-state one.
+func TestBurstWindowRaisesLoss(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	plan := Plan{BurstPeriod: 10 * time.Millisecond, BurstLen: 10 * time.Millisecond, BurstDrop: 1}
+	if !plan.Active() {
+		t.Fatal("burst plan must be active")
+	}
+	w := Wrap(a, plan, sim.NewRNG(5))
+	ch := frameReader(b, 1)
+	for i := 0; i < 20; i++ {
+		if _, err := w.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if got := drain(ch, 100*time.Millisecond); len(got) != 0 {
+		t.Fatalf("%d frames crossed a permanent loss burst", len(got))
+	}
+}
+
+// TestBurstPlanValidation pins the activation edge cases: a burst needs all
+// three of period, length and probability; partial configurations inject
+// nothing.
+func TestBurstPlanValidation(t *testing.T) {
+	for _, p := range []Plan{
+		{BurstPeriod: time.Second},
+		{BurstLen: time.Second},
+		{BurstDrop: 1},
+		{BurstPeriod: time.Second, BurstLen: time.Second},
+		{BurstPeriod: time.Second, BurstDrop: 1},
+	} {
+		if p.Active() {
+			t.Fatalf("partial burst plan %+v reports active", p)
+		}
+	}
+	// A partial burst inside an otherwise active plan injects no burst
+	// drops: every frame passes the zero-probability ladder.
+	a, b := net.Pipe()
+	defer b.Close()
+	w := Wrap(a, Plan{Dup: 0.0001, BurstPeriod: time.Second, BurstDrop: 1}, sim.NewRNG(5))
+	ch := frameReader(b, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := w.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if got := drain(ch, 100*time.Millisecond); len(got) != 10 {
+		t.Fatalf("partial burst plan interfered with traffic: %d/10 frames", len(got))
+	}
+}

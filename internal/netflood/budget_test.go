@@ -1,0 +1,186 @@
+package netflood
+
+import (
+	"testing"
+	"time"
+
+	"lhg/internal/faultnet"
+	"lhg/internal/graph"
+	"lhg/internal/obs"
+)
+
+// blackhole drops every frame in both directions — a link that accepts
+// writes and delivers nothing, the worst case for the retransmit path.
+func blackhole(int, int) faultnet.Plan { return faultnet.Plan{Drop: 1} }
+
+// TestHopBudgetStopsForwarding pins the frame-budget semantics on a line
+// 0–1–2–3 with HopBudget 2: the broadcast reaches exactly the nodes within
+// two hops, the copy at the budget frontier is delivered but not forwarded,
+// and the stop is counted.
+func TestHopBudgetStopsForwarding(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	withSink(t)
+	c, err := StartWithOptions(g, Options{HopBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.Broadcast(0, "bounded"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitDelivered([]int{0, 1, 2}, 1, 10*time.Second) {
+		t.Fatal("nodes within the hop budget did not deliver")
+	}
+	// Give a leak every chance to happen before asserting silence.
+	time.Sleep(150 * time.Millisecond)
+	if got := len(c.Delivered(3)); got != 0 {
+		t.Fatalf("node beyond the hop budget delivered %d messages", got)
+	}
+	if obs.Counters()["netflood.hops.budget_exhausted"] == 0 {
+		t.Fatal("budget frontier was never counted")
+	}
+}
+
+// TestRetryBudgetBoundsRetransmissions starves a single link (every frame
+// dropped, so no ack ever arrives) and pins the hard ceiling: exactly
+// RetryBudget retransmissions are spent, then the entry is abandoned and
+// counted — where the unguarded protocol would keep earning fresh retries
+// through the reconnect cycle.
+func TestRetryBudgetBoundsRetransmissions(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	withSink(t)
+	c, err := StartWithOptions(g, Options{
+		Reliable:       true,
+		RetransmitBase: 3 * time.Millisecond,
+		RetransmitMax:  10 * time.Millisecond,
+		MaxRetries:     1000, // keep the suspect path out of this test
+		RetryBudget:    5,
+		Faults:         blackhole,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.Broadcast(0, "void"); err != nil {
+		t.Fatal(err)
+	}
+	waitCounters(t, map[string]int64{
+		"netflood.frames.retransmitted":        5,
+		"netflood.retransmit.budget_exhausted": 1,
+	})
+	// The budget is spent for good: no further retransmission may appear.
+	time.Sleep(100 * time.Millisecond)
+	if got := obs.Counters()["netflood.frames.retransmitted"]; got != 5 {
+		t.Fatalf("retransmissions kept flowing after budget exhaustion: %d", got)
+	}
+}
+
+// TestTokenBucketDefersRetransmissions pins the storm gate: with a bucket
+// of 2 tokens refilling at 1/s over a black-hole link, the retransmit loop
+// spends its burst and then defers — counted deferrals instead of a
+// compounding storm.
+func TestTokenBucketDefersRetransmissions(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	withSink(t)
+	c, err := StartWithOptions(g, Options{
+		Reliable:        true,
+		RetransmitBase:  3 * time.Millisecond,
+		RetransmitMax:   10 * time.Millisecond,
+		MaxRetries:      1000,
+		RetransmitRate:  1, // one token per second: no refill inside the test window
+		RetransmitBurst: 2,
+		Faults:          blackhole,
+		Seed:            11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.Broadcast(0, "gated"); err != nil {
+		t.Fatal(err)
+	}
+	// The single pending entry spends the 2-token burst on its first two
+	// retransmissions; the third due time finds an empty bucket and defers.
+	waitCounterAtLeast(t, "netflood.retransmit.deferred", 1)
+	if got := obs.Counters()["netflood.frames.retransmitted"]; got > 3 {
+		t.Fatalf("token bucket admitted %d retransmissions, want the burst of 2 (+1 slow-refill tolerance)", got)
+	}
+}
+
+// TestRepairDeferredWithDiversity pins the escalation gate: on K4 with one
+// silent link, the node holding k-1 = 3 healthy alternatives defers the
+// redial (degrading to gated retransmission) instead of hammering the lossy
+// peer with reconnections — and the flood still reaches everyone through
+// the alternative paths.
+func TestRepairDeferredWithDiversity(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+	})
+	// Only the 0→1 direction is a black hole; everything else is clean, so
+	// node 1 still hears the broadcast via 2 and 3.
+	plan := func(from, to int) faultnet.Plan {
+		if from == 0 && to == 1 {
+			return faultnet.Plan{Drop: 1}
+		}
+		return faultnet.Plan{}
+	}
+	withSink(t)
+	c, err := StartWithOptions(g, Options{
+		Reliable:       true,
+		RetransmitBase: 3 * time.Millisecond,
+		RetransmitMax:  10 * time.Millisecond,
+		MaxRetries:     2,
+		PathDiversity:  3,
+		Faults:         plan,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.Broadcast(0, "degrade"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitDelivered([]int{0, 1, 2, 3}, 1, 10*time.Second) {
+		t.Fatal("flood did not route around the silent link")
+	}
+	waitCounterAtLeast(t, "netflood.repair.deferred", 1)
+	ctr := obs.Counters()
+	if ctr["netflood.links.reconnected"] != 0 || ctr["netflood.peers.dead"] != 0 {
+		t.Fatalf("diversity gate did not stop escalation: %d reconnects, %d dead peers",
+			ctr["netflood.links.reconnected"], ctr["netflood.peers.dead"])
+	}
+}
+
+// TestRetransmitLoopIdleWakeups is the tick-coupling regression test: the
+// loop must derive its sleep from the nearest due time, so an idle reliable
+// cluster (everything acked, nothing pending) stops waking. The old
+// implementation ticked at RetransmitBase/4 forever — 4ms base would have
+// produced ~300 wakeups over the measurement window below.
+func TestRetransmitLoopIdleWakeups(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	withSink(t)
+	c, err := StartWithOptions(g, Options{
+		Reliable:       true,
+		RetransmitBase: 4 * time.Millisecond,
+		RetransmitMax:  time.Second,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if _, err := c.Broadcast(0, "settle"); err != nil {
+		t.Fatal(err)
+	}
+	// A fault-free triangle floods 2m = 6 copies, each tracked and acked.
+	waitCounters(t, map[string]int64{"netflood.acks.received": 6})
+	before := obs.Counters()["netflood.retransmit.wakeups"]
+	time.Sleep(300 * time.Millisecond)
+	delta := obs.Counters()["netflood.retransmit.wakeups"] - before
+	if delta > 20 {
+		t.Fatalf("idle retransmit loops woke %d times in 300ms; tick is still coupled to RetransmitBase", delta)
+	}
+}

@@ -453,14 +453,16 @@ func TestConnectUnderLoadDoesNotSpin(t *testing.T) {
 // TestOptionsDefaults pins the configuration surface: zero values take the
 // documented defaults, explicit values are preserved.
 func TestOptionsDefaults(t *testing.T) {
-	d := Options{}.withDefaults()
+	d := Options{}
+	d.withDefaults()
 	if d.HandshakeTimeout != 5*time.Second || d.WriteTimeout != 2*time.Second {
 		t.Fatalf("default timeouts wrong: %+v", d)
 	}
 	if d.MaxRetries != 12 || d.MaxReconnects != 3 || d.Seed != 1 {
 		t.Fatalf("default thresholds wrong: %+v", d)
 	}
-	custom := Options{HandshakeTimeout: time.Second, MaxRetries: 2}.withDefaults()
+	custom := Options{HandshakeTimeout: time.Second, MaxRetries: 2}
+	custom.withDefaults()
 	if custom.HandshakeTimeout != time.Second || custom.MaxRetries != 2 {
 		t.Fatalf("explicit options overwritten: %+v", custom)
 	}

@@ -52,34 +52,42 @@ import (
 // events: retransmissions, acks (with an RTT histogram), write timeouts,
 // delivery-channel overflow drops, reconnections, and peers declared dead.
 var (
-	mNetBroadcasts  = obs.NewCounter("netflood.broadcasts")
-	mNetFramesSent  = obs.NewCounter("netflood.frames.sent")
-	mNetDelivered   = obs.NewCounter("netflood.msgs.delivered")
-	mNetDuplicates  = obs.NewCounter("netflood.msgs.duplicate")
-	mNetDropped     = obs.NewCounter("netflood.msgs.dropped")
-	mNetNodesAdded  = obs.NewCounter("netflood.nodes.added")
-	mNetCrashes     = obs.NewCounter("netflood.nodes.crashed")
-	mNetConnects    = obs.NewCounter("netflood.links.connected")
-	mNetDisconnects = obs.NewCounter("netflood.links.disconnected")
-	mNetRetransmits = obs.NewCounter("netflood.frames.retransmitted")
-	mNetAcksSent    = obs.NewCounter("netflood.acks.sent")
-	mNetAcksRecv    = obs.NewCounter("netflood.acks.received")
-	mNetWriteTOs    = obs.NewCounter("netflood.write.timeouts")
-	mNetReconnects  = obs.NewCounter("netflood.links.reconnected")
-	mNetPeersDead   = obs.NewCounter("netflood.peers.dead")
-	hNetHops        = obs.NewHistogram("netflood.delivery.hops", 1, 2, 4, 8, 16, 32)
-	hNetAckRTT      = obs.NewHistogram("netflood.ack.rtt_us",
+	mNetBroadcasts     = obs.NewCounter("netflood.broadcasts")
+	mNetFramesSent     = obs.NewCounter("netflood.frames.sent")
+	mNetDelivered      = obs.NewCounter("netflood.msgs.delivered")
+	mNetDuplicates     = obs.NewCounter("netflood.msgs.duplicate")
+	mNetDropped        = obs.NewCounter("netflood.msgs.dropped")
+	mNetNodesAdded     = obs.NewCounter("netflood.nodes.added")
+	mNetCrashes        = obs.NewCounter("netflood.nodes.crashed")
+	mNetConnects       = obs.NewCounter("netflood.links.connected")
+	mNetDisconnects    = obs.NewCounter("netflood.links.disconnected")
+	mNetRetransmits    = obs.NewCounter("netflood.frames.retransmitted")
+	mNetRetrDeferred   = obs.NewCounter("netflood.retransmit.deferred")
+	mNetRetrBudgetX    = obs.NewCounter("netflood.retransmit.budget_exhausted")
+	mNetRetrWakeups    = obs.NewCounter("netflood.retransmit.wakeups")
+	mNetHopsExhausted  = obs.NewCounter("netflood.hops.budget_exhausted")
+	mNetRepairDeferred = obs.NewCounter("netflood.repair.deferred")
+	mNetAcksSent       = obs.NewCounter("netflood.acks.sent")
+	mNetAcksRecv       = obs.NewCounter("netflood.acks.received")
+	mNetWriteTOs       = obs.NewCounter("netflood.write.timeouts")
+	mNetReconnects     = obs.NewCounter("netflood.links.reconnected")
+	mNetPeersDead      = obs.NewCounter("netflood.peers.dead")
+	hNetHops           = obs.NewHistogram("netflood.delivery.hops", 1, 2, 4, 8, 16, 32)
+	hNetAckRTT         = obs.NewHistogram("netflood.ack.rtt_us",
 		100, 500, 1_000, 5_000, 20_000, 100_000, 1_000_000)
 )
 
 // Message is one flooded payload. Hops counts the links the copy crossed
 // before its first delivery at a node (0 at the source), the socket-level
-// delivery-latency measure.
+// delivery-latency measure. Budget is the remaining hop allowance under
+// Options.HopBudget: it decrements per forwarding hop, and a copy arriving
+// with none left is delivered but travels no further.
 type Message struct {
 	Src     int    `json:"src"`
 	Seq     int    `json:"seq"`
 	Payload string `json:"payload"`
 	Hops    int    `json:"hops,omitempty"`
+	Budget  int    `json:"budget,omitempty"`
 }
 
 // frame is the wire envelope: a hello (link handshake identifying the
@@ -113,7 +121,8 @@ type node struct {
 	order    []Message
 	nextSeq  int
 	delivery chan<- Message
-	rng      *sim.RNG // backoff jitter; touched only by the retransmit loop
+	rng      *sim.RNG      // backoff jitter; touched only by the retransmit loop
+	retrWake chan struct{} // nudges the retransmit loop when pending work appears
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -130,12 +139,22 @@ type peerConn struct {
 	pending  map[id]*pendingEntry // reliable mode only; nil otherwise
 	dead     bool
 	rebuilds int // reconnection attempts consumed
+
+	// Token-bucket admission state for retransmissions
+	// (Options.RetransmitRate); tokensAt zero means the bucket has never
+	// been filled.
+	tokens   float64
+	tokensAt time.Time
 }
 
-// pendingEntry tracks one unacked message on one link.
+// pendingEntry tracks one unacked message on one link. attempts is the
+// missed-ack window and resets when a reconnection swaps the socket; total
+// is the lifetime retransmission spend and never resets — it is what
+// Options.RetryBudget bounds.
 type pendingEntry struct {
 	msg       Message
 	attempts  int
+	total     int
 	nextDue   time.Time
 	firstSent time.Time
 }
@@ -161,7 +180,7 @@ func StartWithOptions(g *graph.Graph, opts Options) (*Cluster, error) {
 	if n == 0 {
 		return nil, errors.New("netflood: empty topology")
 	}
-	opts = opts.withDefaults()
+	opts.withDefaults()
 	if opts.DeliveryBuffer <= 0 {
 		// Deliveries across the whole cluster; sized generously so reader
 		// goroutines never fall behind in tests.
@@ -191,7 +210,7 @@ func StartEmpty() *Cluster {
 
 // StartEmptyWithOptions is StartEmpty with explicit options.
 func StartEmptyWithOptions(opts Options) *Cluster {
-	opts = opts.withDefaults()
+	opts.withDefaults()
 	if opts.DeliveryBuffer <= 0 {
 		opts.DeliveryBuffer = 4096
 	}
@@ -222,6 +241,7 @@ func (c *Cluster) AddNode() (int, error) {
 		seen:     make(map[id]Message),
 		delivery: c.deliveries,
 		rng:      sim.NewRNG(c.opts.Seed ^ (uint64(idx+1) * 0x9e3779b97f4a7c15)),
+		retrWake: make(chan struct{}, 1),
 		closed:   make(chan struct{}),
 	}
 	c.nodes = append(c.nodes, nd)
@@ -370,7 +390,7 @@ func (c *Cluster) Broadcast(src int, payload string) (Message, error) {
 	nd := c.nodes[src]
 	c.mu.Unlock()
 	nd.mu.Lock()
-	msg := Message{Src: src, Seq: nd.nextSeq, Payload: payload}
+	msg := Message{Src: src, Seq: nd.nextSeq, Payload: payload, Budget: c.opts.HopBudget}
 	nd.nextSeq++
 	nd.mu.Unlock()
 	mNetBroadcasts.Inc()
@@ -565,6 +585,12 @@ func (n *node) attachLocked(remote int, conn net.Conn) *peerConn {
 	close(n.changed)
 	n.changed = make(chan struct{})
 	n.mu.Unlock()
+	if n.c.opts.Reliable {
+		// Pending entries were rescheduled for immediate retransmission on
+		// the fresh socket; make sure the loop notices now, not at its next
+		// planned wakeup.
+		n.wakeRetransmit()
+	}
 	return p
 }
 
@@ -648,6 +674,22 @@ func (n *node) handle(msg Message) {
 	// Forwarded copies are one hop further from the source.
 	m := msg
 	m.Hops++
+	if n.c.opts.HopBudget > 0 {
+		if msg.Budget <= 0 {
+			// The copy that won this node's dedup slot has no hop budget
+			// left: the message is delivered here but travels no further —
+			// its cost stays inside the statically-computed ceiling.
+			mNetHopsExhausted.Inc()
+			if trace.Enabled() {
+				trace.Instant("netflood.budget_exhausted",
+					trace.Int("node", int64(n.idx)),
+					trace.Int("src", int64(msg.Src)),
+					trace.Int("seq", int64(msg.Seq)))
+			}
+			return
+		}
+		m.Budget = msg.Budget - 1
+	}
 	for _, p := range peers {
 		if n.c.opts.Reliable {
 			n.track(p, m)

@@ -1,6 +1,7 @@
 package netflood
 
 import (
+	"math"
 	"time"
 
 	"lhg/internal/faultnet"
@@ -35,7 +36,7 @@ type Options struct {
 
 	// RetransmitBase is the first retransmission delay; each further
 	// attempt doubles it up to RetransmitMax, with ±25% jitter. Defaults
-	// 15ms and 250ms.
+	// 15ms and 250ms; a RetransmitMax below RetransmitBase is raised to it.
 	RetransmitBase time.Duration
 	RetransmitMax  time.Duration
 
@@ -49,6 +50,41 @@ type Options struct {
 	// cluster degrades gracefully to the crash model. Default 3.
 	MaxReconnects int
 
+	// HopBudget, when positive, bounds how far a frame may be forwarded:
+	// every broadcast starts with this budget, each forwarding hop
+	// decrements it, and a copy arriving with no budget left is delivered
+	// but not forwarded (netflood.hops.budget_exhausted). 0 disables the
+	// bound (the pre-guard behavior). The ampguard analyzer derives the
+	// value from the topology's disjoint path families.
+	HopBudget int
+
+	// RetryBudget, when positive, is the hard per-(link, message) cap on
+	// retransmissions. Unlike MaxRetries — whose count resets when a
+	// reconnection swaps the socket, so a flapping link can re-earn its
+	// retry allowance indefinitely — RetryBudget survives reconnections:
+	// once spent, the entry is abandoned and counted
+	// (netflood.retransmit.budget_exhausted). This is the term that makes
+	// the analyzer's 2m·(1+RetryBudget) frame ceiling sound. 0 disables.
+	RetryBudget int
+
+	// RetransmitRate, when positive, gates retransmissions per link behind
+	// a token bucket refilling at this many tokens per second with
+	// RetransmitBurst capacity: an overdue entry with no token available
+	// is deferred and counted (netflood.retransmit.deferred) instead of
+	// adding to a storm. RetransmitBurst defaults to MaxRetries when the
+	// rate is set. 0 disables the gate.
+	RetransmitRate  float64
+	RetransmitBurst int
+
+	// PathDiversity, when positive, is the topology's disjoint-path floor
+	// (the analyzer's MinDiversity, ≥ k on the paper's constructions). A
+	// suspected peer is then only redialed when fewer than PathDiversity−1
+	// healthy alternative links remain; with enough diversity the node
+	// degrades — it keeps retransmitting at the gated rate instead of
+	// hammering the lossy link with reconnections
+	// (netflood.repair.deferred). 0 disables the gate.
+	PathDiversity int
+
 	// Faults, when non-nil, supplies a faultnet.Plan per directed link
 	// (from, to): writes from node `from` on its link to node `to` pass
 	// through the plan. Asymmetric partitions are plans that differ per
@@ -59,8 +95,11 @@ type Options struct {
 	Seed uint64
 }
 
-// withDefaults fills unset fields.
-func (o Options) withDefaults() Options {
+// withDefaults normalizes o in place: unset fields take the documented
+// defaults, and negative or inconsistent values — which previously flowed
+// unchecked into the backoff shift and the budget arithmetic — are clamped
+// to their safe equivalents.
+func (o *Options) withDefaults() {
 	if o.HandshakeTimeout <= 0 {
 		o.HandshakeTimeout = 5 * time.Second
 	}
@@ -73,14 +112,31 @@ func (o Options) withDefaults() Options {
 	if o.RetransmitMax <= 0 {
 		o.RetransmitMax = 250 * time.Millisecond
 	}
+	if o.RetransmitMax < o.RetransmitBase {
+		o.RetransmitMax = o.RetransmitBase
+	}
 	if o.MaxRetries <= 0 {
 		o.MaxRetries = 12
 	}
 	if o.MaxReconnects <= 0 {
 		o.MaxReconnects = 3
 	}
+	if o.HopBudget < 0 {
+		o.HopBudget = 0
+	}
+	if o.RetryBudget < 0 {
+		o.RetryBudget = 0
+	}
+	if o.RetransmitRate < 0 || math.IsNaN(o.RetransmitRate) || math.IsInf(o.RetransmitRate, 0) {
+		o.RetransmitRate = 0
+	}
+	if o.RetransmitRate > 0 && o.RetransmitBurst <= 0 {
+		o.RetransmitBurst = o.MaxRetries
+	}
+	if o.PathDiversity < 0 {
+		o.PathDiversity = 0
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	return o
 }

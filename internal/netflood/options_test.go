@@ -1,0 +1,172 @@
+package netflood
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestWithDefaultsNormalizesEveryField pins the normalization contract
+// field by field: zero means "use the default", negative or inconsistent
+// values are clamped instead of flowing into the backoff shift and the
+// budget arithmetic unchecked.
+func TestWithDefaultsNormalizesEveryField(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    Options
+		check func(t *testing.T, o Options)
+	}{
+		{"negative handshake timeout", Options{HandshakeTimeout: -time.Second},
+			func(t *testing.T, o Options) {
+				if o.HandshakeTimeout != 5*time.Second {
+					t.Fatalf("HandshakeTimeout = %v", o.HandshakeTimeout)
+				}
+			}},
+		{"negative write timeout", Options{WriteTimeout: -1},
+			func(t *testing.T, o Options) {
+				if o.WriteTimeout != 2*time.Second {
+					t.Fatalf("WriteTimeout = %v", o.WriteTimeout)
+				}
+			}},
+		{"negative retransmit base", Options{RetransmitBase: -time.Minute},
+			func(t *testing.T, o Options) {
+				if o.RetransmitBase != 15*time.Millisecond {
+					t.Fatalf("RetransmitBase = %v", o.RetransmitBase)
+				}
+			}},
+		{"negative retransmit max", Options{RetransmitMax: -1},
+			func(t *testing.T, o Options) {
+				if o.RetransmitMax != 250*time.Millisecond {
+					t.Fatalf("RetransmitMax = %v", o.RetransmitMax)
+				}
+			}},
+		{"max below base is raised to base", Options{RetransmitBase: time.Second, RetransmitMax: time.Millisecond},
+			func(t *testing.T, o Options) {
+				if o.RetransmitMax != time.Second {
+					t.Fatalf("RetransmitMax = %v, want %v", o.RetransmitMax, time.Second)
+				}
+			}},
+		{"unset max inherits a larger base", Options{RetransmitBase: 3 * time.Second},
+			func(t *testing.T, o Options) {
+				if o.RetransmitMax != 3*time.Second {
+					t.Fatalf("RetransmitMax = %v, want 3s", o.RetransmitMax)
+				}
+			}},
+		{"negative max retries", Options{MaxRetries: -7},
+			func(t *testing.T, o Options) {
+				if o.MaxRetries != 12 {
+					t.Fatalf("MaxRetries = %d", o.MaxRetries)
+				}
+			}},
+		{"negative max reconnects", Options{MaxReconnects: -1},
+			func(t *testing.T, o Options) {
+				if o.MaxReconnects != 3 {
+					t.Fatalf("MaxReconnects = %d", o.MaxReconnects)
+				}
+			}},
+		{"negative hop budget disables", Options{HopBudget: -4},
+			func(t *testing.T, o Options) {
+				if o.HopBudget != 0 {
+					t.Fatalf("HopBudget = %d", o.HopBudget)
+				}
+			}},
+		{"negative retry budget disables", Options{RetryBudget: -4},
+			func(t *testing.T, o Options) {
+				if o.RetryBudget != 0 {
+					t.Fatalf("RetryBudget = %d", o.RetryBudget)
+				}
+			}},
+		{"negative rate disables", Options{RetransmitRate: -2},
+			func(t *testing.T, o Options) {
+				if o.RetransmitRate != 0 {
+					t.Fatalf("RetransmitRate = %g", o.RetransmitRate)
+				}
+			}},
+		{"NaN rate disables", Options{RetransmitRate: math.NaN()},
+			func(t *testing.T, o Options) {
+				if o.RetransmitRate != 0 {
+					t.Fatalf("RetransmitRate = %g", o.RetransmitRate)
+				}
+			}},
+		{"Inf rate disables", Options{RetransmitRate: math.Inf(1)},
+			func(t *testing.T, o Options) {
+				if o.RetransmitRate != 0 {
+					t.Fatalf("RetransmitRate = %g", o.RetransmitRate)
+				}
+			}},
+		{"rate without burst defaults burst to MaxRetries", Options{RetransmitRate: 5, MaxRetries: 9},
+			func(t *testing.T, o Options) {
+				if o.RetransmitBurst != 9 {
+					t.Fatalf("RetransmitBurst = %d, want 9", o.RetransmitBurst)
+				}
+			}},
+		{"no rate leaves burst untouched", Options{RetransmitBurst: -3},
+			func(t *testing.T, o Options) {
+				if o.RetransmitRate != 0 || o.RetransmitBurst != -3 {
+					t.Fatalf("burst normalized without a rate: %+v", o)
+				}
+			}},
+		{"negative path diversity disables", Options{PathDiversity: -1},
+			func(t *testing.T, o Options) {
+				if o.PathDiversity != 0 {
+					t.Fatalf("PathDiversity = %d", o.PathDiversity)
+				}
+			}},
+		{"zero seed defaults", Options{},
+			func(t *testing.T, o Options) {
+				if o.Seed != 1 {
+					t.Fatalf("Seed = %d", o.Seed)
+				}
+			}},
+		{"explicit values survive", Options{RetransmitBase: 7 * time.Millisecond, RetransmitMax: 90 * time.Millisecond, MaxRetries: 4, HopBudget: 6, RetryBudget: 8, RetransmitRate: 2.5, RetransmitBurst: 3, PathDiversity: 4},
+			func(t *testing.T, o Options) {
+				if o.RetransmitBase != 7*time.Millisecond || o.RetransmitMax != 90*time.Millisecond ||
+					o.MaxRetries != 4 || o.HopBudget != 6 || o.RetryBudget != 8 ||
+					o.RetransmitRate != 2.5 || o.RetransmitBurst != 3 || o.PathDiversity != 4 {
+					t.Fatalf("explicit options overwritten: %+v", o)
+				}
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.in
+			o.withDefaults()
+			tc.check(t, o)
+		})
+	}
+}
+
+// TestBackoffForOverflowGuard pins the shift-overflow fallback the old
+// retransmit loop relied on implicitly: enormous attempt counts (and the
+// nonsensical ones below 1) must clamp to the configured bounds instead of
+// shifting into a negative duration.
+func TestBackoffForOverflowGuard(t *testing.T) {
+	base, max := 15*time.Millisecond, 250*time.Millisecond
+	if got := backoffFor(base, max, 1); got != base {
+		t.Fatalf("attempt 1: %v, want %v", got, base)
+	}
+	if got := backoffFor(base, max, 2); got != 2*base {
+		t.Fatalf("attempt 2: %v, want %v", got, 2*base)
+	}
+	if got := backoffFor(base, max, 5); got != 16*base {
+		t.Fatalf("attempt 5: %v, want %v", got, 16*base)
+	}
+	if got := backoffFor(base, max, 6); got != max {
+		t.Fatalf("attempt 6 (past cap): %v, want %v", got, max)
+	}
+	for _, attempt := range []int{40, 62, 63, 1 << 20, math.MaxInt} {
+		if got := backoffFor(base, max, attempt); got != max {
+			t.Fatalf("attempt %d: %v, want cap %v", attempt, got, max)
+		}
+	}
+	for _, attempt := range []int{0, -1, math.MinInt} {
+		if got := backoffFor(base, max, attempt); got != base {
+			t.Fatalf("attempt %d: %v, want base %v", attempt, got, base)
+		}
+	}
+	// A base large enough that even one doubling overflows still clamps.
+	huge := time.Duration(math.MaxInt64 / 2)
+	if got := backoffFor(huge, huge, 3); got != huge {
+		t.Fatalf("overflowing shift: %v, want %v", got, huge)
+	}
+}

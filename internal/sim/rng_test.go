@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterBounds pins the ±frac envelope: every draw lands in
+// [d·(1−frac), d·(1+frac)], and over many draws both halves of the interval
+// are actually visited (the scaling is not silently one-sided).
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(42)
+	const d = 100 * time.Millisecond
+	lo, hi := 75*time.Millisecond, 125*time.Millisecond
+	below, above := false, false
+	for i := 0; i < 10_000; i++ {
+		j := r.Jitter(d, 0.25)
+		if j < lo || j > hi {
+			t.Fatalf("draw %d: Jitter(%v, 0.25) = %v outside [%v, %v]", i, d, j, lo, hi)
+		}
+		if j < d {
+			below = true
+		}
+		if j > d {
+			above = true
+		}
+	}
+	if !below || !above {
+		t.Fatalf("jitter never crossed the midpoint (below=%t above=%t)", below, above)
+	}
+}
+
+// TestJitterDeterminism pins reproducibility: two generators with the same
+// seed produce the same jitter sequence, and a different seed diverges.
+func TestJitterDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	other := NewRNG(8)
+	diverged := false
+	for i := 0; i < 1000; i++ {
+		x := a.Jitter(time.Second, 0.25)
+		if y := b.Jitter(time.Second, 0.25); x != y {
+			t.Fatalf("draw %d: same seed disagrees (%v vs %v)", i, x, y)
+		}
+		if x != other.Jitter(time.Second, 0.25) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+// TestJitterDegenerateInputs pins the pass-through contract: non-positive
+// durations and non-positive fractions return d unchanged and consume no
+// randomness (so a disabled jitter cannot skew a seeded run).
+func TestJitterDegenerateInputs(t *testing.T) {
+	r := NewRNG(1)
+	before := r.state
+	for _, d := range []time.Duration{0, -time.Second} {
+		if got := r.Jitter(d, 0.25); got != d {
+			t.Fatalf("Jitter(%v, 0.25) = %v, want unchanged", d, got)
+		}
+	}
+	for _, frac := range []float64{0, -0.5} {
+		if got := r.Jitter(time.Second, frac); got != time.Second {
+			t.Fatalf("Jitter(1s, %g) = %v, want unchanged", frac, got)
+		}
+	}
+	if r.state != before {
+		t.Fatal("degenerate jitter consumed randomness")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"io"
 	"net/http"
 
+	"lhg/internal/ampguard"
 	"lhg/internal/check"
 	"lhg/internal/core"
 	"lhg/internal/flood"
@@ -468,6 +469,37 @@ func Flood(ctx context.Context, g *Graph, source int, opts ...Option) (*FloodRes
 	defer sp.End()
 	o := applyOptions(opts)
 	return flood.RunCtx(ctx, g, source, o.failures)
+}
+
+// Retry-amplification budgets: the static analyzer that prices the f ≤ k−1
+// delivery guarantee under a reliable-flood retry policy — worst-case
+// amplification and latency over the k disjoint path families, the
+// enforceable per-broadcast frame ceiling, and the runtime guard plan
+// (hop/retry budgets, retransmit token bucket, diversity gate) derived
+// from it. See internal/ampguard and `floodsim -budget`.
+type (
+	// RetryPolicy is the per-edge retry policy being priced (timeout,
+	// backoff series, retry count, jitter).
+	RetryPolicy = ampguard.Policy
+	// BudgetReport is the full analysis of one (topology, source, policy).
+	BudgetReport = ampguard.Report
+	// StormGuard is the runtime enforcement plan a BudgetReport derives.
+	StormGuard = ampguard.Guard
+)
+
+// DefaultRetryPolicy returns the reliable protocol's default retry policy
+// — the one a plain reliable cluster runs with.
+func DefaultRetryPolicy() RetryPolicy { return ampguard.DefaultPolicy() }
+
+// FloodBudget statically prices flooding g from source under the given
+// retry policy: for every target it enumerates a maximum family of
+// internally vertex-disjoint paths (the structure k-connectivity
+// guarantees) and reports worst-case retry amplification, delivery latency
+// and the enforceable frame ceiling. k is the design connectivity recorded
+// in the report. Cancellation is polled between pairs and surfaces as
+// ctx.Err().
+func FloodBudget(ctx context.Context, g *Graph, source, k int, policy RetryPolicy) (*BudgetReport, error) {
+	return ampguard.Analyze(ctx, g, source, k, policy)
 }
 
 // Incremental maintenance: the constructive procedures inside the proofs

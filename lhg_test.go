@@ -184,6 +184,27 @@ func TestFloodFacadeSurvivesFailures(t *testing.T) {
 	}
 }
 
+func TestFloodBudgetFacade(t *testing.T) {
+	g, err := lhg.Build(context.Background(), lhg.KDiamond, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := lhg.FloodBudget(context.Background(), g, 0, 4, lhg.DefaultRetryPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MinDiversity < 4 {
+		t.Fatalf("diversity %d below the design connectivity", report.MinDiversity)
+	}
+	if want := 2 * int64(g.Size()) * 13; report.FrameCeiling != want {
+		t.Fatalf("frame ceiling %d, want 2m(1+R) = %d", report.FrameCeiling, want)
+	}
+	guard := report.Guard()
+	if guard.HopBudget <= 0 || guard.RetryBudget != 12 || guard.RetransmitRate <= 0 {
+		t.Fatalf("guard plan not derived: %+v", guard)
+	}
+}
+
 // TestEndToEndAllConstraintsAgree is the integration pass: for a grid of
 // pairs, whenever two constructions both exist they are both verified LHGs
 // and both flood completely under k-1 adversarial-ish failures.
