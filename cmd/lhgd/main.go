@@ -11,9 +11,12 @@
 //	POST /v1/verify       {"constraint":"ktree","n":21,"k":3,"properties":["P1","P4"]}
 //	POST /v1/flood        {"constraint":"kdiamond","n":50,"k":4,"source":0,
 //	                       "failures":{"Nodes":[2,5]}}
+//	POST /v1/verify?batch [{...}, ...] — or a sweep {"constraint":"ktree","n":[8,12],"k":[2,3]}
+//	GET  /v1/budget?constraint=ktree&n=14&k=3&retries=12
 //	POST /v1/reconfigure  {"session":"prod","constraint":"ktree","n":18,"k":3}
 //	                      then {"session":"prod","joins":3,"leaves":1}, ...
 //	GET  /v1/constraints
+//	GET  /healthz
 //
 // /v1/reconfigure is stateful: each session is a live topology maintained by
 // delta surgery (O(k²) edge edits per membership event, never a rebuild) and
@@ -26,6 +29,17 @@
 //
 //	lhgd -addr 127.0.0.1:8080 -cache 256 -timeout 2m
 //	lhgd -addr :8080 -http 127.0.0.1:6060   # debug vars/metrics/pprof
+//	lhgd -addr :8081 -data /var/lib/lhgd    # persistent report store
+//	lhgd -addr :8080 -shards 127.0.0.1:8081,127.0.0.1:8082   # shard frontend
+//
+// With -data, verify/flood/budget reports persist content-addressed under
+// the directory and replay warm (cached=true) across restarts; multiple
+// backends sharing one directory extend the request-coalescing guarantee
+// fleet-wide through store leases (one campaign per key across every
+// process). With -shards, the instance computes nothing itself: it routes
+// each key to its home backend on a consistent-hash ring, probes /healthz,
+// and fails requests over — including per-group batch reroutes — when a
+// backend dies mid-flight.
 //
 // The metrics sink is always on: /debug/vars on the -http address exposes
 // the serve.* counters (cache hits, coalesced flights, per-endpoint latency
@@ -49,6 +63,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +72,7 @@ import (
 	"lhg/internal/obs"
 	"lhg/internal/obs/trace"
 	"lhg/internal/serve"
+	"lhg/internal/store"
 )
 
 func main() {
@@ -82,6 +98,11 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		notrace   = fs.Bool("notrace", false, "disable request tracing (on by default: X-Trace-Id responses, traceparent joins, /debug/trace export)")
 		verbose   = fs.Bool("v", false, "debug-level logging (per-request access lines)")
 		heartbeat = fs.Duration("heartbeat", 15*time.Second, "SSE keep-alive comment period for ?stream watchers")
+		dataDir   = fs.String("data", "", "persistent report store directory; verify/flood/budget results survive restarts, and instances sharing the directory share one fleet-wide campaign per key")
+		leaseTTL  = fs.Duration("lease-ttl", 0, "store lease TTL before a crashed campaign leader is taken over (0 = store default)")
+		shards    = fs.String("shards", "", "comma-separated backend host:port list; turns this instance into a shard frontend that routes instead of computing")
+		replicas  = fs.Int("shard-replicas", 0, "virtual nodes per backend on the consistent-hash ring (0 = default 128)")
+		probe     = fs.Duration("probe-interval", time.Second, "backend health-probe period in frontend mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,7 +126,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	logger := obs.NewLogger(logw, level)
 
-	d, err := startDaemon(ctx, serve.Options{
+	opts := serve.Options{
 		BaseContext:     ctx,
 		CacheSize:       *cache,
 		Workers:         *workers,
@@ -114,11 +135,37 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		MaxSessions:     *sessions,
 		Logger:          logger,
 		StreamHeartbeat: *heartbeat,
-	}, *addr)
+		LeaseTTL:        *leaseTTL,
+		ShardReplicas:   *replicas,
+		ProbeInterval:   *probe,
+	}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = st
+		logger.Info("lhgd: report store open", "dir", st.Dir(), "reports", st.Len())
+	}
+	if *shards != "" {
+		for _, b := range strings.Split(*shards, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				opts.Shards = append(opts.Shards, b)
+			}
+		}
+		if len(opts.Shards) == 0 {
+			return fmt.Errorf("-shards given but empty")
+		}
+	}
+	d, err := startDaemon(ctx, opts, *addr)
 	if err != nil {
 		return err
 	}
-	logger.Info("lhgd: listening", "addr", d.Addr(), "tracing", !*notrace)
+	role := "backend"
+	if len(opts.Shards) > 0 {
+		role = "frontend"
+	}
+	logger.Info("lhgd: listening", "addr", d.Addr(), "tracing", !*notrace, "role", role)
 
 	<-ctx.Done()
 	logger.Info("lhgd: shutting down")

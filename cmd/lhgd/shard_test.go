@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"lhg/internal/serve"
+	"lhg/internal/store"
+)
+
+// TestShardedDaemonEndToEnd drives the full deployment shape the CI smoke
+// exercises with real processes: two backend daemons over one store
+// directory, one frontend routing across them. A batch sweep completes,
+// half the fleet dies, the next sweep still completes via reroute, and a
+// restarted backend replays the store warm.
+func TestShardedDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	openStore := func() *store.Store {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	startBackend := func() (*daemon, context.CancelFunc) {
+		ctx, stop := context.WithCancel(context.Background())
+		d, err := startDaemon(ctx, serve.Options{BaseContext: ctx, CacheSize: 64, Store: openStore()}, "127.0.0.1:0")
+		if err != nil {
+			stop()
+			t.Fatal(err)
+		}
+		return d, stop
+	}
+
+	b1, stop1 := startBackend()
+	b2, stop2 := startBackend()
+	alive2 := true
+	defer func() {
+		stop1()
+		stop2()
+		if alive2 {
+			_ = b2.Shutdown()
+		}
+	}()
+
+	front, _ := startTestDaemon(t, serve.Options{
+		CacheSize:     16,
+		Shards:        []string{b1.Addr(), b2.Addr()},
+		ProbeInterval: 50 * time.Millisecond,
+	})
+
+	sweep := func(ns []int) serve.BatchResponse {
+		t.Helper()
+		parts := make([]string, len(ns))
+		for i, n := range ns {
+			parts[i] = fmt.Sprintf("%d", n)
+		}
+		body := fmt.Sprintf(`{"constraint":"ktree","n":[%s],"k":[3],"properties":["P1"]}`, strings.Join(parts, ","))
+		var resp serve.BatchResponse
+		if status := post(t, front+"/v1/verify?batch", body, &resp); status != 200 {
+			t.Fatalf("batch status %d", status)
+		}
+		return resp
+	}
+
+	first := sweep([]int{14, 21, 28, 35})
+	if first.Failed != 0 || first.Total != 4 {
+		t.Fatalf("first sweep: total/failed = %d/%d", first.Total, first.Failed)
+	}
+
+	// Kill one backend hard; the frontend must reroute its arcs.
+	stop2()
+	if err := b2.Shutdown(); err != nil {
+		t.Fatalf("kill backend: %v", err)
+	}
+	alive2 = false
+
+	second := sweep([]int{42, 49, 56, 63})
+	if second.Failed != 0 || second.Total != 4 {
+		t.Fatalf("post-kill sweep: total/failed = %d/%d — reroute did not cover the dead backend", second.Total, second.Failed)
+	}
+
+	// A restarted backend (fresh process state, same store dir) replays the
+	// persisted reports warm: cached=true without recomputation.
+	b3, stop3 := startBackend()
+	defer func() { stop3(); _ = b3.Shutdown() }()
+	var replay serve.VerifyResponse
+	if status := post(t, "http://"+b3.Addr()+"/v1/verify",
+		`{"constraint":"ktree","n":42,"k":3,"properties":["P1"]}`, &replay); status != 200 {
+		t.Fatalf("replay status %d", status)
+	}
+	if !replay.Cached {
+		t.Fatal("restarted backend must answer cached=true from the shared store")
+	}
+}

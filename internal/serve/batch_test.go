@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"lhg/internal/obs"
+)
+
+func TestBatchArrayForm(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 64})
+	var resp BatchResponse
+	body := `[{"constraint":"ktree","n":14,"k":3},{"constraint":"ktree","n":21,"k":3}]`
+	if status := postJSON(t, ts.URL+"/v1/verify?batch", body, &resp); status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	if resp.Total != 2 || resp.Failed != 0 || len(resp.Items) != 2 {
+		t.Fatalf("total/failed/items = %d/%d/%d, want 2/0/2", resp.Total, resp.Failed, len(resp.Items))
+	}
+	for i, item := range resp.Items {
+		if item.Response == nil || item.Error != nil {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+		if !item.Response.IsLHG {
+			t.Fatalf("item %d: ktree must verify as an LHG", i)
+		}
+	}
+	// Items come back in request order.
+	if resp.Items[0].Response.N != 14 || resp.Items[1].Response.N != 21 {
+		t.Fatalf("item order lost: %d, %d", resp.Items[0].Response.N, resp.Items[1].Response.N)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("batch must report its shared trace root")
+	}
+}
+
+func TestBatchSweepExpansion(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 64})
+	var resp BatchResponse
+	body := `{"constraint":"ktree","n":[14,21,28],"k":[3],"properties":["P1"]}`
+	if status := postJSON(t, ts.URL+"/v1/verify?batch", body, &resp); status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	if resp.Total != 3 || resp.Failed != 0 {
+		t.Fatalf("total/failed = %d/%d, want 3/0", resp.Total, resp.Failed)
+	}
+	seen := map[int]bool{}
+	for _, item := range resp.Items {
+		if item.Response == nil {
+			t.Fatalf("item failed: %+v", item.Error)
+		}
+		seen[item.Response.N] = true
+	}
+	for _, n := range []int{14, 21, 28} {
+		if !seen[n] {
+			t.Fatalf("sweep missing n=%d", n)
+		}
+	}
+}
+
+// TestBatchPartialFailure pins per-item isolation: one impossible item
+// yields its own envelope, its siblings complete, and the batch still
+// answers 200.
+func TestBatchPartialFailure(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 64})
+	var resp BatchResponse
+	body := `[{"constraint":"ktree","n":14,"k":3},{"constraint":"ktree","n":5,"k":3},{"constraint":"bogus","n":10,"k":3}]`
+	if status := postJSON(t, ts.URL+"/v1/verify?batch", body, &resp); status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	if resp.Failed != 2 {
+		t.Fatalf("failed = %d, want 2", resp.Failed)
+	}
+	if resp.Items[0].Response == nil || !resp.Items[0].Response.IsLHG {
+		t.Fatalf("good item dragged down: %+v", resp.Items[0])
+	}
+	if resp.Items[1].Error == nil || resp.Items[1].Error.Code != CodeNotConstructible {
+		t.Fatalf("impossible item: %+v", resp.Items[1].Error)
+	}
+	if resp.Items[2].Error == nil || resp.Items[2].Error.Code != CodeBadRequest {
+		t.Fatalf("bogus item: %+v", resp.Items[2].Error)
+	}
+}
+
+// TestBatchCoalescesIdenticalItems is the batch-side singleflight pin: a
+// sweep that names the same key many times runs ONE campaign; duplicates
+// coalesce or hit the fill.
+func TestBatchCoalescesIdenticalItems(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 64})
+	if status := postJSON(t, ts.URL+"/v1/build", `{"constraint":"kdiamond","n":80,"k":4}`, nil); status != 200 {
+		t.Fatalf("warm build: %d", status)
+	}
+	items := ""
+	for i := 0; i < 16; i++ {
+		if i > 0 {
+			items += ","
+		}
+		items += `{"constraint":"kdiamond","n":80,"k":4,"properties":["P1"]}`
+	}
+	before := obs.Counters()["check.verify.runs"]
+	var resp BatchResponse
+	if status := postJSON(t, ts.URL+"/v1/verify?batch", "["+items+"]", &resp); status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	if resp.Failed != 0 || resp.Total != 16 {
+		t.Fatalf("total/failed = %d/%d, want 16/0", resp.Total, resp.Failed)
+	}
+	if runs := obs.Counters()["check.verify.runs"] - before; runs != 1 {
+		t.Fatalf("16 identical items ran %d campaigns, want 1", runs)
+	}
+	if resp.Cached != 15 {
+		t.Fatalf("cached = %d, want 15 (one item paid)", resp.Cached)
+	}
+}
+
+func TestBatchRejectsOversize(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 4})
+	ns := ""
+	for i := 0; i < 70; i++ {
+		if i > 0 {
+			ns += ","
+		}
+		ns += fmt.Sprintf("%d", 14+7*i)
+	}
+	ks := "3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32,33,34,35,36,37,38,39,40,41,42,43,44,45,46,47,48,49,50,51,52,53,54,55,56,57,58,59,60,61,62"
+	var env ErrorEnvelope
+	body := fmt.Sprintf(`{"constraint":"ktree","n":[%s],"k":[%s]}`, ns, ks)
+	if status := postJSON(t, ts.URL+"/v1/verify?batch", body, &env); status != 400 {
+		t.Fatalf("70x60 sweep: status %d, want 400", status)
+	}
+	if env.Error.Code != CodeBadRequest {
+		t.Fatalf("code %q", env.Error.Code)
+	}
+}

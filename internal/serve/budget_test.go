@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestBudgetEndpoint(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 16})
+	var resp BudgetResponse
+	url := ts.URL + "/v1/budget?constraint=ktree&n=14&k=3&source=0"
+	if status := getJSON(t, url, &resp); status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	if resp.Cached {
+		t.Fatal("first analysis cannot be cached")
+	}
+	if resp.Report == nil || resp.Report.K != 3 {
+		t.Fatalf("report: %+v", resp.Report)
+	}
+	// The report prices the guarantee; the derived guard enforces it.
+	if resp.Report.FrameCeiling <= 0 || resp.Guard.RetryBudget <= 0 {
+		t.Fatalf("ceiling/guard not derived: report %+v guard %+v", resp.Report, resp.Guard)
+	}
+	// The policy echoes back with defaults applied.
+	if resp.Policy.Retries != 12 {
+		t.Fatalf("default retries = %d, want 12", resp.Policy.Retries)
+	}
+
+	// Same triple → cache hit; the analysis is not re-run.
+	var again BudgetResponse
+	if status := getJSON(t, url, &again); status != 200 || !again.Cached {
+		t.Fatalf("second hit: status %d cached %t, want 200 cached", status, again.Cached)
+	}
+
+	// A different retry budget is a different key: fresh analysis, and the
+	// ceiling moves with the policy.
+	var tighter BudgetResponse
+	if status := getJSON(t, ts.URL+"/v1/budget?constraint=ktree&n=14&k=3&retries=2", &tighter); status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	if tighter.Cached {
+		t.Fatal("distinct policy must not hit the default policy's cache entry")
+	}
+	if tighter.Report.FrameCeiling >= resp.Report.FrameCeiling {
+		t.Fatalf("2-retry ceiling %d not below 12-retry ceiling %d",
+			tighter.Report.FrameCeiling, resp.Report.FrameCeiling)
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestErrorEnvelopeEveryRoute pins the unified error contract: every /v1
+// route answers every failure class with the same envelope —
+// {"error":{"code","message","trace_id"}} — at its one mapped status, and
+// wrong verbs carry an Allow header. This is the table the satellite
+// requirement asks for; extending the API without extending this table
+// should feel wrong.
+func TestErrorEnvelopeEveryRoute(t *testing.T) {
+	ts := newTestServer(t, Options{CacheSize: 16})
+	// Seed a session so conflict classes have something to conflict with.
+	if status := postJSON(t, ts.URL+"/v1/reconfigure",
+		`{"session":"pinned","constraint":"ktree","n":14,"k":3}`, nil); status != 200 {
+		t.Fatalf("seed session: %d", status)
+	}
+
+	cases := []struct {
+		name, method, url, body string
+		wantStatus              int
+		wantCode                string
+		wantAllow               string
+	}{
+		// 400 bad_request: malformed body / params, per route.
+		{"build bad json", "POST", "/v1/build", `{"constraint":`, 400, CodeBadRequest, ""},
+		{"build unknown field", "POST", "/v1/build", `{"constraint":"ktree","n":14,"k":3,"bogus":1}`, 400, CodeBadRequest, ""},
+		{"build unknown constraint", "POST", "/v1/build", `{"constraint":"petersen","n":10,"k":3}`, 400, CodeBadRequest, ""},
+		{"build seed on harary", "POST", "/v1/build", `{"constraint":"harary","n":20,"k":3,"seed":1}`, 400, CodeBadRequest, ""},
+		{"verify bad property", "POST", "/v1/verify", `{"constraint":"ktree","n":14,"k":3,"properties":["P9"]}`, 400, CodeBadRequest, ""},
+		{"verify bad json", "POST", "/v1/verify", `not json`, 400, CodeBadRequest, ""},
+		{"verify stream bad query", "GET", "/v1/verify?stream&constraint=ktree&n=x&k=3", "", 400, CodeBadRequest, ""},
+		{"flood bad source", "POST", "/v1/flood", `{"constraint":"ktree","n":14,"k":3,"source":99}`, 400, CodeBadRequest, ""},
+		{"budget missing n", "GET", "/v1/budget?constraint=ktree&k=3", "", 400, CodeBadRequest, ""},
+		{"budget bad source", "GET", "/v1/budget?constraint=ktree&n=14&k=3&source=99", "", 400, CodeBadRequest, ""},
+		{"budget bad policy", "GET", "/v1/budget?constraint=ktree&n=14&k=3&timeout_ms=0", "", 400, CodeBadRequest, ""},
+		{"batch empty", "POST", "/v1/verify?batch", `[]`, 400, CodeBadRequest, ""},
+		{"batch bad sweep", "POST", "/v1/verify?batch", `{"constraint":"ktree","n":[],"k":[3]}`, 400, CodeBadRequest, ""},
+		{"reconfigure no session", "POST", "/v1/reconfigure", `{"joins":1}`, 400, CodeBadRequest, ""},
+		{"reconfigure stream no session", "GET", "/v1/reconfigure?stream", "", 400, CodeBadRequest, ""},
+
+		// 404 not_found.
+		{"reconfigure unknown session", "POST", "/v1/reconfigure", `{"session":"ghost","joins":1}`, 404, CodeNotFound, ""},
+		{"reconfigure stream unknown", "GET", "/v1/reconfigure?stream&session=ghost", "", 404, CodeNotFound, ""},
+
+		// 405 method_not_allowed, Allow header pinned.
+		{"build wrong verb", "GET", "/v1/build", "", 405, CodeMethodNotAllowed, "POST"},
+		{"verify wrong verb", "DELETE", "/v1/verify", "", 405, CodeMethodNotAllowed, "POST"},
+		{"verify bare GET", "GET", "/v1/verify", "", 405, CodeMethodNotAllowed, "POST"},
+		{"flood wrong verb", "PUT", "/v1/flood", "", 405, CodeMethodNotAllowed, "POST"},
+		{"budget wrong verb", "POST", "/v1/budget", `{}`, 405, CodeMethodNotAllowed, "GET"},
+		{"reconfigure wrong verb", "DELETE", "/v1/reconfigure", "", 405, CodeMethodNotAllowed, "POST"},
+		{"constraints wrong verb", "POST", "/v1/constraints", `{}`, 405, CodeMethodNotAllowed, "GET"},
+		{"healthz wrong verb", "POST", "/healthz", `{}`, 405, CodeMethodNotAllowed, "GET"},
+
+		// 409 conflict: epoch/parameter races.
+		{"reconfigure stale epoch", "POST", "/v1/reconfigure", `{"session":"pinned","joins":1,"epoch":7}`, 409, CodeConflict, ""},
+		{"reconfigure k mismatch", "POST", "/v1/reconfigure", `{"session":"pinned","k":4,"joins":1}`, 409, CodeConflict, ""},
+
+		// 422 not_constructible: impossible (n, k).
+		{"build not constructible", "POST", "/v1/build", `{"constraint":"ktree","n":5,"k":3}`, 422, CodeNotConstructible, ""},
+		{"verify not constructible", "POST", "/v1/verify", `{"constraint":"ktree","n":5,"k":3}`, 422, CodeNotConstructible, ""},
+		{"flood not constructible", "POST", "/v1/flood", `{"constraint":"ktree","n":5,"k":3,"source":0}`, 422, CodeNotConstructible, ""},
+		{"budget not constructible", "GET", "/v1/budget?constraint=ktree&n=5&k=3", "", 422, CodeNotConstructible, ""},
+		{"reconfigure below floor", "POST", "/v1/reconfigure", `{"session":"pinned","leaves":10}`, 422, CodeNotConstructible, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rd io.Reader
+			if tc.body != "" {
+				rd = bytes.NewBufferString(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.url, rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			var env ErrorEnvelope
+			if err := json.Unmarshal(raw, &env); err != nil {
+				t.Fatalf("failure is not the envelope shape: %v (body %s)", err, raw)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q (message %q)", env.Error.Code, tc.wantCode, env.Error.Message)
+			}
+			if env.Error.Message == "" {
+				t.Fatal("envelope must carry a message")
+			}
+			// Tracing is on for the whole test binary, so the envelope's
+			// trace id must match the response header: one grep handle.
+			if got, want := env.Error.TraceID, resp.Header.Get("X-Trace-Id"); want == "" || got != want {
+				t.Fatalf("trace_id = %q, X-Trace-Id = %q; want matching non-empty ids", got, want)
+			}
+			if tc.wantAllow != "" {
+				if allow := resp.Header.Get("Allow"); allow != tc.wantAllow {
+					t.Fatalf("Allow = %q, want %q", allow, tc.wantAllow)
+				}
+			}
+			// Extra fields beyond "error" would widen the contract silently.
+			var loose map[string]json.RawMessage
+			_ = json.Unmarshal(raw, &loose)
+			if len(loose) != 1 {
+				t.Fatalf("envelope has %d top-level fields, want exactly {error}: %s", len(loose), raw)
+			}
+		})
+	}
+
+	// 504 timeout needs its own strangled server.
+	t.Run("verify timeout", func(t *testing.T) {
+		slow := newTestServer(t, Options{CacheSize: 16, Timeout: time.Nanosecond})
+		var env ErrorEnvelope
+		if status := postJSON(t, slow.URL+"/v1/verify", `{"constraint":"kdiamond","n":120,"k":4}`, &env); status != 504 {
+			t.Fatalf("status = %d, want 504", status)
+		}
+		if env.Error.Code != CodeTimeout {
+			t.Fatalf("code = %q, want %q", env.Error.Code, CodeTimeout)
+		}
+	})
+
+	// 429 too_many_sessions needs a capped server.
+	t.Run("session limit", func(t *testing.T) {
+		capped := newTestServer(t, Options{CacheSize: 16, MaxSessions: 1})
+		if status := postJSON(t, capped.URL+"/v1/reconfigure",
+			`{"session":"one","constraint":"ktree","n":14,"k":3}`, nil); status != 200 {
+			t.Fatalf("first session: %d", status)
+		}
+		var env ErrorEnvelope
+		if status := postJSON(t, capped.URL+"/v1/reconfigure",
+			`{"session":"two","constraint":"ktree","n":14,"k":3}`, &env); status != 429 {
+			t.Fatalf("status = %d, want 429", status)
+		}
+		if env.Error.Code != CodeTooManySessions {
+			t.Fatalf("code = %q, want %q", env.Error.Code, CodeTooManySessions)
+		}
+	})
+
+	// 502 backend_unavailable: a frontend whose whole fleet is down.
+	t.Run("backend down", func(t *testing.T) {
+		front := newTestServer(t, Options{CacheSize: 16, Shards: []string{"127.0.0.1:1"}})
+		var env ErrorEnvelope
+		if status := postJSON(t, front.URL+"/v1/verify", `{"constraint":"ktree","n":14,"k":3}`, &env); status != 502 {
+			t.Fatalf("status = %d, want 502", status)
+		}
+		if env.Error.Code != CodeBackendDown {
+			t.Fatalf("code = %q, want %q", env.Error.Code, CodeBackendDown)
+		}
+	})
+}
+
+// TestEnvelopeCodesAreDistinct guards against two codes colliding as the
+// table grows.
+func TestEnvelopeCodesAreDistinct(t *testing.T) {
+	codes := []string{CodeBadRequest, CodeNotFound, CodeMethodNotAllowed, CodeConflict,
+		CodeNotConstructible, CodeTooManySessions, CodeClientClosed, CodeInternal,
+		CodeBackendDown, CodeTimeout}
+	seen := map[string]bool{}
+	for _, c := range codes {
+		if c == "" || strings.ContainsAny(c, " \t") || seen[c] {
+			t.Fatalf("bad or duplicate code %q", c)
+		}
+		seen[c] = true
+	}
+}

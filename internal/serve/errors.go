@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lhg"
+	"lhg/internal/obs/trace"
+)
+
+// Unified error envelope. Every /v1 route answers failures with one shape:
+//
+//	{"error": {"code": "...", "message": "...", "trace_id": "..."}}
+//
+// The code is a stable machine-readable class (clients switch on it; the
+// HTTP status is its coarser projection), the message is the human
+// diagnostic, and the trace id — present whenever tracing is on — is the
+// grep handle into /debug/trace for the request that failed.
+
+// ErrorBody is the envelope payload.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// ErrorEnvelope is the uniform error response of every /v1 route.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Error codes and their one fixed status each. The mapping is pinned by
+// TestErrorEnvelopeEveryRoute.
+const (
+	CodeBadRequest       = "bad_request"         // 400: malformed body/params
+	CodeNotFound         = "not_found"           // 404: unknown session
+	CodeMethodNotAllowed = "method_not_allowed"  // 405: wrong verb (Allow header set)
+	CodeConflict         = "conflict"            // 409: epoch/stream races
+	CodeNotConstructible = "not_constructible"   // 422: impossible (n,k)
+	CodeTooManySessions  = "too_many_sessions"   // 429: session cap reached
+	CodeClientClosed     = "client_closed"       // 499: caller went away
+	CodeInternal         = "internal"            // 500: unclassified server fault
+	CodeBackendDown      = "backend_unavailable" // 502: no shard could serve
+	CodeTimeout          = "timeout"             // 504: computation deadline
+)
+
+// apiError pins an explicit (status, code) onto an error. Handlers wrap
+// client-fault errors with badRequest and friends; anything unwrapped is
+// classified by sentinel below.
+type apiError struct {
+	status int
+	code   string
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &apiError{http.StatusBadRequest, CodeBadRequest, err} }
+func notFound(err error) error   { return &apiError{http.StatusNotFound, CodeNotFound, err} }
+func conflict(err error) error   { return &apiError{http.StatusConflict, CodeConflict, err} }
+func tooManySessions(err error) error {
+	return &apiError{http.StatusTooManyRequests, CodeTooManySessions, err}
+}
+func backendDown(err error) error { return &apiError{http.StatusBadGateway, CodeBackendDown, err} }
+
+// classify maps err onto its (status, code): an explicit apiError wins,
+// then the shared sentinels. The table is the single source of the
+// status mapping for every route.
+func classify(err error) (int, string) {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status, ae.code
+	case errors.Is(err, lhg.ErrNotConstructible):
+		return http.StatusUnprocessableEntity, CodeNotConstructible
+	case errors.Is(err, errEpochConflict):
+		return http.StatusConflict, CodeConflict
+	case errors.Is(err, errUnknownSession):
+		return http.StatusNotFound, CodeNotFound
+	case errors.Is(err, errSessionLimit):
+		return http.StatusTooManyRequests, CodeTooManySessions
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return 499, CodeClientClosed // nginx convention: client closed request
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// errorBody builds the envelope payload for err in the context of r.
+func errorBody(r *http.Request, err error) ErrorBody {
+	_, code := classify(err)
+	body := ErrorBody{Code: code, Message: err.Error()}
+	if r != nil {
+		if sp := trace.FromContext(r.Context()); sp.Live() {
+			body.TraceID = sp.TraceID().String()
+		}
+	}
+	return body
+}
+
+// writeError answers r with the enveloped err at its classified status.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status, _ := classify(err)
+	writeJSON(w, status, ErrorEnvelope{Error: errorBody(r, err)})
+}
+
+// notAllowed answers 405 with the route's Allow set.
+func (s *Server) notAllowed(w http.ResponseWriter, r *http.Request, allow string) {
+	w.Header().Set("Allow", allow)
+	err := fmt.Errorf("serve: %s does not allow %s (allow: %s)", r.URL.Path, r.Method, allow)
+	writeJSON(w, http.StatusMethodNotAllowed, ErrorEnvelope{Error: ErrorBody{
+		Code: CodeMethodNotAllowed, Message: err.Error(), TraceID: errorBody(r, err).TraceID,
+	}})
+}

@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"lhg/internal/obs"
+	"lhg/internal/obs/trace"
+	"lhg/internal/shard"
+)
+
+// Shard frontend. With Options.Shards set, the server stops computing and
+// starts routing: every keyed request (build/verify/flood/budget by graph
+// key, reconfigure by session name) is forwarded to its home backend on the
+// consistent-hash ring, with the ring's failover sequence retried in order
+// when the home dies mid-request — any backend can serve any key, the ring
+// only decides who serves it FIRST so each backend's LRU stays hot on its
+// own arc. A health-probe loop (GET /healthz per backend) demotes dead
+// backends between requests; a connection failure during forwarding demotes
+// immediately. The outgoing hop carries the frontend's traceparent, so one
+// request — or one whole batch — is a single trace fleet-wide.
+var (
+	mShardForwarded  = obs.NewCounter("serve.shard.forwarded")
+	mShardRerouted   = obs.NewCounter("serve.shard.rerouted")
+	mShardUnroutable = obs.NewCounter("serve.shard.unroutable")
+	mShardProbes     = obs.NewCounter("serve.shard.probes")
+	gShardHealthy    = obs.NewGauge("serve.shard.healthy")
+)
+
+type proxy struct {
+	s      *Server
+	ring   *shard.Ring
+	mux    *http.ServeMux
+	client *http.Client
+}
+
+func newProxy(s *Server, ring *shard.Ring, probeEvery time.Duration) *proxy {
+	if probeEvery <= 0 {
+		probeEvery = time.Second
+	}
+	p := &proxy{s: s, ring: ring, mux: http.NewServeMux(), client: &http.Client{}}
+	p.mux.HandleFunc("/v1/build", p.handleGraphKeyed)
+	p.mux.HandleFunc("/v1/verify", p.handleVerify)
+	p.mux.HandleFunc("/v1/flood", p.handleGraphKeyed)
+	p.mux.HandleFunc("/v1/budget", p.handleBudget)
+	p.mux.HandleFunc("/v1/reconfigure", p.handleReconfigure)
+	p.mux.HandleFunc("/v1/constraints", s.handleConstraints)
+	p.mux.HandleFunc("/healthz", s.handleHealth)
+	gShardHealthy.Set(int64(len(ring.Backends())))
+	go p.probeLoop(probeEvery)
+	return p
+}
+
+// probeLoop keeps the ring's health map honest: demoted backends that came
+// back are restored, silently dead ones are demoted before a request finds
+// out the hard way.
+func (p *proxy) probeLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.s.base.Done():
+			return
+		case <-t.C:
+			p.probeOnce(every)
+		}
+	}
+}
+
+func (p *proxy) probeOnce(timeout time.Duration) {
+	healthy := int64(0)
+	for _, b := range p.ring.Backends() {
+		mShardProbes.Inc()
+		ctx, cancel := context.WithTimeout(p.s.base, timeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+b+"/healthz", nil)
+		up := false
+		if err == nil {
+			resp, derr := p.client.Do(req)
+			if derr == nil {
+				up = resp.StatusCode == http.StatusOK
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		cancel()
+		p.ring.SetHealthy(b, up)
+		if up {
+			healthy++
+		}
+	}
+	gShardHealthy.Set(healthy)
+}
+
+// readBody drains a bounded copy of the request body for re-sending.
+func readBody(r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(nil, r.Body, maxRequestBody))
+}
+
+// graphRouteKey extracts the routing key of any body embedding the graph
+// selector fields (build, verify, flood): unknown fields are ignored here —
+// full validation is the home backend's job.
+func graphRouteKey(body []byte) (string, error) {
+	var br BuildRequest
+	if err := json.Unmarshal(body, &br); err != nil {
+		return "", err
+	}
+	c, err := br.validate()
+	if err != nil {
+		return "", err
+	}
+	return br.graphKey(c), nil
+}
+
+// handleGraphKeyed forwards one POSTed graph-keyed request.
+func (p *proxy) handleGraphKeyed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		p.s.notAllowed(w, r, http.MethodPost)
+		return
+	}
+	body, err := readBody(r)
+	if err != nil {
+		writeError(w, r, badRequest(err))
+		return
+	}
+	key, err := graphRouteKey(body)
+	if err != nil {
+		writeError(w, r, badRequest(err))
+		return
+	}
+	p.forward(w, r, key, body)
+}
+
+func (p *proxy) handleVerify(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	switch {
+	case r.Method == http.MethodGet && q.Has("stream"):
+		req, err := parseVerifyQuery(r)
+		if err != nil {
+			writeError(w, r, badRequest(err))
+			return
+		}
+		c, err := req.validate()
+		if err != nil {
+			writeError(w, r, badRequest(err))
+			return
+		}
+		p.forward(w, r, req.graphKey(c), nil)
+	case r.Method == http.MethodPost && q.Has("batch"):
+		reqs, err := decodeBatch(r)
+		if err != nil {
+			writeError(w, r, badRequest(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, p.runBatch(r, reqs))
+	case r.Method == http.MethodPost:
+		p.handleGraphKeyed(w, r)
+	default:
+		// GET is only meaningful with ?stream; anything else wants POST.
+		p.s.notAllowed(w, r, http.MethodPost)
+	}
+}
+
+func (p *proxy) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		p.s.notAllowed(w, r, http.MethodGet)
+		return
+	}
+	req, err := parseBudgetQuery(r)
+	if err != nil {
+		writeError(w, r, badRequest(err))
+		return
+	}
+	c, err := req.validate()
+	if err != nil {
+		writeError(w, r, badRequest(err))
+		return
+	}
+	p.forward(w, r, req.graphKey(c), nil)
+}
+
+// handleReconfigure routes by session name: a session is live state on ONE
+// backend, so every epoch of a session must land on the same process.
+func (p *proxy) handleReconfigure(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Query().Has("stream"):
+		name := r.URL.Query().Get("session")
+		if name == "" {
+			writeError(w, r, badRequest(fmt.Errorf("serve: stream needs a session name")))
+			return
+		}
+		p.forward(w, r, "session|"+name, nil)
+	case r.Method == http.MethodPost:
+		body, err := readBody(r)
+		if err != nil {
+			writeError(w, r, badRequest(err))
+			return
+		}
+		var req struct {
+			Session string `json:"session"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, r, badRequest(err))
+			return
+		}
+		if req.Session == "" {
+			writeError(w, r, badRequest(fmt.Errorf("serve: reconfigure needs a session name")))
+			return
+		}
+		p.forward(w, r, "session|"+req.Session, body)
+	default:
+		// GET is only meaningful with ?stream; anything else wants POST.
+		p.s.notAllowed(w, r, http.MethodPost)
+	}
+}
+
+// forward sends the request to the key's home backend, walking the ring's
+// failover sequence when a backend fails at the transport layer. HTTP-level
+// responses — including errors — come from the right process and stream
+// back verbatim.
+func (p *proxy) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	seq := p.ring.Sequence(key)
+	var lastErr error
+	for i, backend := range seq {
+		if i > 0 {
+			mShardRerouted.Inc()
+		}
+		resp, err := p.send(r.Context(), r, backend, body)
+		if err != nil {
+			p.ring.SetHealthy(backend, false)
+			lastErr = err
+			continue
+		}
+		mShardForwarded.Inc()
+		copyResponse(w, resp)
+		return
+	}
+	mShardUnroutable.Inc()
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy backend")
+	}
+	writeError(w, r, backendDown(fmt.Errorf("serve: cannot route %q: %v", key, lastErr)))
+}
+
+// send issues one forwarded request; the traceparent hop header keeps the
+// backend's spans in the frontend's trace.
+func (p *proxy) send(ctx context.Context, r *http.Request, backend string, body []byte) (*http.Response, error) {
+	u := *r.URL
+	u.Scheme = "http"
+	u.Host = backend
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u.String(), rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if accept := r.Header.Get("Accept"); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	if sp := trace.FromContext(ctx); sp.Live() {
+		req.Header.Set("Traceparent", trace.Traceparent(sp.TraceID(), sp.ID()))
+	}
+	return p.client.Do(req)
+}
+
+// copyResponse relays status, headers and body; flushing per write keeps
+// proxied SSE streams live.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	fw := io.Writer(w)
+	if f, ok := w.(http.Flusher); ok {
+		fw = flushWriter{w, f}
+	}
+	_, _ = io.Copy(fw, resp.Body)
+}
+
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(b []byte) (int, error) {
+	n, err := fw.w.Write(b)
+	fw.f.Flush()
+	return n, err
+}
+
+// runBatch splits the expanded items by ring ownership and fans the
+// sub-batches out concurrently: each group goes to its home backend as one
+// POST /v1/verify?batch, and a group whose backend dies mid-sweep reroutes
+// whole to the next backend in its failover sequence — any backend can
+// compute any item, so a rerouted group completes, just colder. Item order
+// and the shared trace root are preserved in the merged response.
+func (p *proxy) runBatch(r *http.Request, reqs []VerifyRequest) *BatchResponse {
+	mBatchRequests.Inc()
+	out := &BatchResponse{Total: len(reqs), Items: make([]BatchItem, len(reqs))}
+	if sp := trace.FromContext(r.Context()); sp.Live() {
+		out.TraceID = sp.TraceID().String()
+	}
+	groups := make(map[string][]int)
+	for i := range reqs {
+		out.Items[i].Request = reqs[i]
+		c, err := reqs[i].validate()
+		if err != nil {
+			body := errorBody(nil, badRequest(err))
+			out.Items[i].Error = &body
+			continue
+		}
+		key := reqs[i].graphKey(c)
+		home, ok := p.ring.Lookup(key)
+		if !ok {
+			mShardUnroutable.Inc()
+			body := errorBody(nil, backendDown(fmt.Errorf("serve: no healthy backend for %q", key)))
+			out.Items[i].Error = &body
+			continue
+		}
+		groups[home] = append(groups[home], i)
+	}
+	var wg sync.WaitGroup
+	for home, idx := range groups {
+		wg.Add(1)
+		go func(home string, idx []int) {
+			defer wg.Done()
+			p.forwardSubBatch(r, home, idx, reqs, out)
+		}(home, idx)
+	}
+	wg.Wait()
+	for i := range out.Items {
+		switch {
+		case out.Items[i].Error != nil:
+			out.Failed++
+		case out.Items[i].Response != nil && out.Items[i].Response.Cached:
+			out.Cached++
+		}
+	}
+	mBatchItems.Add(int64(out.Total))
+	mBatchFailed.Add(int64(out.Failed))
+	return out
+}
+
+// forwardSubBatch delivers one ownership group, rerouting the whole group
+// down the failover sequence on transport failure. Distinct goroutines
+// write disjoint out.Items indices, so no lock is needed.
+func (p *proxy) forwardSubBatch(r *http.Request, home string, idx []int, reqs []VerifyRequest, out *BatchResponse) {
+	sub := make([]VerifyRequest, len(idx))
+	for j, i := range idx {
+		sub[j] = reqs[i]
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		p.failGroup(idx, out, err)
+		return
+	}
+	c, _ := sub[0].validate()
+	seq := p.ring.Sequence(sub[0].graphKey(c))
+	if !contains(seq, home) {
+		seq = append([]string{home}, seq...)
+	}
+	var lastErr error
+	for attempt, backend := range seq {
+		if attempt > 0 {
+			mShardRerouted.Inc()
+		}
+		resp, err := p.send(r.Context(), r, backend, body)
+		if err != nil {
+			p.ring.SetHealthy(backend, false)
+			lastErr = err
+			continue
+		}
+		mShardForwarded.Inc()
+		var br BatchResponse
+		derr := json.NewDecoder(resp.Body).Decode(&br)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil || len(br.Items) != len(idx) {
+			lastErr = fmt.Errorf("backend %s answered %d (decode: %v)", backend, resp.StatusCode, derr)
+			continue
+		}
+		for j, i := range idx {
+			out.Items[i].Response = br.Items[j].Response
+			out.Items[i].Error = br.Items[j].Error
+		}
+		return
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy backend")
+	}
+	mShardUnroutable.Inc()
+	p.failGroup(idx, out, lastErr)
+}
+
+func (p *proxy) failGroup(idx []int, out *BatchResponse, err error) {
+	body := errorBody(nil, backendDown(fmt.Errorf("serve: sub-batch failed: %v", err)))
+	for _, i := range idx {
+		b := body
+		out.Items[i].Error = &b
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -8,7 +8,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"lhg"
 	"lhg/internal/obs"
@@ -109,8 +108,21 @@ func (rr *ReconfigureRequest) validate() error {
 	if rr.Joins < 0 || rr.Leaves < 0 {
 		return fmt.Errorf("serve: joins and leaves must be >= 0, got %d/%d", rr.Joins, rr.Leaves)
 	}
+	// A malformed or engineless constraint is the client's fault whether
+	// the session exists or not; reject it before touching session state.
+	if rr.Constraint != "" {
+		c, err := lhg.ParseConstraint(rr.Constraint)
+		if err == nil && c != lhg.KTree && c != lhg.KDiamond {
+			err = fmt.Errorf("serve: constraint %s has no churn engine (use ktree or kdiamond)", c)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+func (rr *ReconfigureRequest) check() error { return rr.validate() }
 
 // session returns the named live session, creating it from req on first
 // use. Creation runs the full baseline verification; concurrent creators
@@ -286,55 +298,35 @@ func (sess *topoSession) unwind(delta int) {
 }
 
 func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
-	if r.Method == http.MethodGet && r.URL.Query().Has("stream") {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Query().Has("stream"):
 		s.handleReconfigureStream(w, r)
-		return
+	case r.Method == http.MethodPost:
+		runJSON(s, epReconfig, w, r, func(ctx context.Context, req *ReconfigureRequest) (any, error) {
+			return s.reconfigureOne(ctx, req)
+		})
+	default:
+		// GET is only meaningful with ?stream; anything else wants POST.
+		s.notAllowed(w, r, http.MethodPost)
 	}
-	if !requireMethod(w, r, http.MethodPost) {
-		return
-	}
-	start := time.Now()
-	done := s.track(epReconfig)
-	var req ReconfigureRequest
-	if !decodeJSON(w, r, &req) {
-		done(true, start)
-		return
-	}
-	if err := req.validate(); err != nil {
-		done(true, start)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	// A malformed or engineless constraint is the client's fault whether the
-	// session exists or not; reject it before touching session state.
-	if req.Constraint != "" {
-		c, err := lhg.ParseConstraint(req.Constraint)
-		if err == nil && c != lhg.KTree && c != lhg.KDiamond {
-			err = fmt.Errorf("serve: constraint %s has no churn engine (use ktree or kdiamond)", c)
-		}
-		if err != nil {
-			done(true, start)
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-			return
-		}
-	}
-	sess, err := s.session(&req)
+}
+
+// reconfigureOne runs one reconfigure request end-to-end: session lookup or
+// creation, parameter cross-check, epoch CAS, then the flight-coalesced
+// campaign.
+func (s *Server) reconfigureOne(ctx context.Context, req *ReconfigureRequest) (any, error) {
+	sess, err := s.session(req)
 	if err != nil {
-		done(true, start)
-		switch {
-		case errors.Is(err, errUnknownSession):
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
-		case errors.Is(err, errSessionLimit):
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
-		default:
-			writeError(w, err)
+		// Sentinel-classified errors (unknown session, session limit,
+		// not-constructible) keep their statuses; any other creation
+		// failure is bad creation parameters, not a server fault.
+		if status, _ := classify(err); status == http.StatusInternalServerError {
+			err = badRequest(err)
 		}
-		return
+		return nil, err
 	}
-	if err := sess.checkParams(&req); err != nil {
-		done(true, start)
-		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
-		return
+	if err := sess.checkParams(req); err != nil {
+		return nil, conflict(err)
 	}
 	sess.mu.Lock()
 	atEpoch := sess.epoch
@@ -344,13 +336,11 @@ func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 	// lock closes the remaining race, so the pinned batch applies at that
 	// epoch exactly once or not at all.
 	if req.Epoch != nil && *req.Epoch != atEpoch {
-		done(true, start)
-		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf(
-			"serve: session %q is at epoch %d, request pinned epoch %d", req.Session, atEpoch, *req.Epoch)})
-		return
+		return nil, conflict(fmt.Errorf(
+			"serve: session %q is at epoch %d, request pinned epoch %d", req.Session, atEpoch, *req.Epoch))
 	}
 	key := fmt.Sprintf("reconfig|%s|epoch=%d|j=%d|l=%d", req.Session, atEpoch, req.Joins, req.Leaves)
-	v, cached, err := s.compute(r.Context(), epReconfig, key, func(runCtx context.Context) (any, error) {
+	v, cached, err := s.compute(ctx, epReconfig, key, nil, func(runCtx context.Context) (any, error) {
 		// A watched session streams its campaigns: epoch brackets always,
 		// plus — mid-flight — every span event of the campaign's trace.
 		// The emitter detaches before the flight returns, so a watcher
@@ -366,10 +356,10 @@ func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 				defer remove()
 			}
 		}
-		resp, err := sess.reconfigure(runCtx, &req, atEpoch)
+		resp, err := sess.reconfigure(runCtx, req, atEpoch)
 		if f != nil {
 			if err != nil {
-				f.publish("epoch-error", errorResponse{Error: err.Error()})
+				f.publish("epoch-error", ErrorEnvelope{Error: errorBody(nil, err)})
 			} else {
 				f.publish("epoch-end", resp)
 			}
@@ -377,18 +367,11 @@ func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 		return resp, err
 	})
 	if err != nil {
-		done(true, start)
-		if errors.Is(err, errEpochConflict) {
-			writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
-			return
-		}
-		writeError(w, err)
-		return
+		return nil, err
 	}
 	resp := *v.(*ReconfigureResponse)
 	resp.Cached = cached
-	done(false, start)
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // Sessions reports the live topology-session names (diagnostics).

@@ -84,7 +84,7 @@ func TestReconfigureSessionLifecycle(t *testing.T) {
 	if status != http.StatusOK || pinned.Epoch != 2 || pinned.N != 22 {
 		t.Fatalf("pinned batch: status/epoch/n = %d/%d/%d, want 200/2/22", status, pinned.Epoch, pinned.N)
 	}
-	var stale errorResponse
+	var stale ErrorEnvelope
 	if status = postJSON(t, ts.URL+"/v1/reconfigure", `{"session":"life","joins":4,"epoch":1}`, &stale); status != http.StatusConflict {
 		t.Fatalf("stale pinned retry: status = %d, want 409", status)
 	}
@@ -156,12 +156,12 @@ func TestReconfigureErrorMapping(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var e errorResponse
+			var e ErrorEnvelope
 			if status := postJSON(t, ts.URL+"/v1/reconfigure", tc.body, &e); status != tc.want {
-				t.Fatalf("status = %d, want %d (error %q)", status, tc.want, e.Error)
+				t.Fatalf("status = %d, want %d (error %+v)", status, tc.want, e.Error)
 			}
-			if e.Error == "" {
-				t.Fatal("error responses must carry a message")
+			if e.Error.Message == "" || e.Error.Code == "" {
+				t.Fatal("error envelopes must carry a code and a message")
 			}
 		})
 	}

@@ -16,6 +16,8 @@ import (
 	"lhg"
 	"lhg/internal/obs"
 	"lhg/internal/obs/trace"
+	"lhg/internal/shard"
+	"lhg/internal/store"
 )
 
 // Service telemetry, one family per endpoint plus the shared cache and
@@ -66,7 +68,8 @@ var (
 )
 
 // Options configures a Server. The zero value is usable: background base
-// context, a 256-entry cache, no timeout, all cores per campaign.
+// context, a 256-entry cache, no timeout, all cores per campaign, no
+// persistence, no sharding.
 type Options struct {
 	// BaseContext outlives any single request; its cancellation (daemon
 	// shutdown) aborts every in-flight computation. nil means Background.
@@ -94,10 +97,32 @@ type Options struct {
 	// StreamHeartbeat is the idle keep-alive period of the SSE streams
 	// (GET /v1/verify?stream, GET /v1/reconfigure?stream). 0 means 15s.
 	StreamHeartbeat time.Duration
+	// Store is the persistent content-addressed report store. When set,
+	// the LRU becomes a read-through layer above it: verify, flood and
+	// budget results are written atomically under the data dir, replayed
+	// warm after restarts, and shared by every process opened on the same
+	// directory — with the store-level lease extending the singleflight
+	// guarantee fleet-wide.
+	Store *store.Store
+	// LeaseTTL bounds how long a crashed flight leader can block a store
+	// key before another process takes over. 0 means the store default.
+	LeaseTTL time.Duration
+	// Shards switches the server into frontend proxy mode: instead of
+	// computing, it routes every keyed request across these backend
+	// addresses (host:port) on a consistent-hash ring, with health probes
+	// and retry-on-backend-death. The (constraint,n,k,seed,props) key
+	// space is stable across frontends, so any number of them can front
+	// one fleet.
+	Shards []string
+	// ShardReplicas is the virtual-node count per backend (0 = default).
+	ShardReplicas int
+	// ProbeInterval is the backend health-probe period (0 = 1s).
+	ProbeInterval time.Duration
 }
 
-// Server is the HTTP service: four endpoints, one LRU cache, one
-// singleflight group. It is safe for concurrent use.
+// Server is the HTTP service: the /v1 endpoints, one LRU cache above an
+// optional persistent store, one singleflight group. In shard-frontend
+// mode it routes instead of computing. It is safe for concurrent use.
 type Server struct {
 	base     context.Context
 	workers  int
@@ -108,6 +133,13 @@ type Server struct {
 	mux      *http.ServeMux
 	inflight atomic.Int64
 	log      *slog.Logger
+
+	// Persistent report store (nil = in-memory only).
+	store    *store.Store
+	leaseTTL time.Duration
+
+	// Shard-frontend state (nil = backend / standalone mode).
+	proxy *proxy
 
 	// Stateful topology sessions for POST /v1/reconfigure.
 	sessMu      sync.Mutex
@@ -154,24 +186,43 @@ func New(opts Options) *Server {
 		flights:     newFlightGroup(base),
 		mux:         http.NewServeMux(),
 		log:         logger,
+		store:       opts.Store,
+		leaseTTL:    opts.LeaseTTL,
 		sessions:    make(map[string]*topoSession),
 		maxSessions: maxSessions,
 		heartbeat:   heartbeat,
 		verifyFeeds: make(map[string]*feed),
 		sessFeeds:   make(map[string]*feed),
 	}
+	if len(opts.Shards) > 0 {
+		ring, err := shard.New(opts.Shards, shard.WithReplicas(opts.ShardReplicas))
+		if err != nil {
+			// A frontend with no routable fleet cannot serve anything
+			// keyed; surface the configuration error on every request.
+			s.log.Error("serve: bad shard fleet", "err", err)
+		} else {
+			s.proxy = newProxy(s, ring, opts.ProbeInterval)
+		}
+	}
 	s.mux.HandleFunc("/v1/build", s.handleBuild)
 	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	s.mux.HandleFunc("/v1/flood", s.handleFlood)
+	s.mux.HandleFunc("/v1/budget", s.handleBudget)
 	s.mux.HandleFunc("/v1/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("/v1/constraints", s.handleConstraints)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
 
 // Handler returns the root handler serving the /v1 API, wrapped in the
 // per-request tracing middleware (traceparent ingestion, X-Trace-Id on
-// every response).
-func (s *Server) Handler() http.Handler { return s.traced(s.mux) }
+// every response). In shard-frontend mode the proxy mux routes instead.
+func (s *Server) Handler() http.Handler {
+	if s.proxy != nil {
+		return s.traced(s.proxy.mux)
+	}
+	return s.traced(s.mux)
+}
 
 // BuildRequest selects one graph: the cache key fields. Seed, when present,
 // asks for the deterministic variant drawn from that seed (K-TREE and
@@ -239,8 +290,12 @@ type ConstraintInfo struct {
 	Variants bool `json:"variants"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// HealthResponse answers GET /healthz: liveness plus the server's role,
+// which the shard probes and smoke tests read.
+type HealthResponse struct {
+	OK    bool   `json:"ok"`
+	Role  string `json:"role"`  // "backend" or "frontend"
+	Store bool   `json:"store"` // persistent report store attached
 }
 
 // parse/validation ----------------------------------------------------------
@@ -257,6 +312,16 @@ func (br *BuildRequest) validate() (lhg.Constraint, error) {
 		return 0, fmt.Errorf("serve: constraint %s has no seeded variants (use ktree or kdiamond)", c)
 	}
 	return c, nil
+}
+
+func (br *BuildRequest) check() error { _, err := br.validate(); return err }
+
+func (vr *VerifyRequest) check() error {
+	if _, err := vr.validate(); err != nil {
+		return err
+	}
+	_, err := parseProperties(vr.Properties)
+	return err
 }
 
 // parseProperties maps ["P1","P4"] onto the check bitmask; empty means all.
@@ -289,8 +354,10 @@ func seedKey(seed *uint64) string {
 }
 
 // graphKey is shared by every endpoint so a verify warms the build cache and
-// vice versa. Worker counts are deliberately absent from every key: reports
-// are deterministic regardless of parallelism.
+// vice versa. It is also the shard routing key: every frontend hashes the
+// same string, so a key has one home backend fleet-wide. Worker counts are
+// deliberately absent from every key: reports are deterministic regardless
+// of parallelism.
 func (br *BuildRequest) graphKey(c lhg.Constraint) string {
 	return fmt.Sprintf("graph|%s|n=%d|k=%d|%s", c, br.N, br.K, seedKey(br.Seed))
 }
@@ -317,14 +384,82 @@ func floodKey(graphKey string, source int, f lhg.Failures) string {
 	return fmt.Sprintf("flood|%s|src=%d|nodes=%v|links=%v", graphKey, source, nodes, links)
 }
 
+// persistence ---------------------------------------------------------------
+
+// persist describes how one endpoint's results live in the report store:
+// the envelope kind and the decode back into the in-memory type. Endpoints
+// without a spec (graphs, reconfigure epochs) stay LRU-only.
+type persistSpec struct {
+	kind   string
+	decode func(json.RawMessage) (any, error)
+}
+
+func decodeInto[T any](raw json.RawMessage) (any, error) {
+	v := new(T)
+	if err := json.Unmarshal(raw, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+var (
+	persistVerify = &persistSpec{"verify", decodeInto[lhg.Report]}
+	persistFlood  = &persistSpec{"flood", decodeInto[lhg.FloodResult]}
+	persistBudget = &persistSpec{"budget", decodeInto[lhg.BudgetReport]}
+)
+
+// storeGet reads key through the persistent store, decoding into the
+// endpoint's type. Any store fault degrades to a miss: the campaign can
+// always be recomputed.
+func (s *Server) storeGet(key string, p *persistSpec) (any, bool) {
+	if s.store == nil || p == nil {
+		return nil, false
+	}
+	raw, ok, err := s.store.Get(key)
+	if err != nil || !ok {
+		if err != nil {
+			s.log.Warn("store read failed", "key", key, "err", err)
+		}
+		return nil, false
+	}
+	v, err := p.decode(raw)
+	if err != nil {
+		s.log.Warn("store decode failed", "key", key, "err", err)
+		return nil, false
+	}
+	return v, true
+}
+
+// storePut publishes a freshly computed value; failures are logged, not
+// fatal — the in-memory result is already good.
+func (s *Server) storePut(key string, p *persistSpec, v any) {
+	if s.store == nil || p == nil {
+		return
+	}
+	raw, err := json.Marshal(v)
+	if err == nil {
+		err = s.store.Put(key, p.kind, raw)
+	}
+	if err != nil {
+		s.log.Warn("store write failed", "key", key, "err", err)
+	}
+}
+
 // shared plumbing -----------------------------------------------------------
 
-// compute answers one request: cache lookup, then singleflight into fn,
-// then cache fill. fn runs under the group's detached context bounded by
-// the server timeout; the request's span identity is grafted onto that
-// detached context so the campaign's child spans attribute to the
-// request that led the flight, while cancellation stays flight-owned.
-func (s *Server) compute(ctx context.Context, ep endpoint, key string, fn func(context.Context) (any, error)) (val any, cached bool, err error) {
+// compute answers one request through the tiered read path — LRU, then the
+// persistent store, then one computation — with two singleflight layers:
+// the in-process refcounted flight group, and (when a store is attached)
+// the store-level lease that makes the flight leader unique fleet-wide. A
+// leader that loses the lease race waits for the foreign leader's value
+// instead of recomputing, so a request landing on ANY process for the same
+// key still runs exactly one campaign across the fleet.
+//
+// fn runs under the group's detached context bounded by the server
+// timeout; the request's span identity is grafted onto that detached
+// context so the campaign's child spans attribute to the request that led
+// the flight, while cancellation stays flight-owned.
+func (s *Server) compute(ctx context.Context, ep endpoint, key string, p *persistSpec, fn func(context.Context) (any, error)) (val any, cached bool, err error) {
 	sp := trace.FromContext(ctx)
 	if v, ok := s.cache.Get(key); ok {
 		ep.hits.Inc()
@@ -333,10 +468,21 @@ func (s *Server) compute(ctx context.Context, ep endpoint, key string, fn func(c
 		}
 		return v, true, nil
 	}
+	if v, ok := s.storeGet(key, p); ok {
+		// Store read-through: another process (or a previous life of this
+		// one) already paid for the campaign. Fill the LRU above it.
+		s.cache.Put(key, v)
+		ep.hits.Inc()
+		if sp.Live() {
+			sp.Event("store-hit", trace.Str("key", key))
+		}
+		return v, true, nil
+	}
 	ep.misses.Inc()
 	if sp.Live() {
 		sp.Event("cache-miss", trace.Str("key", key))
 	}
+	var fromStore atomic.Bool
 	v, err, shared := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		// Double-check the cache as the flight leader: a request that
 		// missed the cache just before a concurrent flight completed and
@@ -356,9 +502,24 @@ func (s *Server) compute(ctx context.Context, ep endpoint, key string, fn func(c
 			csp.SetAttr(trace.Str("key", key))
 		}
 		defer csp.End()
+		if s.store != nil && p != nil {
+			v, leased, err := s.leaseOrAdopt(runCtx, key, p, csp)
+			if err != nil {
+				return nil, err
+			}
+			if v != nil {
+				fromStore.Store(true)
+				s.cache.Put(key, v)
+				return v, nil
+			}
+			if leased != nil {
+				defer leased.Release()
+			}
+		}
 		v, err := fn(runCtx)
 		if err == nil {
 			s.cache.Put(key, v)
+			s.storePut(key, p, v)
 		}
 		return v, err
 	})
@@ -371,14 +532,57 @@ func (s *Server) compute(ctx context.Context, ep endpoint, key string, fn func(c
 	if err != nil {
 		return nil, false, err
 	}
-	// A coalesced request reports cached=true: it did not pay for the
+	// A coalesced request — or one whose flight adopted a foreign
+	// process's result — reports cached=true: it did not pay for the
 	// computation, which is what clients use the flag for.
-	return v, shared, nil
+	return v, shared || fromStore.Load(), nil
+}
+
+// leaseOrAdopt makes the in-process flight leader unique fleet-wide: it
+// contends for the store lease on key and either wins it (returning the
+// held lease; the caller computes and releases) or adopts the value the
+// foreign leader publishes. A foreign leader that dies without publishing
+// expires its lease and the contest restarts. Store faults degrade to
+// local computation — persistence never makes a request fail.
+func (s *Server) leaseOrAdopt(ctx context.Context, key string, p *persistSpec, csp trace.Span) (any, *store.Lease, error) {
+	for {
+		lease, won, err := s.store.Acquire(key, s.leaseTTL)
+		if err != nil {
+			s.log.Warn("lease acquire failed, computing locally", "key", key, "err", err)
+			return nil, nil, nil
+		}
+		if won {
+			return nil, lease, nil
+		}
+		if csp.Live() {
+			csp.Event("lease-wait", trace.Str("key", key))
+		}
+		raw, found, err := s.store.WaitValue(ctx, key, 0)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			s.log.Warn("lease wait failed, computing locally", "key", key, "err", err)
+			return nil, nil, nil
+		}
+		if found {
+			v, err := p.decode(raw)
+			if err != nil {
+				s.log.Warn("foreign result undecodable, computing locally", "key", key, "err", err)
+				return nil, nil, nil
+			}
+			if csp.Live() {
+				csp.Event("lease-adopted", trace.Str("key", key))
+			}
+			return v, nil, nil
+		}
+		// The foreign leader died without publishing: contend again.
+	}
 }
 
 // getGraph resolves the graph for br through the shared cache/flight path.
 func (s *Server) getGraph(ctx context.Context, c lhg.Constraint, br *BuildRequest) (*lhg.Graph, bool, error) {
-	v, cached, err := s.compute(ctx, epBuild, br.graphKey(c), func(runCtx context.Context) (any, error) {
+	v, cached, err := s.compute(ctx, epBuild, br.graphKey(c), nil, func(runCtx context.Context) (any, error) {
 		if br.Seed != nil {
 			return lhg.Build(runCtx, c, br.N, br.K, lhg.WithSeed(*br.Seed))
 		}
@@ -414,171 +618,108 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps computation errors onto HTTP statuses: impossible (n,k)
-// pairs are the client's fault (422), timeouts are the gateway's (504), a
-// vanished client gets the nginx-convention 499 nobody will read.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, lhg.ErrNotConstructible):
-		status = http.StatusUnprocessableEntity
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		status = 499 // client closed request
-	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
-}
-
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode request: " + err.Error()})
-		return false
-	}
-	return true
-}
-
-func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	if r.Method == method {
-		return true
-	}
-	w.Header().Set("Allow", method)
-	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{
-		Error: fmt.Sprintf("serve: %s requires %s", r.URL.Path, method),
-	})
-	return false
-}
-
 // handlers ------------------------------------------------------------------
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
+	if r.Method != http.MethodPost {
+		s.notAllowed(w, r, http.MethodPost)
 		return
 	}
-	start := time.Now()
-	done := s.track(epBuild)
-	var req BuildRequest
-	if !decodeJSON(w, r, &req) {
-		done(true, start)
-		return
-	}
-	c, err := req.validate()
-	if err != nil {
-		done(true, start)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	g, cached, err := s.getGraph(r.Context(), c, &req)
-	if err != nil {
-		done(true, start)
-		writeError(w, err)
-		return
-	}
-	done(false, start)
-	writeJSON(w, http.StatusOK, BuildResponse{
-		Constraint: c.String(), N: req.N, K: req.K, Seed: req.Seed,
-		Edges: g.Size(), Cached: cached, Graph: g,
+	runJSON(s, epBuild, w, r, func(ctx context.Context, req *BuildRequest) (any, error) {
+		c, _ := req.validate() // checked by the pipeline
+		g, cached, err := s.getGraph(ctx, c, req)
+		if err != nil {
+			return nil, err
+		}
+		return BuildResponse{
+			Constraint: c.String(), N: req.N, K: req.K, Seed: req.Seed,
+			Edges: g.Size(), Cached: cached, Graph: g,
+		}, nil
 	})
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	if r.Method == http.MethodGet && r.URL.Query().Has("stream") {
+	q := r.URL.Query()
+	switch {
+	case r.Method == http.MethodGet && q.Has("stream"):
 		s.handleVerifyStream(w, r)
-		return
+	case r.Method == http.MethodPost && q.Has("batch"):
+		s.handleVerifyBatch(w, r)
+	case r.Method == http.MethodPost:
+		runJSON(s, epVerify, w, r, func(ctx context.Context, req *VerifyRequest) (any, error) {
+			return s.verifyOne(ctx, req)
+		})
+	default:
+		// GET is only meaningful with ?stream; anything else wants POST.
+		s.notAllowed(w, r, http.MethodPost)
 	}
-	if !requireMethod(w, r, http.MethodPost) {
-		return
-	}
-	start := time.Now()
-	done := s.track(epVerify)
-	var req VerifyRequest
-	if !decodeJSON(w, r, &req) {
-		done(true, start)
-		return
-	}
+}
+
+// verifyOne answers one verification request; it is the shared compute
+// path of POST /v1/verify, each item of a ?batch, and the ?stream
+// campaign goroutine.
+func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResponse, error) {
 	c, err := req.validate()
 	if err != nil {
-		done(true, start)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+		return nil, badRequest(err)
 	}
 	props, err := parseProperties(req.Properties)
 	if err != nil {
-		done(true, start)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
+		return nil, badRequest(err)
 	}
-	g, _, err := s.getGraph(r.Context(), c, &req.BuildRequest)
+	g, _, err := s.getGraph(ctx, c, &req.BuildRequest)
 	if err != nil {
-		done(true, start)
-		writeError(w, err)
-		return
+		return nil, err
 	}
 	workers := clampRequestWorkers(req.Workers, s.workers)
 	key := verifyKey(req.graphKey(c), props)
-	v, cached, err := s.compute(r.Context(), epVerify, key, func(runCtx context.Context) (any, error) {
+	v, cached, err := s.compute(ctx, epVerify, key, persistVerify, func(runCtx context.Context) (any, error) {
 		return lhg.Verify(runCtx, g, req.K, lhg.WithWorkers(workers),
 			lhg.WithProperties(props), lhg.WithSparsify(s.sparsify))
 	})
 	if err != nil {
-		done(true, start)
-		writeError(w, err)
-		return
+		return nil, err
 	}
 	report := v.(*lhg.Report)
-	done(false, start)
-	writeJSON(w, http.StatusOK, VerifyResponse{
+	return &VerifyResponse{
 		Constraint: c.String(), N: req.N, K: req.K, Seed: req.Seed,
 		Cached: cached, IsLHG: report.IsLHG(), Report: report,
-	})
+	}, nil
 }
 
 func (s *Server) handleFlood(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
+	if r.Method != http.MethodPost {
+		s.notAllowed(w, r, http.MethodPost)
 		return
 	}
-	start := time.Now()
-	done := s.track(epFlood)
-	var req FloodRequest
-	if !decodeJSON(w, r, &req) {
-		done(true, start)
-		return
-	}
-	c, err := req.validate()
-	if err != nil {
-		done(true, start)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	g, _, err := s.getGraph(r.Context(), c, &req.BuildRequest)
-	if err != nil {
-		done(true, start)
-		writeError(w, err)
-		return
-	}
-	key := floodKey(req.graphKey(c), req.Source, req.Failures)
-	v, cached, err := s.compute(r.Context(), epFlood, key, func(runCtx context.Context) (any, error) {
-		return lhg.Flood(runCtx, g, req.Source, lhg.WithFailures(req.Failures))
-	})
-	if err != nil {
-		done(true, start)
-		// A bad source or crashed-source request is a client error, not a
-		// server fault; the flood kernel reports both as plain errors.
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	res := v.(*lhg.FloodResult)
-	done(false, start)
-	writeJSON(w, http.StatusOK, FloodResponse{
-		Constraint: c.String(), N: req.N, K: req.K, Seed: req.Seed,
-		Source: req.Source, Cached: cached, Result: res,
+	runJSON(s, epFlood, w, r, func(ctx context.Context, req *FloodRequest) (any, error) {
+		c, _ := req.validate() // checked by the pipeline
+		g, _, err := s.getGraph(ctx, c, &req.BuildRequest)
+		if err != nil {
+			return nil, err
+		}
+		key := floodKey(req.graphKey(c), req.Source, req.Failures)
+		v, cached, err := s.compute(ctx, epFlood, key, persistFlood, func(runCtx context.Context) (any, error) {
+			return lhg.Flood(runCtx, g, req.Source, lhg.WithFailures(req.Failures))
+		})
+		if err != nil {
+			// A bad source or crashed-source request is a client error, not
+			// a server fault; the flood kernel reports both as plain errors.
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			return nil, badRequest(err)
+		}
+		return FloodResponse{
+			Constraint: c.String(), N: req.N, K: req.K, Seed: req.Seed,
+			Source: req.Source, Cached: cached, Result: v.(*lhg.FloodResult),
+		}, nil
 	})
 }
 
 func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
+	if r.Method != http.MethodGet {
+		s.notAllowed(w, r, http.MethodGet)
 		return
 	}
 	mReqConstr.Inc()
@@ -592,6 +733,18 @@ func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Constraints []ConstraintInfo `json:"constraints"`
 	}{infos})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.notAllowed(w, r, http.MethodGet)
+		return
+	}
+	role := "backend"
+	if s.proxy != nil {
+		role = "frontend"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Role: role, Store: s.store != nil})
 }
 
 // clampRequestWorkers lowers the request's worker ask to the server budget.

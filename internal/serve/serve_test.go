@@ -395,12 +395,12 @@ func TestErrorMapping(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var e errorResponse
+			var e ErrorEnvelope
 			if status := postJSON(t, ts.URL+tc.url, tc.body, &e); status != tc.want {
-				t.Fatalf("status = %d, want %d (error %q)", status, tc.want, e.Error)
+				t.Fatalf("status = %d, want %d (error %+v)", status, tc.want, e.Error)
 			}
-			if e.Error == "" {
-				t.Fatal("error responses must carry a message")
+			if e.Error.Message == "" || e.Error.Code == "" {
+				t.Fatal("error envelopes must carry a code and a message")
 			}
 		})
 	}

@@ -202,19 +202,19 @@ func (s *Server) handleVerifyStream(w http.ResponseWriter, r *http.Request) {
 	req, err := parseVerifyQuery(r)
 	if err != nil {
 		done(true, start)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, r, badRequest(err))
 		return
 	}
 	c, err := req.validate()
 	if err != nil {
 		done(true, start)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, r, badRequest(err))
 		return
 	}
 	props, err := parseProperties(req.Properties)
 	if err != nil {
 		done(true, start)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, r, badRequest(err))
 		return
 	}
 	key := verifyKey(req.graphKey(c), props)
@@ -265,16 +265,16 @@ func (s *Server) verifyFeed(key string, c lhg.Constraint, req *VerifyRequest, pr
 
 		g, _, err := s.getGraph(ctx, c, &req.BuildRequest)
 		if err != nil {
-			f.publish("error", errorResponse{Error: err.Error()})
+			f.publish("error", ErrorEnvelope{Error: errorBody(nil, err)})
 			return
 		}
 		workers := clampRequestWorkers(req.Workers, s.workers)
-		v, cached, err := s.compute(ctx, epVerify, key, func(runCtx context.Context) (any, error) {
+		v, cached, err := s.compute(ctx, epVerify, key, persistVerify, func(runCtx context.Context) (any, error) {
 			return lhg.Verify(runCtx, g, req.K, lhg.WithWorkers(workers),
 				lhg.WithProperties(props), lhg.WithSparsify(s.sparsify))
 		})
 		if err != nil {
-			f.publish("error", errorResponse{Error: err.Error()})
+			f.publish("error", ErrorEnvelope{Error: errorBody(nil, err)})
 			return
 		}
 		report := v.(*lhg.Report)
@@ -292,15 +292,14 @@ func (s *Server) verifyFeed(key string, c lhg.Constraint, req *VerifyRequest, pr
 func (s *Server) handleReconfigureStream(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("session")
 	if strings.TrimSpace(name) == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "serve: stream needs a session name"})
+		writeError(w, r, badRequest(fmt.Errorf("serve: stream needs a session name")))
 		return
 	}
 	s.sessMu.Lock()
 	_, known := s.sessions[name]
 	s.sessMu.Unlock()
 	if !known {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf(
-			"serve: unknown session %q (%v)", name, errUnknownSession)})
+		writeError(w, r, notFound(fmt.Errorf("serve: unknown session %q (%v)", name, errUnknownSession)))
 		return
 	}
 	f := s.sessionFeed(name, true)
@@ -333,14 +332,14 @@ func (s *Server) sessionFeed(name string, create bool) *feed {
 func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, f *feed) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "serve: streaming needs a flushing writer"})
+		writeError(w, r, fmt.Errorf("serve: streaming needs a flushing writer"))
 		return
 	}
 	ch, replay, ok := f.subscribe()
 	if !ok {
 		// The campaign finished between feed lookup and subscribe; tell
 		// the client to re-request (the result is in the cache now).
-		writeJSON(w, http.StatusConflict, errorResponse{Error: "serve: stream already completed, retry"})
+		writeError(w, r, conflict(fmt.Errorf("serve: stream already completed, retry")))
 		return
 	}
 	mStreamOpened.Inc()

@@ -1,0 +1,157 @@
+// Package shard maps the (constraint, n, k, seed, props) request-key space
+// across a fleet of lhgd backends with a consistent-hash ring: each backend
+// owns many virtual nodes placed by a seeded hash, so keys spread evenly,
+// and removing (or losing) one backend remaps only that backend's arcs —
+// every other key keeps its home, which is what keeps a shared report store
+// warm through membership churn.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count per backend. 128 points keep
+// the expected per-backend load within a few percent of uniform for the
+// fleet sizes lhgd targets (single digits to low tens of backends).
+const DefaultReplicas = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash    uint64
+	backend string
+}
+
+// Ring is a consistent-hash ring over named backends with per-backend
+// health. Lookup skips unhealthy backends, so routing and failover are the
+// same walk. Safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	seed     uint64
+	points   []point // sorted by hash
+	healthy  map[string]bool
+	backends []string // stable insertion-order copy for enumeration
+}
+
+// hash64 folds the first 8 bytes of SHA-256(seed || s): the placement is
+// deterministic across processes and Go versions, which every frontend of a
+// fleet depends on — they must all agree where a key lives.
+func (r *Ring) hash64(s string) uint64 {
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], r.seed)
+	sum := sha256.Sum256(append(seed[:], s...))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Option configures a Ring.
+type Option func(*Ring)
+
+// WithReplicas sets the virtual-node count per backend.
+func WithReplicas(n int) Option {
+	return func(r *Ring) {
+		if n > 0 {
+			r.replicas = n
+		}
+	}
+}
+
+// WithSeed offsets every placement hash; fleets that must not share key
+// assignments (say, a staging ring on the same boxes) use distinct seeds.
+func WithSeed(seed uint64) Option {
+	return func(r *Ring) { r.seed = seed }
+}
+
+// New builds a ring over backends (deduplicated, all initially healthy).
+func New(backends []string, opts ...Option) (*Ring, error) {
+	r := &Ring{replicas: DefaultReplicas, healthy: make(map[string]bool)}
+	for _, o := range opts {
+		o(r)
+	}
+	for _, b := range backends {
+		if b == "" {
+			return nil, fmt.Errorf("shard: empty backend name")
+		}
+		if r.healthy[b] {
+			continue
+		}
+		r.healthy[b] = true
+		r.backends = append(r.backends, b)
+		for i := 0; i < r.replicas; i++ {
+			r.points = append(r.points, point{r.hash64(fmt.Sprintf("%s#%d", b, i)), b})
+		}
+	}
+	if len(r.backends) == 0 {
+		return nil, fmt.Errorf("shard: need at least one backend")
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+	return r, nil
+}
+
+// Backends returns every ring member in insertion order.
+func (r *Ring) Backends() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.backends...)
+}
+
+// SetHealthy marks one backend up or down. Unknown names are ignored.
+func (r *Ring) SetHealthy(backend string, up bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, known := r.healthy[backend]; known {
+		r.healthy[backend] = up
+	}
+}
+
+// Healthy reports whether backend is currently marked up.
+func (r *Ring) Healthy(backend string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.healthy[backend]
+}
+
+// Lookup returns key's home: the first healthy backend at or after the
+// key's point on the ring. ok is false when every backend is down.
+func (r *Ring) Lookup(key string) (string, bool) {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return "", false
+	}
+	return seq[0], true
+}
+
+// Sequence returns every HEALTHY backend in the key's preference order:
+// the walk clockwise from the key's point, each backend listed at its first
+// virtual node. Element 0 is the key's home; the rest are the failover
+// order a frontend retries in when the home dies mid-request.
+func (r *Ring) Sequence(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := r.hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seq := make([]string, 0, len(r.backends))
+	seen := make(map[string]bool, len(r.backends))
+	for i := 0; i < len(r.points) && len(seq) < len(r.backends); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.backend] {
+			continue
+		}
+		seen[p.backend] = true
+		if r.healthy[p.backend] {
+			seq = append(seq, p.backend)
+		}
+	}
+	return seq
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("verify|ktree|n=%d|k=3|canonical|props=15", i)
+	}
+	return ks
+}
+
+func TestLookupDeterministicAcrossRings(t *testing.T) {
+	backends := []string{"a:1", "b:1", "c:1"}
+	r1, err := New(backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second ring built from the same members (any order) must agree on
+	// every placement: frontends only coordinate through this property.
+	r2, _ := New([]string{"c:1", "a:1", "b:1"})
+	for _, k := range keys(500) {
+		b1, ok1 := r1.Lookup(k)
+		b2, ok2 := r2.Lookup(k)
+		if !ok1 || !ok2 || b1 != b2 {
+			t.Fatalf("rings disagree on %q: %s vs %s", k, b1, b2)
+		}
+	}
+}
+
+func TestSeedChangesPlacement(t *testing.T) {
+	backends := []string{"a:1", "b:1", "c:1"}
+	r1, _ := New(backends)
+	r2, _ := New(backends, WithSeed(42))
+	moved := 0
+	for _, k := range keys(500) {
+		b1, _ := r1.Lookup(k)
+		b2, _ := r2.Lookup(k)
+		if b1 != b2 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("distinct seeds produced identical placements")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	backends := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, _ := New(backends)
+	load := map[string]int{}
+	const total = 4000
+	for _, k := range keys(total) {
+		b, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed")
+		}
+		load[b]++
+	}
+	want := total / len(backends)
+	for b, n := range load {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("backend %s owns %d/%d keys, outside [%d, %d]: %v",
+				b, n, total, want/2, want*2, load)
+		}
+	}
+}
+
+// TestRemovalRemapsOnlyLostArcs is the consistent-hashing property: keys
+// whose home survives keep it when another backend leaves the ring.
+func TestRemovalRemapsOnlyLostArcs(t *testing.T) {
+	full, _ := New([]string{"a:1", "b:1", "c:1", "d:1"})
+	reduced, _ := New([]string{"a:1", "b:1", "c:1"})
+	movedFromSurvivor := 0
+	remapped := 0
+	for _, k := range keys(2000) {
+		before, _ := full.Lookup(k)
+		after, _ := reduced.Lookup(k)
+		if before == "d:1" {
+			remapped++
+			continue
+		}
+		if before != after {
+			movedFromSurvivor++
+		}
+	}
+	if movedFromSurvivor != 0 {
+		t.Fatalf("%d keys moved between surviving backends", movedFromSurvivor)
+	}
+	if remapped == 0 {
+		t.Fatal("the departed backend owned no keys; the test proves nothing")
+	}
+}
+
+func TestUnhealthySkippedAndRestored(t *testing.T) {
+	r, _ := New([]string{"a:1", "b:1"})
+	var onA string
+	for _, k := range keys(200) {
+		if b, _ := r.Lookup(k); b == "a:1" {
+			onA = k
+			break
+		}
+	}
+	if onA == "" {
+		t.Fatal("no key mapped to a:1")
+	}
+	r.SetHealthy("a:1", false)
+	if b, ok := r.Lookup(onA); !ok || b != "b:1" {
+		t.Fatalf("with a:1 down, Lookup = %q ok=%t, want b:1", b, ok)
+	}
+	r.SetHealthy("a:1", true)
+	if b, _ := r.Lookup(onA); b != "a:1" {
+		t.Fatalf("restored backend must reclaim its keys, got %q", b)
+	}
+
+	r.SetHealthy("a:1", false)
+	r.SetHealthy("b:1", false)
+	if _, ok := r.Lookup(onA); ok {
+		t.Fatal("all-down ring must report no home")
+	}
+}
+
+func TestSequenceCoversFleetOnce(t *testing.T) {
+	r, _ := New([]string{"a:1", "b:1", "c:1"})
+	for _, k := range keys(50) {
+		seq := r.Sequence(k)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q) = %v, want all 3 backends", k, seq)
+		}
+		seen := map[string]bool{}
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("Sequence(%q) repeats %s: %v", k, b, seq)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty fleet must be rejected")
+	}
+	if _, err := New([]string{""}); err == nil {
+		t.Fatal("empty backend name must be rejected")
+	}
+	r, err := New([]string{"a:1", "a:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Backends(); len(got) != 1 {
+		t.Fatalf("duplicate backends must collapse, got %v", got)
+	}
+}
