@@ -33,14 +33,16 @@ define bench2json
 			printf "  \"benchmarks\": [" \
 		} \
 		/^Benchmark/ { \
-			name=$$1; sub(/-[0-9]+$$/, "", name); ns=""; allocs=""; frames=""; \
+			name=$$1; sub(/-[0-9]+$$/, "", name); ns=""; allocs=""; frames=""; prescreen=""; confirm=""; \
 			for (i=2; i<=NF; i++) { \
 				if ($$i == "ns/op") ns=$$(i-1); \
 				if ($$i == "allocs/op") allocs=$$(i-1); \
 				if ($$i == "frames/op") frames=$$(i-1); \
+				if ($$i == "prescreen_ms/op") prescreen=$$(i-1); \
+				if ($$i == "confirm_ms/op") confirm=$$(i-1); \
 			} \
 			if (ns != "") { \
-				printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"frames_per_op\": %s}", sep, name, ns, (allocs == "" ? "null" : allocs), (frames == "" ? "null" : frames); \
+				printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"frames_per_op\": %s, \"prescreen_ms_per_op\": %s, \"confirm_ms_per_op\": %s}", sep, name, ns, (allocs == "" ? "null" : allocs), (frames == "" ? "null" : frames), (prescreen == "" ? "null" : prescreen), (confirm == "" ? "null" : confirm); \
 				sep=","; \
 			} \
 		} \
@@ -48,7 +50,9 @@ define bench2json
 endef
 
 # bench runs the perf-trajectory series (exact verification and flooding at
-# n in {256, 1024, 4096}, the steady-state 0-alloc probes, and their
+# n in {256, 1024, 4096}, the certified scale screen of a k-regular K-TREE
+# at the grid point nearest n = 10^6 with its prescreen/confirm phase split,
+# the steady-state 0-alloc probes, and their
 # metrics-enabled twins) into BENCH_verify.json, then the dense-fixture
 # full-vs-sparsified verification pair into BENCH_sparsify.json (the
 # artifact that tracks the sparse-certificate fast-path speedup), then the
@@ -59,7 +63,7 @@ endef
 # message cost of storm control (frames_per_op against the static ceiling).
 bench:
 	$(GO) test -run '^$$' \
-		-bench '^(BenchmarkVerifySweep|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState|BenchmarkBFSSteadyStateMetricsOn|BenchmarkEdgeProbeSteadyStateMetricsOn)$$' \
+		-bench '^(BenchmarkVerifySweep|BenchmarkVerifyMillionScreen|BenchmarkFlood|BenchmarkBFSSteadyState|BenchmarkEdgeProbeSteadyState|BenchmarkBFSSteadyStateMetricsOn|BenchmarkEdgeProbeSteadyStateMetricsOn)$$' \
 		-benchmem -benchtime=1x . | tee bench.out
 	@$(bench2json) bench.out > BENCH_verify.json
 	@rm -f bench.out

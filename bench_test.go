@@ -152,6 +152,47 @@ func BenchmarkVerifySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyMillionScreen is the scale-tier series emitted into
+// BENCH_verify.json by `make bench`: the certified screen (exact linear
+// checks + seeded Karger candidate cuts + sampled exact Dinic probes) over
+// a k-regular K-TREE instance at the construction grid point nearest 10^6
+// nodes. The per-phase split is reported as extra metrics: prescreen_ms is
+// the Monte Carlo contraction pass, confirm_ms the exact flow probes. The
+// screen must come back clean — refuting a valid K-TREE would be a bug,
+// not a slow run.
+func BenchmarkVerifyMillionScreen(b *testing.B) {
+	const k = 3
+	n := 1_000_002 // K-TREE k=3 grid: n ≡ 2 (mod 4)
+	for !lhg.Exists(lhg.KTree, n, k) {
+		n += 2
+	}
+	g := buildOrFatal(b, lhg.KTree, n, k)
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		var prescreenMs, confirmMs float64
+		for i := 0; i < b.N; i++ {
+			r, err := lhg.Screen(context.Background(), g, k, lhg.ScreenOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.OK() || !r.Regular || !r.Connected {
+				b.Fatalf("screen refuted a valid K-TREE: %s", r)
+			}
+			for _, p := range r.Phases {
+				switch p.Phase {
+				case "prescreen":
+					prescreenMs += p.Ms
+				case "confirm":
+					confirmMs += p.Ms
+				}
+			}
+			sinkBool = r.OK()
+		}
+		b.ReportMetric(prescreenMs/float64(b.N), "prescreen_ms/op")
+		b.ReportMetric(confirmMs/float64(b.N), "confirm_ms/op")
+	})
+}
+
 // BenchmarkVerifyDense is the sparse-certificate headline series emitted
 // into BENCH_sparsify.json by `make bench`: P1/P2/P4 verification of a
 // dense core–periphery graph — Harary H(4,512) for δ = κ = λ = 4, plus a

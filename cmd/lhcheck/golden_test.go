@@ -70,9 +70,10 @@ func checkGolden(t *testing.T, name string, got []byte) {
 }
 
 // TestJSONGoldenByteStable enforces the -json contract: the same graph
-// yields the same bytes regardless of -workers and -sparsify, and those
-// bytes match the checked-in golden. The dense stdin case triggers the
-// certificate fast path; the built case stays on the classic path.
+// yields the same bytes regardless of -workers, -sparsify and -prescreen,
+// and those bytes match the checked-in golden. The dense stdin case
+// triggers the certificate fast path; the built case stays on the classic
+// path.
 func TestJSONGoldenByteStable(t *testing.T) {
 	cases := []struct {
 		name, golden string
@@ -98,21 +99,23 @@ func TestJSONGoldenByteStable(t *testing.T) {
 			var ref []byte
 			for _, workers := range []string{"1", "4"} {
 				for _, sparsify := range []string{"true", "false"} {
-					args := append(append([]string{}, tc.args...),
-						"-workers", workers, "-sparsify", sparsify)
-					var buf bytes.Buffer
-					err := run(args, strings.NewReader(tc.in), &buf)
-					if tc.wantErr == nil && err != nil {
-						t.Fatal(err)
-					}
-					if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
-						t.Fatalf("err = %v, want %v", err, tc.wantErr)
-					}
-					if ref == nil {
-						ref = append([]byte(nil), buf.Bytes()...)
-					} else if !bytes.Equal(ref, buf.Bytes()) {
-						t.Fatalf("-workers %s -sparsify %s changed the bytes:\n%s\nvs\n%s",
-							workers, sparsify, buf.Bytes(), ref)
+					for _, prescreen := range []string{"true", "false"} {
+						args := append(append([]string{}, tc.args...),
+							"-workers", workers, "-sparsify", sparsify, "-prescreen", prescreen)
+						var buf bytes.Buffer
+						err := run(args, strings.NewReader(tc.in), &buf)
+						if tc.wantErr == nil && err != nil {
+							t.Fatal(err)
+						}
+						if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+							t.Fatalf("err = %v, want %v", err, tc.wantErr)
+						}
+						if ref == nil {
+							ref = append([]byte(nil), buf.Bytes()...)
+						} else if !bytes.Equal(ref, buf.Bytes()) {
+							t.Fatalf("-workers %s -sparsify %s -prescreen %s changed the bytes:\n%s\nvs\n%s",
+								workers, sparsify, prescreen, buf.Bytes(), ref)
+						}
 					}
 				}
 			}

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 		doGap     = fs.Bool("spectral", false, "include the spectral gap column (k-regular sizes only, slower)")
 		verify    = fs.Bool("verify", false, "include exact kappa and lambda columns (max-flow verification per size, slower)")
 		sparsify  = fs.Bool("sparsify", true, "with -verify: probe κ/λ on a sparse certificate when the graph is dense enough (results are identical)")
+		prescreen = fs.Bool("prescreen", true, "with -verify: seed the κ/λ sweeps with Monte Carlo contraction cuts on large graphs (results are identical)")
 		families  = fs.String("families", "harary,jd,ktree,kdiamond", "comma-separated constraint list")
 		workers   = fs.Int("workers", 0, "goroutines for the diameter sweep (0 = all cores)")
 		progress  = fs.Bool("progress", false, "report sweep progress on stderr")
@@ -133,7 +134,8 @@ func run(args []string, out io.Writer) error {
 				r, err := lhg.Verify(ctx, g, *k,
 					lhg.WithWorkers(*workers),
 					lhg.WithProperties(lhg.PropNodeConnectivity|lhg.PropLinkConnectivity),
-					lhg.WithSparsify(*sparsify))
+					lhg.WithSparsify(*sparsify),
+					lhg.WithPrescreen(*prescreen))
 				if err != nil {
 					return err
 				}

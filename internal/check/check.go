@@ -41,6 +41,7 @@ var (
 	tPhaseMinimality = obs.NewTimer("check.phase.minimality")
 	tPhaseDistances  = obs.NewTimer("check.phase.distances")
 	tPhaseSparsify   = obs.NewTimer("check.phase.sparsify")
+	tPhaseRestricted = obs.NewTimer("check.phase.restricted")
 	mFlowProbes      = obs.NewCounter("flow.maxflow.probes")
 
 	mSparsifyPasses  = obs.NewCounter("check.sparsify.passes")
@@ -124,6 +125,17 @@ type Report struct {
 	LinkMinimal   bool       // P3
 	ViolatingEdge graph.Edge // a removable edge when P3 fails
 	hasViolation  bool
+
+	// RestrictedEdgeConnectivity is λ′(G) — the smallest edge cut that
+	// disconnects G without isolating a node — when PropRestrictedEdge is
+	// selected; -1 when λ′ is undefined for g (stars, triangles, graphs
+	// with isolated nodes). Zero when unchecked.
+	RestrictedEdgeConnectivity int
+	// SuperEdgeConnected reports (when PropSuperEdge is selected) that
+	// every minimum edge cut isolates a single node: λ ≥ 1, λ = δ, and
+	// λ′ > λ or λ′ undefined.
+	SuperEdgeConnected bool
+
 	Diameter      int     // exact diameter (-1 if disconnected)
 	DiameterBound int     // the bound used for P4
 	LogDiameter   bool    // P4
@@ -182,6 +194,12 @@ func (r *Report) String() string {
 		r.N, r.M, r.K, r.NodeConnectivity, r.EdgeConnectivity, r.Diameter, r.DiameterBound)
 	fmt.Fprintf(&b, " P1=%t P2=%t P3=%t P4=%t regular=%t", r.KNodeConnected,
 		r.KLinkConnected, r.LinkMinimal, r.LogDiameter, r.Regular)
+	if r.Checked.Has(PropRestrictedEdge) {
+		fmt.Fprintf(&b, " λ'=%d", r.RestrictedEdgeConnectivity)
+	}
+	if r.Checked.Has(PropSuperEdge) {
+		fmt.Fprintf(&b, " super=%t", r.SuperEdgeConnected)
+	}
 	return b.String()
 }
 
@@ -269,9 +287,24 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 		}
 	}
 
+	// The Monte Carlo prescreen runs on g itself (its cuts are cuts of g,
+	// and λ(probeView) = λ(g) by the certificate choice, so the certified
+	// upper bound transfers). Hints only reorder probes and tighten
+	// early-exit limits; see flow.SweepHints.
+	hints := flow.NoHints
+	if props&(PropNodeConnectivity|PropLinkConnectivity) != 0 &&
+		prescreenEligible(g, opt.Prescreen) {
+		if err := runPhase("prescreen", tPhasePrescreen, func(pctx context.Context) error {
+			hints = prescreenHints(g)
+			return pctx.Err()
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	if props.Has(PropNodeConnectivity) {
 		if err := runPhase("kappa", tPhaseKappa, func(pctx context.Context) (err error) {
-			r.NodeConnectivity, err = flow.VertexConnectivityCtx(pctx, probeView, workers)
+			r.NodeConnectivity, err = flow.VertexConnectivityHinted(pctx, probeView, workers, hints)
 			return err
 		}); err != nil {
 			return nil, err
@@ -280,12 +313,27 @@ func VerifyCtx(ctx context.Context, g *graph.Graph, k int, opt Options) (*Report
 	}
 	if props.Has(PropLinkConnectivity) {
 		if err := runPhase("lambda", tPhaseLambda, func(pctx context.Context) (err error) {
-			r.EdgeConnectivity, err = flow.EdgeConnectivityCtx(pctx, probeView, workers)
+			r.EdgeConnectivity, err = flow.EdgeConnectivityHinted(pctx, probeView, workers, hints)
 			return err
 		}); err != nil {
 			return nil, err
 		}
 		r.KLinkConnected = r.EdgeConnectivity >= k
+	}
+
+	if props.Has(PropRestrictedEdge) {
+		if err := runPhase("restricted", tPhaseRestricted, func(pctx context.Context) (err error) {
+			r.RestrictedEdgeConnectivity, err = flow.RestrictedEdgeConnectivityCtx(pctx, g, workers)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if props.Has(PropSuperEdge) {
+			lp := r.RestrictedEdgeConnectivity
+			r.SuperEdgeConnected = r.EdgeConnectivity >= 1 &&
+				r.EdgeConnectivity == r.MinDegree &&
+				(lp == -1 || lp > r.EdgeConnectivity)
+		}
 	}
 
 	if props.Has(PropLinkMinimality) {
@@ -395,6 +443,13 @@ func QuickVerifyOpts(ctx context.Context, g *graph.Graph, k int, opt Options) (b
 		// Linear-time pre-filter: a single articulation point or bridge
 		// already refutes 2-connectivity, far cheaper than max-flow.
 		if len(g.ArticulationPoints()) > 0 || len(g.Bridges()) > 0 {
+			return false, nil
+		}
+	}
+	if prescreenEligible(g, opt.Prescreen) {
+		// A contraction round that surfaces a real cut below k refutes P2
+		// outright — the cut is certified, no flow needed to confirm it.
+		if h := prescreenHints(g); h.Upper >= 0 && h.Upper < k {
 			return false, nil
 		}
 	}

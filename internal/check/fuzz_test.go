@@ -221,3 +221,64 @@ func FuzzVerifyDeltaEquivFull(f *testing.F) {
 		}
 	})
 }
+
+// FuzzVerifyPrescreenEquivFull is the differential guard on the Monte
+// Carlo cut prescreen: for every generated graph the Report must be
+// bit-identical with the prescreen forced on and forced off, serial and
+// parallel — the contraction cuts may only tighten early-exit limits and
+// reorder probes, never change a value, a verdict or the P3 witness. The
+// QuickVerify fast-refute path (a certified cut below k) is held to the
+// same standard on the boolean verdict.
+func FuzzVerifyPrescreenEquivFull(f *testing.F) {
+	f.Add(8, 1, uint64(600), []byte(""))                          // k=1, mid density
+	f.Add(6, 5, uint64(1200), []byte(""))                         // complete K6, k=n-1
+	f.Add(10, 2, uint64(0), []byte(""))                           // empty: disconnected
+	f.Add(12, 3, uint64(400), []byte("\x01\x05\x02\x09"))         // irregular with toggles
+	f.Add(4, 1, uint64(1200), []byte("\x00\x01\x00\x02\x00\x03")) // K4 minus node 0's edges: two components
+	// Near-critical cut: a dense draw thinned across the middle so the
+	// contraction rounds find a sub-δ cut and route its side first.
+	f.Add(10, 2, uint64(900), []byte("\x00\x05\x00\x06\x01\x05\x01\x06\x02\x05\x02\x06"))
+	f.Fuzz(func(t *testing.T, n, k int, seed uint64, mut []byte) {
+		if n < 3 || n > 16 {
+			n = 3 + ((n%14)+14)%14
+		}
+		if k < 1 || k >= n {
+			k = 1 + ((k%(n-1))+(n-1))%(n-1)
+		}
+		g := fuzzGraph(n, seed, mut)
+		ctx := context.Background()
+		ref, err := VerifyCtx(ctx, g, k, Options{Workers: 1, Prescreen: PrescreenOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reportCore(ref)
+		for _, opt := range []Options{
+			{Workers: 1, Prescreen: PrescreenAlways},
+			{Workers: 4, Prescreen: PrescreenAlways},
+			{Workers: 4, Prescreen: PrescreenOff},
+			{Workers: 1, Prescreen: PrescreenAuto},
+			{Workers: 1, Prescreen: PrescreenAlways, Sparsify: SparsifyAlways},
+		} {
+			r, err := VerifyCtx(ctx, g, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := reportCore(r); got != want {
+				t.Fatalf("n=%d k=%d seed=%d mut=%x: report diverged under %+v:\n got %+v\nwant %+v",
+					n, k, seed, mut, opt, got, want)
+			}
+		}
+		qOff, err := QuickVerifyOpts(ctx, g, k, Options{Prescreen: PrescreenOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qOn, err := QuickVerifyOpts(ctx, g, k, Options{Prescreen: PrescreenAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qOff != qOn {
+			t.Fatalf("n=%d k=%d seed=%d mut=%x: QuickVerify verdict diverged: off=%t always=%t",
+				n, k, seed, mut, qOff, qOn)
+		}
+	})
+}

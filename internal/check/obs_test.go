@@ -43,7 +43,9 @@ func irregularPetersen() *graph.Graph {
 //   - kappa: the Esfahanian–Hakimi reduction probes the min-degree node v
 //     against every non-neighbor, plus every non-adjacent pair of v's
 //     neighbors — one flow per pair, serial or parallel.
-//   - lambda: one flow per target t=1..n-1 against node 0.
+//   - lambda: the Matula shared pass probes the pivot (first member of the
+//     deterministic greedy dominating set) against every other member —
+//     one flow per non-pivot member.
 //   - minimality: per edge, one flow when the masked edge cut already
 //     refutes removability, two when the vertex cut must also be checked.
 //
@@ -74,8 +76,12 @@ func expectedVerifyProbes(t *testing.T, g *graph.Graph, lambda int) (kappa, lam,
 			}
 		}
 	}
-	lam = int64(n - 1)
+	lam = int64(len(g.DominatingSet()) - 1)
+	kappaVal := flow.VertexConnectivity(g)
 	for _, e := range g.Edges() {
+		if d := min2(g.Degree(e.U), g.Degree(e.V)); d <= lambda || d <= kappaVal {
+			continue // degree shortcut: the sweep refutes without a flow
+		}
 		cut, err := flow.EdgeCut(g.WithoutEdge(e.U, e.V), e.U, e.V)
 		if err != nil {
 			t.Fatal(err)
@@ -87,6 +93,13 @@ func expectedVerifyProbes(t *testing.T, g *graph.Graph, lambda int) (kappa, lam,
 		}
 	}
 	return kappa, lam, min
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // TestVerifyMetricsMatchGroundTruth is the differential test behind the

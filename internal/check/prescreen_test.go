@@ -1,0 +1,74 @@
+package check
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"lhg/internal/graph"
+)
+
+// barbell is two K6 cliques joined by two edges (0–6 and 1–7): δ = 5 but
+// λ = 2, the canonical shape the Karger prescreen exists for — the star
+// bound is badly loose and the true cut splits the graph in half.
+func barbell(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(12)
+	for _, off := range []int{0, 6} {
+		for u := 0; u < 6; u++ {
+			for v := u + 1; v < 6; v++ {
+				b.MustAddEdge(off+u, off+v)
+			}
+		}
+	}
+	b.MustAddEdge(0, 6)
+	b.MustAddEdge(1, 7)
+	return b.Freeze()
+}
+
+// TestPrescreenRoutingRate pins the routing rate of the fixed-seed Karger
+// prescreen — how many nodes get flagged for confirmation-first probing —
+// on both canonical shapes. On the barbell the contraction rounds must find
+// the true 2-cut and flag exactly one clique (6 of 12 nodes); on a regular
+// Harary graph λ = δ, no round can beat the star bound, and nothing is
+// flagged, so the hints degenerate to the historical sweep. The prescreen
+// is a pure function of the graph, so these values are exact, not
+// statistical — a drift means the seed, the round budget, or the
+// contraction order changed.
+func TestPrescreenRoutingRate(t *testing.T) {
+	g := barbell(t)
+	withSink(t)
+
+	hints := prescreenHints(g)
+	if hints.Upper != 2 {
+		t.Fatalf("barbell: certified upper bound %d, want the true cut 2", hints.Upper)
+	}
+	if len(hints.Critical) != 6 {
+		t.Fatalf("barbell: %d critical nodes, want 6 (one clique)", len(hints.Critical))
+	}
+	got := append([]int(nil), hints.Critical...)
+	sort.Ints(got)
+	half := [][]int{{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}}
+	if !reflect.DeepEqual(got, half[0]) && !reflect.DeepEqual(got, half[1]) {
+		t.Fatalf("barbell: critical set %v is not one side of the 2-cut", got)
+	}
+	if v := mPrescreenImproved.Value(); v != 1 {
+		t.Fatalf("check.prescreen.improved = %d, want 1", v)
+	}
+	if v := mPrescreenCritical.Value(); v != 6 {
+		t.Fatalf("check.prescreen.critical_nodes = %d, want 6", v)
+	}
+	if again := prescreenHints(g); again.Upper != hints.Upper ||
+		!reflect.DeepEqual(again.Critical, hints.Critical) {
+		t.Fatal("prescreen hints are not deterministic across runs on the same graph")
+	}
+
+	h := mustHarary(t, 64, 4)
+	reg := prescreenHints(h)
+	if reg.Upper != 4 {
+		t.Fatalf("harary H(4,64): certified upper bound %d, want δ = 4", reg.Upper)
+	}
+	if len(reg.Critical) != 0 {
+		t.Fatalf("harary H(4,64): %d critical nodes, want 0 (λ = δ, nothing to route)", len(reg.Critical))
+	}
+}

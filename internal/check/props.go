@@ -23,22 +23,37 @@ const (
 	// PropDiameter runs the all-sources distance sweep for P4 and the
 	// average path length.
 	PropDiameter
+	// PropRestrictedEdge computes the restricted edge connectivity λ′(G):
+	// the smallest edge cut that disconnects G without isolating a node
+	// (-1 when undefined). Opt-in — it is NOT part of PropAll, so default
+	// reports are unchanged.
+	PropRestrictedEdge
+	// PropSuperEdge decides super edge connectivity: every minimum edge
+	// cut isolates a single node. It needs λ and λ′, so selecting it pulls
+	// in PropLinkConnectivity and PropRestrictedEdge. Opt-in like
+	// PropRestrictedEdge.
+	PropSuperEdge
 )
 
-// PropAll selects every property — the full report.
+// PropAll selects every classic property — the full report. The extended
+// fault-tolerance measures (PropRestrictedEdge, PropSuperEdge) are opt-in
+// additions on top, so the zero Options keeps the historical report shape.
 const PropAll = PropNodeConnectivity | PropLinkConnectivity | PropLinkMinimality | PropDiameter
 
 // Has reports whether every property in q is selected in p.
 func (p Properties) Has(q Properties) bool { return p&q == q }
 
 // normalized resolves the zero value to PropAll and adds the connectivity
-// prerequisites of the minimality sweep.
+// prerequisites of the minimality sweep and the super-edge decision.
 func (p Properties) normalized() Properties {
 	if p == 0 {
 		return PropAll
 	}
 	if p.Has(PropLinkMinimality) {
 		p |= PropNodeConnectivity | PropLinkConnectivity
+	}
+	if p.Has(PropSuperEdge) {
+		p |= PropRestrictedEdge | PropLinkConnectivity
 	}
 	return p
 }
@@ -57,6 +72,12 @@ func (p Properties) String() string {
 	}
 	if p.Has(PropDiameter) {
 		parts = append(parts, "P4")
+	}
+	if p.Has(PropRestrictedEdge) {
+		parts = append(parts, "P2r")
+	}
+	if p.Has(PropSuperEdge) {
+		parts = append(parts, "P2s")
 	}
 	if len(parts) == 0 {
 		return "none"
@@ -96,9 +117,42 @@ func (s Sparsify) String() string {
 	return "sparsify(?)"
 }
 
+// Prescreen selects the Monte Carlo cut-prescreen policy for the κ/λ probe
+// phases (see prescreenHints): seeded Karger contraction rounds that find
+// real (certified) small cuts before the exact sweeps run. The prescreen
+// only tightens early-exit limits and reorders probes — the values and
+// verdicts it feeds into stay exact — so, like Sparsify, it never changes
+// any reported field.
+type Prescreen uint8
+
+const (
+	// PrescreenAuto runs the contraction rounds when the graph is large
+	// enough for them to pay for themselves (n >= PrescreenCutoff). This is
+	// the default.
+	PrescreenAuto Prescreen = iota
+	// PrescreenOff skips the prescreen — the escape hatch and the reference
+	// side of the differential tests.
+	PrescreenOff
+	// PrescreenAlways runs the contraction rounds regardless of size. Meant
+	// for tests that must exercise the prescreened path on small inputs.
+	PrescreenAlways
+)
+
+func (p Prescreen) String() string {
+	switch p {
+	case PrescreenAuto:
+		return "auto"
+	case PrescreenOff:
+		return "off"
+	case PrescreenAlways:
+		return "always"
+	}
+	return "prescreen(?)"
+}
+
 // Options configures a verification run. The zero value — all properties,
-// GOMAXPROCS workers, automatic sparsification — is the right default for
-// interactive and service use; set Workers to 1 for the
+// GOMAXPROCS workers, automatic sparsification and prescreening — is the
+// right default for interactive and service use; set Workers to 1 for the
 // deterministic-serial path (the report is bit-identical either way).
 type Options struct {
 	// Workers is the goroutine budget for the probe fan-out; <= 0 means
@@ -110,4 +164,8 @@ type Options struct {
 	// The zero value (SparsifyAuto) enables the fast path on dense graphs;
 	// it never changes any reported value or verdict.
 	Sparsify Sparsify
+	// Prescreen selects the Monte Carlo cut-prescreen policy for the κ/λ
+	// probes. The zero value (PrescreenAuto) enables it on large graphs; it
+	// never changes any reported value or verdict.
+	Prescreen Prescreen
 }

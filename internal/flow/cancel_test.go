@@ -51,7 +51,10 @@ func TestVertexConnectivityCtxCancelsPromptly(t *testing.T) {
 }
 
 func TestEdgeConnectivityCtxCancelsPromptly(t *testing.T) {
-	g := complete(250)
+	// A complete graph is dominated by one node, which would give the
+	// shared-λ pass zero probes; the bipartite fixture keeps a whole side
+	// in the dominating set so the campaign stays long.
+	g := completeBipartite(250, 250)
 	for _, workers := range []int{1, 4} {
 		err, overstay := cancelLatency(t, 30*time.Millisecond, func(ctx context.Context) error {
 			_, err := EdgeConnectivityCtx(ctx, g, workers)

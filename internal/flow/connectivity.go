@@ -127,43 +127,17 @@ func MinVertexCutSet(g *graph.Graph, s, t int) ([]int, error) {
 
 // EdgeConnectivityCtx returns the global edge connectivity λ(G) — the
 // minimum number of edges whose removal disconnects G — computing the
-// per-target min-cut probes under ctx across `workers` goroutines
-// (workers <= 0 means GOMAXPROCS, 1 runs serially). Cancellation is
-// polled between probes and between augmenting-path iterations inside
-// each probe; a canceled sweep returns ctx.Err() and no value.
+// min-cut probes under ctx across `workers` goroutines (workers <= 0 means
+// GOMAXPROCS, 1 runs serially). Cancellation is polled between probes and
+// between augmenting-path iterations inside each probe; a canceled sweep
+// returns ctx.Err() and no value.
 //
-// λ(G) = min over t != s of the s-t min cut, for any fixed s: the global
-// minimum cut separates node 0 from some other node. Disconnected graphs
-// and graphs with fewer than two nodes have λ = 0.
+// The probe set is the shared dominating-set plan (see lambdaProbePlan):
+// λ(G) = min(δ, min over dominating-set pairs), which needs roughly
+// n/(δ+1) probes instead of the classic n−1. Disconnected graphs and
+// graphs with fewer than two nodes have λ = 0.
 func EdgeConnectivityCtx(ctx context.Context, g *graph.Graph, workers int) (int, error) {
-	n := g.Order()
-	if n < 2 {
-		return 0, ctx.Err()
-	}
-	workers = graph.ClampWorkers(workers, n-1)
-	if workers > 1 {
-		return edgeConnectivityParallel(ctx, g, workers)
-	}
-	best := inf
-	nw := getNetwork(n)
-	defer putNetwork(nw)
-	nw.watch(ctx)
-	for t := 1; t < n; t++ {
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		nw.buildEdge(g, noEdge)
-		if f := nw.maxflow(0, t, best); f < best {
-			best = f
-			if best == 0 {
-				break
-			}
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	return best, nil
+	return edgeConnectivitySweep(ctx, g, workers, NoHints)
 }
 
 // EdgeConnectivity returns the global edge connectivity λ(G) serially
@@ -182,6 +156,12 @@ func EdgeConnectivity(g *graph.Graph) int {
 // non-adjacent pair). The complete graph K_n has connectivity n-1 by
 // convention. A canceled sweep returns ctx.Err() and no value.
 func VertexConnectivityCtx(ctx context.Context, g *graph.Graph, workers int) (int, error) {
+	return vertexConnectivityCtx(ctx, g, workers, NoHints)
+}
+
+// vertexConnectivityCtx dispatches the trivial κ cases and hands the probe
+// sweep to vertexConnectivitySweep.
+func vertexConnectivityCtx(ctx context.Context, g *graph.Graph, workers int, hints SweepHints) (int, error) {
 	n := g.Order()
 	if n < 2 {
 		return 0, ctx.Err()
@@ -194,23 +174,11 @@ func VertexConnectivityCtx(ctx context.Context, g *graph.Graph, workers int) (in
 		return n - 1, ctx.Err()
 	}
 	pairs := vertexProbePairs(g, v)
+	if len(pairs) == 0 {
+		return minDeg, ctx.Err()
+	}
 	workers = graph.ClampWorkers(workers, len(pairs))
-	if workers > 1 && len(pairs) > 0 {
-		return vertexConnectivityParallel(ctx, g, minDeg, pairs, workers)
-	}
-	best := minDeg // κ(G) <= δ(G)
-	for _, p := range pairs {
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		if f := stVertexFlow(ctx, g, p.s, p.t, best); f < best {
-			best = f
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	return best, nil
+	return vertexConnectivitySweep(ctx, g, minDeg, pairs, workers, hints)
 }
 
 // VertexConnectivity returns the global vertex connectivity κ(G) serially
@@ -270,11 +238,16 @@ func IsKNodeConnectedCtx(ctx context.Context, g *graph.Graph, k int) (bool, erro
 	if minDeg == n-1 {
 		return true, ctx.Err()
 	}
+	nw := getNetwork(2 * n)
+	defer putNetwork(nw)
+	nw.watch(ctx)
+	nw.buildVertexBase(g, n+1, noEdge)
 	for _, p := range vertexProbePairs(g, v) {
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
-		if stVertexFlow(ctx, g, p.s, p.t, k) < k {
+		nw.armVertexPair(p.s, p.t)
+		if nw.maxflow(2*p.s+1, 2*p.t, k) < k {
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
@@ -303,15 +276,17 @@ func IsKEdgeConnectedCtx(ctx context.Context, g *graph.Graph, k int) (bool, erro
 	if minDeg, _ := g.MinDegree(); minDeg < k {
 		return false, ctx.Err()
 	}
+	d0, targets := lambdaProbePlan(g, NoHints)
 	nw := getNetwork(n)
 	defer putNetwork(nw)
 	nw.watch(ctx)
-	for t := 1; t < n; t++ {
+	nw.buildEdge(g, noEdge)
+	for _, t := range targets {
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
-		nw.buildEdge(g, noEdge)
-		if nw.maxflow(0, t, k) < k {
+		nw.rearm()
+		if nw.maxflow(d0, t, k) < k {
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
@@ -343,6 +318,12 @@ func IsKEdgeConnected(g *graph.Graph, k int) bool {
 func EdgeIsRemovableCtx(ctx context.Context, g *graph.Graph, e graph.Edge, kappa, lambda int) (bool, error) {
 	if e.U > e.V {
 		e.U, e.V = e.V, e.U
+	}
+	if d := min(g.Degree(e.U), g.Degree(e.V)); d <= lambda || d <= kappa {
+		// Degree shortcut: both probes are bounded by the endpoint degrees
+		// in G−e, so an endpoint of degree <= lambda (<= kappa) forces the
+		// λ (κ) probe under the bar. Same verdict as the probes, no flow.
+		return false, ctx.Err()
 	}
 	if stEdgeFlowExcluding(ctx, g, e.U, e.V, lambda, e) < lambda {
 		return false, ctx.Err()
@@ -378,7 +359,7 @@ func VertexDisjointPaths(g *graph.Graph, s, t int) ([][]int, error) {
 	n := g.Order()
 	next := make([][]int, n)
 	for u := 0; u < n; u++ {
-		for _, e := range nw.first[2*u+1] {
+		for _, e := range nw.arcs(int32(2*u + 1)) {
 			// Forward arcs have even indices (addArc appends pairs). Skip
 			// reverses and the node-internal reverse arc.
 			if e%2 != 0 {
@@ -447,25 +428,33 @@ func GlobalMinEdgeCutSet(g *graph.Graph) ([]graph.Edge, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("flow: no cut in a graph with %d nodes", n)
 	}
-	best := inf
-	var bestCut []graph.Edge
+	minDeg, mv := g.MinDegree()
+	best, bestT := minDeg, -1
+	d0, targets := lambdaProbePlan(g, NoHints)
 	nw := getNetwork(n)
 	defer putNetwork(nw)
-	for t := 1; t < n; t++ {
-		nw.buildEdge(g, noEdge)
-		f := nw.maxflow(0, t, best)
-		if f >= best {
-			continue
-		}
-		best = f
-		cut, err := MinEdgeCutSet(g, 0, t)
-		if err != nil {
-			return nil, err
-		}
-		bestCut = cut
+	nw.buildEdge(g, noEdge)
+	for _, t := range targets {
 		if best == 0 {
 			break
 		}
+		nw.rearm()
+		if f := nw.maxflow(d0, t, best); f < best {
+			best, bestT = f, t
+		}
 	}
-	return bestCut, nil
+	if bestT >= 0 {
+		return MinEdgeCutSet(g, d0, bestT)
+	}
+	// No dominating-set pair beat δ, so λ = δ and the star of a
+	// minimum-degree node is a minimum cut.
+	var cut []graph.Edge
+	for _, w := range g.Neighbors(mv) {
+		e := graph.Edge{U: mv, V: w}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		cut = append(cut, e)
+	}
+	return cut, nil
 }

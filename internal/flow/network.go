@@ -11,6 +11,18 @@
 // Networks are recycled through a sync.Pool and rebuilt in place from the
 // frozen CSR graph view, so the steady state of a connectivity sweep —
 // thousands of small max-flow probes — allocates nothing.
+//
+// The residual network itself is a flat arena: arc targets and capacities
+// live in paired flat arrays (arc e and its reverse e^1 adjacent, the
+// standard Dinic layout), the per-node adjacency is a CSR index over arc
+// ids built by one counting pass (finish), and the BFS level array doubles
+// as the visited set (-1 = unreached) so the augmenting DFS tests a single
+// int32 per arc. There are no per-node structs and no per-node slices:
+// BFS and DFS walk cache-dense int32 arrays. Probe sweeps that reuse one
+// topology re-arm capacities from a pristine snapshot (rearm) instead of
+// rebuilding the CSR index per probe, and the level BFS stops expanding at
+// t's distance — on expander-like probe targets the untouched final
+// frontier is most of the graph.
 package flow
 
 import (
@@ -24,21 +36,37 @@ import (
 // Flow-layer telemetry. Probes and augmenting paths are counted per
 // maxflow call (one add each, outside the inner loops); pool gets/misses
 // expose the recycling behaviour the zero-alloc steady state depends on.
+// The arena counters split topology construction (builds: addArc loops +
+// the CSR finish pass) from capacity restores (rearms: one copy from the
+// pristine snapshot), which is the ratio the build-once probe sweeps exist
+// to improve.
 var (
 	mMaxflowProbes = obs.NewCounter("flow.maxflow.probes")
 	mAugPaths      = obs.NewCounter("flow.maxflow.augmenting_paths")
 	mNetPoolGets   = obs.NewCounter("flow.pool.gets")
 	mNetPoolMisses = obs.NewCounter("flow.pool.misses")
+	mArenaBuilds   = obs.NewCounter("flow.arena.builds")
+	mArenaRearms   = obs.NewCounter("flow.arena.rearms")
 )
 
-// network is a directed flow network stored as an edge list where the edge
-// with index e and its reverse e^1 are stored adjacently, the standard
-// Dinic layout.
+// network is a directed flow network stored as a flat arc arena: the arc
+// with index e and its reverse e^1 are stored adjacently, and a CSR index
+// (arcOff/arcIdx, built once per topology by finish) lists the arc ids
+// leaving each node.
 type network struct {
-	n     int
-	to    []int32
-	cap   []int32
-	first [][]int32 // first[v] lists edge indices leaving v
+	n   int
+	to  []int32 // arc targets; e and e^1 paired
+	cap []int32 // residual capacities, parallel to to
+
+	// CSR arc index: the arcs leaving v are arcIdx[arcOff[v]:arcOff[v+1]].
+	// Built by finish after the addArc loop; invalid until then.
+	arcOff []int32 // len n+1
+	arcIdx []int32 // len == len(to)
+
+	// cap0 is the pristine capacity snapshot taken by finish, so sweeps
+	// over one topology restore capacities with a single copy (rearm)
+	// instead of rebuilding the arena per probe.
+	cap0 []int32
 
 	// done, when non-nil, is the cancellation signal of the context the
 	// probe runs under. maxflow polls it between augmenting-path
@@ -47,9 +75,10 @@ type network struct {
 	done <-chan struct{}
 
 	// scratch buffers reused across maxflow runs
-	level []int32
-	iter  []int32
-	queue []int32
+	level []int32 // BFS levels; -1 = not in the current level graph
+	iter  []int32 // per-node cursor into its CSR arc row
+	queue []int32 // BFS queue
+	path  []int32 // arc stack of the iterative DFS
 }
 
 // watch arms the network's cancellation signal from ctx. A background (or
@@ -97,6 +126,14 @@ func putNetwork(nw *network) {
 	netPool.Put(nw)
 }
 
+// grow32 returns s resized to length n, reusing its storage when possible.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
 // reset prepares the network for n nodes, reusing all prior storage. The
 // cancellation signal is left alone: sweeps rebuild the network per probe
 // under one armed context (putNetwork disarms it before pooling).
@@ -104,31 +141,65 @@ func (nw *network) reset(n int) {
 	nw.n = n
 	nw.to = nw.to[:0]
 	nw.cap = nw.cap[:0]
-	if cap(nw.first) < n {
-		nw.first = append(nw.first[:cap(nw.first)], make([][]int32, n-cap(nw.first))...)
+	nw.arcOff = grow32(nw.arcOff, n+1)
+	for i := range nw.arcOff {
+		nw.arcOff[i] = 0
 	}
-	nw.first = nw.first[:n]
-	for v := range nw.first {
-		nw.first[v] = nw.first[v][:0]
-	}
-	if cap(nw.level) < n {
-		nw.level = make([]int32, n)
-		nw.iter = make([]int32, n)
+	nw.level = grow32(nw.level, n)
+	nw.iter = grow32(nw.iter, n)
+	if nw.queue == nil {
 		nw.queue = make([]int32, 0, n)
 	}
-	nw.level = nw.level[:n]
-	nw.iter = nw.iter[:n]
 }
 
 // addArc inserts a directed arc u->v with capacity c and its zero-capacity
-// reverse. It returns the forward edge index.
+// reverse. It returns the forward arc index. The CSR index is not usable
+// until finish runs.
 func (nw *network) addArc(u, v, c int) int {
 	e := len(nw.to)
 	nw.to = append(nw.to, int32(v), int32(u))
 	nw.cap = append(nw.cap, int32(c), 0)
-	nw.first[u] = append(nw.first[u], int32(e))
-	nw.first[v] = append(nw.first[v], int32(e+1))
 	return e
+}
+
+// finish builds the CSR arc index over everything addArc appended (one
+// counting pass — the source of arc e is to[e^1]) and snapshots the
+// pristine capacities for rearm. It must run once after the addArc loop
+// and before the first maxflow.
+func (nw *network) finish() {
+	mArenaBuilds.Inc()
+	m := len(nw.to)
+	off := nw.arcOff // zeroed by reset
+	for e := 0; e < m; e += 2 {
+		off[nw.to[e+1]+1]++ // source of forward arc e
+		off[nw.to[e]+1]++   // source of reverse arc e+1
+	}
+	for v := 0; v < nw.n; v++ {
+		off[v+1] += off[v]
+	}
+	nw.arcIdx = grow32(nw.arcIdx, m)
+	fill := nw.iter // clobbered: maxflow re-zeroes iter per phase
+	for i := range fill {
+		fill[i] = 0
+	}
+	for e := 0; e < m; e++ {
+		src := nw.to[e^1]
+		nw.arcIdx[off[src]+fill[src]] = int32(e)
+		fill[src]++
+	}
+	nw.cap0 = append(nw.cap0[:0], nw.cap...)
+}
+
+// rearm restores every capacity to the pristine post-finish snapshot, so a
+// sweep over one topology pays one copy per probe instead of a rebuild.
+func (nw *network) rearm() {
+	mArenaRearms.Inc()
+	copy(nw.cap, nw.cap0)
+}
+
+// arcs returns the CSR row of arc ids leaving v.
+func (nw *network) arcs(v int32) []int32 {
+	return nw.arcIdx[nw.arcOff[v]:nw.arcOff[v+1]]
 }
 
 // noEdge is the sentinel "exclude nothing" mask.
@@ -147,6 +218,7 @@ func (nw *network) buildEdge(g *graph.Graph, skip graph.Edge) {
 		nw.addArc(u, v, 1)
 		nw.addArc(v, u, 1)
 	})
+	nw.finish()
 }
 
 // buildVertex assembles the split-node network for vertex-connectivity
@@ -161,14 +233,19 @@ func (nw *network) buildEdge(g *graph.Graph, skip graph.Edge) {
 //     path (vertex-disjoint paths are automatically edge-disjoint, so this
 //     does not change the maximum).
 func (nw *network) buildVertex(g *graph.Graph, s, t, edgeCap int, skip graph.Edge) {
+	nw.buildVertexBase(g, edgeCap, skip)
+	nw.armVertexPair(s, t)
+}
+
+// buildVertexBase assembles the split-node network with every internal arc
+// at capacity 1 (no terminals boosted). Sweeps build it once per graph and
+// select the probe pair with armVertexPair; the node-internal arc of v is
+// arc 2v by construction.
+func (nw *network) buildVertexBase(g *graph.Graph, edgeCap int, skip graph.Edge) {
 	n := g.Order()
 	nw.reset(2 * n)
 	for v := 0; v < n; v++ {
-		c := 1
-		if v == s || v == t {
-			c = n + 1
-		}
-		nw.addArc(2*v, 2*v+1, c)
+		nw.addArc(2*v, 2*v+1, 1)
 	}
 	g.EachEdge(func(u, v int) {
 		if u == skip.U && v == skip.V {
@@ -177,52 +254,132 @@ func (nw *network) buildVertex(g *graph.Graph, s, t, edgeCap int, skip graph.Edg
 		nw.addArc(2*u+1, 2*v, edgeCap)
 		nw.addArc(2*v+1, 2*u, edgeCap)
 	})
+	nw.finish()
+}
+
+// armVertexPair rearms the pristine capacities and lifts the node-internal
+// capacity of the terminals s and t to "unbounded" (n+1), preparing one
+// vertex-cut probe on a buildVertexBase arena.
+func (nw *network) armVertexPair(s, t int) {
+	nw.rearm()
+	c := int32(nw.n/2 + 1)
+	nw.cap[2*s] = c
+	nw.cap[2*t] = c
+}
+
+// Edge masking by canonical index. EachEdge enumerates edges in the same
+// (u,v) order as graph.Edges, and every edge contributes two addArc calls
+// (four arc slots), so on an arena built without a skip the i-th canonical
+// edge owns a fixed arc window. Zeroing those capacities after rearm probes
+// G−e without rebuilding — the core of the P3 minimality sweep, which runs
+// two masked flows per edge.
+
+// maskEdgeInEdgeNet removes the i-th canonical edge from a buildEdge arena
+// (built with skip == noEdge). Call after rearm.
+func (nw *network) maskEdgeInEdgeNet(i int) {
+	base := 4 * i
+	nw.cap[base] = 0
+	nw.cap[base+1] = 0
+	nw.cap[base+2] = 0
+	nw.cap[base+3] = 0
+}
+
+// maskEdgeInVertexNet removes the i-th canonical edge from a
+// buildVertexBase arena (skip == noEdge): the first 2n arc slots are the
+// node-internal pairs, edge arcs follow. Call after armVertexPair.
+func (nw *network) maskEdgeInVertexNet(i int) {
+	base := nw.n + 4*i // nw.n == 2·(graph order): the internal-arc slots
+	nw.cap[base] = 0
+	nw.cap[base+1] = 0
+	nw.cap[base+2] = 0
+	nw.cap[base+3] = 0
 }
 
 // bfs builds the level graph; it reports whether t is reachable in the
-// residual network.
+// residual network. The level array doubles as the visited set (-1 =
+// unreached), which removes the per-arc bitset test from the hot loop,
+// and expansion stops once the frontier reaches t's level: no shortest
+// augmenting path leaves a node at distance >= level(t), and on the
+// expander-like instances the sweeps probe, the final BFS frontier holds
+// most of the graph — truncating it is most of a phase's cost.
 func (nw *network) bfs(s, t int) bool {
-	for i := range nw.level {
-		nw.level[i] = -1
+	lev := nw.level
+	for i := range lev {
+		lev[i] = -1
 	}
 	nw.queue = nw.queue[:0]
 	nw.queue = append(nw.queue, int32(s))
-	nw.level[s] = 0
+	lev[s] = 0
+	tLevel := int32(-1)
 	for qi := 0; qi < len(nw.queue); qi++ {
 		u := nw.queue[qi]
-		for _, e := range nw.first[u] {
+		if tLevel >= 0 && lev[u] >= tLevel {
+			break
+		}
+		lv := lev[u] + 1
+		for _, e := range nw.arcs(u) {
 			v := nw.to[e]
-			if nw.cap[e] > 0 && nw.level[v] < 0 {
-				nw.level[v] = nw.level[u] + 1
+			if nw.cap[e] > 0 && lev[v] < 0 {
+				lev[v] = lv
 				nw.queue = append(nw.queue, v)
+				if v == int32(t) {
+					tLevel = lv
+				}
 			}
 		}
 	}
-	return nw.level[t] >= 0
+	return lev[t] >= 0
 }
 
-// dfs sends blocking flow along the level graph.
-func (nw *network) dfs(u, t, f int) int {
-	if u == t {
-		return f
-	}
-	for ; int(nw.iter[u]) < len(nw.first[u]); nw.iter[u]++ {
-		e := nw.first[u][nw.iter[u]]
-		v := nw.to[e]
-		if nw.cap[e] <= 0 || nw.level[v] != nw.level[u]+1 {
+// augment finds one augmenting path from s to t in the current level
+// graph, pushes its bottleneck and returns the amount (0 when the blocking
+// flow is complete). It is iterative — the DFS stack is the arc path — so
+// probe depth is bounded by memory, not goroutine stack growth, which the
+// n=10^6 arenas rely on. Dead ends are pruned by dropping the node's level
+// to -2, the classic level-graph retreat.
+func (nw *network) augment(s, t int32) int32 {
+	nw.path = nw.path[:0]
+	u := s
+	for {
+		if u == t {
+			pushed := nw.cap[nw.path[0]]
+			for _, e := range nw.path[1:] {
+				if nw.cap[e] < pushed {
+					pushed = nw.cap[e]
+				}
+			}
+			for _, e := range nw.path {
+				nw.cap[e] -= pushed
+				nw.cap[e^1] += pushed
+			}
+			return pushed
+		}
+		advanced := false
+		row := nw.arcs(u)
+		for ; int(nw.iter[u]) < len(row); nw.iter[u]++ {
+			e := row[nw.iter[u]]
+			v := nw.to[e]
+			if nw.cap[e] > 0 && nw.level[v] == nw.level[u]+1 {
+				nw.path = append(nw.path, e)
+				u = v
+				advanced = true
+				break
+			}
+		}
+		if advanced {
 			continue
 		}
-		pushed := f
-		if int(nw.cap[e]) < pushed {
-			pushed = int(nw.cap[e])
+		if u == s {
+			return 0
 		}
-		if d := nw.dfs(int(v), t, pushed); d > 0 {
-			nw.cap[e] -= int32(d)
-			nw.cap[e^1] += int32(d)
-			return d
-		}
+		// Retreat: u is a dead end in this phase; remove it from the level
+		// graph and step back past the arc that led here.
+		nw.level[u] = -2
+		e := nw.path[len(nw.path)-1]
+		nw.path = nw.path[:len(nw.path)-1]
+		u = nw.to[e^1]
+		nw.iter[u]++
 	}
-	return 0
 }
 
 const inf = int(^uint(0) >> 1)
@@ -257,12 +414,12 @@ func (nw *network) maxflowCounted(s, t, limit int) (flow int, paths int64) {
 			nw.iter[i] = 0
 		}
 		for {
-			f := nw.dfs(s, t, int32max)
+			f := nw.augment(int32(s), int32(t))
 			if f == 0 {
 				break
 			}
 			paths++
-			flow += f
+			flow += int(f)
 			if limit >= 0 && flow >= limit {
 				return flow, paths
 			}
@@ -274,20 +431,16 @@ func (nw *network) maxflowCounted(s, t, limit int) (flow int, paths int64) {
 	return flow, paths
 }
 
-// int32max bounds the per-augmentation request so int32 capacities never
-// overflow when added to the reverse arc.
-const int32max = int(^uint32(0) >> 1)
-
 // residualReach marks every node reachable from s in the residual network.
 func (nw *network) residualReach(s int) []bool {
 	seen := make([]bool, nw.n)
 	seen[s] = true
-	stack := []int{s}
+	stack := []int32{int32(s)}
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range nw.first[u] {
-			if v := int(nw.to[e]); nw.cap[e] > 0 && !seen[v] {
+		for _, e := range nw.arcs(u) {
+			if v := nw.to[e]; nw.cap[e] > 0 && !seen[v] {
 				seen[v] = true
 				stack = append(stack, v)
 			}

@@ -2,7 +2,6 @@ package flow
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 
 	"lhg/internal/graph"
@@ -45,17 +44,39 @@ func probeProgress(sp trace.Span, i, total int) {
 	sp.Event("probe-progress", trace.Int("done", int64(i+1)), trace.Int("total", int64(total)))
 }
 
-// Parallel global-connectivity sweeps. The frozen CSR graph is shared
-// read-only by every worker; each worker owns a pooled network it rebuilds
-// per probe. The running minimum is kept in an atomic and doubles as the
-// early-exit limit for every in-flight max flow: a stale (too high) limit
-// only costs extra augmentation, never correctness, because any flow value
-// below the limit is exact.
+// Global-connectivity sweeps. The frozen CSR graph is shared read-only by
+// every worker; each worker owns a pooled network whose topology it builds
+// once and re-arms per probe (one capacity copy instead of a rebuild). The
+// running minimum is kept in an atomic and doubles as the early-exit limit
+// for every in-flight max flow: a stale (too high) limit only costs extra
+// augmentation, never correctness, because any flow value below the limit
+// is exact. Probes are scheduled by the work stealer (steal.go), so one
+// near-critical pair cannot strand the rest of a worker's static share.
 //
 // Cancellation: every worker polls ctx between probes and arms its pooled
 // network so in-flight probes stop between augmenting-path iterations. The
 // drivers join all workers before returning — cancellation never leaks a
 // goroutine — and report ctx.Err() once the pool has drained.
+
+// SweepHints carries prescreen guidance into a connectivity sweep. Hints
+// change probe order and early-exit limits only — never the result: Upper
+// must be the value of an actual edge cut of the graph (λ ≤ Upper by
+// definition, so folding it into the λ running minimum is exact), and
+// Critical merely schedules probes touching those nodes first so the
+// shared minimum drops as early as possible.
+type SweepHints struct {
+	// Upper is a certified cut value (< 0 when absent). Only the λ sweep
+	// folds it in; a vertex sweep uses it for nothing — an edge cut value
+	// bounds κ too, but κ's sweep minimum must stay over attainable vertex
+	// cuts, so it is scheduling-only there.
+	Upper int
+	// Critical lists node ids suspected to sit on the small side of a
+	// near-minimum cut; probes involving them run first.
+	Critical []int
+}
+
+// NoHints is the hint-free sweep configuration.
+var NoHints = SweepHints{Upper: -1}
 
 // atomicMin lowers a to v if v is smaller, returning the post-update value.
 func atomicMin(a *atomic.Int64, v int) int {
@@ -70,104 +91,227 @@ func atomicMin(a *atomic.Int64, v int) int {
 	}
 }
 
-// edgeConnectivityParallel fans the per-target min-cut probes of λ(G)
-// across workers goroutines under ctx.
-func edgeConnectivityParallel(ctx context.Context, g *graph.Graph, workers int) (int, error) {
-	n := g.Order()
-	var (
-		best atomic.Int64
-		next atomic.Int64
-		wg   sync.WaitGroup
-	)
-	best.Store(int64(inf))
-	next.Store(1)
-	mWorkersSpawned.Add(int64(workers))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer tWorkerBusy.Start().End()
-			wsp := workerSpan(ctx, "flow.lambda.worker", w)
-			defer wsp.End()
-			nw := getNetwork(n)
-			defer putNetwork(nw)
-			nw.watch(ctx)
-			for ctx.Err() == nil {
-				t := int(next.Add(1)) - 1
-				if t >= n {
-					return
-				}
-				limit := int(best.Load())
-				if limit == 0 {
-					return
-				}
-				nw.buildEdge(g, noEdge)
-				if f := nw.maxflow(0, t, limit); f < limit && ctx.Err() == nil {
-					atomicMin(&best, f)
-				}
-				probeProgress(wsp, t, n)
-			}
-		}(w)
+// lambdaProbePlan fixes the shared-λ probe set: a deterministic greedy
+// dominating set D with pivot d0 = D[0]. By Matula's observation, if
+// λ(G) < δ(G) then each side of a minimum edge cut contains a node all of
+// whose neighbors lie on that side (the side has ≤ λ < δ outgoing edges,
+// too few for every member to reach across), so every dominating set
+// intersects both sides and λ(G) = min(δ, min over d ∈ D∖{d0} of the
+// d0-d min cut). That replaces the classic n−1 per-target λ probes with
+// |D|−1 ≈ n/(δ+1) probes sharing one pivot.
+func lambdaProbePlan(g *graph.Graph, hints SweepHints) (d0 int, targets []int) {
+	dom := g.DominatingSet()
+	d0, targets = dom[0], dom[1:]
+	if len(hints.Critical) > 0 {
+		targets = frontLoadCritical(targets, hints.Critical, g.Order())
 	}
-	wg.Wait()
+	return d0, targets
+}
+
+// frontLoadCritical stably reorders targets so members of critical come
+// first. The relative order inside each class is preserved, keeping the
+// sweep deterministic for a fixed hint set.
+func frontLoadCritical(targets, critical []int, n int) []int {
+	mark := make([]bool, n)
+	for _, v := range critical {
+		if v >= 0 && v < n {
+			mark[v] = true
+		}
+	}
+	out := make([]int, 0, len(targets))
+	for _, t := range targets {
+		if mark[t] {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 || len(out) == len(targets) {
+		return targets
+	}
+	for _, t := range targets {
+		if !mark[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// edgeConnectivitySweep computes λ(G) over the dominating-set probe plan,
+// serially for workers == 1 and via the work stealer otherwise.
+func edgeConnectivitySweep(ctx context.Context, g *graph.Graph, workers int, hints SweepHints) (int, error) {
+	n := g.Order()
+	if n < 2 {
+		return 0, ctx.Err()
+	}
+	best, _ := g.MinDegree()
+	if hints.Upper >= 0 && hints.Upper < best {
+		best = hints.Upper
+	}
+	d0, targets := lambdaProbePlan(g, hints)
+	if best == 0 || len(targets) == 0 {
+		return best, ctx.Err()
+	}
+	workers = graph.ClampWorkers(workers, len(targets))
+	if workers == 1 {
+		nw := getNetwork(n)
+		defer putNetwork(nw)
+		nw.watch(ctx)
+		nw.buildEdge(g, noEdge) // one topology for the whole sweep; rearm per probe
+		for _, t := range targets {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			nw.rearm()
+			if f := nw.maxflow(d0, t, best); f < best {
+				best = f
+				if best == 0 {
+					break
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return best, nil
+	}
+	var shared atomic.Int64
+	shared.Store(int64(best))
+	runStealing(ctx, "flow.lambda.worker", len(targets), workers, func(w int, next func() (int, bool)) {
+		nw := getNetwork(n)
+		defer putNetwork(nw)
+		nw.watch(ctx)
+		built := false
+		for {
+			i, ok := next()
+			if !ok {
+				return
+			}
+			limit := int(shared.Load())
+			if limit == 0 {
+				return
+			}
+			if built {
+				nw.rearm()
+			} else {
+				nw.buildEdge(g, noEdge)
+				built = true
+			}
+			if f := nw.maxflow(d0, targets[i], limit); f < limit && ctx.Err() == nil {
+				atomicMin(&shared, f)
+			}
+		}
+	})
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return int(best.Load()), nil
+	return int(shared.Load()), nil
 }
 
-// EdgeConnectivityParallel is EdgeConnectivity with the per-target min-cut
-// probes fanned across `workers` goroutines (<= 1 falls back to the serial
-// sweep; <= 0 means GOMAXPROCS).
+// EdgeConnectivityHinted is EdgeConnectivityCtx with prescreen hints; see
+// SweepHints for why hints cannot change the result.
+func EdgeConnectivityHinted(ctx context.Context, g *graph.Graph, workers int, hints SweepHints) (int, error) {
+	return edgeConnectivitySweep(ctx, g, workers, hints)
+}
+
+// EdgeConnectivityParallel is EdgeConnectivity with the min-cut probes
+// fanned across `workers` goroutines (<= 1 falls back to the serial sweep;
+// <= 0 means GOMAXPROCS).
 func EdgeConnectivityParallel(g *graph.Graph, workers int) int {
 	lambda, _ := EdgeConnectivityCtx(context.Background(), g, workers)
 	return lambda
 }
 
-// vertexConnectivityParallel sweeps the Esfahanian–Hakimi probe pairs with
-// a shared running minimum across workers goroutines under ctx.
-func vertexConnectivityParallel(ctx context.Context, g *graph.Graph, minDeg int, pairs []probePair, workers int) (int, error) {
+// vertexConnectivitySweep sweeps the Esfahanian–Hakimi probe pairs with a
+// shared running minimum, serially for workers == 1 and via the work
+// stealer otherwise. Callers have already dispatched the trivial cases
+// (n < 2, disconnected, complete).
+func vertexConnectivitySweep(ctx context.Context, g *graph.Graph, minDeg int, pairs []probePair, workers int, hints SweepHints) (int, error) {
 	n := g.Order()
-	var (
-		best atomic.Int64
-		next atomic.Int64
-		wg   sync.WaitGroup
-	)
-	best.Store(int64(minDeg)) // κ(G) <= δ(G)
-	mWorkersSpawned.Add(int64(workers))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer tWorkerBusy.Start().End()
-			wsp := workerSpan(ctx, "flow.kappa.worker", w)
-			defer wsp.End()
-			nw := getNetwork(2 * n)
-			defer putNetwork(nw)
-			nw.watch(ctx)
-			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= len(pairs) {
-					return
-				}
-				limit := int(best.Load())
-				if limit == 0 {
-					return
-				}
-				p := pairs[i]
-				nw.buildVertex(g, p.s, p.t, n+1, noEdge)
-				if f := nw.maxflow(2*p.s+1, 2*p.t, limit); f < limit && ctx.Err() == nil {
-					atomicMin(&best, f)
-				}
-				probeProgress(wsp, i, len(pairs))
-			}
-		}(w)
+	if len(hints.Critical) > 0 {
+		pairs = frontLoadCriticalPairs(pairs, hints.Critical, n)
 	}
-	wg.Wait()
+	if workers == 1 {
+		best := minDeg // κ(G) <= δ(G)
+		nw := getNetwork(2 * n)
+		defer putNetwork(nw)
+		nw.watch(ctx)
+		nw.buildVertexBase(g, n+1, noEdge) // one topology; re-arm the terminal pair per probe
+		for _, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			nw.armVertexPair(p.s, p.t)
+			if f := nw.maxflow(2*p.s+1, 2*p.t, best); f < best {
+				best = f
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return best, nil
+	}
+	var shared atomic.Int64
+	shared.Store(int64(minDeg))
+	runStealing(ctx, "flow.kappa.worker", len(pairs), workers, func(w int, next func() (int, bool)) {
+		nw := getNetwork(2 * n)
+		defer putNetwork(nw)
+		nw.watch(ctx)
+		built := false
+		for {
+			i, ok := next()
+			if !ok {
+				return
+			}
+			limit := int(shared.Load())
+			if limit == 0 {
+				return
+			}
+			if !built {
+				nw.buildVertexBase(g, n+1, noEdge)
+				built = true
+			}
+			p := pairs[i]
+			nw.armVertexPair(p.s, p.t)
+			if f := nw.maxflow(2*p.s+1, 2*p.t, limit); f < limit && ctx.Err() == nil {
+				atomicMin(&shared, f)
+			}
+		}
+	})
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return int(best.Load()), nil
+	return int(shared.Load()), nil
+}
+
+// frontLoadCriticalPairs stably reorders probe pairs so pairs touching a
+// critical node come first; see frontLoadCritical.
+func frontLoadCriticalPairs(pairs []probePair, critical []int, n int) []probePair {
+	mark := make([]bool, n)
+	for _, v := range critical {
+		if v >= 0 && v < n {
+			mark[v] = true
+		}
+	}
+	out := make([]probePair, 0, len(pairs))
+	for _, p := range pairs {
+		if mark[p.s] || mark[p.t] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 || len(out) == len(pairs) {
+		return pairs
+	}
+	for _, p := range pairs {
+		if !mark[p.s] && !mark[p.t] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VertexConnectivityHinted is VertexConnectivityCtx with prescreen hints
+// (scheduling-only for κ; see SweepHints).
+func VertexConnectivityHinted(ctx context.Context, g *graph.Graph, workers int, hints SweepHints) (int, error) {
+	return vertexConnectivityCtx(ctx, g, workers, hints)
 }
 
 // VertexConnectivityParallel is VertexConnectivity (Esfahanian–Hakimi) with
@@ -177,55 +321,116 @@ func VertexConnectivityParallel(g *graph.Graph, workers int) int {
 	return kappa
 }
 
-// EdgesRemovableCtx runs EdgeIsRemovable over a batch of edges across
-// `workers` goroutines under ctx and returns a parallel bool slice: out[i]
-// reports whether edges[i] can be removed without lowering κ below kappa
-// or λ below lambda. It is the fan-out primitive of the P3 link-minimality
-// sweep in internal/check. A canceled sweep drains its workers, then
-// returns ctx.Err() and no slice.
+// canonicalIndices maps each edge to its index in the canonical g.Edges()
+// enumeration (-1 when the edge is not in g), the key the masked-arena P3
+// probes use to zero an edge's arc window without rebuilding.
+func canonicalIndices(g *graph.Graph, edges []graph.Edge) []int32 {
+	pos := make(map[graph.Edge]int32, g.Size())
+	next := int32(0)
+	g.EachEdge(func(u, v int) {
+		pos[graph.Edge{U: u, V: v}] = next
+		next++
+	})
+	idx := make([]int32, len(edges))
+	for j, e := range edges {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		if p, ok := pos[e]; ok {
+			idx[j] = p
+		} else {
+			idx[j] = -1
+		}
+	}
+	return idx
+}
+
+// EdgesRemovableCtx runs the EdgeIsRemovable predicate over a batch of
+// edges across `workers` goroutines under ctx and returns a parallel bool
+// slice: out[i] reports whether edges[i] can be removed without lowering κ
+// below kappa or λ below lambda. It is the fan-out primitive of the P3
+// link-minimality sweep in internal/check.
+//
+// Each worker builds the unmasked edge and split-node arenas once and runs
+// every probe as rearm + canonical-index mask + early-exit max flow — two
+// capacity copies per edge instead of two topology rebuilds, which is where
+// the P3 sweep spends its time on large instances. A canceled sweep drains
+// its workers, then returns ctx.Err() and no slice.
 func EdgesRemovableCtx(ctx context.Context, g *graph.Graph, edges []graph.Edge, kappa, lambda, workers int) ([]bool, error) {
 	out := make([]bool, len(edges))
+	if len(edges) == 0 {
+		return out, ctx.Err()
+	}
+	idx := canonicalIndices(g, edges)
+	n := g.Order()
+	body := func(w int, next func() (int, bool)) {
+		var eNet, vNet *network // built lazily: a starved worker never builds
+		defer func() {
+			if eNet != nil {
+				putNetwork(eNet)
+			}
+			if vNet != nil {
+				putNetwork(vNet)
+			}
+		}()
+		for {
+			i, ok := next()
+			if !ok {
+				return
+			}
+			e := edges[i]
+			if e.U > e.V {
+				e.U, e.V = e.V, e.U
+			}
+			if d := min(g.Degree(e.U), g.Degree(e.V)); d <= lambda || d <= kappa {
+				// Degree shortcut (see EdgeIsRemovableCtx): an endpoint of
+				// degree <= max(kappa, lambda) caps the corresponding probe
+				// below its bar in G−e, so the verdict is false without a
+				// flow. On near-regular instances with λ = δ this skips
+				// almost every edge — the P3 sweep becomes a degree scan.
+				continue
+			}
+			if idx[i] < 0 {
+				// Not an edge of g: fall back to the per-probe masked build.
+				if rem, err := EdgeIsRemovableCtx(ctx, g, e, kappa, lambda); err == nil {
+					out[i] = rem
+				}
+				continue
+			}
+			ci := int(idx[i])
+			if eNet == nil {
+				eNet = getNetwork(n)
+				eNet.watch(ctx)
+				eNet.buildEdge(g, noEdge)
+			}
+			eNet.rearm()
+			eNet.maskEdgeInEdgeNet(ci)
+			if eNet.maxflow(e.U, e.V, lambda) < lambda {
+				continue // λ(G−e) < λ: not removable; out[i] stays false
+			}
+			if vNet == nil {
+				vNet = getNetwork(2 * n)
+				vNet.watch(ctx)
+				vNet.buildVertexBase(g, n+1, noEdge)
+			}
+			vNet.armVertexPair(e.U, e.V)
+			vNet.maskEdgeInVertexNet(ci)
+			out[i] = vNet.maxflow(2*e.U+1, 2*e.V, kappa) >= kappa
+		}
+	}
 	workers = graph.ClampWorkers(workers, len(edges))
 	if workers == 1 {
-		for i, e := range edges {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		i := 0
+		body(0, func() (int, bool) {
+			if ctx.Err() != nil || i >= len(edges) {
+				return 0, false
 			}
-			ok, err := EdgeIsRemovableCtx(ctx, g, e, kappa, lambda)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = ok
-		}
-		return out, nil
+			i++
+			return i - 1, true
+		})
+	} else {
+		runStealing(ctx, "flow.minimality.worker", len(edges), workers, body)
 	}
-	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-	)
-	mWorkersSpawned.Add(int64(workers))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer tWorkerBusy.Start().End()
-			wsp := workerSpan(ctx, "flow.minimality.worker", w)
-			defer wsp.End()
-			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= len(edges) {
-					return
-				}
-				ok, err := EdgeIsRemovableCtx(ctx, g, edges[i], kappa, lambda)
-				if err != nil {
-					return
-				}
-				out[i] = ok
-				probeProgress(wsp, i, len(edges))
-			}
-		}(w)
-	}
-	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

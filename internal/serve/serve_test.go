@@ -473,7 +473,9 @@ func TestVerifyBurstRunsOneCampaign(t *testing.T) {
 func TestClientDisconnectCancelsCampaign(t *testing.T) {
 	ts := newTestServer(t, Options{CacheSize: 16})
 	ctx, cancel := context.WithCancel(context.Background())
-	body := `{"constraint":"kdiamond","n":400,"k":6}`
+	// The instance must outlive the 50ms head start below even on the
+	// arena-era probe sweeps (n=400 now verifies in milliseconds).
+	body := `{"constraint":"kdiamond","n":4096,"k":6}`
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		ts.URL+"/v1/verify", bytes.NewBufferString(body))
 	if err != nil {

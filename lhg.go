@@ -62,6 +62,10 @@ type (
 	Edge = graph.Edge
 	// Report is the outcome of verifying the LHG properties.
 	Report = check.Report
+	// ScreenReport is the outcome of the certified scale screen.
+	ScreenReport = check.ScreenReport
+	// ScreenOptions configures a scale-screen run.
+	ScreenOptions = check.ScreenOptions
 	// Failures selects crashed nodes and failed links for a flood.
 	Failures = flood.Failures
 	// FloodResult reports rounds, messages and coverage of one flood.
@@ -148,7 +152,15 @@ const (
 	PropLinkMinimality = check.PropLinkMinimality
 	// PropDiameter runs the distance sweep for P4 and the avg path length.
 	PropDiameter = check.PropDiameter
-	// PropAll selects every property — the full report.
+	// PropRestrictedEdge computes the restricted edge connectivity λ′(G)
+	// (smallest cut that disconnects without isolating a node; -1 when
+	// undefined). Opt-in: not part of PropAll.
+	PropRestrictedEdge = check.PropRestrictedEdge
+	// PropSuperEdge decides super edge connectivity — every minimum edge
+	// cut isolates a single node (implies P2 and PropRestrictedEdge).
+	// Opt-in: not part of PropAll.
+	PropSuperEdge = check.PropSuperEdge
+	// PropAll selects every classic property — the full report.
 	PropAll = check.PropAll
 )
 
@@ -157,12 +169,13 @@ const (
 // a caller can build one option list and reuse it across Build, Verify
 // and Flood.
 type options struct {
-	workers  int
-	seed     uint64
-	hasSeed  bool
-	failures Failures
-	props    Properties
-	sparsify check.Sparsify
+	workers   int
+	seed      uint64
+	hasSeed   bool
+	failures  Failures
+	props     Properties
+	sparsify  check.Sparsify
+	prescreen check.Prescreen
 }
 
 // Option configures Build, Verify or Flood. Options are applied in order;
@@ -205,6 +218,23 @@ func WithSparsify(enabled bool) Option {
 			o.sparsify = check.SparsifyAuto
 		} else {
 			o.sparsify = check.SparsifyOff
+		}
+	}
+}
+
+// WithPrescreen toggles the Monte Carlo cut prescreen of Verify and IsLHG.
+// It is on by default: on large graphs (n >= check.PrescreenCutoff) a few
+// seeded Karger contraction rounds run before the exact κ/λ sweeps and feed
+// them a certified cut upper bound plus a critical-node probe ordering.
+// Both only tighten early-exit limits and reorder probes, so the report is
+// bit-identical either way — WithPrescreen(false) is purely an escape
+// hatch, mirroring WithSparsify.
+func WithPrescreen(enabled bool) Option {
+	return func(o *options) {
+		if enabled {
+			o.prescreen = check.PrescreenAuto
+		} else {
+			o.prescreen = check.PrescreenOff
 		}
 	}
 }
@@ -384,10 +414,27 @@ func Verify(ctx context.Context, g *Graph, k int, opts ...Option) (*Report, erro
 	defer sp.End()
 	o := applyOptions(opts)
 	return check.VerifyCtx(ctx, g, k, check.Options{
-		Workers:  o.workers,
-		Props:    o.props,
-		Sparsify: o.sparsify,
+		Workers:   o.workers,
+		Props:     o.props,
+		Sparsify:  o.sparsify,
+		Prescreen: o.prescreen,
 	})
+}
+
+// Screen runs the certified scale screen — the verification tier for
+// instances too large for the exact campaign (n ~ 10^6). Every verdict in
+// the report is honest three-valued state: refuted (exact witness found),
+// confirmed (a sufficient exact check passed), or screened (linear checks,
+// Monte Carlo contraction cuts and sampled exact probes all passed without
+// exhaustively proving the property). See check.ScreenCtx.
+func Screen(ctx context.Context, g *Graph, k int, opt ScreenOptions) (*ScreenReport, error) {
+	ctx, sp := trace.StartRoot(ctx, "lhg.Screen")
+	if sp.Live() {
+		sp.SetAttr(trace.Int("n", int64(g.Order())))
+		sp.SetAttr(trace.Int("k", int64(k)))
+	}
+	defer sp.End()
+	return check.ScreenCtx(ctx, g, k, opt)
 }
 
 // DeltaVerifier carries verification state across a churn stream: the
@@ -407,9 +454,10 @@ func NewDeltaVerifier(ctx context.Context, g *Graph, k int, opts ...Option) (*De
 	defer sp.End()
 	o := applyOptions(opts)
 	return check.NewDeltaVerifier(ctx, g, k, check.Options{
-		Workers:  o.workers,
-		Props:    o.props,
-		Sparsify: o.sparsify,
+		Workers:   o.workers,
+		Props:     o.props,
+		Sparsify:  o.sparsify,
+		Prescreen: o.prescreen,
 	})
 }
 
@@ -428,9 +476,10 @@ func VerifyDelta(ctx context.Context, g *Graph, prev *Report, d EdgeDelta, n int
 	defer sp.End()
 	o := applyOptions(opts)
 	return check.VerifyDelta(ctx, g, prev, d, n, check.Options{
-		Workers:  o.workers,
-		Props:    o.props,
-		Sparsify: o.sparsify,
+		Workers:   o.workers,
+		Props:     o.props,
+		Sparsify:  o.sparsify,
+		Prescreen: o.prescreen,
 	})
 }
 
@@ -453,7 +502,7 @@ func IsLHG(ctx context.Context, g *Graph, k int, opts ...Option) (bool, error) {
 	ctx, sp := trace.StartRoot(ctx, "lhg.IsLHG")
 	defer sp.End()
 	o := applyOptions(opts)
-	return check.QuickVerifyOpts(ctx, g, k, check.Options{Sparsify: o.sparsify})
+	return check.QuickVerifyOpts(ctx, g, k, check.Options{Sparsify: o.sparsify, Prescreen: o.prescreen})
 }
 
 // Flood runs a round-synchronous flood from source, by default in the
